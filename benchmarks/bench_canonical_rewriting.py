@@ -1,0 +1,52 @@
+"""Experiment E4.2: canonical rewritings (Def. 4.1).
+
+Regenerates the five adjuncts of Example 4.2 and measures how the
+rewriting grows with the number of arguments (the Bell-number growth
+underlying Thm. 4.10).
+"""
+
+from conftest import banner
+
+from repro.db.generators import chain_query
+from repro.hom.homomorphism import is_isomorphic
+from repro.minimize.canonical import canonical_rewriting, possible_completions
+from repro.paperdata.figures import example_4_2_query
+from repro.query.parser import parse_query
+from repro.query.terms import Constant
+from repro.utils.partitions import bell_number
+
+
+def test_example_4_2_five_adjuncts(benchmark):
+    query = example_4_2_query()
+    constants = [Constant("a"), Constant("b")]
+    completions = benchmark(possible_completions, query, constants)
+    assert len(completions) == 5
+    expected = [
+        "ans(v1, 'a') :- R(v1, 'a'), v1 != 'a', v1 != 'b'",
+        "ans(v1, 'b') :- R(v1, 'b'), v1 != 'a', v1 != 'b'",
+        "ans(v1, v2) :- R(v1, v2), v1 != v2, v1 != 'a', v1 != 'b', "
+        "v2 != 'a', v2 != 'b'",
+        "ans('b', 'a') :- R('b', 'a')",
+        "ans('b', v1) :- R('b', v1), v1 != 'a', v1 != 'b'",
+    ]
+    for text in expected:
+        assert any(is_isomorphic(c, parse_query(text)) for c in completions)
+    banner("Example 4.2 — Can(Q, {a, b}) adjuncts")
+    for completion in completions:
+        print("   ", completion)
+
+
+def test_canonical_growth_follows_bell_numbers(benchmark):
+    """|Can(chain_k)| = B(k+1): the source of the EXPTIME bound."""
+
+    def rewrite_chain_of(length):
+        return canonical_rewriting(chain_query(length))
+
+    rewriting = benchmark(rewrite_chain_of, 4)
+    assert len(rewriting.adjuncts) == bell_number(5)
+    banner("Canonical-rewriting growth (chain queries)")
+    print("  {:>6} {:>10} {:>12}".format("atoms", "variables", "adjuncts"))
+    for length in range(1, 5):
+        adjuncts = len(canonical_rewriting(chain_query(length)).adjuncts)
+        assert adjuncts == bell_number(length + 1)
+        print("  {:>6} {:>10} {:>12}".format(length, length + 1, adjuncts))

@@ -1,0 +1,70 @@
+"""Ablation: backtracking engine vs SQLite-compiled engine.
+
+Both engines compute identical annotated results (asserted here); the
+bench compares their cost across the classic join shapes.  The paper's
+narrative — provenance capture can ride on a standard SQL engine —
+corresponds to the SQLite route.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.db.generators import chain_query, star_query, uniform_binary_database
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.engine.evaluate import evaluate
+from repro.query.parser import parse_query
+
+WORKLOADS = {
+    "chain3": chain_query(3),
+    "star3": star_query(3),
+    "round_trip_diseq": parse_query("ans(x) :- R(x, y), R(y, x), x != y"),
+}
+
+
+@pytest.fixture(scope="module")
+def graph_db():
+    return uniform_binary_database(8, density=0.35, seed=9)
+
+
+@pytest.fixture(scope="module")
+def sqlite_store(graph_db):
+    store = SQLiteDatabase.from_annotated(graph_db)
+    yield store
+    store.close()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_backtracking_engine(benchmark, graph_db, name):
+    query = WORKLOADS[name]
+    result = benchmark(evaluate, query, graph_db)
+    assert isinstance(result, dict)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_sqlite_engine(benchmark, graph_db, sqlite_store, name):
+    query = WORKLOADS[name]
+    result = benchmark(sqlite_store.evaluate, query)
+    assert result == evaluate(query, graph_db)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_algebra_engine(benchmark, graph_db, name):
+    from repro.algebra.compile import evaluate_via_algebra
+
+    query = WORKLOADS[name]
+    result = benchmark(evaluate_via_algebra, query, graph_db)
+    assert result == evaluate(query, graph_db)
+
+
+def test_engines_agree_on_all_workloads(benchmark, graph_db, sqlite_store):
+    def check_all():
+        agreements = 0
+        for query in WORKLOADS.values():
+            if sqlite_store.evaluate(query) == evaluate(query, graph_db):
+                agreements += 1
+        return agreements
+
+    agreements = benchmark(check_all)
+    assert agreements == len(WORKLOADS)
+    banner("Engines agree on {}/{} workloads".format(agreements, len(WORKLOADS)))

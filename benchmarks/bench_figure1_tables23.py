@@ -1,0 +1,41 @@
+"""Experiment T2/T3+F1: regenerate Tables 2-3 from Figure 1's queries.
+
+Paper claim (Examples 2.13, 2.14, 2.18; Thm. 3.11): on the Table 2
+database, ``Qunion`` yields ``s2*s3 + s1`` for (a) while the equivalent
+``Qconj`` yields ``s2*s3 + s1*s1``; ``Qunion <_P Qconj``.
+"""
+
+from conftest import banner, show_polynomials
+
+from repro.engine.evaluate import evaluate
+from repro.order.query_order import compare_on_database
+from repro.paperdata import figure1, table2_database, table3_expected
+from repro.semiring.order import Ordering
+
+
+def test_table3_regenerated_from_qunion(benchmark):
+    fig = figure1()
+    db = table2_database()
+    result = benchmark(evaluate, fig.q_union, db)
+    expected = table3_expected()
+    assert result == expected
+    banner("Table 3 — ans for Qunion on Table 2 (paper: s2*s3+s1 / s3*s2+s4)")
+    show_polynomials(sorted(result.items()))
+
+
+def test_example_2_14_qconj_provenance(benchmark):
+    fig = figure1()
+    db = table2_database()
+    result = benchmark(evaluate, fig.q_conj, db)
+    assert str(result[("a",)]) == "s1^2 + s2*s3"
+    assert str(result[("b",)]) == "s2*s3 + s4^2"
+    banner("Example 2.14 — ans for Qconj (paper: s2*s3+s1*s1 / s3*s2+s4*s4)")
+    show_polynomials(sorted(result.items()))
+
+
+def test_example_2_18_qunion_strictly_terser(benchmark):
+    fig = figure1()
+    db = table2_database()
+    verdict = benchmark(compare_on_database, fig.q_union, fig.q_conj, db)
+    assert verdict is Ordering.LESS
+    banner("Example 2.18 — Qunion <_P Qconj on Table 2: {}".format(verdict))

@@ -1,0 +1,64 @@
+"""Experiment T4/T5+F2: the Thm. 3.5 non-existence construction.
+
+Paper claim (Lemmas 3.6-3.7): ``QnoPmin`` and ``Qalt`` are equivalent
+standard-minimal queries whose provenance orders *oppositely* on the
+Table 4 and Table 5 databases — hence no p-minimal equivalent exists in
+CQ≠.  The polynomials are reproduced literally.
+"""
+
+from conftest import banner, show_polynomials
+
+from repro.engine.evaluate import provenance_of_boolean
+from repro.hom.containment import is_equivalent
+from repro.order.query_order import compare_on_database
+from repro.paperdata import (
+    figure2,
+    lemma_3_6_expected,
+    table4_database,
+    table5_database,
+)
+from repro.semiring.order import Ordering
+
+
+def test_lemma_3_6_polynomials_on_d(benchmark):
+    fig = figure2()
+    db = table4_database()
+    p_no_pmin = benchmark(provenance_of_boolean, fig.q_no_pmin, db)
+    p_alt = provenance_of_boolean(fig.q_alt, db)
+    expected = lemma_3_6_expected()
+    assert p_no_pmin == expected["q_no_pmin_on_d"]
+    assert p_alt == expected["q_alt_on_d"]
+    banner("Lemma 3.6 on D (Table 4) — paper: 2(s1)^2(s2)^2 s3 s0 + s1 s2 (s3)^3 s0")
+    show_polynomials([("QnoPmin", p_no_pmin), ("Qalt", p_alt)])
+
+
+def test_lemma_3_6_polynomials_on_d_prime(benchmark):
+    fig = figure2()
+    db = table5_database()
+    p_no_pmin = provenance_of_boolean(fig.q_no_pmin, db)
+    p_alt = benchmark(provenance_of_boolean, fig.q_alt, db)
+    expected = lemma_3_6_expected()
+    assert p_no_pmin == expected["q_no_pmin_on_dp"]
+    assert p_alt == expected["q_alt_on_dp"]
+    banner("Lemma 3.6 on D' (Table 5) — Qalt is now strictly larger")
+    show_polynomials([("QnoPmin", p_no_pmin), ("Qalt", p_alt)])
+
+
+def test_theorem_3_5_opposite_orders(benchmark):
+    fig = figure2()
+    d, d_prime = table4_database(), table5_database()
+
+    def compare_both():
+        return (
+            compare_on_database(fig.q_no_pmin, fig.q_alt, d),
+            compare_on_database(fig.q_no_pmin, fig.q_alt, d_prime),
+        )
+
+    on_d, on_dp = benchmark(compare_both)
+    assert is_equivalent(fig.q_no_pmin, fig.q_alt)
+    assert on_d is Ordering.GREATER
+    assert on_dp is Ordering.LESS
+    banner(
+        "Thm. 3.5 — equivalent queries, opposite provenance orders: "
+        "D: {}, D': {}".format(on_d.value, on_dp.value)
+    )

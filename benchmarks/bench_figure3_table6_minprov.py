@@ -1,0 +1,52 @@
+"""Experiment T6+F3: MinProv step by step on Q̂ (Figure 3, Examples
+4.7 / 5.2 / 5.4 / 5.8 on the Table 6 database).
+
+Paper claim: Q̂I has five adjuncts; step II minimizes Q̂1 to
+``R(v1, v1)``; step III leaves ``Q̂min1 ∪ Q̂5``; the provenance on D̂
+shrinks from 7 monomial occurrences to ``s1 + 3*s2*s4*s5``.
+"""
+
+from conftest import banner, show_polynomials
+
+from repro.engine.evaluate import provenance_of_boolean
+from repro.hom.homomorphism import is_isomorphic
+from repro.minimize.minprov import min_prov_trace
+from repro.paperdata import figure3_expected_steps, figure3_qhat, table6_database
+from repro.paperdata.databases import example_5_steps_expected
+
+
+def test_minprov_trace_structure(benchmark):
+    q_hat = figure3_qhat()
+    trace = benchmark(min_prov_trace, q_hat)
+    expected = figure3_expected_steps()
+    assert len(trace.step1.adjuncts) == 5
+    assert len(trace.step3.adjuncts) == 2
+    for adjunct in trace.step3.adjuncts:
+        assert any(
+            is_isomorphic(adjunct, target)
+            for target in expected["QIII"].adjuncts
+        )
+    banner("Figure 3 — MinProv(Q̂) steps")
+    for label, step in (("QI", trace.step1), ("QII", trace.step2), ("QIII", trace.step3)):
+        print("{} ({} adjuncts)".format(label, len(step.adjuncts)))
+        for adjunct in step.adjuncts:
+            print("   ", adjunct)
+
+
+def test_examples_5_2_to_5_8_provenance(benchmark):
+    q_hat = figure3_qhat()
+    db = table6_database()
+    trace = min_prov_trace(q_hat)
+    expected = example_5_steps_expected()
+
+    def provenance_per_step():
+        return {
+            "step1": provenance_of_boolean(trace.step1, db),
+            "step2": provenance_of_boolean(trace.step2, db),
+            "step3": provenance_of_boolean(trace.step3, db),
+        }
+
+    polynomials = benchmark(provenance_per_step)
+    assert polynomials == expected
+    banner("Examples 5.2 / 5.4 / 5.8 — provenance after each MinProv step")
+    show_polynomials(sorted(polynomials.items()))

@@ -1,0 +1,66 @@
+"""Experiment T6.2: general (non-abstractly-tagged) annotations.
+
+Paper claims (Sec. 6): p-minimal queries keep dominating on databases
+with repeated annotations (Thm. 6.1), but direct core computation from
+the polynomial alone becomes impossible (Thm. 6.2) — two non-equivalent
+queries can share both the polynomial and the constants while their
+cores differ.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.engine.evaluate import evaluate
+from repro.errors import NotAbstractlyTaggedError
+from repro.direct.pipeline import core_provenance
+from repro.hom.containment import is_equivalent
+from repro.minimize.minprov import min_prov
+from repro.paperdata import figure1, theorem_6_2_instance
+from repro.db.instance import AnnotatedDatabase
+from repro.semiring.order import polynomial_le
+from repro.semiring.polynomial import Polynomial
+
+
+def test_theorem_6_1_order_survives_retagging(benchmark):
+    fig = figure1()
+    db = AnnotatedDatabase()
+    db.add("R", ("a", "a"), annotation="s")
+    db.add("R", ("a", "b"), annotation="s")
+    db.add("R", ("b", "a"), annotation="t")
+    db.add("R", ("b", "b"), annotation="t")
+    assert not db.is_abstractly_tagged()
+
+    def dominated_everywhere():
+        union = evaluate(fig.q_union, db)
+        conj = evaluate(fig.q_conj, db)
+        return all(
+            polynomial_le(union[output], conj[output]) for output in union
+        )
+
+    assert benchmark(dominated_everywhere)
+    banner("Thm. 6.1 — Qunion still dominates Qconj with repeated tags")
+
+
+def test_theorem_6_2_counterexample(benchmark):
+    instance = theorem_6_2_instance()
+
+    def witness():
+        p = evaluate(instance.q, instance.db)[instance.output]
+        p_prime = evaluate(instance.q_prime, instance.db)[instance.output]
+        core_q = evaluate(min_prov(instance.q), instance.db)[instance.output]
+        core_qp = evaluate(min_prov(instance.q_prime), instance.db)[
+            instance.output
+        ]
+        return p, p_prime, core_q, core_qp
+
+    p, p_prime, core_q, core_qp = benchmark(witness)
+    assert not is_equivalent(instance.q, instance.q_prime)
+    assert p == p_prime == Polynomial.parse("s^2")
+    assert core_q != core_qp
+    banner(
+        "Thm. 6.2 — same polynomial ({}), different cores ({} vs {}): "
+        "no query-free core computation exists".format(p, core_q, core_qp)
+    )
+    with pytest.raises(NotAbstractlyTaggedError):
+        core_provenance(p, instance.db, instance.output)

@@ -1,0 +1,68 @@
+"""Experiments E3.2 / E3.4: homomorphisms vs containment; surjectivity.
+
+Paper claims: Example 3.2 exhibits CQ≠ containment *without* a
+homomorphism (so completion-based containment is necessary);
+Example 3.4 shows plain homomorphisms do not order provenance — the
+surjectivity requirement of Thm. 3.3 is essential.
+"""
+
+from conftest import banner
+
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import provenance_of_boolean
+from repro.hom.containment import is_contained
+from repro.hom.homomorphism import has_homomorphism, has_surjective_homomorphism
+from repro.paperdata.figures import example_3_2_queries, example_3_4_queries
+from repro.semiring.order import polynomial_le
+
+
+def test_example_3_2_containment_without_homomorphism(benchmark):
+    q, q_prime = example_3_2_queries()
+
+    def decide():
+        return is_contained(q, q_prime), has_homomorphism(q_prime, q)
+
+    contained, hom_exists = benchmark(decide)
+    assert contained and not hom_exists
+    banner(
+        "Example 3.2 — Q ⊆ Q' holds ({}) although no homomorphism "
+        "Q' -> Q exists ({})".format(contained, hom_exists)
+    )
+
+
+def test_example_3_4_surjectivity_matters(benchmark):
+    q, q_prime = example_3_4_queries()
+    db = AnnotatedDatabase.from_rows({"R": [("a",)]})
+
+    def witness():
+        return (
+            has_homomorphism(q_prime, q),
+            has_surjective_homomorphism(q_prime, q),
+            provenance_of_boolean(q, db),
+            provenance_of_boolean(q_prime, db),
+        )
+
+    hom, surjective, p_q, p_qp = benchmark(witness)
+    assert hom and not surjective
+    assert str(p_q) == "s1^2" and str(p_qp) == "s1"
+    assert not polynomial_le(p_q, p_qp)
+    assert polynomial_le(p_qp, p_q)
+    banner(
+        "Example 3.4 — non-surjective hom gives no order: "
+        "P(Q)={} vs P(Q')={}".format(p_q, p_qp)
+    )
+
+
+def test_homomorphism_search_scaling(benchmark):
+    """Time the hom search on the Figure 2 pentagon (6 atoms).
+
+    Note the search between the *variants* fails (S(x1) pins the cycle,
+    so the disequality cannot be carried over) — that failure is the
+    whole point of Thm. 3.5; here we time the successful self-search.
+    """
+    from repro.paperdata import figure2
+
+    fig = figure2()
+    assert not has_homomorphism(fig.q_no_pmin, fig.q_alt)
+    result = benchmark(has_homomorphism, fig.q_no_pmin, fig.q_no_pmin)
+    assert result

@@ -1,0 +1,52 @@
+"""Experiment T4.10: the exponential size of p-minimal equivalents.
+
+Paper claim (Thm. 4.10): the family ``Qn`` with ``2n`` atoms over
+``R1..Rn`` has p-minimal equivalents of size ``2^Ω(n)``.  We regenerate
+the size series — input atoms Θ(n), canonical cases B(2n), surviving
+adjuncts growing exponentially — and time MinProv.
+"""
+
+from conftest import banner
+
+from repro.minimize.canonical import possible_completions
+from repro.minimize.minprov import min_prov
+from repro.paperdata import theorem_4_10_query
+from repro.utils.partitions import bell_number
+
+
+def _series(max_n):
+    rows = []
+    for n in range(1, max_n + 1):
+        query = theorem_4_10_query(n)
+        cases = len(possible_completions(query))
+        adjuncts = len(min_prov(query).adjuncts)
+        rows.append((n, query.size(), cases, adjuncts))
+    return rows
+
+
+def test_blowup_series(benchmark):
+    rows = benchmark(_series, 3)
+    banner("Thm. 4.10 — size of the p-minimal equivalent of Qn")
+    print("  {:>3} {:>12} {:>16} {:>18}".format(
+        "n", "input atoms", "canonical cases", "p-minimal adjuncts"
+    ))
+    previous = 0
+    for n, size, cases, adjuncts in rows:
+        print("  {:>3} {:>12} {:>16} {:>18}".format(n, size, cases, adjuncts))
+        assert size == 2 * n
+        assert cases == bell_number(2 * n)
+        assert adjuncts >= 2 ** n
+        assert adjuncts > previous
+        previous = adjuncts
+
+
+def test_minprov_cost_at_n2(benchmark):
+    query = theorem_4_10_query(2)
+    result = benchmark(min_prov, query)
+    assert len(result.adjuncts) >= 4
+
+
+def test_minprov_cost_at_n3(benchmark):
+    query = theorem_4_10_query(3)
+    result = benchmark(min_prov, query)
+    assert len(result.adjuncts) >= 8

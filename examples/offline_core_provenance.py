@@ -1,0 +1,69 @@
+"""Off-line core provenance: Section 5 end to end.
+
+Scenario: a production system evaluated whatever plan its optimizer
+chose and recorded provenance polynomials.  Later — without rewriting
+or re-running the query, and even without the query text — an auditor
+computes the core provenance of each answer directly from the recorded
+polynomials (Thm. 5.1).
+
+Run:  python examples/offline_core_provenance.py
+"""
+
+from repro import (
+    AnnotatedDatabase,
+    core_polynomial_approx,
+    core_provenance,
+    evaluate,
+    parse_query,
+)
+
+
+def main():
+    # Table 6: the database D̂ of the paper's Section 5 examples.
+    db = AnnotatedDatabase.from_dict(
+        {
+            "R": {
+                ("a", "a"): "s1",
+                ("a", "b"): "s2",
+                ("b", "a"): "s3",
+                ("b", "c"): "s4",
+                ("c", "a"): "s5",
+            }
+        }
+    )
+
+    # The production system ran the triangle query Q̂ (Figure 3)...
+    q_hat = parse_query("ans() :- R(x, y), R(y, z), R(z, x)")
+    recorded = evaluate(q_hat, db)[()]
+    print("Recorded provenance of ans() (Example 5.2):")
+    print("   ", recorded)
+
+    # ...the auditor has only the polynomial. Part 1 of Thm. 5.1:
+    # a PTIME transform gives the core up to coefficients.
+    approx = core_polynomial_approx(recorded)
+    print("\nPTIME core (exact up to coefficients, Cor. 5.6):")
+    print("   ", approx)
+
+    # With the database and Const(Q) (here: none), part 2 recovers the
+    # exact coefficients as automorphism counts (Lemmas 5.7/5.9).
+    exact = core_provenance(recorded, db, ())
+    print("\nExact core provenance (Example 5.8):")
+    print("   ", exact)
+
+    # Cross-check: rewriting the query with MinProv and re-evaluating
+    # gives the same polynomial — but required the query.
+    from repro import min_prov
+
+    rewritten = evaluate(min_prov(q_hat), db)[()]
+    print("\nRewrite-then-evaluate agrees:", exact == rewritten)
+
+    # Size: the core is a compact input for provenance consumers.
+    print(
+        "\nMonomial occurrences: {} recorded -> {} core".format(
+            recorded.monomial_count(), exact.monomial_count()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

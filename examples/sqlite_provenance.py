@@ -1,0 +1,57 @@
+"""Provenance capture on a real SQL engine.
+
+Conjunctive queries with disequalities compile to plain SQL self-joins
+over tables carrying a ``prov`` column; SQLite executes them and the
+library reassembles N[X] polynomials from the result rows — the
+instrumentation approach of systems like Perm/GProM, in miniature.
+
+Run:  python examples/sqlite_provenance.py
+"""
+
+from repro import AnnotatedDatabase, SQLiteDatabase, evaluate, parse_query
+
+
+def main():
+    # A reachability-flavoured workload over a road network.
+    db = AnnotatedDatabase()
+    roads = [
+        ("athens", "patras"),
+        ("patras", "athens"),
+        ("athens", "lamia"),
+        ("lamia", "volos"),
+        ("volos", "athens"),
+    ]
+    for source, target in roads:
+        db.add("Road", (source, target))
+
+    store = SQLiteDatabase.from_annotated(db)
+
+    queries = {
+        "two_hop": parse_query(
+            "ans(x, z) :- Road(x, y), Road(y, z), x != z"
+        ),
+        "round_trip": parse_query("ans(x) :- Road(x, y), Road(y, x)"),
+        "triangle": parse_query(
+            "ans() :- Road(x, y), Road(y, z), Road(z, x), "
+            "x != y, y != z, x != z"
+        ),
+    }
+
+    for name, query in queries.items():
+        print("=" * 60)
+        print("Query {}: {}".format(name, query))
+        print("\nCompiled SQL:")
+        print("   ", store.explain(query).replace("\n", "\n    "))
+        via_sql = store.evaluate(query)
+        in_memory = evaluate(query, db)
+        assert via_sql == in_memory, "engines must agree"
+        print("\nAnnotated result ({} tuples):".format(len(via_sql)))
+        for output in sorted(via_sql):
+            print("  ans{} : {}".format(output, via_sql[output]))
+        print()
+
+    store.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""repro — a reproduction of *On Provenance Minimization* (PODS 2011).
+
+The library implements the full system of Amsterdamer, Deutch, Milo and
+Tannen's paper: N[X] provenance polynomials and their terseness order,
+conjunctive queries with disequalities and unions thereof, two
+provenance-aware evaluation engines (in-memory and SQLite), query
+containment/equivalence, standard and provenance minimization
+(**MinProv**), and the direct (query-free) computation of core
+provenance.
+
+Quickstart::
+
+    from repro import AnnotatedDatabase, parse_query, evaluate, min_prov
+
+    db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("b", "a")]})
+    query = parse_query("ans(x) :- R(x, y), R(y, x)")
+    print(evaluate(query, db))           # provenance polynomials
+    print(min_prov(query))               # the p-minimal equivalent
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-artifact reproduction index.
+"""
+
+from repro.algebra.compile import evaluate_in_semiring, evaluate_via_algebra
+from repro.db.instance import AnnotatedDatabase
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.explain import explain_missing, explain_tuple
+from repro.views.program import evaluate_program
+from repro.direct.core_polynomial import core_monomials, core_polynomial_approx
+from repro.direct.pipeline import core_provenance, core_provenance_table
+from repro.engine.evaluate import evaluate, provenance, provenance_of_boolean
+from repro.hom.containment import is_contained, is_equivalent
+from repro.hom.homomorphism import (
+    count_automorphisms,
+    find_homomorphism,
+    has_homomorphism,
+    has_surjective_homomorphism,
+    is_isomorphic,
+)
+from repro.minimize.canonical import canonical_rewriting, possible_completions
+from repro.minimize.minprov import (
+    MinProvTrace,
+    is_p_minimal,
+    min_prov,
+    min_prov_trace,
+)
+from repro.minimize.standard import minimize_cq, minimize_query, minimize_ucq
+from repro.order.query_order import (
+    bounded_le_p,
+    compare_on_database,
+    le_on_database,
+    prove_le_p,
+    provenance_equivalent,
+)
+from repro.query.atoms import Atom, Disequality
+from repro.query.build import atom, boolean_cq, c, cq, diseq, ucq, v
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_program, parse_query
+from repro.query.printer import query_to_str
+from repro.query.terms import Constant, Variable
+from repro.query.ucq import UnionQuery, as_union
+from repro.semiring.order import (
+    Ordering,
+    compare_polynomials,
+    polynomial_eq,
+    polynomial_le,
+    polynomial_lt,
+)
+from repro.semiring.polynomial import Monomial, Polynomial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # query model
+    "Variable",
+    "Constant",
+    "Atom",
+    "Disequality",
+    "ConjunctiveQuery",
+    "UnionQuery",
+    "as_union",
+    "parse_query",
+    "parse_program",
+    "query_to_str",
+    "atom",
+    "diseq",
+    "cq",
+    "boolean_cq",
+    "ucq",
+    "v",
+    "c",
+    # provenance
+    "Monomial",
+    "Polynomial",
+    "Ordering",
+    "polynomial_le",
+    "polynomial_lt",
+    "polynomial_eq",
+    "compare_polynomials",
+    # databases and evaluation
+    "AnnotatedDatabase",
+    "SQLiteDatabase",
+    "evaluate",
+    "provenance",
+    "provenance_of_boolean",
+    # homomorphisms, containment
+    "find_homomorphism",
+    "has_homomorphism",
+    "has_surjective_homomorphism",
+    "count_automorphisms",
+    "is_isomorphic",
+    "is_contained",
+    "is_equivalent",
+    # minimization
+    "minimize_cq",
+    "minimize_ucq",
+    "minimize_query",
+    "possible_completions",
+    "canonical_rewriting",
+    "min_prov",
+    "min_prov_trace",
+    "MinProvTrace",
+    "is_p_minimal",
+    # query order
+    "le_on_database",
+    "compare_on_database",
+    "bounded_le_p",
+    "prove_le_p",
+    "provenance_equivalent",
+    # direct computation
+    "core_monomials",
+    "core_polynomial_approx",
+    "core_provenance",
+    "core_provenance_table",
+    # additional engines, views and explanations
+    "evaluate_via_algebra",
+    "evaluate_in_semiring",
+    "evaluate_program",
+    "explain_tuple",
+    "explain_missing",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Positive relational algebra on K-relations (Green et al., PODS 2007).
+
+The paper's provenance model is defined via annotated relational
+algebra: a K-relation maps tuples to annotations from a commutative
+semiring K, and the positive operators combine annotations —
+selection/projection with ``+`` over merged tuples, join with ``*``,
+union with ``+``.  This package implements that substrate generically
+over any :class:`~repro.semiring.base.Semiring` and provides a
+compiler from CQ≠/UCQ≠ into algebra plans.
+
+With K = N[X] the algebra is a third, independent evaluation engine:
+tests check it against the backtracking engine and the SQLite engine.
+With other semirings it evaluates queries directly under Boolean,
+counting, tropical, Why, ... semantics.
+"""
+
+from repro.algebra.compile import compile_query_to_plan, evaluate_via_algebra
+from repro.algebra.krelation import KRelation
+from repro.algebra.operators import (
+    Join,
+    Plan,
+    Projection,
+    RelationScan,
+    Rename,
+    Selection,
+    Union,
+)
+
+__all__ = [
+    "KRelation",
+    "Plan",
+    "RelationScan",
+    "Selection",
+    "Projection",
+    "Join",
+    "Rename",
+    "Union",
+    "compile_query_to_plan",
+    "evaluate_via_algebra",
+]

@@ -1,0 +1,188 @@
+"""Compiling CQ≠/UCQ≠ into K-relation algebra plans.
+
+Each relational atom becomes a scan renamed to positionally-unique
+attributes; the atoms are joined (a cartesian product, since attribute
+names are disjoint), a selection enforces variable equalities, constant
+bindings and disequalities, and a generalized projection produces the
+head.  Adjuncts of a union are compiled separately and united.
+
+With K = N[X] and an abstractly-tagged database, executing the compiled
+plan yields exactly the Def. 2.12 provenance polynomials — the test
+suite checks this against both other engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.algebra.krelation import KRelation
+from repro.algebra.operators import (
+    Join,
+    Plan,
+    Projection,
+    RelationScan,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.db.instance import AnnotatedDatabase
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Variable, is_variable
+from repro.query.ucq import Query, adjuncts_of
+from repro.semiring.base import Semiring
+from repro.semiring.polynomial import Polynomial, ProvenancePolynomialSemiring
+
+Row = Tuple[Hashable, ...]
+
+
+def compile_cq_to_plan(query: ConjunctiveQuery) -> Plan:
+    """Compile one conjunctive query into an algebra plan."""
+    canonical_column: Dict[Variable, str] = {}
+    conditions: List[Tuple] = []
+    plan: Plan = None
+
+    for index, atom in enumerate(query.atoms):
+        columns = ["a{}_{}".format(index, position) for position in range(atom.arity)]
+        base_names = ["c{}".format(position) for position in range(atom.arity)]
+        scan: Plan = Rename(
+            RelationScan(atom.relation),
+            tuple(zip(base_names, columns)),
+        )
+        plan = scan if plan is None else Join(plan, scan)
+        for position, term in enumerate(atom.args):
+            column = columns[position]
+            if is_variable(term):
+                if term in canonical_column:
+                    conditions.append(
+                        ("eq", ("attr", column), ("attr", canonical_column[term]))
+                    )
+                else:
+                    canonical_column[term] = column
+            else:
+                conditions.append(("eq", ("attr", column), ("const", term.value)))
+
+    for dis in sorted(query.disequalities, key=lambda d: d.sort_key()):
+        sides = []
+        for term in dis.pair:
+            if is_variable(term):
+                sides.append(("attr", canonical_column[term]))
+            else:
+                sides.append(("const", term.value))
+        conditions.append(("neq", sides[0], sides[1]))
+
+    if conditions:
+        plan = Selection(plan, tuple(conditions))
+
+    output = []
+    for position, term in enumerate(query.head.args):
+        name = "h{}".format(position)
+        if is_variable(term):
+            output.append(("attr", name, canonical_column[term]))
+        else:
+            output.append(("const", name, term.value))
+    return Projection(plan, tuple(output))
+
+
+def compile_query_to_plan(query: Query) -> Plan:
+    """Compile a CQ≠ or UCQ≠ into a plan (union of adjunct plans)."""
+    plans = [compile_cq_to_plan(adjunct) for adjunct in adjuncts_of(query)]
+    if len(plans) == 1:
+        return plans[0]
+    return Union(tuple(plans))
+
+
+def database_as_krelations(
+    db: AnnotatedDatabase,
+) -> Mapping[str, KRelation[Polynomial]]:
+    """View an annotated database as N[X]-valued K-relations."""
+    semiring = _NX
+    context: Dict[str, KRelation[Polynomial]] = {}
+    for relation in sorted(db.relations()):
+        arity = db.arity(relation)
+        attributes = tuple("c{}".format(i) for i in range(arity))
+        krelation = KRelation(attributes, semiring)
+        for row, annotation in db.facts(relation):
+            krelation.add(row, Polynomial.variable(annotation))
+        context[relation] = krelation
+    return context
+
+
+_NX = ProvenancePolynomialSemiring()
+
+
+def evaluate_via_algebra(
+    query: Query, db: AnnotatedDatabase
+) -> Dict[Row, Polynomial]:
+    """Evaluate a query through the algebra engine under N[X].
+
+    Returns the same ``{output tuple: polynomial}`` mapping as
+    :func:`repro.engine.evaluate.evaluate` — the agreement is asserted
+    by the differential tests.
+
+    Adjuncts over relations absent from the database contribute
+    nothing (matching the other engines).
+    """
+    context = dict(database_as_krelations(db))
+    results: Dict[Row, Polynomial] = {}
+    for adjunct in adjuncts_of(query):
+        for relation in adjunct.relations():
+            if relation not in context:
+                arity = next(
+                    atom.arity for atom in adjunct.atoms if atom.relation == relation
+                )
+                context[relation] = KRelation(
+                    tuple("c{}".format(i) for i in range(arity)), _NX
+                )
+        plan = compile_cq_to_plan(adjunct)
+        relation = plan.execute(context, _NX)
+        for row, polynomial in relation.rows():
+            previous = results.get(row, Polynomial.zero())
+            results[row] = previous + polynomial
+    return results
+
+
+def evaluate_in_semiring(
+    query: Query,
+    db: AnnotatedDatabase,
+    semiring: Semiring,
+    valuation,
+) -> Dict[Row, object]:
+    """Evaluate a query directly under any commutative semiring.
+
+    ``valuation`` maps each tuple annotation to a K-value.  By the
+    universality of N[X], this equals specializing the provenance
+    polynomials — asserted by tests, exercised by the applications.
+    """
+    context: Dict[str, KRelation] = {}
+    for relation in sorted(db.relations()):
+        arity = db.arity(relation)
+        attributes = tuple("c{}".format(i) for i in range(arity))
+        krelation = KRelation(attributes, semiring)
+        for row, annotation in db.facts(relation):
+            krelation.add(row, valuation(annotation))
+        context[relation] = krelation
+    results: Dict[Row, object] = {}
+    for adjunct in adjuncts_of(query):
+        for relation in adjunct.relations():
+            if relation not in context:
+                context[relation] = KRelation(
+                    tuple(
+                        "c{}".format(i)
+                        for i in range(
+                            next(
+                                atom.arity
+                                for atom in adjunct.atoms
+                                if atom.relation == relation
+                            )
+                        )
+                    ),
+                    semiring,
+                )
+        plan = compile_cq_to_plan(adjunct)
+        relation_result = plan.execute(context, semiring)
+        for row, value in relation_result.rows():
+            if row in results:
+                results[row] = semiring.add(results[row], value)
+            else:
+                results[row] = value
+    return results

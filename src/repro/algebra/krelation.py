@@ -1,0 +1,117 @@
+"""K-relations: named-attribute relations annotated in a semiring.
+
+A :class:`KRelation` has a tuple of attribute names and maps each row
+(a tuple of domain values) to a nonzero annotation in some semiring K.
+Rows annotated with the semiring zero are *absent* and never stored —
+the invariant that makes K-relations finitely supported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, Mapping, Tuple, TypeVar
+
+from repro.errors import SchemaError
+from repro.semiring.base import Semiring
+
+V = TypeVar("V")
+Row = Tuple[Hashable, ...]
+
+
+class KRelation(Generic[V]):
+    """A finitely-supported annotated relation over named attributes.
+
+    >>> from repro.semiring.natural import NaturalSemiring
+    >>> rel = KRelation(("a", "b"), NaturalSemiring())
+    >>> rel.add(("x", "y"), 2)
+    >>> rel.annotation(("x", "y"))
+    2
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        semiring: Semiring[V],
+        rows: Mapping[Row, V] = (),
+    ):  # noqa: D107
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self._attributes)) != len(self._attributes):
+            raise SchemaError(
+                "attribute names must be distinct: {}".format(self._attributes)
+            )
+        self._semiring = semiring
+        self._rows: Dict[Row, V] = {}
+        for row, annotation in dict(rows).items():
+            self.add(tuple(row), annotation)
+
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._attributes
+
+    @property
+    def semiring(self) -> Semiring[V]:
+        """The annotation semiring K."""
+        return self._semiring
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def add(self, row: Row, annotation: V) -> None:
+        """Accumulate ``annotation`` onto ``row`` (semiring addition).
+
+        Adding the semiring zero is a no-op; accumulating to zero
+        removes the row, preserving the finite-support invariant.
+        """
+        row = tuple(row)
+        if len(row) != len(self._attributes):
+            raise SchemaError(
+                "row arity {} does not match attributes {}".format(
+                    len(row), self._attributes
+                )
+            )
+        current = self._rows.get(row)
+        if current is None:
+            merged = annotation
+        else:
+            merged = self._semiring.add(current, annotation)
+        if merged == self._semiring.zero:
+            self._rows.pop(row, None)
+        else:
+            self._rows[row] = merged
+
+    def annotation(self, row: Row) -> V:
+        """The annotation of ``row`` (semiring zero when absent)."""
+        return self._rows.get(tuple(row), self._semiring.zero)
+
+    def rows(self) -> Iterator[Tuple[Row, V]]:
+        """All (row, annotation) pairs with nonzero annotation."""
+        return iter(list(self._rows.items()))
+
+    def support(self) -> Iterator[Row]:
+        """All present rows."""
+        return iter(list(self._rows.keys()))
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute``; raises on unknown names."""
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                "unknown attribute {} (have {})".format(attribute, self._attributes)
+            )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KRelation):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes and self._rows == other._rows
+        )
+
+    def __repr__(self) -> str:
+        return "<KRelation {} with {} rows>".format(self._attributes, len(self._rows))

@@ -1,0 +1,43 @@
+"""Provenance-consuming applications (the paper's Introduction).
+
+Provenance polynomials exist to feed "advanced data management tools":
+view maintenance, trust assessment, probabilistic query answering,
+cost/clearance analysis.  Each submodule implements one such tool on
+top of the semiring framework, and documents whether it may be fed the
+*core* provenance instead of the full provenance:
+
+* absorptive analyses (trust, cheapest derivation, clearance, best
+  confidence) — identical answers on core provenance;
+* non-absorptive analyses (counting, probability) — answers may change;
+  the core is a derivation-minimal summary, not a lossless compressed
+  form, for these.
+"""
+
+from repro.apps.causality import (
+    actual_causes,
+    counterfactual_causes,
+    responsibility,
+    responsibility_ranking,
+    sensitivity,
+)
+from repro.apps.clearance import required_clearance
+from repro.apps.cost import cheapest_derivation, derivation_cost
+from repro.apps.deletion import delete_tuples, propagate_deletion
+from repro.apps.probability import tuple_probability
+from repro.apps.trust import is_trusted, minimal_trust_sets
+
+__all__ = [
+    "delete_tuples",
+    "propagate_deletion",
+    "is_trusted",
+    "minimal_trust_sets",
+    "tuple_probability",
+    "derivation_cost",
+    "cheapest_derivation",
+    "required_clearance",
+    "actual_causes",
+    "counterfactual_causes",
+    "responsibility",
+    "responsibility_ranking",
+    "sensitivity",
+]

@@ -1,0 +1,33 @@
+"""Access-control analysis (security-semiring specialization).
+
+Each input tuple carries a clearance level; seeing an output tuple
+requires the minimum over derivations of the maximum level inside the
+derivation.  Absorptive, hence computable from the core provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.polynomial import Polynomial
+from repro.semiring.security import Clearance, SecuritySemiring
+
+_SECURITY = SecuritySemiring()
+
+
+def required_clearance(
+    polynomial: Polynomial,
+    levels: Mapping[str, Clearance],
+) -> Clearance:
+    """The clearance needed to observe the annotated tuple.
+
+    >>> p = Polynomial.parse("s1*s2 + s3")
+    >>> required_clearance(p, {
+    ...     "s1": Clearance.PUBLIC,
+    ...     "s2": Clearance.SECRET,
+    ...     "s3": Clearance.CONFIDENTIAL,
+    ... }).name
+    'CONFIDENTIAL'
+    """
+    return evaluate_polynomial(polynomial, _SECURITY, dict(levels))

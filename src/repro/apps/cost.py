@@ -1,0 +1,43 @@
+"""Cheapest-derivation analysis (tropical specialization).
+
+With a nonnegative cost per input tuple, the cost of a derivation is
+the sum over its monomial (with multiplicity) and the cost of an output
+tuple is the minimum over derivations — the tropical semiring
+specialization of its provenance.  Absorptive, hence computable from
+the core provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.polynomial import Monomial, Polynomial
+from repro.semiring.tropical import TropicalSemiring
+
+_TROPICAL = TropicalSemiring()
+
+
+def derivation_cost(polynomial: Polynomial, costs: Mapping[str, float]) -> float:
+    """The cost of the cheapest derivation (``inf`` for zero provenance).
+
+    >>> p = Polynomial.parse("s1*s2 + s3")
+    >>> derivation_cost(p, {"s1": 1.0, "s2": 2.0, "s3": 5.0})
+    3.0
+    """
+    return evaluate_polynomial(polynomial, _TROPICAL, dict(costs))
+
+
+def cheapest_derivation(
+    polynomial: Polynomial, costs: Mapping[str, float]
+) -> Optional[Monomial]:
+    """The monomial realizing the cheapest derivation (``None`` when the
+    polynomial is zero)."""
+    best: Optional[Monomial] = None
+    best_cost = float("inf")
+    for monomial in polynomial.monomials():
+        cost = sum(costs[symbol] for symbol in monomial.symbols)
+        if cost < best_cost:
+            best = monomial
+            best_cost = cost
+    return best

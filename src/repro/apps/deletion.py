@@ -1,0 +1,58 @@
+"""Deletion propagation / view maintenance on provenance polynomials.
+
+Deleting an input tuple sets its annotation to the semiring zero; in
+``N[X]`` this removes every monomial mentioning the annotation.  A view
+tuple survives a deletion iff its polynomial stays nonzero — computable
+from recorded provenance with no re-evaluation, which is the classic
+view-maintenance use of provenance (Green et al., VLDB 2007).
+
+Survival (a Boolean question) is absorptive, so it can be answered from
+the core provenance; the surviving *polynomial* itself is not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.semiring.polynomial import Polynomial
+
+HeadTuple = Tuple
+
+
+def delete_tuples(polynomial: Polynomial, deleted: Iterable[str]) -> Polynomial:
+    """The provenance after deleting the tuples annotated ``deleted``.
+
+    >>> p = Polynomial.parse("s1*s2 + s3")
+    >>> str(delete_tuples(p, ["s2"]))
+    's3'
+    """
+    gone = set(deleted)
+    return Polynomial(
+        {
+            monomial: coefficient
+            for monomial, coefficient in polynomial.terms.items()
+            if not any(symbol in gone for symbol in monomial.symbols)
+        }
+    )
+
+
+def survives_deletion(polynomial: Polynomial, deleted: Iterable[str]) -> bool:
+    """Does the output tuple survive the deletion?"""
+    return not delete_tuples(polynomial, deleted).is_zero()
+
+
+def propagate_deletion(
+    view: Mapping[HeadTuple, Polynomial],
+    deleted: Iterable[str],
+) -> Dict[HeadTuple, Polynomial]:
+    """Maintain a whole view under deletion of input tuples.
+
+    Returns the surviving view tuples with their updated provenance.
+    """
+    deleted = set(deleted)
+    maintained: Dict[HeadTuple, Polynomial] = {}
+    for output, polynomial in view.items():
+        updated = delete_tuples(polynomial, deleted)
+        if not updated.is_zero():
+            maintained[output] = updated
+    return maintained

@@ -1,0 +1,51 @@
+"""Exact tuple probability over a tuple-independent database.
+
+Every input tuple is present independently with a given probability;
+the probability of an output tuple is the probability that at least one
+of its derivations is fully present.  Computed exactly by enumerating
+possible worlds over the polynomial's support (exponential in the
+number of distinct annotations — exact probabilistic inference is
+#P-hard in general, and the polynomial support is small in provenance
+workloads).
+
+Probability depends only on which *minimal* witness sets exist, so it
+is invariant under the core-provenance transform — unlike bag-semantics
+counting, which is not.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.semiring.polynomial import Polynomial
+
+
+def tuple_probability(
+    polynomial: Polynomial,
+    probabilities: Mapping[str, float],
+) -> float:
+    """Exact probability that the annotated tuple is derivable.
+
+    ``probabilities`` maps every annotation in the polynomial's support
+    to its marginal; tuples are independent.
+
+    >>> p = Polynomial.parse("s1*s2")
+    >>> round(tuple_probability(p, {"s1": 0.5, "s2": 0.5}), 4)
+    0.25
+    """
+    support = sorted(polynomial.support())
+    for symbol in support:
+        if symbol not in probabilities:
+            raise KeyError("no probability for annotation {}".format(symbol))
+    witnesses = [frozenset(m.symbols) for m in polynomial.terms]
+    total = 0.0
+    for world in itertools.product((False, True), repeat=len(support)):
+        present = {s for s, bit in zip(support, world) if bit}
+        if not any(witness <= present for witness in witnesses):
+            continue
+        weight = 1.0
+        for symbol, bit in zip(support, world):
+            weight *= probabilities[symbol] if bit else 1.0 - probabilities[symbol]
+        total += weight
+    return total

@@ -1,0 +1,46 @@
+"""Trust assessment from provenance polynomials.
+
+An output tuple is *trusted* when it has a derivation using trusted
+input tuples only — the Boolean-semiring specialization of its
+provenance.  Because the Boolean semiring is absorptive, the answer is
+identical on the core provenance (verified by property tests), which is
+the paper's "compact input to data management tools" argument made
+concrete.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from repro.semiring.boolean import BooleanSemiring
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.polynomial import Polynomial
+
+_BOOLEAN = BooleanSemiring()
+
+
+def is_trusted(polynomial: Polynomial, trusted: Iterable[str]) -> bool:
+    """Is the tuple derivable from the ``trusted`` annotations alone?
+
+    >>> p = Polynomial.parse("s1*s2 + s3")
+    >>> is_trusted(p, ["s3"])
+    True
+    >>> is_trusted(p, ["s1"])
+    False
+    """
+    trusted = set(trusted)
+    return evaluate_polynomial(
+        polynomial, _BOOLEAN, lambda symbol: symbol in trusted
+    )
+
+
+def minimal_trust_sets(polynomial: Polynomial) -> List[FrozenSet[str]]:
+    """The minimal sets of input tuples whose trust suffices.
+
+    These are exactly the supports of the core monomials: trusting any
+    one of the returned sets makes the tuple trusted, and no proper
+    subset of any of them does.
+    """
+    from repro.direct.core_polynomial import core_monomials
+
+    return [frozenset(m.symbols) for m in core_monomials(polynomial)]

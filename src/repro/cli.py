@@ -1,0 +1,207 @@
+"""Command-line interface: evaluate, minimize, core, sql.
+
+Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
+
+    repro-prov eval     -p program.dl -d data.json [--view NAME] [--engine memory|sqlite|algebra]
+    repro-prov minimize -p program.dl [--algorithm minprov|standard] [--trace]
+    repro-prov core     -p program.dl -d data.json [--view NAME]
+    repro-prov sql      -p program.dl
+
+The program file uses the rule syntax of :mod:`repro.query.parser`
+(one or more rules; rules sharing a head relation form a union).  The
+data file is JSON: either ``{"R": [["a", "b"], ...]}`` (fresh
+annotations are generated, keeping the database abstractly tagged) or
+``{"R": [{"row": ["a", "b"], "annotation": "s1"}, ...]}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.db.instance import AnnotatedDatabase
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.direct.pipeline import core_provenance_table
+from repro.engine.evaluate import evaluate
+from repro.errors import ReproError
+from repro.minimize.minprov import min_prov, min_prov_trace
+from repro.minimize.standard import minimize_query
+from repro.query.parser import parse_program
+from repro.query.printer import query_to_str
+from repro.query.ucq import Query, query_constants
+
+
+def load_database(path: str) -> AnnotatedDatabase:
+    """Load an annotated database from a JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ReproError("data file must hold a JSON object of relations")
+    db = AnnotatedDatabase()
+    for relation, rows in payload.items():
+        for entry in rows:
+            if isinstance(entry, dict):
+                db.add(
+                    relation,
+                    tuple(entry["row"]),
+                    annotation=entry.get("annotation"),
+                )
+            else:
+                db.add(relation, tuple(entry))
+    return db
+
+
+def load_program(path: str) -> Dict[str, Query]:
+    """Load a query program from a rule file."""
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def _select_views(
+    program: Dict[str, Query], requested: Optional[str]
+) -> Dict[str, Query]:
+    if requested is None:
+        return program
+    if requested not in program:
+        raise ReproError(
+            "no view named {!r}; program defines {}".format(
+                requested, sorted(program)
+            )
+        )
+    return {requested: program[requested]}
+
+
+def _print_results(name: str, results, out) -> None:
+    print("-- {} ({} tuples)".format(name, len(results)), file=out)
+    for output in sorted(results, key=repr):
+        print("  {!r:<24} {}".format(output, results[output]), file=out)
+
+
+def command_eval(args, out) -> int:
+    program = _select_views(load_program(args.program), args.view)
+    db = load_database(args.data)
+    for name, query in sorted(program.items()):
+        if args.engine == "memory":
+            results = evaluate(query, db)
+        elif args.engine == "sqlite":
+            store = SQLiteDatabase.from_annotated(db)
+            try:
+                results = store.evaluate(query)
+            finally:
+                store.close()
+        elif args.engine == "algebra":
+            from repro.algebra.compile import evaluate_via_algebra
+
+            results = evaluate_via_algebra(query, db)
+        else:  # pragma: no cover - argparse restricts choices
+            raise ReproError("unknown engine {!r}".format(args.engine))
+        _print_results(name, results, out)
+    return 0
+
+
+def command_minimize(args, out) -> int:
+    program = _select_views(load_program(args.program), args.view)
+    for name, query in sorted(program.items()):
+        print("-- {}".format(name), file=out)
+        if args.algorithm == "standard":
+            print(query_to_str(minimize_query(query)), file=out)
+        elif args.trace:
+            trace = min_prov_trace(query)
+            for label, step in (
+                ("QI", trace.step1),
+                ("QII", trace.step2),
+                ("QIII", trace.step3),
+            ):
+                print("{} ({} adjuncts):".format(label, len(step.adjuncts)), file=out)
+                print(query_to_str(step), file=out)
+        else:
+            print(query_to_str(min_prov(query)), file=out)
+    return 0
+
+
+def command_core(args, out) -> int:
+    program = _select_views(load_program(args.program), args.view)
+    db = load_database(args.data)
+    for name, query in sorted(program.items()):
+        results = evaluate(query, db)
+        core = core_provenance_table(results, db, query_constants(query))
+        _print_results(name + " (core provenance)", core, out)
+    return 0
+
+
+def command_sql(args, out) -> int:
+    program = _select_views(load_program(args.program), args.view)
+    store = SQLiteDatabase()
+    for name, query in sorted(program.items()):
+        print("-- {}".format(name), file=out)
+        print(store.explain(query), file=out)
+    store.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-prov",
+        description="Provenance evaluation and minimization "
+        "(reproduction of 'On Provenance Minimization', PODS 2011)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub, needs_data):
+        sub.add_argument("-p", "--program", required=True, help="rule file")
+        if needs_data:
+            sub.add_argument("-d", "--data", required=True, help="JSON data file")
+        sub.add_argument("--view", help="restrict to one view name")
+
+    sub_eval = subparsers.add_parser("eval", help="evaluate with provenance")
+    add_common(sub_eval, needs_data=True)
+    sub_eval.add_argument(
+        "--engine",
+        choices=("memory", "sqlite", "algebra"),
+        default="memory",
+        help="evaluation engine (default: memory)",
+    )
+    sub_eval.set_defaults(handler=command_eval)
+
+    sub_min = subparsers.add_parser("minimize", help="rewrite to p-minimal form")
+    add_common(sub_min, needs_data=False)
+    sub_min.add_argument(
+        "--algorithm",
+        choices=("minprov", "standard"),
+        default="minprov",
+        help="minimization algorithm (default: minprov)",
+    )
+    sub_min.add_argument(
+        "--trace", action="store_true", help="print the MinProv steps"
+    )
+    sub_min.set_defaults(handler=command_minimize)
+
+    sub_core = subparsers.add_parser(
+        "core", help="direct core provenance of every output tuple"
+    )
+    add_common(sub_core, needs_data=True)
+    sub_core.set_defaults(handler=command_core)
+
+    sub_sql = subparsers.add_parser("sql", help="show compiled SQL")
+    add_common(sub_sql, needs_data=False)
+    sub_sql.set_defaults(handler=command_sql)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

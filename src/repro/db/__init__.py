@@ -1,0 +1,14 @@
+"""Annotated databases: N[X]-relations and their storage backends.
+
+* :mod:`repro.db.instance` — the in-memory annotated database used by
+  the backtracking engine and all symbolic algorithms;
+* :mod:`repro.db.sqlite_backend` — a SQLite-backed store that evaluates
+  compiled SQL and reassembles provenance polynomials;
+* :mod:`repro.db.generators` — seeded random/synthetic workloads used by
+  tests and benchmarks.
+"""
+
+from repro.db.instance import AnnotatedDatabase
+from repro.db.sqlite_backend import SQLiteDatabase
+
+__all__ = ["AnnotatedDatabase", "SQLiteDatabase"]

@@ -1,0 +1,216 @@
+"""Synthetic workload generators for tests and benchmarks.
+
+The paper evaluates nothing empirically (it is a PODS theory paper), so
+this module supplies the workloads every theorem is exercised on:
+
+* exhaustive enumeration of all small abstractly-tagged databases
+  (:func:`all_databases`) — used by the bounded ``<=_P`` search and by
+  property tests, since every separation in the paper is witnessed by a
+  database with 2-3 domain values;
+* seeded random databases and random queries
+  (:func:`random_database`, :func:`random_cq`, :func:`random_ucq`);
+* the classic join shapes — chains, stars, cycles, cliques — used by
+  the engine and scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.query.atoms import Atom, Disequality
+from repro.query.build import atom, cq
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.query.ucq import UnionQuery
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+def all_databases(
+    relations: Mapping[str, int],
+    domain: Sequence,
+    max_facts: Optional[int] = None,
+    include_empty: bool = True,
+) -> Iterator[AnnotatedDatabase]:
+    """Enumerate every abstractly-tagged database over ``domain``.
+
+    ``relations`` maps relation names to arities.  The fact universe is
+    the full cross product per relation; every subset (optionally
+    capped at ``max_facts`` facts) yields one database.  Annotations
+    are assigned deterministically in universe order, so runs are
+    reproducible.
+    """
+    universe: List[Tuple[str, Tuple]] = []
+    for relation in sorted(relations):
+        arity = relations[relation]
+        for row in itertools.product(domain, repeat=arity):
+            universe.append((relation, row))
+    sizes = range(0 if include_empty else 1, len(universe) + 1)
+    for size in sizes:
+        if max_facts is not None and size > max_facts:
+            return
+        for subset in itertools.combinations(universe, size):
+            db = AnnotatedDatabase()
+            for relation in sorted(relations):
+                db.declare_relation(relation, relations[relation])
+            for relation, row in subset:
+                db.add(relation, row)
+            yield db
+
+
+def random_database(
+    relations: Mapping[str, int],
+    domain: Sequence,
+    n_facts: int,
+    seed: int = 0,
+) -> AnnotatedDatabase:
+    """A random abstractly-tagged database with ``n_facts`` facts.
+
+    Facts are sampled without replacement from the cross-product
+    universe; deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    universe: List[Tuple[str, Tuple]] = []
+    for relation in sorted(relations):
+        for row in itertools.product(domain, repeat=relations[relation]):
+            universe.append((relation, row))
+    if n_facts > len(universe):
+        n_facts = len(universe)
+    db = AnnotatedDatabase()
+    for relation in sorted(relations):
+        db.declare_relation(relation, relations[relation])
+    for relation, row in rng.sample(universe, n_facts):
+        db.add(relation, row)
+    return db
+
+
+def uniform_binary_database(domain_size: int, density: float, seed: int = 0) -> AnnotatedDatabase:
+    """A single binary relation ``R`` over ``v0..v{n-1}`` with the given
+    edge density — the standard graph-shaped workload for join
+    benchmarks."""
+    rng = random.Random(seed)
+    db = AnnotatedDatabase()
+    db.declare_relation("R", 2)
+    values = ["v{}".format(i) for i in range(domain_size)]
+    for source in values:
+        for target in values:
+            if rng.random() < density:
+                db.add("R", (source, target))
+    return db
+
+
+# ----------------------------------------------------------------------
+# Queries: classic join shapes
+# ----------------------------------------------------------------------
+def chain_query(length: int, relation: str = "R") -> ConjunctiveQuery:
+    """``ans(x0, x_n) :- R(x0, x1), R(x1, x2), ..., R(x_{n-1}, x_n)``."""
+    if length < 1:
+        raise ValueError("chain length must be positive")
+    atoms = [
+        atom(relation, "x{}".format(i), "x{}".format(i + 1)) for i in range(length)
+    ]
+    return cq(["x0", "x{}".format(length)], atoms)
+
+
+def star_query(points: int, relation: str = "R") -> ConjunctiveQuery:
+    """``ans(c) :- R(c, x1), ..., R(c, x_k)`` — a star join."""
+    if points < 1:
+        raise ValueError("a star needs at least one point")
+    atoms = [atom(relation, "c", "x{}".format(i)) for i in range(1, points + 1)]
+    return cq(["c"], atoms)
+
+
+def cycle_query(length: int, relation: str = "R") -> ConjunctiveQuery:
+    """Boolean cycle: ``ans() :- R(x0, x1), ..., R(x_{n-1}, x0)``."""
+    if length < 1:
+        raise ValueError("cycle length must be positive")
+    atoms = [
+        atom(relation, "x{}".format(i), "x{}".format((i + 1) % length))
+        for i in range(length)
+    ]
+    return cq([], atoms)
+
+
+def clique_query(size: int, relation: str = "R") -> ConjunctiveQuery:
+    """Boolean clique: one atom per ordered pair of distinct nodes."""
+    if size < 2:
+        raise ValueError("a clique needs at least two nodes")
+    atoms = []
+    for i in range(size):
+        for j in range(size):
+            if i != j:
+                atoms.append(atom(relation, "x{}".format(i), "x{}".format(j)))
+    return cq([], atoms)
+
+
+# ----------------------------------------------------------------------
+# Queries: random
+# ----------------------------------------------------------------------
+def random_cq(
+    seed: int = 0,
+    n_atoms: int = 3,
+    n_variables: int = 3,
+    relations: Mapping[str, int] = None,
+    head_arity: int = 1,
+    diseq_probability: float = 0.0,
+) -> ConjunctiveQuery:
+    """A seeded random conjunctive query.
+
+    Variables are drawn from a pool of ``n_variables``; each atom picks
+    a relation and fills its positions with random pool variables; the
+    head projects random body variables.  With
+    ``diseq_probability > 0`` each variable pair independently gains a
+    disequality (skipping pairs that would make the query unsatisfiable
+    is unnecessary — distinct variables are always separable).
+    """
+    rng = random.Random(seed)
+    if relations is None:
+        relations = {"R": 2, "S": 1}
+    pool = [Variable("x{}".format(i)) for i in range(n_variables)]
+    names = sorted(relations)
+    atoms: List[Atom] = []
+    for _ in range(n_atoms):
+        name = rng.choice(names)
+        args = tuple(rng.choice(pool) for _ in range(relations[name]))
+        atoms.append(Atom(name, args))
+    body_vars = sorted({v for a in atoms for v in a.variables()})
+    head_args = tuple(rng.choice(body_vars) for _ in range(min(head_arity, len(body_vars))))
+    disequalities = []
+    for i, x in enumerate(body_vars):
+        for y in body_vars[i + 1:]:
+            if rng.random() < diseq_probability:
+                disequalities.append(Disequality(x, y))
+    return ConjunctiveQuery(Atom("ans", head_args), atoms, disequalities)
+
+
+def random_ucq(
+    seed: int = 0,
+    n_adjuncts: int = 2,
+    **cq_kwargs,
+) -> UnionQuery:
+    """A seeded random union of conjunctive queries."""
+    rng = random.Random(seed)
+    head_arity = cq_kwargs.pop("head_arity", 1)
+    adjuncts = []
+    for index in range(n_adjuncts):
+        adjuncts.append(
+            random_cq(seed=rng.randrange(2**30), head_arity=head_arity, **cq_kwargs)
+        )
+    # Align head arities: random_cq may shrink the head when the body
+    # has fewer variables; rebuild any adjunct that disagrees.
+    arity = min(a.arity for a in adjuncts)
+    aligned = []
+    for adjunct in adjuncts:
+        head_args = adjunct.head.args[:arity]
+        aligned.append(
+            ConjunctiveQuery(
+                Atom(adjunct.head_relation, head_args),
+                adjunct.atoms,
+                adjunct.disequalities,
+            )
+        )
+    return UnionQuery(aligned)

@@ -1,0 +1,240 @@
+"""In-memory annotated databases (N[X]-relations, Sec. 2.3).
+
+An :class:`AnnotatedDatabase` maps each tuple of each relation to a
+provenance annotation symbol.  A database is *abstractly tagged* when
+all annotations are distinct — the paper's standing assumption outside
+Sec. 6.  Databases with repeated annotations are fully supported so
+that the Sec. 6 results (Thms. 6.1 and 6.2) can be exercised.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import (
+    NotAbstractlyTaggedError,
+    SchemaError,
+    UnknownAnnotationError,
+)
+from repro.utils.naming import NameSupply
+
+Value = Hashable
+Row = Tuple[Value, ...]
+FactKey = Tuple[str, Row]
+
+
+class AnnotatedDatabase:
+    """A database whose tuples carry provenance annotations.
+
+    >>> db = AnnotatedDatabase()
+    >>> db.add("R", ("a", "b"))
+    's1'
+    >>> db.add("R", ("b", "a"), annotation="s9")
+    's9'
+    >>> db.annotation_of("R", ("a", "b"))
+    's1'
+    """
+
+    def __init__(self, annotation_prefix: str = "s"):  # noqa: D107
+        self._relations: Dict[str, Dict[Row, str]] = {}
+        self._arities: Dict[str, int] = {}
+        self._supply = NameSupply(annotation_prefix)
+        self._by_annotation: Dict[str, List[FactKey]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        relations: Mapping[str, Mapping[Sequence[Value], str]],
+    ) -> "AnnotatedDatabase":
+        """Build from ``{relation: {tuple: annotation}}``.
+
+        >>> db = AnnotatedDatabase.from_dict({"R": {("a", "b"): "s1"}})
+        >>> db.annotation_of("R", ("a", "b"))
+        's1'
+        """
+        db = cls()
+        for relation, rows in relations.items():
+            for row, annotation in rows.items():
+                db.add(relation, tuple(row), annotation=annotation)
+        return db
+
+    @classmethod
+    def from_rows(
+        cls, relations: Mapping[str, Iterable[Sequence[Value]]]
+    ) -> "AnnotatedDatabase":
+        """Build abstractly-tagged from ``{relation: [tuples]}``; fresh
+        annotations ``s1, s2, ...`` are assigned in iteration order."""
+        db = cls()
+        for relation, rows in relations.items():
+            for row in rows:
+                db.add(relation, tuple(row))
+        return db
+
+    def add(
+        self,
+        relation: str,
+        row: Sequence[Value],
+        annotation: Optional[str] = None,
+    ) -> str:
+        """Insert a tuple; returns its annotation.
+
+        Without an explicit ``annotation`` a fresh one is generated,
+        keeping the database abstractly tagged.  Re-inserting an
+        existing tuple with a different annotation raises
+        :class:`~repro.errors.SchemaError` (a tuple has one annotation).
+        """
+        row = tuple(row)
+        if relation in self._arities:
+            if self._arities[relation] != len(row):
+                raise SchemaError(
+                    "relation {} has arity {}, got a {}-tuple".format(
+                        relation, self._arities[relation], len(row)
+                    )
+                )
+        else:
+            self._arities[relation] = len(row)
+            self._relations[relation] = {}
+        existing = self._relations[relation].get(row)
+        if existing is not None:
+            if annotation is not None and annotation != existing:
+                raise SchemaError(
+                    "tuple {}{} is already annotated {}".format(relation, row, existing)
+                )
+            return existing
+        if annotation is None:
+            annotation = self._supply.fresh()
+        else:
+            self._supply.reserve(annotation)
+        self._relations[relation][row] = annotation
+        self._by_annotation.setdefault(annotation, []).append((relation, row))
+        return annotation
+
+    def declare_relation(self, relation: str, arity: int) -> None:
+        """Declare an (initially empty) relation."""
+        if relation in self._arities:
+            if self._arities[relation] != arity:
+                raise SchemaError(
+                    "relation {} already declared with arity {}".format(
+                        relation, self._arities[relation]
+                    )
+                )
+            return
+        self._arities[relation] = arity
+        self._relations[relation] = {}
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def relations(self) -> Set[str]:
+        """Names of the stored relations."""
+        return set(self._relations.keys())
+
+    def arity(self, relation: str) -> int:
+        """Arity of ``relation``."""
+        if relation not in self._arities:
+            raise SchemaError("unknown relation {}".format(relation))
+        return self._arities[relation]
+
+    def rows(self, relation: str) -> List[Row]:
+        """All tuples of ``relation`` (empty for unknown relations —
+        queries over absent relations simply have no assignments)."""
+        return list(self._relations.get(relation, {}).keys())
+
+    def facts(self, relation: str) -> List[Tuple[Row, str]]:
+        """``(tuple, annotation)`` pairs of ``relation``."""
+        return list(self._relations.get(relation, {}).items())
+
+    def all_facts(self) -> Iterator[Tuple[str, Row, str]]:
+        """``(relation, tuple, annotation)`` triples of the database."""
+        for relation, rows in self._relations.items():
+            for row, annotation in rows.items():
+                yield relation, row, annotation
+
+    def annotation_of(self, relation: str, row: Sequence[Value]) -> str:
+        """The annotation of a tuple; raises ``KeyError`` when absent."""
+        return self._relations[relation][tuple(row)]
+
+    def tuples_for_annotation(self, annotation: str) -> List[FactKey]:
+        """All ``(relation, tuple)`` pairs carrying ``annotation``."""
+        return list(self._by_annotation.get(annotation, []))
+
+    def tuple_for_annotation(self, annotation: str) -> FactKey:
+        """The unique tuple carrying ``annotation``.
+
+        Requires abstract tagging for uniqueness; raises
+        :class:`~repro.errors.UnknownAnnotationError` when absent and
+        :class:`~repro.errors.NotAbstractlyTaggedError` when ambiguous.
+        This is the inversion step of the Sec. 5 direct-computation
+        pipeline.
+        """
+        facts = self._by_annotation.get(annotation, [])
+        if not facts:
+            raise UnknownAnnotationError(
+                "no tuple is annotated {}".format(annotation)
+            )
+        if len(facts) > 1:
+            raise NotAbstractlyTaggedError(
+                "annotation {} tags {} tuples; the database is not "
+                "abstractly tagged".format(annotation, len(facts))
+            )
+        return facts[0]
+
+    def is_abstractly_tagged(self) -> bool:
+        """True when all annotations are pairwise distinct (Sec. 2.3)."""
+        return all(len(facts) == 1 for facts in self._by_annotation.values())
+
+    def annotations(self) -> Set[str]:
+        """All annotation symbols in use."""
+        return set(self._by_annotation.keys())
+
+    def active_domain(self) -> Set[Value]:
+        """All values occurring in any tuple."""
+        domain: Set[Value] = set()
+        for rows in self._relations.values():
+            for row in rows:
+                domain.update(row)
+        return domain
+
+    def fact_count(self) -> int:
+        """Total number of tuples."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def retagged(self, prefix: str = "t") -> Tuple["AnnotatedDatabase", Dict[str, str]]:
+        """A fresh abstractly-tagged copy plus the re-tagging map.
+
+        Every tuple receives a new distinct annotation; the returned map
+        sends each *new* annotation to the original one.  This is the
+        construction behind Thm. 6.1 (p-minimality transfers to
+        non-abstractly-tagged databases).
+        """
+        copy = AnnotatedDatabase(annotation_prefix=prefix)
+        mapping: Dict[str, str] = {}
+        for relation, row, annotation in sorted(self.all_facts()):
+            fresh = copy.add(relation, row)
+            mapping[fresh] = annotation
+        return copy, mapping
+
+    def __len__(self) -> int:
+        return self.fact_count()
+
+    def __repr__(self) -> str:
+        return "<AnnotatedDatabase {} relations, {} facts>".format(
+            len(self._relations), self.fact_count()
+        )

@@ -1,0 +1,141 @@
+"""SQLite-backed evaluation of annotated queries.
+
+This backend persists an annotated database into SQLite tables (one
+``prov`` column per table), compiles conjunctive queries to SQL
+(:mod:`repro.engine.sql_compile`) and reassembles provenance
+polynomials from the fetched rows.  It serves two purposes:
+
+1. a realistic database substrate — provenance capture on top of a real
+   SQL engine, the way systems like Perm/GProM instrument queries;
+2. a differential-testing oracle for the backtracking engine: both must
+   return identical polynomials on every query/database pair.
+
+Only SQLite-storable values are supported (str, int, float, bytes,
+None); the in-memory engine has no such restriction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.db.instance import AnnotatedDatabase, Value
+from repro.engine.sql_compile import compile_cq_to_sql, decode_row
+from repro.errors import EvaluationError, SchemaError
+from repro.query.ucq import Query, adjuncts_of
+from repro.semiring.polynomial import Monomial, Polynomial
+
+_STORABLE = (str, int, float, bytes, type(None))
+
+HeadTuple = Tuple[Value, ...]
+
+
+class SQLiteDatabase:
+    """An annotated database stored in SQLite.
+
+    >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("b", "a")]})
+    >>> sdb = SQLiteDatabase.from_annotated(db)
+    >>> from repro.query.parser import parse_query
+    >>> result = sdb.evaluate(parse_query("ans(x) :- R(x, y), R(y, x)"))
+    >>> sorted(str(p) for p in result.values())
+    ['s1*s2', 's1*s2']
+    """
+
+    def __init__(self, path: str = ":memory:"):  # noqa: D107
+        self._connection = sqlite3.connect(path)
+        self._arities: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_annotated(cls, db: AnnotatedDatabase, path: str = ":memory:") -> "SQLiteDatabase":
+        """Persist an in-memory annotated database into SQLite."""
+        store = cls(path)
+        for relation in sorted(db.relations()):
+            store.create_relation(relation, db.arity(relation))
+            for row, annotation in db.facts(relation):
+                store.insert(relation, row, annotation)
+        store._connection.commit()
+        return store
+
+    def create_relation(self, relation: str, arity: int) -> None:
+        """Create the backing table ``relation(c0..c{arity-1}, prov)``."""
+        if relation in self._arities:
+            if self._arities[relation] != arity:
+                raise SchemaError(
+                    "relation {} already created with arity {}".format(
+                        relation, self._arities[relation]
+                    )
+                )
+            return
+        columns = ", ".join("c{}".format(i) for i in range(arity))
+        if columns:
+            columns += ", "
+        self._connection.execute(
+            'CREATE TABLE "{}" ({}prov TEXT NOT NULL)'.format(relation, columns)
+        )
+        self._arities[relation] = arity
+
+    def insert(self, relation: str, row: Sequence[Value], annotation: str) -> None:
+        """Insert one annotated tuple."""
+        for value in row:
+            if not isinstance(value, _STORABLE):
+                raise EvaluationError(
+                    "value {!r} cannot be stored in SQLite".format(value)
+                )
+        placeholders = ", ".join(["?"] * (len(row) + 1))
+        self._connection.execute(
+            'INSERT INTO "{}" VALUES ({})'.format(relation, placeholders),
+            tuple(row) + (annotation,),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def relations(self) -> Set[str]:
+        """Names of the stored relations."""
+        return set(self._arities.keys())
+
+    def evaluate(self, query: Query) -> Dict[HeadTuple, Polynomial]:
+        """Evaluate a CQ≠/UCQ≠ and reassemble provenance polynomials.
+
+        Adjuncts referencing absent relations contribute nothing
+        (mirroring the in-memory engine).
+        """
+        results: Dict[HeadTuple, Polynomial] = {}
+        for adjunct in adjuncts_of(query):
+            if not adjunct.relations() <= self.relations():
+                continue
+            compiled = compile_cq_to_sql(adjunct)
+            cursor = self._connection.execute(compiled.sql, compiled.parameters)
+            for row in cursor:
+                head, symbols = decode_row(compiled, row)
+                previous = results.get(head, Polynomial.zero())
+                results[head] = previous + Polynomial({Monomial(symbols): 1})
+        return results
+
+    def provenance(self, query: Query, output: Sequence[Value]) -> Polynomial:
+        """``P(t, Q, D)`` via SQL (zero when the tuple is absent)."""
+        return self.evaluate(query).get(tuple(output), Polynomial.zero())
+
+    def explain(self, query: Query) -> str:
+        """The SQL text of each adjunct (for documentation/debugging)."""
+        statements = []
+        for adjunct in adjuncts_of(query):
+            compiled = compile_cq_to_sql(adjunct)
+            statements.append(compiled.sql + "  -- params: {}".format(
+                list(compiled.parameters)
+            ))
+        return "\nUNION ALL\n".join(statements)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -1,0 +1,28 @@
+"""Direct computation of core provenance (Sec. 5, Thm. 5.1).
+
+Instead of rewriting the query and re-evaluating it, the core
+provenance of a tuple can be computed from its provenance polynomial:
+
+* :mod:`repro.direct.core_polynomial` — part 1 of Thm. 5.1: the PTIME
+  transform of Cor. 5.6 (exact up to coefficients, needing *only* the
+  polynomial);
+* :mod:`repro.direct.reconstruct` — inverting a core monomial back to
+  its (unique) complete adjunct, given the database, the output tuple
+  and ``Const(Q)``;
+* :mod:`repro.direct.pipeline` — part 2 of Thm. 5.1: exact core
+  provenance with coefficients computed as automorphism counts
+  (Lemmas 5.7 and 5.9).
+"""
+
+from repro.direct.core_polynomial import core_monomials, core_polynomial_approx
+from repro.direct.pipeline import core_provenance, core_provenance_table
+from repro.direct.reconstruct import monomial_coefficient, reconstruct_adjunct
+
+__all__ = [
+    "core_monomials",
+    "core_polynomial_approx",
+    "reconstruct_adjunct",
+    "monomial_coefficient",
+    "core_provenance",
+    "core_provenance_table",
+]

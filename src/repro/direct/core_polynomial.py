@@ -1,0 +1,60 @@
+"""Part 1 of Thm. 5.1: the PTIME polynomial transform (Cor. 5.6).
+
+Given only the provenance polynomial ``p`` of an output tuple — with no
+access to the query, the database or the tuple — the core provenance is
+obtained *up to coefficients* by
+
+1. replacing every monomial by its support (each annotation exactly
+   once; the effect of MinProv step II, Lemma 5.3), and
+2. discarding every monomial that strictly contains another monomial
+   (the effect of MinProv step III, Lemma 5.5).
+
+Both steps are polynomial in the size of ``p``.  The coefficients of
+the surviving monomials cannot be recovered from ``p`` alone; part 2
+(:mod:`repro.direct.pipeline`) computes them as automorphism counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.semiring.polynomial import Monomial, Polynomial
+
+
+def core_monomials(polynomial: Polynomial) -> List[Monomial]:
+    """The monomials of the core provenance (no coefficients).
+
+    These are the minimal elements, under monomial containment, of the
+    supports of the monomials of ``p``.
+
+    >>> p = Polynomial.parse("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+    >>> [str(m) for m in core_monomials(p)]          # Example 5.8
+    ['s1', 's2*s4*s5']
+    """
+    supports = {m.support() for m in polynomial.terms}
+    minimal = [
+        monomial
+        for monomial in supports
+        if not any(other < monomial for other in supports)
+    ]
+    return sorted(minimal, key=lambda m: m.symbols)
+
+
+def core_polynomial_approx(polynomial: Polynomial) -> Polynomial:
+    """Cor. 5.6 applied literally: core provenance up to coefficients.
+
+    Each surviving monomial keeps, as an *approximate* coefficient, the
+    number of monomial occurrences of ``p`` whose support equals it.
+    The paper guarantees this is the core provenance "up to the number
+    of occurrences of equal monomials": the monomial set is exact, the
+    coefficients may differ from the true core coefficients (which are
+    the automorphism counts of Lemma 5.7, computed by
+    :func:`repro.direct.pipeline.core_provenance`).
+    """
+    minimal = set(core_monomials(polynomial))
+    coefficients: Dict[Monomial, int] = {}
+    for monomial, coefficient in polynomial.terms.items():
+        support = monomial.support()
+        if support in minimal:
+            coefficients[support] = coefficients.get(support, 0) + coefficient
+    return Polynomial(coefficients)

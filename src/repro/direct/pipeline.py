@@ -1,0 +1,71 @@
+"""Part 2 of Thm. 5.1: exact core provenance, computed off-line.
+
+The full direct pipeline: given the provenance polynomial ``p`` of an
+output tuple ``t`` (produced by *any* equivalent query), the database
+``D`` and ``Const(Q)`` — but not the query itself —
+
+1. compute the core monomials with the PTIME transform of Cor. 5.6;
+2. for each core monomial, reconstruct its unique complete adjunct
+   (Lemma 5.9) and set its coefficient to the adjunct's automorphism
+   count (Lemma 5.7).
+
+The result equals ``P(t, MinProv(Q), D)`` exactly — verified against
+rewrite-then-evaluate by tests and by
+``benchmarks/bench_direct_vs_rewrite.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.direct.core_polynomial import core_monomials
+from repro.direct.reconstruct import monomial_coefficient
+from repro.errors import NotAbstractlyTaggedError
+from repro.query.terms import Constant
+from repro.semiring.polynomial import Monomial, Polynomial
+
+HeadTuple = Tuple[Hashable, ...]
+
+
+def core_provenance(
+    polynomial: Polynomial,
+    db: AnnotatedDatabase,
+    output: Sequence[Hashable],
+    constants: Iterable[Constant] = (),
+) -> Polynomial:
+    """The exact core provenance of one output tuple (Thm. 5.1, part 2).
+
+    ``polynomial`` is ``P(t, Q, D)`` as computed by an arbitrary query
+    equivalent to ``Q``; ``constants`` is ``Const(Q)``.  Requires an
+    abstractly-tagged database — Thm. 6.2 shows the task is impossible
+    otherwise, and :class:`~repro.errors.NotAbstractlyTaggedError` is
+    raised.
+    """
+    if not db.is_abstractly_tagged():
+        raise NotAbstractlyTaggedError(
+            "direct core-provenance computation requires an abstractly-"
+            "tagged database (Thm. 6.2 shows it is impossible otherwise)"
+        )
+    constants = tuple(constants)
+    terms: Dict[Monomial, int] = {}
+    for monomial in core_monomials(polynomial):
+        terms[monomial] = monomial_coefficient(monomial, db, output, constants)
+    return Polynomial(terms)
+
+
+def core_provenance_table(
+    results: Mapping[HeadTuple, Polynomial],
+    db: AnnotatedDatabase,
+    constants: Iterable[Constant] = (),
+) -> Dict[HeadTuple, Polynomial]:
+    """Apply :func:`core_provenance` to a whole query result.
+
+    ``results`` is the ``{tuple: polynomial}`` mapping returned by
+    either evaluation engine.
+    """
+    constants = tuple(constants)
+    return {
+        output: core_provenance(polynomial, db, output, constants)
+        for output, polynomial in results.items()
+    }

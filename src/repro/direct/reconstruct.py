@@ -1,0 +1,98 @@
+"""Reconstructing the p-minimal adjunct behind a core monomial.
+
+Lemma 5.9: given a core monomial ``m`` of ``P(t, Q, D)``, the database
+``D``, the output tuple ``t`` and ``Const(Q)`` — but *not* the query —
+the complete adjunct of ``MinProv(Q)`` whose assignments yield ``m``
+can be rebuilt, because on an abstractly-tagged database an assignment
+of a complete adjunct is invertible:
+
+* every annotation of ``m`` identifies one database tuple (abstract
+  tagging);
+* each such tuple is the image of exactly one atom (the monomial is in
+  support form);
+* a value equal to a constant of ``Const(Q)`` must be that constant
+  (completeness forbids variables from taking constant values), and
+  every other value corresponds to one fresh variable (completeness
+  forces distinct variables to take distinct values).
+
+The coefficient of ``m`` in the core provenance is then the number of
+automorphisms of the reconstructed adjunct (Lemma 5.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+from repro.db.instance import AnnotatedDatabase
+from repro.errors import ReproError
+from repro.hom.homomorphism import count_automorphisms
+from repro.query.atoms import Atom, Disequality
+from repro.query.cq import DEFAULT_HEAD_RELATION, ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable
+from repro.semiring.polynomial import Monomial
+
+
+def reconstruct_adjunct(
+    monomial: Monomial,
+    db: AnnotatedDatabase,
+    output: Sequence[Hashable],
+    constants: Iterable[Constant] = (),
+    head_relation: str = DEFAULT_HEAD_RELATION,
+) -> ConjunctiveQuery:
+    """Rebuild the complete adjunct that yields ``monomial`` for
+    ``output`` (Lemma 5.9).
+
+    ``monomial`` must be in support form (each annotation once) and
+    ``db`` abstractly tagged; ``constants`` is ``Const(Q)``.
+
+    >>> db = AnnotatedDatabase.from_dict({"R": {("a", "a"): "s1"}})
+    >>> q = reconstruct_adjunct(Monomial(["s1"]), db, ("a",))
+    >>> str(q)
+    'ans(v1) :- R(v1, v1)'
+    """
+    if not monomial.is_linear():
+        raise ReproError(
+            "core monomials are in support form; got {}".format(monomial)
+        )
+    constant_values = {c.value for c in constants}
+    variable_of: Dict[Hashable, Variable] = {}
+
+    def term_of(value: Hashable) -> Term:
+        if value in constant_values:
+            return Constant(value)
+        if value not in variable_of:
+            variable_of[value] = Variable("v{}".format(len(variable_of) + 1))
+        return variable_of[value]
+
+    atoms: List[Atom] = []
+    for symbol in monomial.symbols:
+        relation, row = db.tuple_for_annotation(symbol)
+        atoms.append(Atom(relation, tuple(term_of(v) for v in row)))
+    head = Atom(head_relation, tuple(term_of(v) for v in output))
+
+    fresh_variables = sorted(variable_of.values())
+    disequalities = set()
+    for i, x in enumerate(fresh_variables):
+        for y in fresh_variables[i + 1:]:
+            disequalities.add(Disequality(x, y))
+        for value in sorted(constant_values, key=repr):
+            disequalities.add(Disequality(x, Constant(value)))
+    return ConjunctiveQuery(head, atoms, disequalities)
+
+
+def monomial_coefficient(
+    monomial: Monomial,
+    db: AnnotatedDatabase,
+    output: Sequence[Hashable],
+    constants: Iterable[Constant] = (),
+) -> int:
+    """The core coefficient of ``monomial``: ``Aut`` of its adjunct
+    (Lemmas 5.7 and 5.9).
+
+    >>> db = AnnotatedDatabase.from_dict(
+    ...     {"R": {("a", "b"): "s2", ("b", "c"): "s4", ("c", "a"): "s5"}})
+    >>> monomial_coefficient(Monomial(["s2", "s4", "s5"]), db, ())
+    3
+    """
+    adjunct = reconstruct_adjunct(monomial, db, output, constants)
+    return count_automorphisms(adjunct)

@@ -1,0 +1,31 @@
+"""Provenance-aware query evaluation.
+
+Two independent engines compute the same annotated results:
+
+* :mod:`repro.engine.evaluate` — a backtracking assignment enumerator
+  that implements Defs. 2.6 and 2.12 literally;
+* :mod:`repro.engine.sql_compile` +
+  :class:`repro.db.sqlite_backend.SQLiteDatabase` — compilation of CQ≠
+  to SQL self-joins executed by SQLite, with provenance reassembled from
+  the per-tuple annotation column.
+
+Tests use them as differential oracles for each other.
+"""
+
+from repro.engine.evaluate import (
+    Assignment,
+    assignments,
+    evaluate,
+    provenance,
+    provenance_of_boolean,
+)
+from repro.engine.sql_compile import compile_cq_to_sql
+
+__all__ = [
+    "Assignment",
+    "assignments",
+    "evaluate",
+    "provenance",
+    "provenance_of_boolean",
+    "compile_cq_to_sql",
+]

@@ -1,0 +1,136 @@
+"""Compilation of CQ≠ to SQL over annotation-carrying tables.
+
+Each relation ``R`` of arity ``k`` is stored as a table ``R`` with value
+columns ``c0..c{k-1}`` and a ``prov`` column holding the annotation
+symbol.  A conjunctive query compiles to a single ``SELECT`` with one
+table alias per relational atom:
+
+* repeated variables become join equalities,
+* constants become parameterized equality predicates,
+* disequality atoms become ``<>`` predicates,
+* the projection returns the provenance column of every atom plus the
+  value column of every head variable.
+
+Every result row of the compiled statement corresponds one-to-one to an
+assignment of the query (Def. 2.6), so the provenance polynomial is the
+sum over rows of the product of the ``prov`` columns — exactly
+Def. 2.12.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import UnsupportedQueryError
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Variable, is_variable
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A compiled conjunctive query.
+
+    ``sql``
+        the parameterized SELECT statement;
+    ``parameters``
+        positional parameters (constant values);
+    ``head_slots``
+        for each head position, either ``("column", index)`` — the index
+        of a projected column — or ``("const", value)``;
+    ``prov_count``
+        number of leading provenance columns in the projection (one per
+        relational atom).
+    """
+
+    sql: str
+    parameters: Tuple[object, ...]
+    head_slots: Tuple[Tuple[str, object], ...]
+    prov_count: int
+
+
+def _quote_identifier(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise UnsupportedQueryError(
+            "relation name {!r} is not a valid SQL identifier".format(name)
+        )
+    return '"{}"'.format(name)
+
+
+def compile_cq_to_sql(query: ConjunctiveQuery) -> CompiledQuery:
+    """Compile one conjunctive query to a parameterized SELECT.
+
+    >>> from repro.query.parser import parse_query
+    >>> compiled = compile_cq_to_sql(parse_query("ans(x) :- R(x, y), x != y"))
+    >>> print(compiled.sql)
+    SELECT t0.prov, t0.c0 FROM "R" t0 WHERE t0.c0 <> t0.c1
+    """
+    canonical_column: Dict[Variable, str] = {}
+    where: List[str] = []
+    parameters: List[object] = []
+    from_parts: List[str] = []
+
+    for index, atom in enumerate(query.atoms):
+        alias = "t{}".format(index)
+        from_parts.append("{} {}".format(_quote_identifier(atom.relation), alias))
+        for position, term in enumerate(atom.args):
+            column = "{}.c{}".format(alias, position)
+            if is_variable(term):
+                if term in canonical_column:
+                    where.append("{} = {}".format(column, canonical_column[term]))
+                else:
+                    canonical_column[term] = column
+            else:
+                where.append("{} = ?".format(column))
+                parameters.append(term.value)
+
+    for dis in sorted(query.disequalities, key=lambda d: d.sort_key()):
+        refs = []
+        for term in dis.pair:
+            if is_variable(term):
+                refs.append(canonical_column[term])
+            else:
+                refs.append("?")
+                parameters.append(term.value)
+        where.append("{} <> {}".format(refs[0], refs[1]))
+
+    select_columns = ["t{}.prov".format(i) for i in range(len(query.atoms))]
+    head_slots: List[Tuple[str, object]] = []
+    projected: Dict[Variable, int] = {}
+    for term in query.head.args:
+        if is_variable(term):
+            if term not in projected:
+                projected[term] = len(select_columns)
+                select_columns.append(canonical_column[term])
+            head_slots.append(("column", projected[term]))
+        else:
+            head_slots.append(("const", term.value))
+
+    sql = "SELECT {} FROM {}".format(
+        ", ".join(select_columns), ", ".join(from_parts)
+    )
+    if where:
+        sql += " WHERE {}".format(" AND ".join(where))
+    return CompiledQuery(
+        sql=sql,
+        parameters=tuple(parameters),
+        head_slots=tuple(head_slots),
+        prov_count=len(query.atoms),
+    )
+
+
+def decode_row(
+    compiled: CompiledQuery, row: Sequence[object]
+) -> Tuple[Tuple[object, ...], Tuple[str, ...]]:
+    """Split a fetched SQL row into ``(head_tuple, prov_symbols)``."""
+    symbols = tuple(str(value) for value in row[: compiled.prov_count])
+    head: List[object] = []
+    for kind, payload in compiled.head_slots:
+        if kind == "column":
+            head.append(row[payload])
+        else:
+            head.append(payload)
+    return tuple(head), symbols

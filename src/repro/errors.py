@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library errors without catching
+programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+class QueryConstructionError(ReproError):
+    """A query object violates the well-formedness rules of Def. 2.1.
+
+    Examples: a disequality between two constants, a disequality whose
+    variable does not occur in any relational atom, or a distinguished
+    (head) variable that does not occur in the body.
+    """
+
+
+class ParseError(ReproError):
+    """The rule-based query text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """A relation is used with inconsistent arity."""
+
+
+class UnsatisfiableQueryError(QueryConstructionError):
+    """The query can never produce results (e.g. contains ``x != x``)."""
+
+
+class NotAbstractlyTaggedError(ReproError):
+    """An operation requiring an abstractly-tagged database (every tuple
+    annotated with a *distinct* provenance variable, Sec. 2.3) was applied
+    to a database that is not abstractly tagged."""
+
+
+class UnknownAnnotationError(ReproError):
+    """A provenance annotation does not identify any tuple of the
+    database at hand (needed by the direct-computation pipeline of
+    Sec. 5, which inverts annotations back to tuples)."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The operation is only defined for a more restricted query class
+    than the one supplied (e.g. Chandra-Merlin minimization on a query
+    with disequalities)."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed (e.g. a relation mentioned by the query is
+    absent from the database and strict mode was requested)."""

@@ -1,0 +1,233 @@
+"""Human-readable derivation explanations (why and why-not).
+
+Provenance polynomials answer "how was this tuple derived?" at the
+algebraic level; this module renders the answer at the level of the
+paper's assignments (Def. 2.6):
+
+* :func:`explain_tuple` — every derivation of an output tuple: which
+  adjunct fired, which database tuple each atom was mapped to, the
+  resulting monomial, and whether the derivation survives into the
+  core provenance;
+* :func:`explain_missing` — a why-not account: for every adjunct, the
+  deepest partial assignment reached and the first atom (or
+  disequality) that could not be satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.direct.core_polynomial import core_monomials
+from repro.engine.evaluate import assignments, evaluate
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Variable, is_variable
+from repro.query.ucq import Query, adjuncts_of
+from repro.semiring.polynomial import Monomial, Polynomial
+
+Row = Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One derivation (assignment) of an output tuple."""
+
+    adjunct_index: int
+    adjunct: ConjunctiveQuery
+    steps: Tuple[Tuple[str, Row, str], ...]  # (relation, tuple, annotation)
+    monomial: Monomial
+    in_core: bool
+
+    def describe(self) -> str:
+        """A one-paragraph rendering of this derivation."""
+        lines = [
+            "derivation via adjunct {}: {}".format(self.adjunct_index, self.adjunct)
+        ]
+        for atom, (relation, row, annotation) in zip(self.adjunct.atoms, self.steps):
+            lines.append(
+                "    {} matched {}{} [{}]".format(atom, relation, row, annotation)
+            )
+        lines.append(
+            "    monomial {}{}".format(
+                self.monomial.expanded_str(),
+                "  (in core provenance)" if self.in_core else "",
+            )
+        )
+        return "\n".join(lines)
+
+
+def explain_tuple(
+    query: Query, db: AnnotatedDatabase, output: Sequence[Hashable]
+) -> List[Derivation]:
+    """All derivations of ``output``, flagged with core membership.
+
+    A derivation is *in the core* when its monomial's support is one of
+    the core monomials of the tuple's provenance polynomial (Cor. 5.6).
+    """
+    output = tuple(output)
+    polynomial = evaluate(query, db).get(output, Polynomial.zero())
+    core_supports = {m for m in core_monomials(polynomial)}
+    derivations: List[Derivation] = []
+    for index, adjunct in enumerate(adjuncts_of(query)):
+        for assignment in assignments(adjunct, db):
+            if assignment.head_tuple() != output:
+                continue
+            steps = []
+            for atom, row in zip(adjunct.atoms, assignment.atom_rows):
+                steps.append((atom.relation, row, db.annotation_of(atom.relation, row)))
+            monomial = assignment.monomial(db)
+            derivations.append(
+                Derivation(
+                    adjunct_index=index,
+                    adjunct=adjunct,
+                    steps=tuple(steps),
+                    monomial=monomial,
+                    in_core=monomial.support() in core_supports,
+                )
+            )
+    return derivations
+
+
+@dataclass(frozen=True)
+class MissingExplanation:
+    """Why one adjunct fails to derive the requested tuple."""
+
+    adjunct_index: int
+    adjunct: ConjunctiveQuery
+    atoms_satisfied: int
+    blocking: str
+
+    def describe(self) -> str:
+        """A one-line rendering of the failure frontier."""
+        return (
+            "adjunct {} satisfied {} of {} atoms; blocked at {}".format(
+                self.adjunct_index,
+                self.atoms_satisfied,
+                self.adjunct.size(),
+                self.blocking,
+            )
+        )
+
+
+def explain_missing(
+    query: Query, db: AnnotatedDatabase, output: Sequence[Hashable]
+) -> List[MissingExplanation]:
+    """A why-not account for an absent output tuple.
+
+    For each adjunct, finds the deepest prefix of its atom list that
+    admits a partial assignment compatible with the requested head, and
+    names the first atom (or a violated disequality / head mismatch)
+    blocking the extension.  Raises ``ValueError`` when the tuple is in
+    fact present.
+    """
+    output = tuple(output)
+    if output in evaluate(query, db):
+        raise ValueError("tuple {!r} is present; nothing to explain".format(output))
+
+    explanations: List[MissingExplanation] = []
+    for index, adjunct in enumerate(adjuncts_of(query)):
+        explanations.append(_explain_adjunct(index, adjunct, db, output))
+    return explanations
+
+
+def _explain_adjunct(
+    index: int,
+    adjunct: ConjunctiveQuery,
+    db: AnnotatedDatabase,
+    output: Row,
+) -> MissingExplanation:
+    if adjunct.arity != len(output):
+        return MissingExplanation(
+            adjunct_index=index,
+            adjunct=adjunct,
+            atoms_satisfied=0,
+            blocking="head arity {} differs from tuple arity {}".format(
+                adjunct.arity, len(output)
+            ),
+        )
+    # Seed the binding from the head: head constants must match.
+    binding: Dict[Variable, Hashable] = {}
+    for term, value in zip(adjunct.head.args, output):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return MissingExplanation(
+                    adjunct_index=index,
+                    adjunct=adjunct,
+                    atoms_satisfied=0,
+                    blocking="head constant {} != requested {}".format(
+                        term, value
+                    ),
+                )
+        else:
+            if term in binding and binding[term] != value:
+                return MissingExplanation(
+                    adjunct_index=index,
+                    adjunct=adjunct,
+                    atoms_satisfied=0,
+                    blocking="head repeats {} with conflicting values".format(term),
+                )
+            binding[term] = value
+
+    best_depth = -1
+    best_blocking = ""
+
+    def diseq_violation(current: Dict[Variable, Hashable]) -> Optional[str]:
+        for dis in adjunct.disequalities:
+            left = (
+                current.get(dis.left)
+                if is_variable(dis.left)
+                else dis.left.value
+            )
+            right = (
+                current.get(dis.right)
+                if is_variable(dis.right)
+                else dis.right.value
+            )
+            if left is not None and right is not None and left == right:
+                return str(dis)
+        return None
+
+    def extend(position: int, current: Dict[Variable, Hashable]) -> None:
+        nonlocal best_depth, best_blocking
+        if position > best_depth:
+            best_depth = position
+            if position == adjunct.size():
+                best_blocking = "nothing — all atoms satisfiable"
+            else:
+                best_blocking = "atom {}".format(adjunct.atoms[position])
+        if position == adjunct.size():
+            return
+        atom = adjunct.atoms[position]
+        for row in db.rows(atom.relation):
+            if len(row) != atom.arity:
+                continue
+            trial = dict(current)
+            ok = True
+            for term, value in zip(atom.args, row):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    if term in trial and trial[term] != value:
+                        ok = False
+                        break
+                    trial[term] = value
+            if not ok:
+                continue
+            violated = diseq_violation(trial)
+            if violated is not None:
+                if position + 1 > best_depth:
+                    best_depth = position + 1
+                    best_blocking = "disequality {}".format(violated)
+                continue
+            extend(position + 1, trial)
+
+    extend(0, binding)
+    return MissingExplanation(
+        adjunct_index=index,
+        adjunct=adjunct,
+        atoms_satisfied=max(best_depth, 0),
+        blocking=best_blocking,
+    )

@@ -1,0 +1,39 @@
+"""Homomorphisms between queries, containment and equivalence.
+
+* :mod:`repro.hom.homomorphism` — Def. 2.10 homomorphisms, surjective
+  homomorphisms (the provenance-order witness of Thm. 3.3),
+  automorphisms (the coefficients of Lemma 5.7), isomorphism;
+* :mod:`repro.hom.containment` — Def. 2.8 containment and equivalence
+  for CQ, cCQ≠, CQ≠ and UCQ≠, via the homomorphism theorem (Thm. 3.1)
+  and the completion argument (Lemma 4.9).
+"""
+
+from repro.hom.containment import (
+    is_contained,
+    is_contained_canonical_db,
+    is_equivalent,
+)
+from repro.hom.homomorphism import (
+    Homomorphism,
+    automorphisms,
+    count_automorphisms,
+    find_homomorphism,
+    has_homomorphism,
+    has_surjective_homomorphism,
+    homomorphisms,
+    is_isomorphic,
+)
+
+__all__ = [
+    "Homomorphism",
+    "homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+    "has_surjective_homomorphism",
+    "automorphisms",
+    "count_automorphisms",
+    "is_isomorphic",
+    "is_contained",
+    "is_contained_canonical_db",
+    "is_equivalent",
+]

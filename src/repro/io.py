@@ -1,0 +1,147 @@
+"""JSON serialization of databases, queries and provenance.
+
+Recorded provenance is meant to outlive the session that computed it
+(the paper's Sec. 5 workflow evaluates now, minimizes off-line later),
+so the library provides a stable JSON wire format:
+
+* databases — ``{"relations": {name: [{"row": [...], "annotation": s}]}}``;
+* polynomials — ``[{"monomial": {symbol: exponent}, "coefficient": n}]``;
+* queries — their rule-syntax text (the parser is the codec);
+* annotated results — rows paired with polynomials.
+
+Round-trips are exact and tested.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, Mapping, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+from repro.query.printer import query_to_str
+from repro.query.ucq import Query
+from repro.semiring.polynomial import Monomial, Polynomial
+
+Row = Tuple[Hashable, ...]
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+def database_to_dict(db: AnnotatedDatabase) -> dict:
+    """A JSON-ready representation of an annotated database."""
+    relations: Dict[str, list] = {}
+    for relation in sorted(db.relations()):
+        relations[relation] = [
+            {"row": list(row), "annotation": annotation}
+            for row, annotation in sorted(
+                db.facts(relation), key=lambda kv: repr(kv[0])
+            )
+        ]
+    return {"relations": relations}
+
+
+def database_from_dict(payload: Mapping) -> AnnotatedDatabase:
+    """Inverse of :func:`database_to_dict`."""
+    if "relations" not in payload:
+        raise ReproError("database payload lacks a 'relations' key")
+    db = AnnotatedDatabase()
+    for relation, facts in payload["relations"].items():
+        for fact in facts:
+            db.add(relation, tuple(fact["row"]), annotation=fact["annotation"])
+    return db
+
+
+# ----------------------------------------------------------------------
+# Polynomials
+# ----------------------------------------------------------------------
+def polynomial_to_list(polynomial: Polynomial) -> list:
+    """A JSON-ready representation of an N[X] polynomial."""
+    terms = []
+    for monomial in polynomial.monomials():
+        exponents = {
+            symbol: monomial.exponent(symbol) for symbol in monomial.support()
+        }
+        terms.append(
+            {"monomial": exponents, "coefficient": polynomial.coefficient(monomial)}
+        )
+    return terms
+
+
+def polynomial_from_list(payload) -> Polynomial:
+    """Inverse of :func:`polynomial_to_list`."""
+    terms = {}
+    for entry in payload:
+        symbols = []
+        for symbol, exponent in entry["monomial"].items():
+            symbols.extend([symbol] * int(exponent))
+        monomial = Monomial(symbols)
+        terms[monomial] = terms.get(monomial, 0) + int(entry["coefficient"])
+    return Polynomial(terms)
+
+
+# ----------------------------------------------------------------------
+# Queries and annotated results
+# ----------------------------------------------------------------------
+def query_to_text(query: Query) -> str:
+    """Serialize a query as rule-syntax text."""
+    return query_to_str(query)
+
+
+def query_from_text(text: str) -> Query:
+    """Parse a serialized query."""
+    return parse_query(text)
+
+
+def results_to_list(results: Mapping[Row, Polynomial]) -> list:
+    """A JSON-ready representation of an annotated result table."""
+    return [
+        {"tuple": list(output), "provenance": polynomial_to_list(polynomial)}
+        for output, polynomial in sorted(results.items(), key=lambda kv: repr(kv[0]))
+    ]
+
+
+def results_from_list(payload) -> Dict[Row, Polynomial]:
+    """Inverse of :func:`results_to_list`."""
+    return {
+        tuple(entry["tuple"]): polynomial_from_list(entry["provenance"])
+        for entry in payload
+    }
+
+
+# ----------------------------------------------------------------------
+# Whole sessions
+# ----------------------------------------------------------------------
+def dump_session(
+    path: str,
+    db: AnnotatedDatabase,
+    queries: Mapping[str, Query],
+    results: Mapping[str, Mapping[Row, Polynomial]] = (),
+) -> None:
+    """Write a database, queries and (optionally) results to one file."""
+    payload = {
+        "database": database_to_dict(db),
+        "queries": {name: query_to_text(query) for name, query in queries.items()},
+        "results": {
+            name: results_to_list(table) for name, table in dict(results).items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_session(path: str):
+    """Inverse of :func:`dump_session`; returns (db, queries, results)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    db = database_from_dict(payload["database"])
+    queries = {
+        name: query_from_text(text) for name, text in payload["queries"].items()
+    }
+    results = {
+        name: results_from_list(table)
+        for name, table in payload.get("results", {}).items()
+    }
+    return db, queries, results

@@ -1,0 +1,34 @@
+"""Query minimization: standard (join count) and provenance-wise.
+
+* :mod:`repro.minimize.standard` — "standard" minimization baselines:
+  Chandra-Merlin for CQ, duplicate-atom removal for cCQ≠ (Lemma 3.13),
+  atom-deletion with an equivalence oracle for CQ≠, adjunct removal for
+  unions;
+* :mod:`repro.minimize.canonical` — possible completions and the
+  canonical rewriting ``Can(Q, C)`` (Def. 4.1);
+* :mod:`repro.minimize.minprov` — the paper's **MinProv** algorithm
+  (Alg. 1) with a step-by-step trace, plus p-minimality checking.
+"""
+
+from repro.minimize.canonical import canonical_rewriting, possible_completions
+from repro.minimize.minprov import MinProvTrace, is_p_minimal, min_prov
+from repro.minimize.standard import (
+    minimize_complete,
+    minimize_cq,
+    minimize_cq_diseq,
+    minimize_query,
+    minimize_ucq,
+)
+
+__all__ = [
+    "possible_completions",
+    "canonical_rewriting",
+    "min_prov",
+    "MinProvTrace",
+    "is_p_minimal",
+    "minimize_cq",
+    "minimize_complete",
+    "minimize_cq_diseq",
+    "minimize_ucq",
+    "minimize_query",
+]

@@ -1,0 +1,97 @@
+"""Possible completions and canonical rewritings (Def. 4.1).
+
+A *possible completion* of ``Q ∈ CQ≠`` w.r.t. a constant set
+``C ⊇ Const(Q)`` fixes one "case" of equalities among the arguments:
+the arguments ``Var(Q) ∪ C`` are partitioned into blocks (at most one
+constant per block; disequality endpoints separated), each block
+collapses to its constant or to a fresh variable, and the result is made
+complete by adding all disequalities between the fresh variables and
+between fresh variables and constants of ``C``.
+
+The *canonical rewriting* ``Can(Q, C)`` is the union of all possible
+completions.  It preserves both the query result (Thm. 4.3) and the
+provenance of every output tuple (Thm. 4.4) — properties verified by
+the test suite on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.query.atoms import Disequality
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable, is_constant, is_variable
+from repro.query.ucq import Query, UnionQuery, adjuncts_of
+from repro.utils.partitions import constrained_partitions
+
+
+def possible_completions(
+    query: ConjunctiveQuery,
+    constants: Iterable[Constant] = (),
+) -> List[ConjunctiveQuery]:
+    """All possible completions of ``query`` w.r.t. ``constants``.
+
+    ``constants`` may extend ``Const(Q)`` (the *extended* canonical
+    rewriting of Def. 4.1); the query's own constants are always
+    included.  Fresh variables are named ``v1, v2, ...`` in block order,
+    matching the paper's presentation (Example 4.2, Figure 3).
+
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query("ans() :- R(x, y), R(y, z), R(z, x)")
+    >>> len(possible_completions(q))        # Figure 3: Bell(3) = 5 cases
+    5
+    """
+    consts: List[Constant] = sorted(set(query.constants()) | set(constants))
+    variables: List[Variable] = sorted(query.variables())
+    items: List[Term] = list(variables) + list(consts)
+    separate: List[Tuple[Term, Term]] = [dis.pair for dis in query.disequalities]
+
+    completions: List[ConjunctiveQuery] = []
+    for partition in constrained_partitions(items, separate, singletons=consts):
+        substitution = {}
+        fresh_variables: List[Variable] = []
+        fresh_index = 1
+        for block in partition:
+            block_constant: Optional[Constant] = None
+            for term in block:
+                if is_constant(term):
+                    block_constant = term
+                    break
+            if block_constant is not None:
+                target: Term = block_constant
+            else:
+                target = Variable("v{}".format(fresh_index))
+                fresh_index += 1
+                fresh_variables.append(target)
+            for term in block:
+                if is_variable(term):
+                    substitution[term] = target
+        atoms = [atom.substitute(substitution) for atom in query.atoms]
+        head = query.head.substitute(substitution)
+        disequalities: Set[Disequality] = set()
+        for i, x in enumerate(fresh_variables):
+            for y in fresh_variables[i + 1:]:
+                disequalities.add(Disequality(x, y))
+            for constant in consts:
+                disequalities.add(Disequality(x, constant))
+        completions.append(ConjunctiveQuery(head, atoms, disequalities))
+    return completions
+
+
+def canonical_rewriting(
+    query: Query,
+    constants: Iterable[Constant] = (),
+) -> UnionQuery:
+    """``Can(Q, C)``: the union of all possible completions (Def. 4.1).
+
+    For a union query each adjunct is rewritten separately over the
+    *full* constant set of the query plus ``constants`` (as MinProv
+    step I requires), and the completions are concatenated.
+    """
+    union_constants: Set[Constant] = set(constants)
+    for adjunct in adjuncts_of(query):
+        union_constants.update(adjunct.constants())
+    completions: List[ConjunctiveQuery] = []
+    for adjunct in adjuncts_of(query):
+        completions.extend(possible_completions(adjunct, union_constants))
+    return UnionQuery(completions)

@@ -1,0 +1,30 @@
+"""The provenance order on queries (Defs. 2.17, 2.19).
+
+``Q <=_P Q'`` quantifies over *all* abstractly-tagged databases, so it
+cannot be decided by evaluation alone.  This package provides
+
+* per-database comparison,
+* bounded counterexample search over small databases (sound for
+  refutation, evidence for confirmation),
+* the sufficient condition of Thm. 3.3 (surjective homomorphism), and
+* an exact decision procedure for provenance *equivalence* via
+  canonical rewritings.
+"""
+
+from repro.order.query_order import (
+    bounded_le_p,
+    compare_on_database,
+    le_on_database,
+    prove_le_p,
+    provenance_equivalent,
+    surjective_hom_witnesses_le,
+)
+
+__all__ = [
+    "le_on_database",
+    "compare_on_database",
+    "bounded_le_p",
+    "prove_le_p",
+    "surjective_hom_witnesses_le",
+    "provenance_equivalent",
+]

@@ -1,0 +1,194 @@
+"""Comparing equivalent queries by provenance (Def. 2.17).
+
+``Q <=_P Q'`` holds when for *every* abstractly-tagged database ``D``
+and every output tuple ``t``, ``P(t, Q, D) <= P(t, Q', D)`` under the
+polynomial order of Def. 2.15.
+
+Exactly deciding ``<=_P`` is not attempted in general; the library
+offers the paper's tools instead:
+
+* :func:`le_on_database` — the comparison on one database;
+* :func:`bounded_le_p` — exhaustive search over all databases up to a
+  size bound; finds every counterexample the paper exhibits
+  (Tables 4/5, Example 2.18) and provides evidence otherwise;
+* :func:`surjective_hom_witnesses_le` — the *sufficient* condition of
+  Thm. 3.3;
+* :func:`provenance_equivalent` — an exact decision for ``≡_P`` via
+  canonical rewritings (two case-partitioned complete unions have equal
+  provenance everywhere iff their adjunct multisets agree up to
+  isomorphism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import evaluate
+from repro.hom.homomorphism import has_surjective_homomorphism, is_isomorphic
+from repro.minimize.canonical import possible_completions
+from repro.query.cq import ConjunctiveQuery
+from repro.query.ucq import Query, adjuncts_of, as_union
+from repro.semiring.order import Ordering, compare_polynomials, polynomial_le
+from repro.semiring.polynomial import Polynomial
+
+
+def le_on_database(q1: Query, q2: Query, db: AnnotatedDatabase) -> bool:
+    """``P(t, q1, db) <= P(t, q2, db)`` for every output tuple ``t``."""
+    results1 = evaluate(q1, db)
+    results2 = evaluate(q2, db)
+    for output in set(results1) | set(results2):
+        p1 = results1.get(output, Polynomial.zero())
+        p2 = results2.get(output, Polynomial.zero())
+        if not polynomial_le(p1, p2):
+            return False
+    return True
+
+
+def compare_on_database(q1: Query, q2: Query, db: AnnotatedDatabase) -> Ordering:
+    """Four-way comparison of the two queries' provenance on ``db``."""
+    le = le_on_database(q1, q2, db)
+    ge = le_on_database(q2, q1, db)
+    if le and ge:
+        return Ordering.EQUAL
+    if le:
+        return Ordering.LESS
+    if ge:
+        return Ordering.GREATER
+    return Ordering.INCOMPARABLE
+
+
+@dataclass(frozen=True)
+class BoundedComparison:
+    """Outcome of a bounded ``<=_P`` search.
+
+    ``holds`` is the verdict over every database checked;
+    ``counterexample`` is the first violating database (``None`` when
+    the relation held everywhere); ``databases_checked`` is the number
+    of databases examined.
+    """
+
+    holds: bool
+    counterexample: Optional[AnnotatedDatabase]
+    databases_checked: int
+
+
+def bounded_le_p(
+    q1: Query,
+    q2: Query,
+    domain: Sequence = ("a", "b"),
+    max_facts: Optional[int] = None,
+) -> BoundedComparison:
+    """Check ``q1 <=_P q2`` over *all* abstractly-tagged databases with
+    the given active domain (optionally capped in size).
+
+    Sound for refutation — a returned counterexample is definitive.
+    A positive verdict is evidence, not proof: ``<=_P`` quantifies over
+    all databases.  Every separation claimed by the paper is witnessed
+    within ``domain`` sizes 2-3.
+    """
+    from repro.db.generators import all_databases
+
+    relations = {}
+    for query in (q1, q2):
+        for adjunct in adjuncts_of(query):
+            for atom in adjunct.atoms:
+                relations[atom.relation] = atom.arity
+
+    checked = 0
+    for db in all_databases(relations, domain, max_facts=max_facts):
+        checked += 1
+        if not le_on_database(q1, q2, db):
+            return BoundedComparison(False, db, checked)
+    return BoundedComparison(True, None, checked)
+
+
+def surjective_hom_witnesses_le(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Thm. 3.3 sufficient condition for ``q1 <=_P q2``.
+
+    A homomorphism ``q2 -> q1`` surjective on relational atoms, between
+    equivalent queries, guarantees ``q1 <=_P q2``.  (Equivalence itself
+    is not checked here.)
+    """
+    return has_surjective_homomorphism(q2, q1)
+
+
+def prove_le_p(q1: Query, q2: Query) -> bool:
+    """Symbolically *prove* ``q1 <=_P q2`` (no databases involved).
+
+    The method mechanizes the Thm. 3.3 argument case-wise:
+
+    1. rewrite both queries canonically over their joint constants
+       (provenance preserved, Thm. 4.4);
+    2. build a bipartite graph between the adjunct instances — an edge
+       from a ``q1`` instance ``A`` to a ``q2`` instance ``B`` whenever
+       a homomorphism ``B -> A`` *surjective on relational atoms*
+       exists (then every assignment of ``A`` maps to an assignment of
+       ``B`` with the same head and a containing monomial, injectively
+       — the Thm. 3.3 proof);
+    3. succeed iff a matching saturates every ``q1`` instance.
+
+    Returns ``True`` only with a proof in hand; ``False`` means "not
+    provable by this method", not a refutation (use
+    :func:`bounded_le_p` to hunt for counterexamples).  The method
+    proves every positive ``<=_P`` claim made in the paper, including
+    ``MinProv(Q) <=_P Q'`` for equivalent ``Q'`` (Prop. 4.8) — see the
+    tests.
+    """
+    from repro.hom.homomorphism import find_homomorphism
+    from repro.utils.matching import maximum_matching_size
+
+    union1 = as_union(q1)
+    union2 = as_union(q2)
+    constants = union1.constants() | union2.constants()
+    left: List[ConjunctiveQuery] = []
+    for adjunct in union1.adjuncts:
+        left.extend(possible_completions(adjunct, constants))
+    right: List[ConjunctiveQuery] = []
+    for adjunct in union2.adjuncts:
+        right.extend(possible_completions(adjunct, constants))
+
+    adjacency = []
+    for target in left:
+        edges = []
+        for index, source in enumerate(right):
+            if find_homomorphism(source, target, surjective=True) is not None:
+                edges.append(index)
+        adjacency.append(edges)
+    return maximum_matching_size(adjacency, len(right)) == len(left)
+
+
+def provenance_equivalent(q1: Query, q2: Query) -> bool:
+    """Exactly decide ``q1 ≡_P q2`` (equal provenance on every
+    abstractly-tagged database).
+
+    Both queries are canonically rewritten over the union of their
+    constants (provenance preserved, Thm. 4.4).  Canonical adjuncts
+    partition the assignment space by equality "case" (Lemma 4.5), and
+    within a case the monomials are determined by the adjunct up to
+    isomorphism; hence the two rewritings agree on every database iff
+    their adjunct multisets agree up to isomorphism.
+    """
+    union1 = as_union(q1)
+    union2 = as_union(q2)
+    constants = union1.constants() | union2.constants()
+    adjuncts1: List[ConjunctiveQuery] = []
+    for adjunct in union1.adjuncts:
+        adjuncts1.extend(possible_completions(adjunct, constants))
+    adjuncts2: List[ConjunctiveQuery] = []
+    for adjunct in union2.adjuncts:
+        adjuncts2.extend(possible_completions(adjunct, constants))
+    if len(adjuncts1) != len(adjuncts2):
+        return False
+    remaining = list(adjuncts2)
+    for adjunct in adjuncts1:
+        found = None
+        for index, candidate in enumerate(remaining):
+            if is_isomorphic(adjunct, candidate):
+                found = index
+                break
+        if found is None:
+            return False
+        del remaining[found]
+    return True

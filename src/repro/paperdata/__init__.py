@@ -1,0 +1,51 @@
+"""Every figure, table and construction of the paper, as fixtures.
+
+Shared by the test suite (which asserts the paper's claims literally),
+the examples and the benchmark harness (which regenerates each
+artifact).  Naming follows the paper: ``figure1()`` returns the queries
+of Figure 1, ``table2_database()`` the relation of Table 2, and so on.
+"""
+
+from repro.paperdata.constructions import (
+    theorem_4_10_query,
+    theorem_6_2_instance,
+)
+from repro.paperdata.databases import (
+    example_5_steps_expected,
+    lemma_3_6_expected,
+    table2_database,
+    table3_expected,
+    table4_database,
+    table5_database,
+    table6_database,
+)
+from repro.paperdata.figures import (
+    example_2_16_polynomials,
+    example_3_2_queries,
+    example_3_4_queries,
+    example_4_2_query,
+    figure1,
+    figure2,
+    figure3_qhat,
+    figure3_expected_steps,
+)
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3_qhat",
+    "figure3_expected_steps",
+    "example_2_16_polynomials",
+    "example_3_2_queries",
+    "example_3_4_queries",
+    "example_4_2_query",
+    "table2_database",
+    "table3_expected",
+    "table4_database",
+    "table5_database",
+    "table6_database",
+    "lemma_3_6_expected",
+    "example_5_steps_expected",
+    "theorem_4_10_query",
+    "theorem_6_2_instance",
+]

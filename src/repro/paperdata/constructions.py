@@ -1,0 +1,63 @@
+"""Parameterized constructions: Thm. 4.10 and Thm. 6.2.
+
+``theorem_4_10_query(n)`` builds the family whose p-minimal equivalents
+grow exponentially; ``theorem_6_2_instance()`` builds the
+non-abstractly-tagged counterexample showing direct core computation
+needs the query when annotations repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.instance import AnnotatedDatabase
+from repro.query.build import atom, boolean_cq
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+
+def theorem_4_10_query(n: int) -> ConjunctiveQuery:
+    """The query ``Qn`` of Thm. 4.10.
+
+    ``ans() :- R1(x1, y1), R1(y1, x1), ..., Rn(xn, yn), Rn(yn, xn)`` —
+    size Θ(n), while any p-minimal equivalent must distinguish
+    exponentially many (dis)equality cases, hence has size 2^Ω(n).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    atoms = []
+    for i in range(1, n + 1):
+        relation = "R{}".format(i)
+        x, y = "x{}".format(i), "y{}".format(i)
+        atoms.append(atom(relation, x, y))
+        atoms.append(atom(relation, y, x))
+    return boolean_cq(atoms)
+
+
+@dataclass(frozen=True)
+class Theorem62Instance:
+    """The counterexample of Thm. 6.2.
+
+    ``db`` annotates both ``R(a)`` and ``R(b)`` with the *same* symbol
+    ``s``; ``q`` and ``q_prime`` are non-equivalent queries whose
+    provenance for the tuple ``(a,)`` coincides (``s*s``), yet whose
+    p-minimal equivalents yield different provenance — so no function
+    of the polynomial alone can compute the core on such databases.
+    """
+
+    db: AnnotatedDatabase
+    q: ConjunctiveQuery
+    q_prime: ConjunctiveQuery
+    output: tuple
+
+
+def theorem_6_2_instance() -> Theorem62Instance:
+    """Build the Thm. 6.2 counterexample."""
+    db = AnnotatedDatabase.from_dict({"R": {("a",): "s"}})
+    # A second tuple with the SAME annotation makes the database
+    # non-abstractly-tagged; from_dict would reject the collision inside
+    # one relation mapping, so add it explicitly.
+    db.add("R", ("b",), annotation="s")
+    q = parse_query("ans(x) :- R(x), R(y), x != y")
+    q_prime = parse_query("ans(x) :- R(x), R(x)")
+    return Theorem62Instance(db=db, q=q, q_prime=q_prime, output=("a",))

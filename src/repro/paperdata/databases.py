@@ -1,0 +1,102 @@
+"""The databases of Tables 2-6 and the expected provenance of Table 3."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.semiring.polynomial import Polynomial
+
+
+def table2_database() -> AnnotatedDatabase:
+    """Table 2: relation ``R`` over {a, b} with annotations s1-s4."""
+    return AnnotatedDatabase.from_dict(
+        {
+            "R": {
+                ("a", "a"): "s1",
+                ("a", "b"): "s2",
+                ("b", "a"): "s3",
+                ("b", "b"): "s4",
+            }
+        }
+    )
+
+
+def table3_expected() -> Dict[Tuple[str, ...], Polynomial]:
+    """Table 3: the provenance of ``ans`` for ``Qunion`` on Table 2."""
+    return {
+        ("a",): Polynomial.parse("s2*s3 + s1"),
+        ("b",): Polynomial.parse("s3*s2 + s4"),
+    }
+
+
+def table4_database() -> AnnotatedDatabase:
+    """Table 4 (plus relation ``S``): the database ``D`` of Lemma 3.6."""
+    return AnnotatedDatabase.from_dict(
+        {
+            "R": {
+                ("a", "b"): "s1",
+                ("b", "a"): "s2",
+                ("a", "a"): "s3",
+            },
+            "S": {("a",): "s0"},
+        }
+    )
+
+
+def table5_database() -> AnnotatedDatabase:
+    """Table 5 (plus relation ``S``): the database ``D'`` of Lemma 3.6."""
+    return AnnotatedDatabase.from_dict(
+        {
+            "R": {
+                ("a", "b"): "s01",
+                ("b", "c"): "s02",
+                ("c", "a"): "s03",
+                ("a", "a"): "s04",
+            },
+            "S": {("a",): "s0"},
+        }
+    )
+
+
+def table6_database() -> AnnotatedDatabase:
+    """Table 6: relation ``R`` of the database ``D̂`` (Examples 5.2-5.8)."""
+    return AnnotatedDatabase.from_dict(
+        {
+            "R": {
+                ("a", "a"): "s1",
+                ("a", "b"): "s2",
+                ("b", "a"): "s3",
+                ("b", "c"): "s4",
+                ("c", "a"): "s5",
+            }
+        }
+    )
+
+
+def lemma_3_6_expected() -> Dict[str, Polynomial]:
+    """The four provenance polynomials computed in Lemma 3.6."""
+    return {
+        # On D (Table 4):
+        "q_no_pmin_on_d": Polynomial.parse(
+            "2*s1^2*s2^2*s3*s0 + s1*s2*s3^3*s0"
+        ),
+        "q_alt_on_d": Polynomial.parse("s1^2*s2^2*s3*s0 + s1*s2*s3^3*s0"),
+        # On D' (Table 5):
+        "q_no_pmin_on_dp": Polynomial.parse("s01*s02*s03*s04^2*s0"),
+        "q_alt_on_dp": Polynomial.parse("2*s01*s02*s03*s04^2*s0"),
+    }
+
+
+def example_5_steps_expected() -> Dict[str, Polynomial]:
+    """The provenance polynomials of Examples 5.2, 5.4 and 5.8."""
+    return {
+        # Example 5.2: P(Q̂, D̂) = P(Q̂_I, D̂).
+        "step1": Polynomial.parse(
+            "s1^3 + s2*s3*s1 + s3*s1*s2 + s1*s2*s3 + s2*s4*s5 + s4*s5*s2 + s5*s2*s4"
+        ),
+        # Example 5.4: the first adjunct minimized.
+        "step2": Polynomial.parse("s1 + 3*s1*s2*s3 + 3*s2*s4*s5"),
+        # Example 5.8: containing monomials eliminated.
+        "step3": Polynomial.parse("s1 + 3*s2*s4*s5"),
+    }

@@ -1,0 +1,120 @@
+"""The queries of Figures 1-3 and the worked examples.
+
+Each function returns freshly parsed query objects so callers can
+mutate nothing shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.ucq import UnionQuery
+from repro.semiring.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class Figure1:
+    """The queries of Figure 1 (Examples 2.5-2.18, Thm. 3.11)."""
+
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+    q_union: UnionQuery
+    q_conj: ConjunctiveQuery
+
+
+def figure1() -> Figure1:
+    """Figure 1: ``Q1``, ``Q2``, ``Qunion = Q1 ∪ Q2`` and ``Qconj``."""
+    q1 = parse_query("ans(x) :- R(x, y), R(y, x), x != y")
+    q2 = parse_query("ans(x) :- R(x, x)")
+    q_union = UnionQuery([q1, q2])
+    q_conj = parse_query("ans(x) :- R(x, y), R(y, x)")
+    return Figure1(q1=q1, q2=q2, q_union=q_union, q_conj=q_conj)
+
+
+def example_2_16_polynomials() -> Tuple[Polynomial, Polynomial]:
+    """Example 2.16: ``p1 < p2``."""
+    p1 = Polynomial.parse("s1*s2 + s3 + s3")
+    p2 = Polynomial.parse("s1*s2*s2 + s2*s3 + s3*s4 + s5")
+    return p1, p2
+
+
+def example_3_2_queries() -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Example 3.2 (after Klug): ``Q ⊆ Q'`` without a homomorphism."""
+    q = parse_query("ans() :- R(x, y), R(y, z), x != z")
+    qp = parse_query("ans() :- R(x, y), x != y")
+    return q, qp
+
+
+def example_3_4_queries() -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Example 3.4: surjectivity is essential in Thm. 3.3."""
+    q = parse_query("ans() :- R(x), R(y)")
+    qp = parse_query("ans() :- R(x)")
+    return q, qp
+
+
+def example_4_2_query() -> ConjunctiveQuery:
+    """Example 4.2: the query whose ``Can(Q, {a, b})`` has 5 adjuncts."""
+    return parse_query("ans(x, y) :- R(x, y), x != 'a', x != y")
+
+
+@dataclass(frozen=True)
+class Figure2:
+    """The CQ≠ queries of Figure 2 (Thm. 3.5 / Lemmas 3.6-3.7)."""
+
+    q_no_pmin: ConjunctiveQuery
+    q_alt: ConjunctiveQuery
+    q_alt2: ConjunctiveQuery
+    q_alt3: ConjunctiveQuery
+
+
+def figure2() -> Figure2:
+    """Figure 2: the pentagon construction with one disequality.
+
+    ``QnoPmin`` (``x1 != x2``) and ``Qalt`` (``x1 != x3``) are
+    equivalent but provenance-incomparable, and no equivalent CQ≠ query
+    is p-minimal (Thm. 3.5).
+    """
+    body = (
+        "R(x1, x2), R(x2, x3), R(x3, x4), R(x4, x5), R(x5, x1), S(x1)"
+    )
+    q_no_pmin = parse_query("ans() :- {}, x1 != x2".format(body))
+    q_alt = parse_query("ans() :- {}, x1 != x3".format(body))
+    q_alt2 = parse_query("ans() :- {}, x1 != x4".format(body))
+    q_alt3 = parse_query("ans() :- {}, x1 != x5".format(body))
+    return Figure2(q_no_pmin=q_no_pmin, q_alt=q_alt, q_alt2=q_alt2, q_alt3=q_alt3)
+
+
+def figure3_qhat() -> ConjunctiveQuery:
+    """Figure 3 / Example 4.7: the triangle query ``Q̂``."""
+    return parse_query("ans() :- R(x, y), R(y, z), R(z, x)")
+
+
+def figure3_expected_steps() -> Dict[str, UnionQuery]:
+    """The expected intermediate queries of Figure 3.
+
+    ``QI`` is the canonical rewriting with its five adjuncts; ``QII``
+    has the first adjunct minimized to ``R(v1, v1)``; ``QIII`` is
+    ``Q̂min1 ∪ Q̂5``.  Adjunct variable names match the paper's
+    ``v1, v2, v3``.
+    """
+    q_hat_1 = "ans() :- R(v1, v1), R(v1, v1), R(v1, v1)"
+    q_hat_2 = "ans() :- R(v1, v2), R(v2, v1), R(v1, v1), v1 != v2"
+    q_hat_3 = "ans() :- R(v1, v2), R(v2, v2), R(v2, v1), v1 != v2"
+    q_hat_4 = "ans() :- R(v1, v1), R(v1, v2), R(v2, v1), v1 != v2"
+    q_hat_5 = (
+        "ans() :- R(v1, v2), R(v2, v3), R(v3, v1), "
+        "v1 != v2, v2 != v3, v1 != v3"
+    )
+    q_min1 = "ans() :- R(v1, v1)"
+    make = parse_query
+    step1 = UnionQuery(
+        [make(q_hat_1), make(q_hat_2), make(q_hat_3), make(q_hat_4), make(q_hat_5)]
+    )
+    step2 = UnionQuery(
+        [make(q_min1), make(q_hat_2), make(q_hat_3), make(q_hat_4), make(q_hat_5)]
+    )
+    step3 = UnionQuery([make(q_min1), make(q_hat_5)])
+    return {"QI": step1, "QII": step2, "QIII": step3}

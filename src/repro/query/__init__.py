@@ -1,0 +1,38 @@
+"""The query languages of the paper: CQ, CQ≠, cCQ≠, UCQ, UCQ≠.
+
+* :mod:`repro.query.terms` — variables and constants;
+* :mod:`repro.query.atoms` — relational atoms and disequality atoms;
+* :mod:`repro.query.cq` — rule-based conjunctive queries (Def. 2.1),
+  completeness (Def. 2.2);
+* :mod:`repro.query.ucq` — unions of conjunctive queries (Def. 2.4);
+* :mod:`repro.query.parser` / :mod:`repro.query.printer` — the textual
+  rule syntax ``ans(x, y) :- R(x, y), S(y, 'c'), x != y``;
+* :mod:`repro.query.build` — a concise programmatic construction API.
+"""
+
+from repro.query.atoms import Atom, Disequality
+from repro.query.build import atom, cq, diseq, ucq
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_program, parse_query
+from repro.query.printer import query_to_str
+from repro.query.terms import Constant, Term, Variable
+from repro.query.ucq import UnionQuery, adjuncts_of, as_union
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "Disequality",
+    "ConjunctiveQuery",
+    "UnionQuery",
+    "as_union",
+    "adjuncts_of",
+    "parse_query",
+    "parse_program",
+    "query_to_str",
+    "atom",
+    "diseq",
+    "cq",
+    "ucq",
+]

@@ -1,0 +1,166 @@
+"""Relational atoms and disequality atoms (Def. 2.1).
+
+A relational atom is ``R(l1, ..., lk)`` with each ``li`` a variable or a
+constant.  A disequality atom is ``lj != lk`` where ``lj`` is a variable
+and ``lk`` is a variable or a constant (this asymmetry is the paper's
+Def. 2.1; disequalities between two constants are either vacuous or
+unsatisfiable and therefore rejected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+from repro.errors import QueryConstructionError, UnsatisfiableQueryError
+from repro.query.terms import (
+    Constant,
+    Term,
+    Variable,
+    is_constant,
+    is_variable,
+    term_sort_key,
+)
+
+Substitution = Dict[Variable, Term]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``relation(args...)``.
+
+    >>> a = Atom("R", (Variable("x"), Constant("a")))
+    >>> str(a)
+    "R(x, 'a')"
+    """
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self):
+        if not self.relation or not isinstance(self.relation, str):
+            raise QueryConstructionError("relation name must be a non-empty string")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise QueryConstructionError(
+                    "atom arguments must be terms, got {!r}".format(arg)
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Variables among the arguments, in order, with repetition."""
+        return (arg for arg in self.args if is_variable(arg))
+
+    def constants(self) -> Iterator[Constant]:
+        """Constants among the arguments, in order, with repetition."""
+        return (arg for arg in self.args if is_constant(arg))
+
+    def substitute(self, substitution: Substitution) -> "Atom":
+        """Apply a variable substitution to the arguments."""
+        return Atom(
+            self.relation,
+            tuple(
+                substitution.get(arg, arg) if is_variable(arg) else arg
+                for arg in self.args
+            ),
+        )
+
+    def __str__(self) -> str:
+        return "{}({})".format(self.relation, ", ".join(str(a) for a in self.args))
+
+    def sort_key(self):
+        """Deterministic ordering for canonical presentations."""
+        return (self.relation, tuple(term_sort_key(a) for a in self.args))
+
+
+class Disequality:
+    """A disequality atom ``left != right`` (Def. 2.1).
+
+    At least one side must be a variable; the pair is stored in a
+    canonical order so that ``x != y`` and ``y != x`` are equal objects.
+
+    >>> Disequality(Variable("x"), Variable("y")) == Disequality(Variable("y"), Variable("x"))
+    True
+    """
+
+    __slots__ = ("_pair",)
+
+    def __init__(self, left: Term, right: Term):  # noqa: D107
+        if is_constant(left) and is_constant(right):
+            raise QueryConstructionError(
+                "a disequality needs at least one variable (Def. 2.1): "
+                "{} != {}".format(left, right)
+            )
+        if left == right:
+            raise UnsatisfiableQueryError(
+                "disequality between identical terms is unsatisfiable: "
+                "{} != {}".format(left, right)
+            )
+        pair = tuple(sorted((left, right), key=term_sort_key))
+        self._pair: Tuple[Term, Term] = pair  # variables sort before constants
+
+    @property
+    def left(self) -> Term:
+        """First endpoint in canonical order (always a variable)."""
+        return self._pair[0]
+
+    @property
+    def right(self) -> Term:
+        """Second endpoint in canonical order."""
+        return self._pair[1]
+
+    @property
+    def pair(self) -> Tuple[Term, Term]:
+        """Both endpoints in canonical order."""
+        return self._pair
+
+    def terms(self) -> FrozenSet[Term]:
+        """The unordered endpoint set."""
+        return frozenset(self._pair)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The endpoints that are variables."""
+        return tuple(t for t in self._pair if is_variable(t))
+
+    def substitute(self, substitution: Substitution) -> "Disequality":
+        """Apply a substitution; raises if it collapses the endpoints.
+
+        Collapsing the two sides of a disequality produces an
+        unsatisfiable query, surfaced as
+        :class:`~repro.errors.UnsatisfiableQueryError`.
+        """
+        left = substitution.get(self._pair[0], self._pair[0])
+        right = substitution.get(self._pair[1], self._pair[1])
+        return Disequality(left, right)
+
+    def is_satisfied_by(self, value_of) -> bool:
+        """Check the disequality under an argument valuation.
+
+        ``value_of`` maps each endpoint term to a domain value
+        (constants map to their own value).
+        """
+        return value_of(self._pair[0]) != value_of(self._pair[1])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Disequality):
+            return NotImplemented
+        return self._pair == other._pair
+
+    def __hash__(self) -> int:
+        return hash(("Disequality", self._pair))
+
+    def __str__(self) -> str:
+        return "{} != {}".format(self._pair[0], self._pair[1])
+
+    def __repr__(self) -> str:
+        return "Disequality({!r}, {!r})".format(self._pair[0], self._pair[1])
+
+    def sort_key(self):
+        """Deterministic ordering for canonical presentations."""
+        return (term_sort_key(self._pair[0]), term_sort_key(self._pair[1]))

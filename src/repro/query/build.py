@@ -1,0 +1,81 @@
+"""Concise programmatic construction of queries.
+
+In these helpers a plain Python string denotes a *variable*; constants
+are written explicitly with :func:`c` (or by passing a
+:class:`~repro.query.terms.Constant`).  This matches the paper's habit
+of using ``x, y, z`` for variables and quoting constants.
+
+>>> q = cq(["x"], [atom("R", "x", "y"), atom("S", "y", c("a"))], [diseq("x", "y")])
+>>> str(q)
+"ans(x) :- R(x, y), S(y, 'a'), x != y"
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.query.atoms import Atom, Disequality
+from repro.query.cq import DEFAULT_HEAD_RELATION, ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable
+from repro.query.ucq import Query, UnionQuery, adjuncts_of
+
+TermLike = Union[str, Term]
+
+
+def v(name: str) -> Variable:
+    """A variable."""
+    return Variable(name)
+
+
+def c(value) -> Constant:
+    """A constant."""
+    return Constant(value)
+
+
+def term(value: TermLike) -> Term:
+    """Coerce: strings become variables, terms pass through."""
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    raise TypeError(
+        "cannot coerce {!r} to a term; use c(...) for constants".format(value)
+    )
+
+
+def atom(relation: str, *args: TermLike) -> Atom:
+    """A relational atom; string arguments are variables."""
+    return Atom(relation, tuple(term(a) for a in args))
+
+
+def diseq(left: TermLike, right: TermLike) -> Disequality:
+    """A disequality atom; string arguments are variables."""
+    return Disequality(term(left), term(right))
+
+
+def cq(
+    head_args: Sequence[TermLike],
+    atoms: Sequence[Atom],
+    disequalities: Iterable[Disequality] = (),
+    head_relation: str = DEFAULT_HEAD_RELATION,
+) -> ConjunctiveQuery:
+    """A conjunctive query ``head_relation(head_args) :- atoms, diseqs``."""
+    head = Atom(head_relation, tuple(term(a) for a in head_args))
+    return ConjunctiveQuery(head, atoms, disequalities)
+
+
+def boolean_cq(
+    atoms: Sequence[Atom],
+    disequalities: Iterable[Disequality] = (),
+    head_relation: str = DEFAULT_HEAD_RELATION,
+) -> ConjunctiveQuery:
+    """A boolean conjunctive query (head of arity 0)."""
+    return cq((), atoms, disequalities, head_relation)
+
+
+def ucq(*queries: Query) -> UnionQuery:
+    """The union of the given queries (each a CQ or UCQ)."""
+    adjuncts = []
+    for query in queries:
+        adjuncts.extend(adjuncts_of(query))
+    return UnionQuery(adjuncts)

@@ -1,0 +1,345 @@
+"""Rule-based conjunctive queries with disequalities (Def. 2.1).
+
+A :class:`ConjunctiveQuery` is
+
+``ans(u0) :- R1(u1), ..., Rn(un), E1, ..., Em``
+
+with relational atoms ``Ri(ui)`` and disequality atoms ``Ej``.  The
+class enforces the well-formedness rules of Def. 2.1: every head
+variable and every disequality variable occurs in some relational atom.
+
+The *order* of the relational atoms is semantically irrelevant but is
+preserved: the paper presents provenance monomials factor-by-factor in
+atom order (Note at the end of Sec. 2.4), and this library reproduces
+its examples literally.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import QueryConstructionError
+from repro.query.atoms import Atom, Disequality, Substitution
+from repro.query.terms import (
+    Constant,
+    Term,
+    Variable,
+    is_constant,
+    is_variable,
+)
+from repro.utils.naming import NameSupply
+
+DEFAULT_HEAD_RELATION = "ans"
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with disequalities (class CQ≠ / CQ).
+
+    >>> from repro.query.build import atom, cq, diseq
+    >>> q = cq(["x"], [atom("R", "x", "y"), atom("R", "y", "x")], [diseq("x", "y")])
+    >>> str(q)
+    'ans(x) :- R(x, y), R(y, x), x != y'
+    """
+
+    __slots__ = ("_head", "_atoms", "_disequalities", "_hash")
+
+    def __init__(
+        self,
+        head: Atom,
+        atoms: Sequence[Atom],
+        disequalities: Iterable[Disequality] = (),
+    ):  # noqa: D107
+        self._head = head
+        self._atoms: Tuple[Atom, ...] = tuple(atoms)
+        self._disequalities: FrozenSet[Disequality] = frozenset(disequalities)
+        self._validate()
+        self._hash = hash(
+            (self._head, frozenset(self._atom_multiset()), self._disequalities)
+        )
+
+    def _validate(self) -> None:
+        if not self._atoms:
+            raise QueryConstructionError(
+                "a conjunctive query needs at least one relational atom"
+            )
+        body_vars = self.body_variables()
+        for head_var in self._head.variables():
+            if head_var not in body_vars:
+                raise QueryConstructionError(
+                    "distinguished variable {} does not occur in the body".format(
+                        head_var
+                    )
+                )
+        for dis in self._disequalities:
+            for var in dis.variables():
+                if var not in body_vars:
+                    raise QueryConstructionError(
+                        "disequality variable {} does not occur in a relational "
+                        "atom".format(var)
+                    )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> Atom:
+        """The rule head ``ans(u0)``."""
+        return self._head
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The relational atoms, in presentation order."""
+        return self._atoms
+
+    @property
+    def disequalities(self) -> FrozenSet[Disequality]:
+        """The disequality atoms."""
+        return self._disequalities
+
+    @property
+    def head_relation(self) -> str:
+        """Name of the head relation."""
+        return self._head.relation
+
+    @property
+    def arity(self) -> int:
+        """Arity of the head."""
+        return self._head.arity
+
+    def is_boolean(self) -> bool:
+        """True when the head has arity 0 (Def. 2.1)."""
+        return self._head.arity == 0
+
+    def has_disequalities(self) -> bool:
+        """True when the query is in CQ≠ proper (not plain CQ)."""
+        return bool(self._disequalities)
+
+    def body_variables(self) -> Set[Variable]:
+        """Variables occurring in relational atoms."""
+        result: Set[Variable] = set()
+        for atom in self._atoms:
+            result.update(atom.variables())
+        return result
+
+    def variables(self) -> Set[Variable]:
+        """``Var(Q)``: all variables of the query (Def. 2.1)."""
+        result = self.body_variables()
+        result.update(self._head.variables())
+        for dis in self._disequalities:
+            result.update(dis.variables())
+        return result
+
+    def constants(self) -> Set[Constant]:
+        """``Const(Q)``: all constants of the query.
+
+        Includes constants in the head and in disequalities, so that a
+        canonical rewriting (Def. 4.1) always covers them.
+        """
+        result: Set[Constant] = set()
+        for atom in self._atoms:
+            result.update(atom.constants())
+        result.update(self._head.constants())
+        for dis in self._disequalities:
+            for term in dis.pair:
+                if is_constant(term):
+                    result.add(term)
+        return result
+
+    def arguments(self) -> Set[Term]:
+        """``Var(Q) ∪ Const(Q)``."""
+        args: Set[Term] = set(self.variables())
+        args.update(self.constants())
+        return args
+
+    def relations(self) -> Set[str]:
+        """Names of relations used in the body."""
+        return {atom.relation for atom in self._atoms}
+
+    def size(self) -> int:
+        """Number of relational atoms (the length minimized by
+        "standard" minimization [Chandra-Merlin])."""
+        return len(self._atoms)
+
+    def _atom_multiset(self) -> List[Tuple[Atom, int]]:
+        counts: Dict[Atom, int] = {}
+        for atom in self._atoms:
+            counts[atom] = counts.get(atom, 0) + 1
+        return sorted(counts.items(), key=lambda pair: pair[0].sort_key())
+
+    def duplicate_atom_indices(self) -> List[int]:
+        """Indices of atoms that repeat an earlier identical atom.
+
+        Lemma 3.13: a complete query is (p-)minimal iff this is empty.
+        """
+        seen: Set[Atom] = set()
+        duplicates: List[int] = []
+        for index, atom in enumerate(self._atoms):
+            if atom in seen:
+                duplicates.append(index)
+            else:
+                seen.add(atom)
+        return duplicates
+
+    # ------------------------------------------------------------------
+    # Completeness (Def. 2.2)
+    # ------------------------------------------------------------------
+    def is_complete(self, constants: Optional[Iterable[Constant]] = None) -> bool:
+        """Is the query *complete* (Def. 2.2)?
+
+        A query is complete when it disequates every pair of distinct
+        variables and every variable/constant pair.  Passing
+        ``constants`` checks completeness with respect to a superset of
+        ``Const(Q)`` (used by Lemma 4.9 and MinProv step III).
+        """
+        consts = set(self.constants())
+        if constants is not None:
+            consts.update(constants)
+        variables = sorted(self.variables())
+        for i, x in enumerate(variables):
+            for y in variables[i + 1:]:
+                if Disequality(x, y) not in self._disequalities:
+                    return False
+            for c in consts:
+                if Disequality(x, c) not in self._disequalities:
+                    return False
+        return True
+
+    def completion_of(self, constants: Iterable[Constant] = ()) -> "ConjunctiveQuery":
+        """Add every missing disequality (make the query complete).
+
+        This does **not** preserve equivalence in general — it selects
+        the single "all arguments distinct" case.  It is a building
+        block of the canonical rewriting, not a rewriting by itself.
+        """
+        consts = set(self.constants()) | set(constants)
+        disequalities = set(self._disequalities)
+        variables = sorted(self.variables())
+        for i, x in enumerate(variables):
+            for y in variables[i + 1:]:
+                disequalities.add(Disequality(x, y))
+            for c in consts:
+                disequalities.add(Disequality(x, c))
+        return ConjunctiveQuery(self._head, self._atoms, disequalities)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def substitute(self, substitution: Substitution) -> "ConjunctiveQuery":
+        """Apply a variable substitution to head, body and disequalities.
+
+        Raises :class:`~repro.errors.UnsatisfiableQueryError` when the
+        substitution collapses the endpoints of a disequality.
+        """
+        return ConjunctiveQuery(
+            self._head.substitute(substitution),
+            [atom.substitute(substitution) for atom in self._atoms],
+            [dis.substitute(substitution) for dis in self._disequalities],
+        )
+
+    def with_atoms(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Same head and disequalities, different relational atoms.
+
+        Disequalities whose variables disappear from the body are
+        dropped (they would violate Def. 2.1); the head must stay safe.
+        """
+        remaining_vars: Set[Variable] = set()
+        for atom in atoms:
+            remaining_vars.update(atom.variables())
+        kept = [
+            dis
+            for dis in self._disequalities
+            if all(var in remaining_vars for var in dis.variables())
+        ]
+        return ConjunctiveQuery(self._head, atoms, kept)
+
+    def without_atom(self, index: int) -> "ConjunctiveQuery":
+        """Remove the relational atom at ``index``."""
+        atoms = self._atoms[:index] + self._atoms[index + 1:]
+        return self.with_atoms(atoms)
+
+    def deduplicate_atoms(self) -> "ConjunctiveQuery":
+        """Remove repeated identical atoms (Lemma 3.13 minimization)."""
+        seen: Set[Atom] = set()
+        atoms: List[Atom] = []
+        for atom in self._atoms:
+            if atom not in seen:
+                seen.add(atom)
+                atoms.append(atom)
+        return ConjunctiveQuery(self._head, atoms, self._disequalities)
+
+    def rename_apart(self, avoid: Iterable[str]) -> "ConjunctiveQuery":
+        """Rename variables so none collides with names in ``avoid``."""
+        avoid_set = set(avoid)
+        supply = NameSupply("w", avoid_set | {v.name for v in self.variables()})
+        substitution: Substitution = {}
+        for var in sorted(self.variables()):
+            if var.name in avoid_set:
+                substitution[var] = Variable(supply.fresh())
+        if not substitution:
+            return self
+        return self.substitute(substitution)
+
+    def canonical_variable_order(self) -> List[Variable]:
+        """Variables in order of first occurrence (head, then body)."""
+        ordered: List[Variable] = []
+        seen: Set[Variable] = set()
+        for term in self._head.args:
+            if is_variable(term) and term not in seen:
+                seen.add(term)
+                ordered.append(term)
+        for atom in self._atoms:
+            for term in atom.args:
+                if is_variable(term) and term not in seen:
+                    seen.add(term)
+                    ordered.append(term)
+        for var in sorted(self.variables()):
+            if var not in seen:
+                seen.add(var)
+                ordered.append(var)
+        return ordered
+
+    def canonical_rename(self, prefix: str = "x") -> "ConjunctiveQuery":
+        """Rename variables to ``prefix1, prefix2, ...`` by first
+        occurrence; used for presentation and as a cheap pre-normalizer
+        before isomorphism checks."""
+        substitution: Substitution = {}
+        for index, var in enumerate(self.canonical_variable_order(), start=1):
+            substitution[var] = Variable("{}{}".format(prefix, index))
+        return self.substitute(substitution)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural equality up to atom order (not up to renaming).
+
+        Use :func:`repro.hom.homomorphism.is_isomorphic` for equality up
+        to variable renaming.
+        """
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self._head == other._head
+            and self._atom_multiset() == other._atom_multiset()
+            and self._disequalities == other._disequalities
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        from repro.query.printer import query_to_str
+
+        return query_to_str(self)
+
+    def __repr__(self) -> str:
+        return "<ConjunctiveQuery {}>".format(self)

@@ -1,0 +1,193 @@
+"""Parser for the rule-based query syntax.
+
+Grammar (one rule per line; ``:-`` and the paper's ``:=`` both accepted;
+a trailing period is optional)::
+
+    rule      :=  head ( ":-" | ":=" ) body
+    head      :=  NAME "(" terms? ")"
+    body      :=  item ("," item)*
+    item      :=  NAME "(" terms? ")"            -- relational atom
+               |  term ("!=" | "<>") term        -- disequality atom
+    term      :=  NAME                           -- variable
+               |  "'" chars "'" | '"' chars '"'  -- string constant
+               |  INTEGER                        -- integer constant
+
+Rules that share a head relation are collected into a
+:class:`~repro.query.ucq.UnionQuery` (Def. 2.4).
+
+>>> q = parse_query("ans(x, y) :- R(x, y), S(y, 'c'), x != y, y != 'c'")
+>>> sorted(v.name for v in q.variables())
+['x', 'y']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.query.atoms import Atom, Disequality
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable
+from repro.query.ucq import Query, UnionQuery
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*|%[^\n]*)
+  | (?P<ARROW>:-|:=)
+  | (?P<NEQ>!=|<>|≠)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<PERIOD>\.)
+  | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<NUMBER>-?\d+)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+Token = Tuple[str, str, int]  # (kind, text, position)
+
+
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                "unexpected character {!r}".format(text[position]), position
+            )
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            tokens.append((kind, match.group(), position))
+        position = match.end()
+    tokens.append(("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token[0] != kind:
+            raise ParseError(
+                "expected {} but found {!r}".format(kind, token[1] or "end of input"),
+                token[2],
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._peek()[0] == kind:
+            return self._advance()
+        return None
+
+    # -- grammar -----------------------------------------------------------
+    def parse_rules(self) -> List[ConjunctiveQuery]:
+        rules: List[ConjunctiveQuery] = []
+        while self._peek()[0] != "EOF":
+            rules.append(self._rule())
+            self._accept("PERIOD")
+        if not rules:
+            raise ParseError("no rules found", 0)
+        return rules
+
+    def _rule(self) -> ConjunctiveQuery:
+        head = self._atom()
+        self._expect("ARROW")
+        atoms: List[Atom] = []
+        disequalities: List[Disequality] = []
+        while True:
+            item = self._body_item()
+            if isinstance(item, Atom):
+                atoms.append(item)
+            else:
+                disequalities.append(item)
+            if not self._accept("COMMA"):
+                break
+        return ConjunctiveQuery(head, atoms, disequalities)
+
+    def _body_item(self) -> Union[Atom, Disequality]:
+        token = self._peek()
+        if token[0] == "NAME" and self._tokens[self._index + 1][0] == "LPAREN":
+            return self._atom()
+        left = self._term()
+        self._expect("NEQ")
+        right = self._term()
+        return Disequality(left, right)
+
+    def _atom(self) -> Atom:
+        name = self._expect("NAME")[1]
+        self._expect("LPAREN")
+        args: List[Term] = []
+        if self._peek()[0] != "RPAREN":
+            args.append(self._term())
+            while self._accept("COMMA"):
+                args.append(self._term())
+        self._expect("RPAREN")
+        return Atom(name, tuple(args))
+
+    def _term(self) -> Term:
+        token = self._peek()
+        if token[0] == "NAME":
+            self._advance()
+            return Variable(token[1])
+        if token[0] == "STRING":
+            self._advance()
+            raw = token[1][1:-1]
+            return Constant(raw.replace("\\'", "'").replace('\\"', '"'))
+        if token[0] == "NUMBER":
+            self._advance()
+            return Constant(int(token[1]))
+        raise ParseError(
+            "expected a term but found {!r}".format(token[1] or "end of input"),
+            token[2],
+        )
+
+
+def parse_rules(text: str) -> List[ConjunctiveQuery]:
+    """Parse every rule in ``text`` as a list of conjunctive queries."""
+    return _Parser(text).parse_rules()
+
+
+def parse_query(text: str) -> Query:
+    """Parse ``text`` into a CQ (one rule) or UCQ (several rules).
+
+    All rules must share the same head relation; use
+    :func:`parse_program` for texts defining several queries.
+    """
+    rules = parse_rules(text)
+    if len(rules) == 1:
+        return rules[0]
+    return UnionQuery(rules)
+
+
+def parse_program(text: str) -> Dict[str, Query]:
+    """Parse a multi-query program, grouping rules by head relation.
+
+    Returns ``{head_relation: query}`` where each query is a CQ when a
+    single rule defines the relation and a UCQ otherwise.
+    """
+    grouped: Dict[str, List[ConjunctiveQuery]] = {}
+    for rule in parse_rules(text):
+        grouped.setdefault(rule.head_relation, []).append(rule)
+    program: Dict[str, Query] = {}
+    for name, rules in grouped.items():
+        program[name] = rules[0] if len(rules) == 1 else UnionQuery(rules)
+    return program

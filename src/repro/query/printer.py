@@ -1,0 +1,46 @@
+"""Pretty-printing of queries in the rule syntax.
+
+The printer emits exactly the grammar accepted by
+:mod:`repro.query.parser`, so ``parse_query(query_to_str(q)) == q`` up
+to disequality ordering (tests enforce the round-trip).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.ucq import Query, UnionQuery, adjuncts_of
+
+
+def cq_to_str(query: ConjunctiveQuery) -> str:
+    """Render one conjunctive query as ``head :- body``."""
+    parts: List[str] = [str(atom) for atom in query.atoms]
+    parts.extend(
+        str(dis) for dis in sorted(query.disequalities, key=lambda d: d.sort_key())
+    )
+    return "{} :- {}".format(query.head, ", ".join(parts))
+
+
+def query_to_str(query: Query, separator: str = "\n") -> str:
+    """Render a CQ or UCQ; adjuncts of a union are joined by
+    ``separator`` (one per line by default, parseable back as a UCQ)."""
+    return separator.join(cq_to_str(adjunct) for adjunct in adjuncts_of(query))
+
+
+def query_to_latex(query: Query) -> str:
+    """Render a query in the paper's LaTeX-ish notation.
+
+    Only used for documentation and example output; not parseable.
+    """
+    lines = []
+    for adjunct in adjuncts_of(query):
+        body = [str(atom) for atom in adjunct.atoms]
+        body.extend(
+            r"{} \neq {}".format(dis.left, dis.right)
+            for dis in sorted(adjunct.disequalities, key=lambda d: d.sort_key())
+        )
+        lines.append("{} := {}".format(adjunct.head, ", ".join(body)))
+    if isinstance(query, UnionQuery) and len(lines) > 1:
+        return r" \cup ".join("[{}]".format(line) for line in lines)
+    return lines[0]

@@ -1,0 +1,86 @@
+"""Terms: the variables ``V`` and constants ``C`` of Def. 2.1.
+
+Variables are named symbols; constants wrap arbitrary hashable Python
+values (the paper's domain ``C``).  Both are immutable and hashable so
+they can live in atoms, substitutions and partition blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by name.
+
+    >>> Variable("x") == Variable("x")
+    True
+    """
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("variable name must be a non-empty string")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return "Variable({!r})".format(self.name)
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A domain constant.
+
+    Values must be hashable; strings and integers cover the paper's
+    examples.  Two constants are equal exactly when their values are.
+
+    >>> Constant("a") == Constant("a")
+    True
+    """
+
+    value: Hashable
+
+    def __post_init__(self):
+        hash(self.value)  # raise early for unhashable values
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'{}'".format(self.value)
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return "Constant({!r})".format(self.value)
+
+    def __lt__(self, other: "Constant") -> bool:
+        if not isinstance(other, Constant):
+            return NotImplemented
+        return _value_key(self.value) < _value_key(other.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """True when ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True when ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def term_sort_key(term: Term):
+    """Deterministic ordering over mixed variables and constants."""
+    if isinstance(term, Variable):
+        return (0, term.name, "")
+    return (1,) + _value_key(term.value)
+
+
+def _value_key(value: Hashable):
+    return (type(value).__name__, repr(value))

@@ -1,0 +1,145 @@
+"""Unions of conjunctive queries (Def. 2.4).
+
+A :class:`UnionQuery` is ``Q1 ∪ ... ∪ Qm`` where all adjuncts share the
+same head relation and arity.  Most algorithms in the library accept
+either a :class:`~repro.query.cq.ConjunctiveQuery` or a
+:class:`UnionQuery`; :func:`as_union` and :func:`adjuncts_of` provide
+the uniform view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple, Union
+
+from repro.errors import QueryConstructionError
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Variable
+
+Query = Union[ConjunctiveQuery, "UnionQuery"]
+
+
+class UnionQuery:
+    """A union of conjunctive queries with disequalities (UCQ≠).
+
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query('''
+    ...     ans(x) :- R(x, y), R(y, x), x != y
+    ...     ans(x) :- R(x, x)
+    ... ''')
+    >>> len(q.adjuncts)
+    2
+    """
+
+    __slots__ = ("_adjuncts", "_hash")
+
+    def __init__(self, adjuncts: Sequence[ConjunctiveQuery]):  # noqa: D107
+        self._adjuncts: Tuple[ConjunctiveQuery, ...] = tuple(adjuncts)
+        if not self._adjuncts:
+            raise QueryConstructionError("a union query needs at least one adjunct")
+        first = self._adjuncts[0]
+        for adjunct in self._adjuncts[1:]:
+            if adjunct.head_relation != first.head_relation:
+                raise QueryConstructionError(
+                    "all adjuncts must share the head relation "
+                    "({} vs {})".format(first.head_relation, adjunct.head_relation)
+                )
+            if adjunct.arity != first.arity:
+                raise QueryConstructionError(
+                    "all adjuncts must share the head arity "
+                    "({} vs {})".format(first.arity, adjunct.arity)
+                )
+        self._hash = hash(("UnionQuery", frozenset(self._adjuncts)))
+
+    # ------------------------------------------------------------------
+    @property
+    def adjuncts(self) -> Tuple[ConjunctiveQuery, ...]:
+        """``Adj(Q)``: the adjuncts, in presentation order."""
+        return self._adjuncts
+
+    @property
+    def head_relation(self) -> str:
+        """The common head relation name."""
+        return self._adjuncts[0].head_relation
+
+    @property
+    def arity(self) -> int:
+        """The common head arity."""
+        return self._adjuncts[0].arity
+
+    def is_boolean(self) -> bool:
+        """True when the head arity is 0."""
+        return self.arity == 0
+
+    def variables(self) -> Set[Variable]:
+        """``Var(Q)``: union over the adjuncts (Sec. 2.1)."""
+        result: Set[Variable] = set()
+        for adjunct in self._adjuncts:
+            result.update(adjunct.variables())
+        return result
+
+    def constants(self) -> Set[Constant]:
+        """``Const(Q)``: union over the adjuncts (Sec. 2.1)."""
+        result: Set[Constant] = set()
+        for adjunct in self._adjuncts:
+            result.update(adjunct.constants())
+        return result
+
+    def relations(self) -> Set[str]:
+        """Names of relations used by any adjunct body."""
+        result: Set[str] = set()
+        for adjunct in self._adjuncts:
+            result.update(adjunct.relations())
+        return result
+
+    def size(self) -> int:
+        """Total number of relational atoms across adjuncts."""
+        return sum(adjunct.size() for adjunct in self._adjuncts)
+
+    def is_complete(self, constants: Iterable[Constant] = ()) -> bool:
+        """Is every adjunct complete (class cUCQ≠)?"""
+        return all(adjunct.is_complete(constants) for adjunct in self._adjuncts)
+
+    def union(self, other: Query) -> "UnionQuery":
+        """Union with another query (CQ or UCQ)."""
+        return UnionQuery(self._adjuncts + adjuncts_of(other))
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Equality as *sets* of structurally equal adjuncts."""
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return frozenset(self._adjuncts) == frozenset(other._adjuncts)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        from repro.query.printer import query_to_str
+
+        return query_to_str(self)
+
+    def __repr__(self) -> str:
+        return "<UnionQuery of {} adjuncts>".format(len(self._adjuncts))
+
+
+def as_union(query: Query) -> UnionQuery:
+    """View any query as a :class:`UnionQuery`."""
+    if isinstance(query, UnionQuery):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionQuery([query])
+    raise TypeError("expected a ConjunctiveQuery or UnionQuery, got {!r}".format(query))
+
+
+def adjuncts_of(query: Query) -> Tuple[ConjunctiveQuery, ...]:
+    """The adjuncts of a query (a CQ is its own single adjunct)."""
+    if isinstance(query, UnionQuery):
+        return query.adjuncts
+    if isinstance(query, ConjunctiveQuery):
+        return (query,)
+    raise TypeError("expected a ConjunctiveQuery or UnionQuery, got {!r}".format(query))
+
+
+def query_constants(query: Query) -> Set[Constant]:
+    """``Const(Q)`` uniformly for CQ and UCQ."""
+    return as_union(query).constants()

@@ -1,0 +1,117 @@
+"""Rendering annotated relations and results as text tables.
+
+Regenerates the visual form of the paper's Tables 2-6: a relation with
+its ``Provenance`` column, or an output table mapping tuples to
+polynomials.  Plain-text (aligned columns) and GitHub-flavoured
+markdown renderings are provided; the examples and benchmarks use them
+for their printed artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.semiring.polynomial import Polynomial
+
+
+def _render(header: Sequence[str], rows: Sequence[Sequence[str]], markdown: bool) -> str:
+    columns = len(header)
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(row[index]))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [cells[i].ljust(widths[i]) for i in range(columns)]
+        if markdown:
+            return "| " + " | ".join(padded) + " |"
+        return "  ".join(padded).rstrip()
+
+    lines: List[str] = [line(header)]
+    if markdown:
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(line(row) for row in rows)
+    return "\n".join(lines)
+
+
+def relation_table(
+    db: AnnotatedDatabase,
+    relation: str,
+    attribute_names: Sequence[str] = (),
+    markdown: bool = False,
+) -> str:
+    """Render one relation like the paper's Table 2.
+
+    >>> db = AnnotatedDatabase.from_dict({"R": {("a", "b"): "s1"}})
+    >>> print(relation_table(db, "R", ("A", "B")))
+    A  B  Provenance
+    -  -  ----------
+    a  b  s1
+    """
+    arity = db.arity(relation)
+    if attribute_names:
+        if len(attribute_names) != arity:
+            raise ValueError(
+                "expected {} attribute names, got {}".format(
+                    arity, len(attribute_names)
+                )
+            )
+        header = list(attribute_names)
+    else:
+        header = ["c{}".format(i) for i in range(arity)]
+    header.append("Provenance")
+    rows = [
+        [str(value) for value in row] + [annotation]
+        for row, annotation in sorted(db.facts(relation), key=lambda kv: repr(kv[0]))
+    ]
+    return _render(header, rows, markdown)
+
+
+def result_table(
+    results: Mapping[Tuple, Polynomial],
+    attribute_names: Sequence[str] = (),
+    markdown: bool = False,
+) -> str:
+    """Render an annotated query result like the paper's Table 3.
+
+    >>> from repro.semiring.polynomial import Polynomial
+    >>> print(result_table({("a",): Polynomial.parse("s1 + s2*s3")}, ("A",)))
+    A  Provenance
+    -  ----------
+    a  s1 + s2*s3
+    """
+    arity = max((len(row) for row in results), default=0)
+    if attribute_names:
+        header = list(attribute_names)
+    else:
+        header = ["c{}".format(i) for i in range(arity)]
+    header.append("Provenance")
+    rows = []
+    for output in sorted(results, key=repr):
+        cells = [str(value) for value in output]
+        cells += [""] * (len(header) - 1 - len(cells))
+        cells.append(str(results[output]))
+        rows.append(cells)
+    return _render(header, rows, markdown)
+
+
+def comparison_table(
+    rows: Iterable[Tuple[str, str, str]],
+    header: Tuple[str, str, str] = ("quantity", "paper", "measured"),
+    markdown: bool = False,
+) -> str:
+    """Render a paper-vs-measured comparison (used by EXPERIMENTS runs)."""
+    return _render(list(header), [list(r) for r in rows], markdown)
+
+
+def database_report(db: AnnotatedDatabase, markdown: bool = False) -> str:
+    """Render every relation of a database, Table-2 style."""
+    sections = []
+    for relation in sorted(db.relations()):
+        sections.append("Relation {}".format(relation))
+        sections.append(relation_table(db, relation, markdown=markdown))
+        sections.append("")
+    return "\n".join(sections).rstrip()

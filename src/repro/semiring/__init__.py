@@ -1,0 +1,66 @@
+"""Commutative semirings and the N[X] provenance polynomials.
+
+The paper builds on the provenance-semiring framework of Green,
+Karvounarakis and Tannen (PODS 2007): every input tuple carries an
+annotation, relational operators combine annotations with ``+`` (union /
+alternative derivations) and ``*`` (join / joint use), and the annotation
+of an output tuple is a polynomial in ``N[X]``.
+
+This package provides:
+
+* :class:`~repro.semiring.polynomial.Monomial` and
+  :class:`~repro.semiring.polynomial.Polynomial` — ``N[X]`` itself,
+  the most general provenance semiring;
+* the terseness order of Def. 2.15
+  (:mod:`repro.semiring.order`);
+* a generic :class:`~repro.semiring.base.Semiring` interface with the
+  classic instances (Boolean, counting, tropical, Why(X), Trio,
+  lineage, security, Viterbi);
+* specialization of provenance polynomials into any commutative semiring
+  (:mod:`repro.semiring.evaluate`), which is how provenance feeds the
+  "advanced data management tools" of the paper's introduction.
+"""
+
+from repro.semiring.base import Semiring
+from repro.semiring.boolean import BooleanSemiring
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.lineage import LineageSemiring
+from repro.semiring.natural import NaturalSemiring
+from repro.semiring.order import (
+    Ordering,
+    compare_polynomials,
+    monomial_le,
+    polynomial_eq,
+    polynomial_le,
+    polynomial_lt,
+)
+from repro.semiring.polynomial import Monomial, Polynomial
+from repro.semiring.posbool import PosBoolSemiring, posbool_of
+from repro.semiring.security import SecuritySemiring
+from repro.semiring.trio import TrioSemiring
+from repro.semiring.tropical import TropicalSemiring
+from repro.semiring.viterbi import ViterbiSemiring
+from repro.semiring.whyprov import WhySemiring
+
+__all__ = [
+    "Semiring",
+    "Monomial",
+    "Polynomial",
+    "Ordering",
+    "monomial_le",
+    "polynomial_le",
+    "polynomial_lt",
+    "polynomial_eq",
+    "compare_polynomials",
+    "evaluate_polynomial",
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "TropicalSemiring",
+    "WhySemiring",
+    "TrioSemiring",
+    "LineageSemiring",
+    "SecuritySemiring",
+    "ViterbiSemiring",
+    "PosBoolSemiring",
+    "posbool_of",
+]

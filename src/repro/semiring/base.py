@@ -1,0 +1,102 @@
+"""The abstract commutative-semiring interface.
+
+A commutative semiring ``(K, +, *, 0, 1)`` has an associative,
+commutative ``+`` with unit ``0``, an associative, commutative ``*`` with
+unit ``1`` distributing over ``+``, and ``0`` annihilating ``*``.
+
+Two structural properties matter for core provenance:
+
+``idempotent_add``
+    ``a + a = a``.  In idempotent semirings the coefficients of a
+    provenance polynomial are irrelevant.
+
+``absorptive``
+    ``a + a*b = a``.  In absorptive semirings any monomial that contains
+    another contributes nothing, so evaluating the *core* provenance
+    (which drops containing monomials, Cor. 5.6) gives exactly the same
+    value as evaluating the full provenance.  This is the formal basis of
+    the paper's "compact input to data management tools" claim, and is
+    verified by property tests and by ``benchmarks/bench_applications``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, TypeVar
+
+V = TypeVar("V")
+
+
+class Semiring(abc.ABC, Generic[V]):
+    """A commutative semiring over values of type ``V``."""
+
+    #: ``a + a == a`` holds for all elements.
+    idempotent_add: bool = False
+    #: ``a + a * b == a`` holds for all elements (implies idempotent_add).
+    absorptive: bool = False
+
+    @property
+    @abc.abstractmethod
+    def zero(self) -> V:
+        """The additive unit (annotation of absent tuples)."""
+
+    @property
+    @abc.abstractmethod
+    def one(self) -> V:
+        """The multiplicative unit (annotation of unconditionally
+        present tuples)."""
+
+    @abc.abstractmethod
+    def add(self, a: V, b: V) -> V:
+        """Semiring addition (alternative derivations / union)."""
+
+    @abc.abstractmethod
+    def mul(self, a: V, b: V) -> V:
+        """Semiring multiplication (joint use / join)."""
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+    def times(self, n: int, a: V) -> V:
+        """``n``-fold sum ``a + a + ... + a`` (``n >= 0``).
+
+        Polynomial coefficients are natural numbers; specializing a
+        polynomial into this semiring maps the coefficient ``n`` through
+        this operation.  Idempotent semirings short-circuit.
+        """
+        if n < 0:
+            raise ValueError("coefficient must be nonnegative")
+        if n == 0:
+            return self.zero
+        if self.idempotent_add:
+            return a
+        result = a
+        for _ in range(n - 1):
+            result = self.add(result, a)
+        return result
+
+    def power(self, a: V, n: int) -> V:
+        """``n``-fold product ``a * a * ... * a`` (``n >= 0``)."""
+        if n < 0:
+            raise ValueError("exponent must be nonnegative")
+        result = self.one
+        for _ in range(n):
+            result = self.mul(result, a)
+        return result
+
+    def sum(self, values) -> V:
+        """Fold :meth:`add` over an iterable (``zero`` when empty)."""
+        result = self.zero
+        for value in values:
+            result = self.add(result, value)
+        return result
+
+    def product(self, values) -> V:
+        """Fold :meth:`mul` over an iterable (``one`` when empty)."""
+        result = self.one
+        for value in values:
+            result = self.mul(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return type(self).__name__ + "()"

@@ -1,0 +1,33 @@
+"""The Boolean semiring ``({False, True}, or, and, False, True)``.
+
+Specializing a provenance polynomial into this semiring answers
+*trust assessment* questions: given which input tuples are trusted, is
+the output tuple derivable from trusted tuples only?  The Boolean
+semiring is absorptive, so trust answers computed from the *core*
+provenance coincide with those computed from the full provenance.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Two-valued logic; absorptive (``a + a*b = a``)."""
+
+    idempotent_add = True
+    absorptive = True
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def mul(self, a: bool, b: bool) -> bool:
+        return a and b

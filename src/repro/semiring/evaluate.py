@@ -1,0 +1,52 @@
+"""Specializing provenance polynomials into arbitrary semirings.
+
+``N[X]`` is the universal commutative semiring over ``X``: any valuation
+``X -> K`` extends uniquely to a semiring homomorphism ``N[X] -> K``.
+This function is that homomorphism, and is the bridge between recorded
+provenance and the downstream analysis tools of the paper's
+introduction (trust, costs, clearances, counts, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, TypeVar, Union
+
+from repro.semiring.base import Semiring
+from repro.semiring.polynomial import Polynomial
+
+V = TypeVar("V")
+Valuation = Union[Mapping[str, V], Callable[[str], V]]
+
+
+def evaluate_polynomial(
+    polynomial: Polynomial,
+    semiring: Semiring[V],
+    valuation: Valuation,
+) -> V:
+    """Evaluate ``polynomial`` in ``semiring`` under ``valuation``.
+
+    ``valuation`` maps each annotation symbol to a semiring value; it may
+    be a mapping or a callable.  A missing symbol raises ``KeyError`` —
+    silently defaulting would corrupt analyses.
+
+    >>> from repro.semiring.polynomial import Polynomial
+    >>> from repro.semiring.boolean import BooleanSemiring
+    >>> p = Polynomial.parse("s1*s2 + s3")
+    >>> evaluate_polynomial(p, BooleanSemiring(), {"s1": True, "s2": False, "s3": True})
+    True
+    """
+    if callable(valuation):
+        lookup = valuation
+    else:
+        mapping = valuation
+
+        def lookup(symbol: str) -> V:
+            return mapping[symbol]
+
+    total = semiring.zero
+    for monomial, coefficient in polynomial.terms.items():
+        product = semiring.one
+        for symbol in monomial.symbols:
+            product = semiring.mul(product, lookup(symbol))
+        total = semiring.add(total, semiring.times(coefficient, product))
+    return total

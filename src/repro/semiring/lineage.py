@@ -1,0 +1,69 @@
+"""Flat lineage: the semiring of sets of contributing tuples.
+
+Lineage (Cui, Widom) annotates an output tuple with the flat *set* of
+all input tuples that participate in any derivation.  It is the
+coarsest of the provenance models discussed in the paper's related-work
+section: both addition and multiplication are set union.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.semiring.base import Semiring
+from repro.semiring.polynomial import Polynomial
+
+LineageValue = FrozenSet[str]
+
+_EMPTY: LineageValue = frozenset()
+
+
+class LineageSemiring(Semiring[LineageValue]):
+    """Sets of symbols; both operations are union.
+
+    Note the subtlety that makes flat lineage only a *near*-semiring:
+    the annihilation law ``0 * a = 0`` fails if zero is modelled as the
+    empty set and multiplication as plain union.  Following common
+    practice we use a distinguished bottom element for zero.
+    """
+
+    idempotent_add = True
+    # Not absorptive: add is union, so ``a + a*b`` *grows* to ``a ∪ b``
+    # instead of collapsing to ``a`` — flat lineage deliberately keeps
+    # every contributing tuple.
+    absorptive = False
+
+    #: Distinguished zero (no derivation at all).
+    ZERO: LineageValue = frozenset({"⊥"})
+
+    @property
+    def zero(self) -> LineageValue:
+        return self.ZERO
+
+    @property
+    def one(self) -> LineageValue:
+        return _EMPTY
+
+    def add(self, a: LineageValue, b: LineageValue) -> LineageValue:
+        if a == self.ZERO:
+            return b
+        if b == self.ZERO:
+            return a
+        return a | b
+
+    def mul(self, a: LineageValue, b: LineageValue) -> LineageValue:
+        if a == self.ZERO or b == self.ZERO:
+            return self.ZERO
+        return a | b
+
+    @staticmethod
+    def variable(symbol: str) -> LineageValue:
+        """The lineage value of an input tuple annotated ``symbol``."""
+        return frozenset({symbol})
+
+
+def lineage_of(polynomial: Polynomial) -> LineageValue:
+    """Project an N[X] provenance polynomial onto flat lineage."""
+    if polynomial.is_zero():
+        return LineageSemiring.ZERO
+    return frozenset(polynomial.support())

@@ -1,0 +1,33 @@
+"""The counting semiring ``(N, +, *, 0, 1)``.
+
+Specializing a provenance polynomial with all symbols set to their tuple
+multiplicities computes bag-semantics result multiplicities.  The
+counting semiring is *not* absorptive: replacing full provenance by core
+provenance changes counts — this is exercised (and documented) by the
+application benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+
+class NaturalSemiring(Semiring[int]):
+    """Natural numbers with ordinary addition and multiplication."""
+
+    idempotent_add = False
+    absorptive = False
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b

@@ -1,0 +1,92 @@
+"""The terseness order on provenance polynomials (Def. 2.15).
+
+``m <= m'`` for monomials means an injective mapping of the factors of
+``m`` onto equal factors of ``m'`` exists — i.e. multiset inclusion.
+
+``p <= p'`` for polynomials means an injective mapping of the monomial
+*occurrences* of ``p`` to monomial occurrences of ``p'`` exists such that
+every occurrence maps to a containing monomial.  Deciding this is a
+bipartite matching problem, solved exactly with Hopcroft-Karp
+(:mod:`repro.utils.matching`).
+
+Example 2.16 of the paper:
+
+>>> from repro.semiring.polynomial import Polynomial
+>>> p1 = Polynomial.parse("s1*s2 + s3 + s3")
+>>> p2 = Polynomial.parse("s1*s2*s2 + s2*s3 + s3*s4 + s5")
+>>> polynomial_lt(p1, p2)
+True
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.semiring.polynomial import Monomial, Polynomial
+from repro.utils.matching import maximum_matching_size
+
+
+class Ordering(enum.Enum):
+    """Outcome of comparing two polynomials under Def. 2.15."""
+
+    EQUAL = "equal"
+    LESS = "less"
+    GREATER = "greater"
+    INCOMPARABLE = "incomparable"
+
+
+def monomial_le(m1: Monomial, m2: Monomial) -> bool:
+    """``m1 <= m2``: multiset inclusion of factors (Def. 2.15)."""
+    return m1 <= m2
+
+
+def polynomial_le(p1: Polynomial, p2: Polynomial) -> bool:
+    """``p1 <= p2``: an injective containment-respecting mapping of
+    monomial occurrences exists (Def. 2.15).
+
+    Decided by maximum bipartite matching between the expanded monomial
+    occurrences of ``p1`` (left) and of ``p2`` (right), with an edge
+    whenever the left monomial is contained in the right one.
+    """
+    left: List[Monomial] = p1.expanded()
+    right: List[Monomial] = p2.expanded()
+    if len(left) > len(right):
+        return False
+    adjacency = []
+    for m1 in left:
+        adjacency.append([j for j, m2 in enumerate(right) if m1 <= m2])
+    return maximum_matching_size(adjacency, len(right)) == len(left)
+
+
+def polynomial_eq(p1: Polynomial, p2: Polynomial) -> bool:
+    """``p1 = p2`` in the sense of Def. 2.15 (both directions hold).
+
+    For finite multisets of monomials under containment this coincides
+    with polynomial identity; tests verify the coincidence on random
+    polynomials.
+    """
+    return polynomial_le(p1, p2) and polynomial_le(p2, p1)
+
+
+def polynomial_lt(p1: Polynomial, p2: Polynomial) -> bool:
+    """``p1 < p2``: ``p1 <= p2`` holds but ``p1 = p2`` does not."""
+    return polynomial_le(p1, p2) and not polynomial_le(p2, p1)
+
+
+def compare_polynomials(p1: Polynomial, p2: Polynomial) -> Ordering:
+    """Full four-way comparison under the terseness order.
+
+    Note that — unlike comparison by query length — two provenance
+    polynomials may be :attr:`Ordering.INCOMPARABLE` (see Lemma 3.6 and
+    the `bench_figure2_tables45` benchmark).
+    """
+    le = polynomial_le(p1, p2)
+    ge = polynomial_le(p2, p1)
+    if le and ge:
+        return Ordering.EQUAL
+    if le:
+        return Ordering.LESS
+    if ge:
+        return Ordering.GREATER
+    return Ordering.INCOMPARABLE

@@ -1,0 +1,73 @@
+"""PosBool(X): positive Boolean expressions in minimal DNF.
+
+PosBool(X) is the free *distributive lattice* over X — equivalently,
+N[X] quotiented by idempotence of both operations and absorption
+(``a + a*b = a``).  Elements are represented canonically as antichains
+of witness sets (minimal DNF): no witness contains another.
+
+PosBool is the most informative *absorptive* provenance model; the
+supports of the paper's core monomials are exactly the PosBool image
+of the provenance polynomial (tested in the suite).  That is the
+algebraic reason every absorptive analysis (trust, cost, clearance)
+may be fed the core instead of the full provenance.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.semiring.base import Semiring
+from repro.semiring.polynomial import Polynomial
+
+Witness = FrozenSet[str]
+PosBoolValue = FrozenSet[Witness]
+
+
+def _minimize(witnesses: Iterable[Witness]) -> PosBoolValue:
+    """Keep only inclusion-minimal witnesses (absorption law)."""
+    witnesses = set(witnesses)
+    return frozenset(
+        w for w in witnesses if not any(other < w for other in witnesses)
+    )
+
+
+class PosBoolSemiring(Semiring[PosBoolValue]):
+    """Minimal-DNF positive Boolean expressions.
+
+    >>> s = PosBoolSemiring()
+    >>> x, y = s.variable("x"), s.variable("y")
+    >>> s.add(x, s.mul(x, y)) == x          # absorption
+    True
+    """
+
+    idempotent_add = True
+    absorptive = True
+
+    @property
+    def zero(self) -> PosBoolValue:
+        return frozenset()
+
+    @property
+    def one(self) -> PosBoolValue:
+        return frozenset({frozenset()})
+
+    def add(self, a: PosBoolValue, b: PosBoolValue) -> PosBoolValue:
+        return _minimize(a | b)
+
+    def mul(self, a: PosBoolValue, b: PosBoolValue) -> PosBoolValue:
+        return _minimize(w1 | w2 for w1 in a for w2 in b)
+
+    @staticmethod
+    def variable(symbol: str) -> PosBoolValue:
+        """The PosBool value of an input tuple annotated ``symbol``."""
+        return frozenset({frozenset({symbol})})
+
+
+def posbool_of(polynomial: Polynomial) -> PosBoolValue:
+    """Project an N[X] polynomial onto PosBool(X).
+
+    The result is the antichain of minimal witness sets — identical to
+    the supports of :func:`repro.direct.core_polynomial.core_monomials`
+    (tested), which is why the core suffices for absorptive analyses.
+    """
+    return _minimize(frozenset(m.symbols) for m in polynomial.terms)

@@ -1,0 +1,46 @@
+"""The access-control (security clearance) semiring.
+
+Levels are totally ordered from most permissive to most restricted,
+e.g. ``PUBLIC < CONFIDENTIAL < SECRET < TOP_SECRET < NEVER``.  A joint
+use of tuples requires the *maximum* of their clearances; alternative
+derivations allow the *minimum*.  The semiring is absorptive, so the
+clearance needed to see an output tuple can be computed from its core
+provenance alone.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.semiring.base import Semiring
+
+
+class Clearance(enum.IntEnum):
+    """Security levels; larger value = more restricted."""
+
+    PUBLIC = 0
+    CONFIDENTIAL = 1
+    SECRET = 2
+    TOP_SECRET = 3
+    NEVER = 4
+
+
+class SecuritySemiring(Semiring[Clearance]):
+    """``(Clearance, min, max, NEVER, PUBLIC)``."""
+
+    idempotent_add = True
+    absorptive = True
+
+    @property
+    def zero(self) -> Clearance:
+        return Clearance.NEVER
+
+    @property
+    def one(self) -> Clearance:
+        return Clearance.PUBLIC
+
+    def add(self, a: Clearance, b: Clearance) -> Clearance:
+        return min(a, b)
+
+    def mul(self, a: Clearance, b: Clearance) -> Clearance:
+        return max(a, b)

@@ -1,0 +1,60 @@
+"""Trio-style lineage: polynomials without exponents.
+
+Trio provenance (Benjelloun et al., VLDB J. 2008) is, per Green
+(ICDT 2009), the quotient of N[X] in which multiplication is made
+idempotent on variables — i.e. polynomials whose monomials are *sets*
+of symbols, with natural coefficients retained.
+
+The paper contrasts core provenance with Trio: Trio drops exponents but
+keeps containing monomials, while the core also drops containing
+monomials and normalizes coefficients to automorphism counts.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+from repro.semiring.polynomial import Monomial, Polynomial
+
+
+class TrioSemiring(Semiring[Polynomial]):
+    """Polynomials whose monomials carry no exponents.
+
+    Values are ordinary :class:`~repro.semiring.polynomial.Polynomial`
+    objects that are kept in *support form* (every monomial linear);
+    multiplication re-normalizes.
+    """
+
+    idempotent_add = False
+    absorptive = False
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return self.normalize(a + b)
+
+    def mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return self.normalize(a * b)
+
+    @staticmethod
+    def normalize(polynomial: Polynomial) -> Polynomial:
+        """Collapse every monomial to its support (drop exponents)."""
+        return Polynomial.from_terms(
+            (monomial.support(), coefficient)
+            for monomial, coefficient in polynomial.terms.items()
+        )
+
+    @staticmethod
+    def variable(symbol: str) -> Polynomial:
+        """The Trio value of an input tuple annotated ``symbol``."""
+        return Polynomial.variable(symbol)
+
+
+def trio_of(polynomial: Polynomial) -> Polynomial:
+    """Project an N[X] provenance polynomial onto Trio lineage."""
+    return TrioSemiring.normalize(polynomial)

@@ -1,0 +1,42 @@
+"""The tropical (min-plus) semiring ``(R ∪ {∞}, min, +, ∞, 0)``.
+
+Specializing a provenance polynomial with per-tuple *costs* computes the
+cost of the cheapest derivation of an output tuple.  With nonnegative
+costs the tropical semiring is absorptive, so the cheapest derivation
+computed from the core provenance equals the one computed from the full
+provenance.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+INFINITY = float("inf")
+
+
+class TropicalSemiring(Semiring[float]):
+    """Min-plus algebra over ``R≥0 ∪ {∞}``.
+
+    Absorptivity (``min(a, a + b) == a``) requires ``b >= 0``; the
+    library treats tuple costs as nonnegative, which :meth:`mul`
+    enforces.
+    """
+
+    idempotent_add = True
+    absorptive = True
+
+    @property
+    def zero(self) -> float:
+        return INFINITY
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        if a < 0 or b < 0:
+            raise ValueError("tropical costs must be nonnegative")
+        return a + b

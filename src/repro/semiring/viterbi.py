@@ -1,0 +1,34 @@
+"""The Viterbi semiring ``([0, 1], max, *, 0, 1)``.
+
+Specializing a provenance polynomial with per-tuple confidence scores
+computes the confidence of the *best* derivation.  The Viterbi semiring
+is absorptive (``max(a, a*b) = a`` for ``b <= 1``), so best-derivation
+confidence is preserved by core provenance.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+
+class ViterbiSemiring(Semiring[float]):
+    """Max-times algebra over the unit interval."""
+
+    idempotent_add = True
+    absorptive = True
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def add(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        if not (0.0 <= a <= 1.0 and 0.0 <= b <= 1.0):
+            raise ValueError("Viterbi scores must lie in [0, 1]")
+        return a * b

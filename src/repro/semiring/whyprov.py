@@ -1,0 +1,58 @@
+"""Why-provenance: the semiring of sets of witness sets.
+
+Why(X) (Buneman, Khanna, Tan, ICDT 2001) annotates a tuple with the set
+of its *witnesses* — each witness being the set of input tuples jointly
+used by one derivation.  As shown by Green (ICDT 2009), Why(X) is the
+quotient of N[X] that forgets both coefficients and exponents.
+
+Elements are frozensets of frozensets of symbols.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.semiring.base import Semiring
+
+Witness = FrozenSet[str]
+WhyValue = FrozenSet[Witness]
+
+
+class WhySemiring(Semiring[WhyValue]):
+    """Sets of witness sets with union and pairwise union."""
+
+    idempotent_add = True
+    absorptive = False
+
+    @property
+    def zero(self) -> WhyValue:
+        return frozenset()
+
+    @property
+    def one(self) -> WhyValue:
+        return frozenset({frozenset()})
+
+    def add(self, a: WhyValue, b: WhyValue) -> WhyValue:
+        return a | b
+
+    def mul(self, a: WhyValue, b: WhyValue) -> WhyValue:
+        return frozenset(w1 | w2 for w1 in a for w2 in b)
+
+    @staticmethod
+    def variable(symbol: str) -> WhyValue:
+        """The Why-value of an input tuple annotated ``symbol``."""
+        return frozenset({frozenset({symbol})})
+
+    @staticmethod
+    def minimal_witnesses(value: WhyValue) -> WhyValue:
+        """Drop witnesses that strictly contain another witness.
+
+        The result is the *minimal witness basis* (MinWhy); this is the
+        Why-provenance shadow of the core-provenance transform of
+        Cor. 5.6 and is compared against it in tests.
+        """
+        return frozenset(
+            w
+            for w in value
+            if not any(other < w for other in value)
+        )

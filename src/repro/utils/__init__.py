@@ -1,0 +1,23 @@
+"""Algorithmic substrate shared by the rest of the library.
+
+This subpackage is deliberately free of any provenance- or query-specific
+vocabulary: it provides frozen multisets (:mod:`repro.utils.multiset`),
+maximum bipartite matching (:mod:`repro.utils.matching`), constrained set
+partition enumeration (:mod:`repro.utils.partitions`) and fresh-name
+generation (:mod:`repro.utils.naming`).
+"""
+
+from repro.utils.matching import maximum_matching_size, greedy_matching_size
+from repro.utils.multiset import FrozenMultiset
+from repro.utils.naming import NameSupply, fresh_names
+from repro.utils.partitions import constrained_partitions, count_partitions
+
+__all__ = [
+    "FrozenMultiset",
+    "maximum_matching_size",
+    "greedy_matching_size",
+    "constrained_partitions",
+    "count_partitions",
+    "NameSupply",
+    "fresh_names",
+]

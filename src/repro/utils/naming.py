@@ -1,0 +1,56 @@
+"""Fresh-name generation for variables and annotations.
+
+Canonical rewritings introduce new variables ``v1, v2, ...`` (Def. 4.1)
+and abstractly-tagged databases introduce annotations ``s1, s2, ...``
+(Sec. 2.3).  Both need names guaranteed not to collide with names already
+in scope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set
+
+
+class NameSupply:
+    """Deterministic supply of fresh names with a common prefix.
+
+    >>> supply = NameSupply("v", avoid={"v2"})
+    >>> [supply.fresh() for _ in range(3)]
+    ['v1', 'v3', 'v4']
+    """
+
+    def __init__(self, prefix: str, avoid: Iterable[str] = ()):  # noqa: D107
+        self._prefix = prefix
+        self._avoid: Set[str] = set(avoid)
+        self._next = 1
+
+    def fresh(self) -> str:
+        """Return the next unused name and reserve it."""
+        while True:
+            candidate = "{}{}".format(self._prefix, self._next)
+            self._next += 1
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as used so it will never be produced."""
+        self._avoid.add(name)
+
+
+def fresh_names(prefix: str, count: int, avoid: Iterable[str] = ()) -> List[str]:
+    """A list of ``count`` fresh names with the given prefix.
+
+    >>> fresh_names("s", 3)
+    ['s1', 's2', 's3']
+    """
+    supply = NameSupply(prefix, avoid)
+    return [supply.fresh() for _ in range(count)]
+
+
+def subscript_stream(prefix: str) -> Iterator[str]:
+    """Infinite stream ``prefix1, prefix2, ...`` (no avoidance)."""
+    index = 1
+    while True:
+        yield "{}{}".format(prefix, index)
+        index += 1

@@ -1,0 +1,26 @@
+"""Composed views: non-recursive Datalog with provenance composition.
+
+Section 6 of the paper observes that input relations are not always
+abstractly tagged, "for instance if they are the result of some
+previous computation."  This package implements exactly that previous
+computation: a program of views evaluated in dependency order, each
+materialized view feeding later ones, with output provenance expanded
+back to the *base* annotations by polynomial composition (the
+universality of N[X]).
+"""
+
+from repro.views.program import (
+    MaterializedView,
+    ViewEvaluation,
+    dependency_order,
+    evaluate_program,
+    expand_to_base,
+)
+
+__all__ = [
+    "evaluate_program",
+    "ViewEvaluation",
+    "MaterializedView",
+    "dependency_order",
+    "expand_to_base",
+]

@@ -1,0 +1,161 @@
+"""Evaluation of view programs with composed provenance.
+
+A *program* maps view names to queries (CQ≠ or UCQ≠) whose bodies may
+reference base relations and other views.  Evaluation proceeds in
+dependency order:
+
+1. each view is evaluated over the database-so-far;
+2. its result tuples are materialized as a new relation, each tuple
+   annotated with a *fresh* symbol;
+3. the fresh symbol is remembered as standing for the tuple's
+   provenance polynomial.
+
+``expand_to_base`` then composes the layers: substituting each view
+symbol by its polynomial (a semiring homomorphism N[V] -> N[X], by
+universality) yields provenance purely over base annotations.  The
+composed annotations are generally *not* abstractly tagged — two view
+tuples can carry equal polynomials — which is precisely the Sec. 6
+setting in which direct core computation becomes impossible while
+p-minimal queries stay p-minimal (Thms. 6.1/6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import evaluate
+from repro.errors import EvaluationError
+from repro.query.ucq import Query, adjuncts_of
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.polynomial import Polynomial, ProvenancePolynomialSemiring
+from repro.utils.naming import NameSupply
+
+Row = Tuple[Hashable, ...]
+
+_NX = ProvenancePolynomialSemiring()
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """One evaluated view.
+
+    ``results`` maps output tuples to their provenance over the
+    *previous* layers' symbols; ``symbols`` maps each output tuple to
+    the fresh annotation it carries as an input to later views.
+    """
+
+    name: str
+    results: Mapping[Row, Polynomial]
+    symbols: Mapping[Row, str]
+
+
+@dataclass(frozen=True)
+class ViewEvaluation:
+    """The outcome of evaluating a whole program.
+
+    ``views`` holds every materialized view by name; ``bindings`` maps
+    every fresh view symbol to its defining polynomial (over the
+    previous layers); base-relation annotations are absent from
+    ``bindings`` — they stand for themselves.
+    """
+
+    views: Mapping[str, MaterializedView]
+    bindings: Mapping[str, Polynomial]
+
+    def base_provenance(self, view: str) -> Dict[Row, Polynomial]:
+        """The view's provenance fully expanded to base annotations."""
+        materialized = self.views[view]
+        return {
+            row: expand_to_base(polynomial, self.bindings)
+            for row, polynomial in materialized.results.items()
+        }
+
+
+def dependency_order(program: Mapping[str, Query]) -> List[str]:
+    """Topologically order views by body references.
+
+    Raises :class:`~repro.errors.EvaluationError` on cyclic (recursive)
+    programs — recursion is beyond UCQ≠ and out of the paper's scope.
+    """
+    dependencies: Dict[str, set] = {}
+    for name, query in program.items():
+        refs = set()
+        for adjunct in adjuncts_of(query):
+            refs.update(r for r in adjunct.relations() if r in program)
+        dependencies[name] = refs
+
+    ordered: List[str] = []
+    done: set = set()
+    visiting: set = set()
+
+    def visit(name: str) -> None:
+        if name in done:
+            return
+        if name in visiting:
+            raise EvaluationError(
+                "recursive view definition involving {!r}".format(name)
+            )
+        visiting.add(name)
+        for dependency in sorted(dependencies[name]):
+            visit(dependency)
+        visiting.discard(name)
+        done.add(name)
+        ordered.append(name)
+
+    for name in sorted(program):
+        visit(name)
+    return ordered
+
+
+def evaluate_program(
+    program: Mapping[str, Query],
+    db: AnnotatedDatabase,
+    symbol_prefix: str = "w",
+) -> ViewEvaluation:
+    """Evaluate a view program over an annotated database.
+
+    Views may reference base relations of ``db`` and earlier views;
+    name clashes between views and base relations are rejected.
+    """
+    clashes = set(program) & db.relations()
+    if clashes:
+        raise EvaluationError(
+            "view names clash with base relations: {}".format(sorted(clashes))
+        )
+    supply = NameSupply(symbol_prefix, avoid=db.annotations())
+    working = AnnotatedDatabase()
+    for relation, row, annotation in db.all_facts():
+        working.add(relation, row, annotation=annotation)
+
+    views: Dict[str, MaterializedView] = {}
+    bindings: Dict[str, Polynomial] = {}
+    for name in dependency_order(program):
+        query = program[name]
+        results = evaluate(query, working)
+        symbols: Dict[Row, str] = {}
+        for row, polynomial in sorted(results.items(), key=lambda kv: repr(kv[0])):
+            symbol = supply.fresh()
+            symbols[row] = symbol
+            bindings[symbol] = polynomial
+            working.add(name, row, annotation=symbol)
+        views[name] = MaterializedView(name=name, results=results, symbols=symbols)
+    return ViewEvaluation(views=views, bindings=bindings)
+
+
+def expand_to_base(
+    polynomial: Polynomial, bindings: Mapping[str, Polynomial]
+) -> Polynomial:
+    """Substitute view symbols by their polynomials, recursively.
+
+    Implements the composition homomorphism N[V] -> N[X]; symbols
+    without a binding (base annotations) stand for themselves.
+    """
+    def valuation(symbol: str) -> Polynomial:
+        bound = bindings.get(symbol)
+        if bound is None:
+            return Polynomial.variable(symbol)
+        return expand_to_base(bound, bindings)
+
+    return evaluate_polynomial(polynomial, _NX, valuation)

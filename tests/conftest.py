@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's queries and databases.
+
+Each fixture returns fresh objects (paperdata functions re-parse), so
+tests cannot interfere with one another.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paperdata import (
+    figure1,
+    figure2,
+    figure3_qhat,
+    table2_database,
+    table4_database,
+    table5_database,
+    table6_database,
+)
+
+
+@pytest.fixture
+def fig1():
+    """The Figure 1 queries (Q1, Q2, Qunion, Qconj)."""
+    return figure1()
+
+
+@pytest.fixture
+def fig2():
+    """The Figure 2 queries (QnoPmin, Qalt, Qalt2, Qalt3)."""
+    return figure2()
+
+
+@pytest.fixture
+def qhat():
+    """The Figure 3 triangle query Q̂."""
+    return figure3_qhat()
+
+
+@pytest.fixture
+def db_table2():
+    """The Table 2 database."""
+    return table2_database()
+
+
+@pytest.fixture
+def db_table4():
+    """The Table 4 database D."""
+    return table4_database()
+
+
+@pytest.fixture
+def db_table5():
+    """The Table 5 database D'."""
+    return table5_database()
+
+
+@pytest.fixture
+def db_table6():
+    """The Table 6 database D̂."""
+    return table6_database()

@@ -1,0 +1,149 @@
+"""Unit tests for the provenance-consuming applications."""
+
+import pytest
+
+from repro.apps.clearance import required_clearance
+from repro.apps.cost import cheapest_derivation, derivation_cost
+from repro.apps.deletion import delete_tuples, propagate_deletion, survives_deletion
+from repro.apps.probability import tuple_probability
+from repro.apps.trust import is_trusted, minimal_trust_sets
+from repro.direct.core_polynomial import core_polynomial_approx
+from repro.engine.evaluate import evaluate
+from repro.semiring.polynomial import Monomial, Polynomial
+from repro.semiring.security import Clearance
+
+
+class TestDeletion:
+    def test_delete_removes_dependent_monomials(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        assert delete_tuples(p, ["s1"]) == Polynomial.parse("s3")
+
+    def test_delete_everything(self):
+        p = Polynomial.parse("s1*s2")
+        assert delete_tuples(p, ["s2"]).is_zero()
+
+    def test_survives_deletion(self):
+        p = Polynomial.parse("s1 + s2")
+        assert survives_deletion(p, ["s1"])
+        assert not survives_deletion(p, ["s1", "s2"])
+
+    def test_propagate_over_view(self, fig1, db_table2):
+        view = evaluate(fig1.q_union, db_table2)
+        maintained = propagate_deletion(view, ["s2"])
+        # (a) survives via s1; (b) survives via s4.
+        assert maintained[("a",)] == Polynomial.parse("s1")
+        assert maintained[("b",)] == Polynomial.parse("s4")
+
+    def test_propagate_drops_dead_tuples(self, fig1, db_table2):
+        view = evaluate(fig1.q_union, db_table2)
+        maintained = propagate_deletion(view, ["s1", "s2"])
+        assert ("a",) not in maintained
+
+    def test_survival_agrees_on_core_provenance(self):
+        """Survival is absorptive: core and full provenance agree."""
+        p = Polynomial.parse("s1 + s1*s2 + s3^2")
+        core = core_polynomial_approx(p)
+        for gone in (["s1"], ["s3"], ["s1", "s3"], ["s2"]):
+            assert survives_deletion(p, gone) == survives_deletion(core, gone)
+
+
+class TestTrust:
+    def test_basic(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        assert is_trusted(p, ["s1", "s2"])
+        assert not is_trusted(p, ["s1"])
+
+    def test_minimal_trust_sets(self):
+        p = Polynomial.parse("s1*s2 + s1*s2*s3 + s4")
+        assert set(minimal_trust_sets(p)) == {
+            frozenset({"s1", "s2"}),
+            frozenset({"s4"}),
+        }
+
+    def test_trust_invariant_under_core(self, fig1, db_table2):
+        from repro.direct.pipeline import core_provenance
+
+        view = evaluate(fig1.q_conj, db_table2)
+        for output, polynomial in view.items():
+            core = core_provenance(polynomial, db_table2, output)
+            for trusted in (["s1"], ["s2", "s3"], ["s4"], ["s1", "s4"]):
+                assert is_trusted(polynomial, trusted) == is_trusted(core, trusted)
+
+
+class TestProbability:
+    def test_single_monomial(self):
+        assert tuple_probability(Polynomial.parse("s1*s2"), {"s1": 0.5, "s2": 0.5}) == 0.25
+
+    def test_union_inclusion_exclusion(self):
+        p = Polynomial.parse("s1 + s2")
+        assert tuple_probability(p, {"s1": 0.5, "s2": 0.5}) == pytest.approx(0.75)
+
+    def test_exponents_irrelevant(self):
+        p1 = Polynomial.parse("s1^2")
+        p2 = Polynomial.parse("s1")
+        probs = {"s1": 0.3}
+        assert tuple_probability(p1, probs) == pytest.approx(
+            tuple_probability(p2, probs)
+        )
+
+    def test_containing_monomial_irrelevant(self):
+        """Probability is absorptive-like: a witness containing another
+        adds nothing, so core provenance preserves probability."""
+        full = Polynomial.parse("s1 + s1*s2")
+        core = Polynomial.parse("s1")
+        probs = {"s1": 0.4, "s2": 0.9}
+        assert tuple_probability(full, probs) == pytest.approx(
+            tuple_probability(core, probs)
+        )
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(KeyError):
+            tuple_probability(Polynomial.parse("s1"), {})
+
+    def test_zero_polynomial_probability_zero(self):
+        assert tuple_probability(Polynomial.zero(), {}) == 0.0
+
+
+class TestCost:
+    def test_derivation_cost(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        costs = {"s1": 1.0, "s2": 2.0, "s3": 10.0}
+        assert derivation_cost(p, costs) == 3.0
+        assert cheapest_derivation(p, costs) == Monomial(["s1", "s2"])
+
+    def test_zero_polynomial(self):
+        assert derivation_cost(Polynomial.zero(), {}) == float("inf")
+        assert cheapest_derivation(Polynomial.zero(), {}) is None
+
+    def test_cost_invariant_under_core(self):
+        full = Polynomial.parse("s1^2 + s1*s2 + s3")
+        core = core_polynomial_approx(full)
+        costs = {"s1": 2.0, "s2": 1.0, "s3": 4.0}
+        # Core drops the exponent on s1^2: cost 2.0 instead of 4.0 —
+        # NOT invariant for exponents, by design the core uses each
+        # tuple once. The *support* costs are invariant:
+        assert derivation_cost(core, costs) == 2.0
+
+
+class TestClearance:
+    def test_required_clearance(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        levels = {
+            "s1": Clearance.PUBLIC,
+            "s2": Clearance.TOP_SECRET,
+            "s3": Clearance.SECRET,
+        }
+        assert required_clearance(p, levels) == Clearance.SECRET
+
+    def test_zero_polynomial_never_visible(self):
+        assert required_clearance(Polynomial.zero(), {}) == Clearance.NEVER
+
+    def test_clearance_invariant_under_core(self):
+        full = Polynomial.parse("s1 + s1*s2 + s3")
+        core = core_polynomial_approx(full)
+        levels = {
+            "s1": Clearance.CONFIDENTIAL,
+            "s2": Clearance.TOP_SECRET,
+            "s3": Clearance.SECRET,
+        }
+        assert required_clearance(full, levels) == required_clearance(core, levels)

@@ -1,0 +1,118 @@
+"""Tests for causality/responsibility and polynomial derivatives."""
+
+import pytest
+
+from repro.apps.causality import (
+    actual_causes,
+    counterfactual_causes,
+    responsibility,
+    responsibility_ranking,
+    sensitivity,
+    witnesses_of,
+)
+from repro.direct.core_polynomial import core_polynomial_approx
+from repro.engine.evaluate import evaluate
+from repro.paperdata import figure1, table2_database
+from repro.semiring.polynomial import Polynomial
+
+
+class TestDerivative:
+    def test_power_rule(self):
+        p = Polynomial.parse("s1^3")
+        assert p.derivative("s1") == Polynomial.parse("3*s1^2")
+
+    def test_sum_rule(self):
+        p = Polynomial.parse("s1*s2 + s1 + s3")
+        assert p.derivative("s1") == Polynomial.parse("s2 + 1")
+
+    def test_absent_symbol_gives_zero(self):
+        assert Polynomial.parse("s1").derivative("s9").is_zero()
+
+    def test_coefficients_scale(self):
+        assert Polynomial.parse("4*s1^2").derivative("s1") == Polynomial.parse(
+            "8*s1"
+        )
+
+    def test_mixed_partials_commute(self):
+        p = Polynomial.parse("s1^2*s2^3 + s1*s3")
+        assert p.derivative("s1").derivative("s2") == p.derivative("s2").derivative(
+            "s1"
+        )
+
+
+class TestWitnesses:
+    def test_minimal_witnesses_only(self):
+        p = Polynomial.parse("s1 + s1*s2 + s2*s3")
+        assert witnesses_of(p) == [frozenset({"s1"}), frozenset({"s2", "s3"})]
+
+    def test_exponents_ignored(self):
+        p = Polynomial.parse("s1^5")
+        assert witnesses_of(p) == [frozenset({"s1"})]
+
+    def test_zero_polynomial(self):
+        assert witnesses_of(Polynomial.zero()) == []
+
+
+class TestCauses:
+    def test_counterfactual_in_every_witness(self):
+        p = Polynomial.parse("s1*s2 + s1*s3")
+        assert counterfactual_causes(p) == {"s1"}
+
+    def test_no_counterfactual_with_disjoint_witnesses(self):
+        assert counterfactual_causes(Polynomial.parse("s1 + s2")) == set()
+
+    def test_actual_causes_exclude_redundant_tuples(self):
+        # s3 appears only in a non-minimal witness: not an actual cause.
+        p = Polynomial.parse("s1*s2 + s1*s2*s3")
+        assert actual_causes(p) == {"s1", "s2"}
+
+    def test_responsibility_values(self):
+        assert responsibility(Polynomial.parse("s1*s2"), "s1") == 1.0
+        assert responsibility(Polynomial.parse("s1 + s2"), "s1") == 0.5
+        assert responsibility(Polynomial.parse("s1 + s2 + s3"), "s1") == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_responsibility_of_non_cause_is_zero(self):
+        p = Polynomial.parse("s1*s2 + s1*s2*s3")
+        assert responsibility(p, "s3") == 0.0
+        assert responsibility(p, "s9") == 0.0
+
+    def test_ranking_sorted(self):
+        p = Polynomial.parse("s1*s2 + s1*s3")
+        ranking = responsibility_ranking(p)
+        assert ranking[0] == ("s1", 1.0)
+        assert {symbol for symbol, _ in ranking} == {"s1", "s2", "s3"}
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_on_paper_view(self):
+        """Causes of ans(a) for Qconj on Table 2: witnesses {s1} and
+        {s2, s3}; no counterfactual; s1 more responsible."""
+        fig = figure1()
+        db = table2_database()
+        p = evaluate(fig.q_conj, db)[("a",)]
+        assert counterfactual_causes(p) == set()
+        assert actual_causes(p) == {"s1", "s2", "s3"}
+        assert responsibility(p, "s1") == 0.5
+        assert responsibility(p, "s2") == 0.5
+
+    def test_invariant_under_core(self):
+        """Causality depends only on minimal witnesses, so the core
+        provenance yields identical answers."""
+        p = Polynomial.parse("s1^2 + s1*s2 + s3*s4 + s3*s4*s5")
+        core = core_polynomial_approx(p)
+        assert counterfactual_causes(p) == counterfactual_causes(core)
+        assert actual_causes(p) == actual_causes(core)
+        for symbol in actual_causes(p):
+            assert responsibility(p, symbol) == responsibility(core, symbol)
+
+
+class TestSensitivity:
+    def test_linear_case(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        assert sensitivity(p, "s1", {"s1": 1, "s2": 4, "s3": 7}) == 4
+
+    def test_quadratic_case(self):
+        p = Polynomial.parse("s1^2")
+        assert sensitivity(p, "s1", {"s1": 3}) == 6

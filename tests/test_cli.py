@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import load_database, load_program, main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.dl"
+    path.write_text(
+        "pairs(x) :- R(x, y), R(y, x)\n"
+        "loops(x) :- R(x, x)\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.json"
+    payload = {
+        "R": [
+            {"row": ["a", "a"], "annotation": "s1"},
+            {"row": ["a", "b"], "annotation": "s2"},
+            {"row": ["b", "a"], "annotation": "s3"},
+            {"row": ["b", "b"], "annotation": "s4"},
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestLoaders:
+    def test_load_database_with_annotations(self, data_file):
+        db = load_database(data_file)
+        assert db.annotation_of("R", ("a", "b")) == "s2"
+
+    def test_load_database_plain_rows(self, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"R": [["a", "b"], ["b", "a"]]}))
+        db = load_database(str(path))
+        assert db.fact_count() == 2
+        assert db.is_abstractly_tagged()
+
+    def test_load_database_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert main(["eval", "-p", "x", "-d", str(path)]) == 1
+
+    def test_load_program(self, program_file):
+        program = load_program(program_file)
+        assert set(program) == {"pairs", "loops"}
+
+
+class TestEval:
+    def test_memory_engine(self, program_file, data_file):
+        code, output = run(["eval", "-p", program_file, "-d", data_file])
+        assert code == 0
+        assert "pairs" in output and "loops" in output
+        assert "s1^2 + s2*s3" in output
+
+    @pytest.mark.parametrize("engine", ["sqlite", "algebra"])
+    def test_other_engines_agree(self, program_file, data_file, engine):
+        _, memory_out = run(["eval", "-p", program_file, "-d", data_file])
+        code, other_out = run(
+            ["eval", "-p", program_file, "-d", data_file, "--engine", engine]
+        )
+        assert code == 0
+        assert other_out == memory_out
+
+    def test_view_filter(self, program_file, data_file):
+        code, output = run(
+            ["eval", "-p", program_file, "-d", data_file, "--view", "loops"]
+        )
+        assert code == 0
+        assert "loops" in output and "pairs" not in output
+
+    def test_unknown_view_errors(self, program_file, data_file):
+        code, _ = run(
+            ["eval", "-p", program_file, "-d", data_file, "--view", "nope"]
+        )
+        assert code == 1
+
+    def test_missing_file_errors(self, data_file):
+        code, _ = run(["eval", "-p", "/does/not/exist", "-d", data_file])
+        assert code == 1
+
+
+class TestMinimize:
+    def test_minprov_output(self, program_file):
+        code, output = run(["minimize", "-p", program_file, "--view", "pairs"])
+        assert code == 0
+        assert "v1 != v2" in output
+        assert "R(v1, v1)" in output
+
+    def test_trace_output(self, program_file):
+        code, output = run(
+            ["minimize", "-p", program_file, "--view", "pairs", "--trace"]
+        )
+        assert code == 0
+        assert "QI" in output and "QIII" in output
+
+    def test_standard_algorithm(self, program_file):
+        code, output = run(
+            ["minimize", "-p", program_file, "--algorithm", "standard"]
+        )
+        assert code == 0
+        assert "R(x, y), R(y, x)" in output
+
+
+class TestCoreAndSql:
+    def test_core_command(self, program_file, data_file):
+        code, output = run(["core", "-p", program_file, "-d", data_file])
+        assert code == 0
+        assert "core provenance" in output
+        assert "s1 + s2*s3" in output
+
+    def test_sql_command(self, program_file):
+        code, output = run(["sql", "-p", program_file])
+        assert code == 0
+        assert 'FROM "R" t0, "R" t1' in output

@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.db.generators import (
+    all_databases,
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_cq,
+    random_database,
+    random_ucq,
+    star_query,
+    uniform_binary_database,
+)
+
+
+class TestAllDatabases:
+    def test_counts_subsets(self):
+        # One unary relation over a 2-value domain: 2 facts, 4 subsets.
+        dbs = list(all_databases({"R": 1}, ["a", "b"]))
+        assert len(dbs) == 4
+
+    def test_max_facts_cap(self):
+        dbs = list(all_databases({"R": 1}, ["a", "b", "c"], max_facts=1))
+        assert len(dbs) == 4  # empty + three singletons
+
+    def test_exclude_empty(self):
+        dbs = list(all_databases({"R": 1}, ["a"], include_empty=False))
+        assert len(dbs) == 1
+
+    def test_all_abstractly_tagged(self):
+        for db in all_databases({"R": 2}, ["a"], max_facts=1):
+            assert db.is_abstractly_tagged()
+
+    def test_deterministic_annotations(self):
+        first = [sorted(db.annotations()) for db in all_databases({"R": 1}, ["a", "b"])]
+        second = [sorted(db.annotations()) for db in all_databases({"R": 1}, ["a", "b"])]
+        assert first == second
+
+
+class TestRandomGenerators:
+    def test_random_database_deterministic_in_seed(self):
+        db1 = random_database({"R": 2}, ["a", "b", "c"], 4, seed=5)
+        db2 = random_database({"R": 2}, ["a", "b", "c"], 4, seed=5)
+        assert sorted(db1.all_facts()) == sorted(db2.all_facts())
+
+    def test_random_database_fact_count(self):
+        db = random_database({"R": 2}, ["a", "b"], 3, seed=1)
+        assert db.fact_count() == 3
+
+    def test_oversized_request_clamped(self):
+        db = random_database({"R": 1}, ["a"], 100, seed=0)
+        assert db.fact_count() == 1
+
+    def test_uniform_binary_database(self):
+        db = uniform_binary_database(4, density=1.0, seed=0)
+        assert db.fact_count() == 16
+
+    def test_random_cq_deterministic(self):
+        assert random_cq(seed=3) == random_cq(seed=3)
+
+    def test_random_cq_with_diseqs(self):
+        query = random_cq(seed=1, n_atoms=4, n_variables=4, diseq_probability=1.0)
+        variables = sorted(query.variables())
+        expected_pairs = len(variables) * (len(variables) - 1) // 2
+        assert len(query.disequalities) == expected_pairs
+
+    def test_random_ucq_consistent_heads(self):
+        union = random_ucq(seed=2, n_adjuncts=3)
+        arities = {adjunct.arity for adjunct in union.adjuncts}
+        assert len(arities) == 1
+
+
+class TestJoinShapes:
+    def test_chain(self):
+        query = chain_query(3)
+        assert query.size() == 3
+        assert query.arity == 2
+
+    def test_star(self):
+        query = star_query(4)
+        assert query.size() == 4
+        assert len(query.variables()) == 5
+
+    def test_cycle_is_boolean(self):
+        assert cycle_query(3).is_boolean()
+
+    def test_clique_atom_count(self):
+        assert clique_query(3).size() == 6
+
+    @pytest.mark.parametrize("builder", [chain_query, star_query, cycle_query])
+    def test_shapes_reject_zero(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)
+
+    def test_clique_rejects_one(self):
+        with pytest.raises(ValueError):
+            clique_query(1)

@@ -1,0 +1,118 @@
+"""Unit tests for the in-memory annotated database."""
+
+import pytest
+
+from repro.db.instance import AnnotatedDatabase
+from repro.errors import (
+    NotAbstractlyTaggedError,
+    SchemaError,
+    UnknownAnnotationError,
+)
+
+
+class TestConstruction:
+    def test_add_generates_fresh_annotations(self):
+        db = AnnotatedDatabase()
+        assert db.add("R", ("a",)) == "s1"
+        assert db.add("R", ("b",)) == "s2"
+
+    def test_add_with_explicit_annotation(self):
+        db = AnnotatedDatabase()
+        assert db.add("R", ("a",), annotation="t9") == "t9"
+
+    def test_explicit_annotation_reserved_from_supply(self):
+        db = AnnotatedDatabase()
+        db.add("R", ("a",), annotation="s1")
+        assert db.add("R", ("b",)) == "s2"
+
+    def test_readd_same_tuple_returns_existing(self):
+        db = AnnotatedDatabase()
+        first = db.add("R", ("a",))
+        assert db.add("R", ("a",)) == first
+
+    def test_readd_with_conflicting_annotation_raises(self):
+        db = AnnotatedDatabase()
+        db.add("R", ("a",), annotation="s1")
+        with pytest.raises(SchemaError):
+            db.add("R", ("a",), annotation="s2")
+
+    def test_arity_enforced(self):
+        db = AnnotatedDatabase()
+        db.add("R", ("a", "b"))
+        with pytest.raises(SchemaError):
+            db.add("R", ("a",))
+
+    def test_from_dict(self, db_table2):
+        assert db_table2.annotation_of("R", ("a", "b")) == "s2"
+        assert db_table2.fact_count() == 4
+
+    def test_from_rows(self):
+        db = AnnotatedDatabase.from_rows({"R": [("a",), ("b",)]})
+        assert db.annotations() == {"s1", "s2"}
+
+    def test_declare_relation(self):
+        db = AnnotatedDatabase()
+        db.declare_relation("R", 2)
+        assert db.rows("R") == []
+        with pytest.raises(SchemaError):
+            db.declare_relation("R", 3)
+
+
+class TestInspection:
+    def test_rows_of_unknown_relation_is_empty(self):
+        assert AnnotatedDatabase().rows("Nope") == []
+
+    def test_arity_of_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            AnnotatedDatabase().arity("Nope")
+
+    def test_all_facts(self, db_table2):
+        facts = list(db_table2.all_facts())
+        assert ("R", ("a", "a"), "s1") in facts
+        assert len(facts) == 4
+
+    def test_active_domain(self, db_table2):
+        assert db_table2.active_domain() == {"a", "b"}
+
+    def test_tuple_for_annotation(self, db_table2):
+        assert db_table2.tuple_for_annotation("s3") == ("R", ("b", "a"))
+
+    def test_tuple_for_unknown_annotation(self, db_table2):
+        with pytest.raises(UnknownAnnotationError):
+            db_table2.tuple_for_annotation("zzz")
+
+    def test_len(self, db_table2):
+        assert len(db_table2) == 4
+
+
+class TestTagging:
+    def test_fresh_database_is_abstractly_tagged(self, db_table2):
+        assert db_table2.is_abstractly_tagged()
+
+    def test_repeated_annotation_detected(self):
+        db = AnnotatedDatabase()
+        db.add("R", ("a",), annotation="s")
+        db.add("R", ("b",), annotation="s")
+        assert not db.is_abstractly_tagged()
+
+    def test_ambiguous_annotation_lookup_raises(self):
+        db = AnnotatedDatabase()
+        db.add("R", ("a",), annotation="s")
+        db.add("R", ("b",), annotation="s")
+        with pytest.raises(NotAbstractlyTaggedError):
+            db.tuple_for_annotation("s")
+
+    def test_retagged_produces_abstract_copy(self):
+        db = AnnotatedDatabase()
+        db.add("R", ("a",), annotation="s")
+        db.add("R", ("b",), annotation="s")
+        copy, mapping = db.retagged()
+        assert copy.is_abstractly_tagged()
+        assert copy.fact_count() == 2
+        assert set(mapping.values()) == {"s"}
+
+    def test_retagged_mapping_restores_original(self):
+        db = AnnotatedDatabase.from_rows({"R": [("a",), ("b",)]})
+        copy, mapping = db.retagged()
+        for relation, row, annotation in copy.all_facts():
+            assert mapping[annotation] == db.annotation_of(relation, row)

@@ -1,0 +1,101 @@
+"""Unit tests for the SQLite backend and SQL compilation."""
+
+import pytest
+
+from repro.db.instance import AnnotatedDatabase
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.engine.sql_compile import compile_cq_to_sql
+from repro.errors import EvaluationError, SchemaError, UnsupportedQueryError
+from repro.query.parser import parse_query
+from repro.semiring.polynomial import Polynomial
+
+
+class TestCompilation:
+    def test_single_atom(self):
+        compiled = compile_cq_to_sql(parse_query("ans(x) :- R(x, y)"))
+        assert compiled.sql == 'SELECT t0.prov, t0.c0 FROM "R" t0'
+
+    def test_join_equality(self):
+        compiled = compile_cq_to_sql(parse_query("ans(x) :- R(x, y), S(y)"))
+        assert "t1.c0 = t0.c1" in compiled.sql
+
+    def test_repeated_variable_in_one_atom(self):
+        compiled = compile_cq_to_sql(parse_query("ans(x) :- R(x, x)"))
+        assert "t0.c1 = t0.c0" in compiled.sql
+
+    def test_constants_parameterized(self):
+        compiled = compile_cq_to_sql(parse_query("ans(x) :- R(x, 'a')"))
+        assert "t0.c1 = ?" in compiled.sql
+        assert compiled.parameters == ("a",)
+
+    def test_disequality(self):
+        compiled = compile_cq_to_sql(parse_query("ans(x) :- R(x, y), x != y"))
+        assert "<>" in compiled.sql
+
+    def test_constant_in_head(self):
+        compiled = compile_cq_to_sql(parse_query("ans('k', x) :- R(x)"))
+        assert compiled.head_slots[0] == ("const", "k")
+
+    def test_boolean_query_projects_only_prov(self):
+        compiled = compile_cq_to_sql(parse_query("ans() :- R(x)"))
+        assert compiled.sql.startswith("SELECT t0.prov FROM")
+
+    def test_bad_relation_name_rejected(self):
+        from repro.query.atoms import Atom
+        from repro.query.cq import ConjunctiveQuery
+        from repro.query.terms import Variable
+
+        query = ConjunctiveQuery(
+            Atom("ans", ()), [Atom("bad name", (Variable("x"),))]
+        )
+        with pytest.raises(UnsupportedQueryError):
+            compile_cq_to_sql(query)
+
+
+class TestSQLiteEvaluation:
+    def test_matches_table3(self, fig1, db_table2):
+        store = SQLiteDatabase.from_annotated(db_table2)
+        result = store.evaluate(fig1.q_union)
+        assert result[("a",)] == Polynomial.parse("s2*s3 + s1")
+        assert result[("b",)] == Polynomial.parse("s3*s2 + s4")
+
+    def test_boolean_query(self, db_table2):
+        store = SQLiteDatabase.from_annotated(db_table2)
+        result = store.evaluate(parse_query("ans() :- R(x, x)"))
+        assert result[()] == Polynomial.parse("s1 + s4")
+
+    def test_missing_relation_contributes_nothing(self, db_table2):
+        store = SQLiteDatabase.from_annotated(db_table2)
+        assert store.evaluate(parse_query("ans(x) :- Nope(x)")) == {}
+
+    def test_provenance_of_absent_tuple_is_zero(self, db_table2):
+        store = SQLiteDatabase.from_annotated(db_table2)
+        query = parse_query("ans(x) :- R(x, x)")
+        assert store.provenance(query, ("zzz",)).is_zero()
+
+    def test_integer_values(self):
+        db = AnnotatedDatabase.from_rows({"N": [(1, 2), (2, 3)]})
+        store = SQLiteDatabase.from_annotated(db)
+        result = store.evaluate(parse_query("ans(x, z) :- N(x, y), N(y, z)"))
+        assert result == {(1, 3): Polynomial.parse("s1*s2")}
+
+    def test_unstorable_value_raises(self):
+        store = SQLiteDatabase()
+        store.create_relation("R", 1)
+        with pytest.raises(EvaluationError):
+            store.insert("R", ((1, 2),), "s1")
+
+    def test_create_relation_arity_conflict(self):
+        store = SQLiteDatabase()
+        store.create_relation("R", 1)
+        with pytest.raises(SchemaError):
+            store.create_relation("R", 2)
+
+    def test_explain_returns_sql(self, fig1):
+        store = SQLiteDatabase()
+        text = store.explain(fig1.q_union)
+        assert "SELECT" in text and "UNION ALL" in text
+
+    def test_context_manager(self, db_table2):
+        with SQLiteDatabase.from_annotated(db_table2) as store:
+            assert store.relations() == {"R"}

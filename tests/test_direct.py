@@ -1,0 +1,130 @@
+"""Unit and agreement tests for direct core-provenance computation."""
+
+import pytest
+
+from repro.db.generators import random_cq, random_database
+from repro.db.instance import AnnotatedDatabase
+from repro.direct.core_polynomial import core_monomials, core_polynomial_approx
+from repro.direct.pipeline import core_provenance, core_provenance_table
+from repro.direct.reconstruct import monomial_coefficient, reconstruct_adjunct
+from repro.engine.evaluate import evaluate, provenance_of_boolean
+from repro.errors import NotAbstractlyTaggedError, ReproError
+from repro.hom.homomorphism import is_isomorphic
+from repro.minimize.minprov import min_prov
+from repro.paperdata.databases import example_5_steps_expected
+from repro.query.parser import parse_query
+from repro.query.terms import Constant
+from repro.semiring.polynomial import Monomial, Polynomial
+
+
+class TestCorePolynomialTransform:
+    def test_example_5_8_support(self):
+        p = Polynomial.parse("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+        assert [str(m) for m in core_monomials(p)] == ["s1", "s2*s4*s5"]
+
+    def test_exponent_removal(self):
+        p = Polynomial.parse("s1^5")
+        assert core_monomials(p) == [Monomial(["s1"])]
+
+    def test_equal_monomials_do_not_eliminate_each_other(self):
+        p = Polynomial.parse("3*s1*s2")
+        assert core_monomials(p) == [Monomial(["s1", "s2"])]
+
+    def test_strict_containment_eliminates(self):
+        p = Polynomial.parse("s1 + s1*s2")
+        assert core_monomials(p) == [Monomial(["s1"])]
+
+    def test_incomparable_monomials_all_kept(self):
+        p = Polynomial.parse("s1*s2 + s2*s3 + s1*s3")
+        assert len(core_monomials(p)) == 3
+
+    def test_zero_polynomial(self):
+        assert core_monomials(Polynomial.zero()) == []
+
+    def test_approx_keeps_observed_counts(self):
+        p = Polynomial.parse("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+        approx = core_polynomial_approx(p)
+        assert approx == Polynomial.parse("s1 + 3*s2*s4*s5")
+
+    def test_approx_merges_supports(self):
+        p = Polynomial.parse("s1*s2 + s1^2*s2")
+        assert core_polynomial_approx(p) == Polynomial.parse("2*s1*s2")
+
+
+class TestReconstruction:
+    def test_reconstructs_triangle_adjunct(self, db_table6):
+        adjunct = reconstruct_adjunct(Monomial(["s2", "s4", "s5"]), db_table6, ())
+        expected = parse_query(
+            "ans() :- R(v1, v2), R(v2, v3), R(v3, v1), v1 != v2, v2 != v3, v1 != v3"
+        )
+        assert is_isomorphic(adjunct, expected)
+
+    def test_reconstructs_reflexive_adjunct(self, db_table6):
+        adjunct = reconstruct_adjunct(Monomial(["s1"]), db_table6, ())
+        assert is_isomorphic(adjunct, parse_query("ans() :- R(v, v)"))
+
+    def test_constants_preserved(self):
+        db = AnnotatedDatabase.from_dict({"R": {("a", "b"): "s1"}})
+        adjunct = reconstruct_adjunct(
+            Monomial(["s1"]), db, ("b",), constants=[Constant("a")]
+        )
+        expected = parse_query("ans(v1) :- R('a', v1), v1 != 'a'")
+        assert is_isomorphic(adjunct, expected)
+
+    def test_rejects_nonlinear_monomial(self, db_table6):
+        with pytest.raises(ReproError):
+            reconstruct_adjunct(Monomial(["s1", "s1"]), db_table6, ())
+
+    def test_coefficient_is_automorphism_count(self, db_table6):
+        """Example 5.8: the 3-cycle adjunct has 3 automorphisms."""
+        assert monomial_coefficient(Monomial(["s2", "s4", "s5"]), db_table6, ()) == 3
+        assert monomial_coefficient(Monomial(["s1"]), db_table6, ()) == 1
+
+
+class TestFullPipeline:
+    def test_matches_example_5_8(self, qhat, db_table6):
+        p = provenance_of_boolean(qhat, db_table6)
+        core = core_provenance(p, db_table6, ())
+        assert core == example_5_steps_expected()["step3"]
+
+    def test_matches_rewrite_then_evaluate(self, qhat, db_table6):
+        """Thm. 5.1 part 2: direct == P(t, MinProv(Q), D) exactly."""
+        p = provenance_of_boolean(qhat, db_table6)
+        direct = core_provenance(p, db_table6, ())
+        rewritten = provenance_of_boolean(min_prov(qhat), db_table6)
+        assert direct == rewritten
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_on_random_instances(self, seed):
+        query = random_cq(seed=seed, n_atoms=2, n_variables=2, head_arity=1)
+        db = random_database({"R": 2, "S": 1}, ["a", "b", "c"], 5, seed=seed)
+        original = evaluate(query, db)
+        minimal = evaluate(min_prov(query), db)
+        for output, polynomial in original.items():
+            direct = core_provenance(polynomial, db, output)
+            assert direct == minimal[output], (query, output)
+
+    def test_agreement_with_constants(self):
+        query = parse_query("ans(x) :- R(x, y), R(y, 'a')")
+        db = AnnotatedDatabase.from_rows(
+            {"R": [("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")]}
+        )
+        original = evaluate(query, db)
+        minimal = evaluate(min_prov(query), db)
+        constants = query.constants()
+        for output, polynomial in original.items():
+            assert core_provenance(polynomial, db, output, constants) == minimal[output]
+
+    def test_whole_table(self, fig1, db_table2):
+        results = evaluate(fig1.q_conj, db_table2)
+        core_table = core_provenance_table(results, db_table2)
+        minimal_table = evaluate(min_prov(fig1.q_conj), db_table2)
+        assert core_table == minimal_table
+
+    def test_requires_abstract_tagging(self):
+        """Thm. 6.2: refuse non-abstractly-tagged databases."""
+        db = AnnotatedDatabase()
+        db.add("R", ("a",), annotation="s")
+        db.add("R", ("b",), annotation="s")
+        with pytest.raises(NotAbstractlyTaggedError):
+            core_provenance(Polynomial.parse("s^2"), db, ("a",))

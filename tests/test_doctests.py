@@ -1,0 +1,30 @@
+"""Run every doctest in the package as part of the normal suite.
+
+Doctests double as the reference examples in the API documentation;
+collecting them here keeps ``pytest tests/`` sufficient to verify the
+whole repository.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, "{} doctest(s) failed in {}".format(
+        results.failed, module_name
+    )

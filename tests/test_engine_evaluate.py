@@ -1,0 +1,104 @@
+"""Unit tests for the backtracking evaluation engine (Defs. 2.6, 2.12)."""
+
+import pytest
+
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import (
+    assignments,
+    evaluate,
+    provenance,
+    provenance_of_boolean,
+    result_tuples,
+)
+from repro.query.parser import parse_query
+from repro.semiring.polynomial import Monomial, Polynomial
+
+
+class TestAssignments:
+    def test_example_2_7(self, fig1, db_table2):
+        """Figure 1 on Table 2: two assignments per adjunct."""
+        assert len(list(assignments(fig1.q1, db_table2))) == 2
+        assert len(list(assignments(fig1.q2, db_table2))) == 2
+
+    def test_assignment_head_tuple(self, fig1, db_table2):
+        heads = {a.head_tuple() for a in assignments(fig1.q2, db_table2)}
+        assert heads == {("a",), ("b",)}
+
+    def test_assignment_monomial_in_atom_order(self, fig1, db_table2):
+        monomials = {
+            a.monomial(db_table2)
+            for a in assignments(fig1.q1, db_table2)
+        }
+        assert monomials == {Monomial(["s2", "s3"])}
+
+    def test_disequality_filters_assignments(self, db_table2):
+        with_diseq = parse_query("ans(x) :- R(x, y), x != y")
+        without = parse_query("ans(x) :- R(x, y)")
+        assert len(list(assignments(with_diseq, db_table2))) == 2
+        assert len(list(assignments(without, db_table2))) == 4
+
+    def test_constant_in_atom(self, db_table2):
+        query = parse_query("ans(x) :- R(x, 'a')")
+        heads = {a.head_tuple() for a in assignments(query, db_table2)}
+        assert heads == {("a",), ("b",)}
+
+    def test_diseq_against_constant(self, db_table2):
+        query = parse_query("ans(x) :- R(x, x), x != 'a'")
+        heads = {a.head_tuple() for a in assignments(query, db_table2)}
+        assert heads == {("b",)}
+
+    def test_binding_dict(self, db_table2):
+        query = parse_query("ans(x) :- R(x, 'b'), x != 'b'")
+        (assignment,) = list(assignments(query, db_table2))
+        binding = assignment.binding_dict()
+        assert list(binding.values()) == ["a"]
+
+
+class TestEvaluate:
+    def test_table3(self, fig1, db_table2):
+        """Example 2.13: the Table 3 polynomials, literally."""
+        result = evaluate(fig1.q_union, db_table2)
+        assert result[("a",)] == Polynomial.parse("s2*s3 + s1")
+        assert result[("b",)] == Polynomial.parse("s3*s2 + s4")
+
+    def test_example_2_14(self, fig1, db_table2):
+        """Qconj yields s2*s3 + s1*s1 for (a) and s3*s2 + s4*s4 for (b)."""
+        result = evaluate(fig1.q_conj, db_table2)
+        assert result[("a",)] == Polynomial.parse("s2*s3 + s1^2")
+        assert result[("b",)] == Polynomial.parse("s3*s2 + s4^2")
+
+    def test_empty_database(self, fig1):
+        assert evaluate(fig1.q_union, AnnotatedDatabase()) == {}
+
+    def test_self_join_squares_annotation(self):
+        db = AnnotatedDatabase.from_rows({"R": [("a",)]})
+        query = parse_query("ans() :- R(x), R(y)")
+        assert provenance_of_boolean(query, db) == Polynomial.parse("s1^2")
+
+    def test_provenance_of_absent_tuple_is_zero(self, fig1, db_table2):
+        assert provenance(fig1.q_union, db_table2, ("zzz",)).is_zero()
+
+    def test_result_tuples_sorted(self, fig1, db_table2):
+        assert result_tuples(fig1.q_union, db_table2) == [("a",), ("b",)]
+
+    def test_union_provenance_adds_adjuncts(self, db_table2):
+        query = parse_query("ans(x) :- R(x, x)\nans(x) :- R(x, x)")
+        result = evaluate(query, db_table2)
+        assert result[("a",)] == Polynomial.parse("2*s1")
+
+    def test_repeated_atom_repeats_factor(self, db_table2):
+        query = parse_query("ans(x) :- R(x, x), R(x, x)")
+        result = evaluate(query, db_table2)
+        assert result[("a",)] == Polynomial.parse("s1^2")
+
+    def test_cartesian_product(self):
+        db = AnnotatedDatabase.from_rows({"R": [("a",)], "S": [("b",), ("c",)]})
+        query = parse_query("ans(x, y) :- R(x), S(y)")
+        result = evaluate(query, db)
+        assert set(result) == {("a", "b"), ("a", "c")}
+
+    def test_none_is_a_legitimate_domain_value(self):
+        db = AnnotatedDatabase.from_rows({"R": [(None,), ("a",)]})
+        query = parse_query("ans(x, y) :- R(x), R(y), x != y")
+        result = evaluate(query, db)
+        assert set(result) == {(None, "a"), ("a", None)}

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs clean and prints its claims."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": "p-minimal equivalent found by MinProv",
+    "offline_core_provenance.py": "Rewrite-then-evaluate agrees: True",
+    "trust_and_maintenance.py": "Minimal trust sets",
+    "sqlite_provenance.py": "Compiled SQL",
+    "minimization_gallery.py": "Theorem 4.10",
+    "view_composition.py": "blocked at disequality",
+}
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    fragment = EXPECTED_FRAGMENTS.get(path.name)
+    if fragment is not None:
+        assert fragment in completed.stdout
+
+
+def test_all_examples_have_expectations():
+    names = {path.name for path in EXAMPLES}
+    assert set(EXPECTED_FRAGMENTS) <= names

@@ -1,0 +1,96 @@
+"""Tests for derivation explanations (why and why-not)."""
+
+import pytest
+
+from repro.db.instance import AnnotatedDatabase
+from repro.explain import explain_missing, explain_tuple
+from repro.paperdata import figure1, table2_database
+from repro.query.parser import parse_query
+from repro.semiring.polynomial import Monomial
+
+
+class TestWhy:
+    def test_all_derivations_listed(self):
+        fig = figure1()
+        db = table2_database()
+        derivations = explain_tuple(fig.q_conj, db, ("a",))
+        assert len(derivations) == 2
+        monomials = {d.monomial for d in derivations}
+        assert monomials == {Monomial(["s1", "s1"]), Monomial(["s2", "s3"])}
+
+    def test_core_flag(self):
+        """The squared derivation's support IS a core monomial (s1), so
+        both derivations of (a) have core supports; for a containing
+        derivation the flag goes false."""
+        db = AnnotatedDatabase.from_dict(
+            {"R": {("a", "a"): "s1", ("a", "b"): "s2", ("b", "a"): "s3"}}
+        )
+        query = parse_query("ans() :- R(x, y), R(y, z), R(z, x)")
+        derivations = explain_tuple(query, db, ())
+        by_support = {d.monomial.support(): d.in_core for d in derivations}
+        assert by_support[Monomial(["s1"])] is True
+        assert by_support[Monomial(["s1", "s2", "s3"])] is False
+
+    def test_union_adjunct_indices(self):
+        fig = figure1()
+        db = table2_database()
+        derivations = explain_tuple(fig.q_union, db, ("a",))
+        assert {d.adjunct_index for d in derivations} == {0, 1}
+
+    def test_describe_renders(self):
+        fig = figure1()
+        db = table2_database()
+        text = explain_tuple(fig.q_conj, db, ("a",))[0].describe()
+        assert "matched" in text and "monomial" in text
+
+    def test_absent_tuple_has_no_derivations(self):
+        fig = figure1()
+        db = table2_database()
+        assert explain_tuple(fig.q_conj, db, ("zzz",)) == []
+
+
+class TestWhyNot:
+    @pytest.fixture
+    def db(self):
+        return AnnotatedDatabase.from_dict(
+            {"R": {("a", "b"): "s1", ("b", "c"): "s2"}}
+        )
+
+    def test_blocked_at_second_atom(self, db):
+        query = parse_query("ans(x) :- R(x, y), R(y, x)")
+        (explanation,) = explain_missing(query, db, ("a",))
+        assert explanation.atoms_satisfied == 1
+        assert "R(y, x)" in explanation.blocking
+
+    def test_blocked_at_first_atom(self, db):
+        query = parse_query("ans(x) :- R(x, y)")
+        (explanation,) = explain_missing(query, db, ("z",))
+        assert explanation.atoms_satisfied == 0
+        assert "R(x, y)" in explanation.blocking
+
+    def test_blocked_by_disequality(self):
+        db = AnnotatedDatabase.from_dict({"R": {("a", "a"): "s1"}})
+        query = parse_query("ans(x) :- R(x, y), x != y")
+        (explanation,) = explain_missing(query, db, ("a",))
+        assert "disequality" in explanation.blocking
+
+    def test_head_constant_mismatch(self, db):
+        query = parse_query("ans('k') :- R(x, y)")
+        (explanation,) = explain_missing(query, db, ("q",))
+        assert "head constant" in explanation.blocking
+
+    def test_arity_mismatch(self, db):
+        query = parse_query("ans(x) :- R(x, y)")
+        (explanation,) = explain_missing(query, db, ("a", "b"))
+        assert "arity" in explanation.blocking
+
+    def test_present_tuple_rejected(self, db):
+        query = parse_query("ans(x) :- R(x, y)")
+        with pytest.raises(ValueError):
+            explain_missing(query, db, ("a",))
+
+    def test_union_explains_every_adjunct(self, db):
+        query = parse_query("ans(x) :- R(x, x)\nans(x) :- R(x, y), R(y, x)")
+        explanations = explain_missing(query, db, ("a",))
+        assert len(explanations) == 2
+        assert all(e.describe() for e in explanations)

@@ -1,0 +1,106 @@
+"""Unit and differential tests for containment and equivalence."""
+
+import pytest
+
+from repro.db.generators import random_cq
+from repro.hom.containment import (
+    is_contained,
+    is_contained_canonical_db,
+    is_contained_cq_fast,
+    is_equivalent,
+)
+from repro.query.parser import parse_query
+
+
+class TestPlainCQ:
+    def test_example_2_9(self, fig1):
+        """Q2 ⊆ Qconj (Figure 1)."""
+        assert is_contained(fig1.q2, fig1.q_conj)
+        assert not is_contained(fig1.q_conj, fig1.q2)
+
+    def test_reflexive(self, fig1):
+        assert is_contained(fig1.q_conj, fig1.q_conj)
+
+    def test_more_atoms_contained_in_fewer(self):
+        narrow = parse_query("ans(x) :- R(x, y), R(y, z)")
+        wide = parse_query("ans(x) :- R(x, y)")
+        assert is_contained(narrow, wide)
+        assert not is_contained(wide, narrow)
+
+    def test_constants_specialize(self):
+        specific = parse_query("ans(x) :- R(x, 'a')")
+        general = parse_query("ans(x) :- R(x, y)")
+        assert is_contained(specific, general)
+        assert not is_contained(general, specific)
+
+    def test_arity_mismatch_never_contained(self):
+        assert not is_contained(
+            parse_query("ans(x) :- R(x)"), parse_query("ans(x, y) :- R(x, y)")
+        )
+
+    def test_fast_path_rejects_diseqs(self):
+        with pytest.raises(ValueError):
+            is_contained_cq_fast(
+                parse_query("ans() :- R(x, y), x != y"),
+                parse_query("ans() :- R(x, y)"),
+            )
+
+
+class TestDisequalities:
+    def test_example_3_2(self):
+        """Containment holds although no homomorphism exists."""
+        q = parse_query("ans() :- R(x, y), R(y, z), x != z")
+        q_prime = parse_query("ans() :- R(x, y), x != y")
+        assert is_contained(q, q_prime)
+        assert not is_contained(q_prime, q)
+
+    def test_diseq_strengthens(self):
+        strict = parse_query("ans(x) :- R(x, y), x != y")
+        loose = parse_query("ans(x) :- R(x, y)")
+        assert is_contained(strict, loose)
+        assert not is_contained(loose, strict)
+
+    def test_figure2_equivalences(self, fig2):
+        """QnoPmin ≡ Qalt ≡ Qalt2 ≡ Qalt3 (Thm. 3.5 setup)."""
+        assert is_equivalent(fig2.q_no_pmin, fig2.q_alt)
+        assert is_equivalent(fig2.q_no_pmin, fig2.q_alt2)
+        assert is_equivalent(fig2.q_no_pmin, fig2.q_alt3)
+
+    def test_complete_queries_hom_criterion(self):
+        q1 = parse_query("ans(x) :- R(x, y), x != y")
+        q2 = parse_query("ans(x) :- R(x, y)")
+        # q1 is complete; containment in q2 reduces to one hom test.
+        assert is_contained(q1, q2)
+
+
+class TestUnions:
+    def test_adjunct_contained_in_union(self, fig1):
+        assert is_contained(fig1.q2, fig1.q_union)
+        assert is_contained(fig1.q1, fig1.q_union)
+
+    def test_theorem_setup_qunion_equiv_qconj(self, fig1):
+        """The running example: Qunion ≡ Qconj (Example 2.18)."""
+        assert is_equivalent(fig1.q_union, fig1.q_conj)
+
+    def test_union_not_contained_in_single_adjunct(self, fig1):
+        assert not is_contained(fig1.q_union, fig1.q1)
+
+    def test_lemma_4_9_through_unions(self):
+        complete = parse_query("ans(x) :- R(x, x)")
+        union = parse_query("ans(x) :- R(x, y)\nans(x) :- S(x)")
+        assert is_contained(complete, union)
+
+
+class TestCanonicalDatabaseOracle:
+    def test_matches_hom_on_paper_queries(self, fig1):
+        assert is_contained_canonical_db(fig1.q2, fig1.q_conj)
+        assert not is_contained_canonical_db(fig1.q_conj, fig1.q2)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_differential_on_random_cqs(self, seed):
+        q1 = random_cq(seed=seed, n_atoms=3, n_variables=3)
+        q2 = random_cq(seed=seed + 1000, n_atoms=2, n_variables=3)
+        if q1.arity != q2.arity:
+            pytest.skip("different head arities")
+        assert is_contained(q1, q2) == is_contained_canonical_db(q1, q2)
+        assert is_contained(q2, q1) == is_contained_canonical_db(q2, q1)

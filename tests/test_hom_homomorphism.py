@@ -1,0 +1,161 @@
+"""Unit tests for homomorphisms (Def. 2.10) and their refinements."""
+
+import pytest
+
+from repro.hom.homomorphism import (
+    automorphisms,
+    count_automorphisms,
+    find_homomorphism,
+    has_homomorphism,
+    has_surjective_homomorphism,
+    homomorphisms,
+    is_isomorphic,
+)
+from repro.query.parser import parse_query
+from repro.query.terms import Constant, Variable
+
+
+class TestExistence:
+    def test_example_2_11_direction_that_exists(self, fig1):
+        """There is a homomorphism Qconj -> Q2 mapping both atoms to
+        R(x, x)."""
+        hom = find_homomorphism(fig1.q_conj, fig1.q2)
+        assert hom is not None
+        mapping = hom.mapping()
+        assert mapping[Variable("x")] == Variable("x")
+        assert mapping[Variable("y")] == Variable("x")
+
+    def test_example_2_11_direction_that_does_not(self, fig1):
+        """No homomorphism Q2 -> Qconj (x would need two images)."""
+        assert not has_homomorphism(fig1.q2, fig1.q_conj)
+
+    def test_head_must_be_respected(self):
+        q1 = parse_query("ans(x) :- R(x, y)")
+        q2 = parse_query("ans(y) :- R(x, y)")
+        # q1 -> q2 must map x (head) to y (head): image R(y, ?) needs an
+        # atom R(y, _) — only R(x, y) exists, so no homomorphism.
+        assert not has_homomorphism(q1, q2)
+
+    def test_constants_map_to_themselves(self):
+        source = parse_query("ans() :- R('a')")
+        target_same = parse_query("ans() :- R('a')")
+        target_other = parse_query("ans() :- R('b')")
+        target_var = parse_query("ans() :- R(x)")
+        assert has_homomorphism(source, target_same)
+        assert not has_homomorphism(source, target_other)
+        assert not has_homomorphism(source, target_var)
+
+    def test_variable_may_map_to_constant(self):
+        source = parse_query("ans() :- R(x)")
+        target = parse_query("ans() :- R('a')")
+        assert has_homomorphism(source, target)
+
+    def test_arity_mismatch(self):
+        assert not has_homomorphism(
+            parse_query("ans(x) :- R(x)"), parse_query("ans() :- R(x)")
+        )
+
+    def test_diseq_atoms_must_map_to_diseq_atoms(self):
+        source = parse_query("ans() :- R(x, y), x != y")
+        target_with = parse_query("ans() :- R(u, w), u != w")
+        target_without = parse_query("ans() :- R(u, w)")
+        assert has_homomorphism(source, target_with)
+        assert not has_homomorphism(source, target_without)
+
+    def test_diseq_collapse_forbidden(self):
+        source = parse_query("ans() :- R(x, y), x != y")
+        target = parse_query("ans() :- R(u, u)")
+        assert not has_homomorphism(source, target)
+
+    def test_diseq_to_distinct_constants_accepted(self):
+        source = parse_query("ans() :- R(x, y), x != y")
+        target = parse_query("ans() :- R('a', 'b')")
+        assert has_homomorphism(source, target)
+
+
+class TestSurjectivity:
+    def test_example_3_4(self):
+        """Q has a hom from Q' but no surjective one; the reverse
+        direction has a surjective hom."""
+        q = parse_query("ans() :- R(x), R(y)")
+        q_prime = parse_query("ans() :- R(x)")
+        assert has_homomorphism(q_prime, q)
+        assert not has_surjective_homomorphism(q_prime, q)
+        assert has_surjective_homomorphism(q, q_prime)
+
+    def test_theorem_3_11_witness(self, fig1):
+        """Qconj -> Q1 and Qconj -> Q2 are surjective (Thm. 3.11 proof)."""
+        assert has_surjective_homomorphism(fig1.q_conj, fig1.q1)
+        assert has_surjective_homomorphism(fig1.q_conj, fig1.q2)
+
+    def test_surjective_hom_enumeration_subset(self, fig1):
+        surjective = list(
+            homomorphisms(fig1.q_conj, fig1.q2, surjective=True)
+        )
+        total = list(homomorphisms(fig1.q_conj, fig1.q2))
+        assert set(surjective) <= set(total)
+        assert surjective
+
+
+class TestAutomorphisms:
+    def test_single_atom_identity_only(self):
+        assert count_automorphisms(parse_query("ans(x) :- R(x, y)")) == 1
+
+    def test_triangle_has_three(self):
+        cycle = parse_query(
+            "ans() :- R(x, y), R(y, z), R(z, x), x != y, y != z, x != z"
+        )
+        assert count_automorphisms(cycle) == 3
+
+    def test_triangle_without_diseqs_still_three(self):
+        # Rotations remain the only atom bijections.
+        assert count_automorphisms(parse_query("ans() :- R(x, y), R(y, z), R(z, x)")) == 3
+
+    def test_symmetric_pair(self):
+        query = parse_query("ans() :- R(x, y), R(y, x), x != y")
+        assert count_automorphisms(query) == 2
+
+    def test_head_pins_variables(self):
+        query = parse_query("ans(x) :- R(x, y), R(y, x), x != y")
+        assert count_automorphisms(query) == 1
+
+    def test_independent_atoms(self):
+        query = parse_query("ans() :- R(x), R(y)")
+        assert count_automorphisms(query) == 2
+
+    def test_automorphisms_are_bijections(self):
+        for auto in automorphisms(parse_query("ans() :- R(x), R(y), S(x)")):
+            assert auto.is_atom_injective()
+
+
+class TestIsomorphism:
+    def test_renaming_is_isomorphic(self):
+        q1 = parse_query("ans(x) :- R(x, y), x != y")
+        q2 = parse_query("ans(u) :- R(u, w), u != w")
+        assert is_isomorphic(q1, q2)
+
+    def test_different_diseqs_not_isomorphic(self):
+        q1 = parse_query("ans() :- R(x, y), x != y")
+        q2 = parse_query("ans() :- R(x, y)")
+        assert not is_isomorphic(q1, q2)
+
+    def test_different_sizes_not_isomorphic(self):
+        q1 = parse_query("ans() :- R(x)")
+        q2 = parse_query("ans() :- R(x), R(y)")
+        assert not is_isomorphic(q1, q2)
+
+    def test_homomorphic_but_not_isomorphic(self, fig1):
+        assert not is_isomorphic(fig1.q_conj, fig1.q2)
+
+    def test_figure2_queries_pairwise_non_isomorphic(self, fig2):
+        queries = [fig2.q_no_pmin, fig2.q_alt, fig2.q_alt2, fig2.q_alt3]
+        for i, a in enumerate(queries):
+            for b in queries[i + 1:]:
+                assert not is_isomorphic(a, b)
+
+    def test_constant_identity(self):
+        q1 = parse_query("ans() :- R(x, 'a')")
+        q2 = parse_query("ans() :- R(y, 'a')")
+        q3 = parse_query("ans() :- R(y, 'b')")
+        assert is_isomorphic(q1, q2)
+        assert not is_isomorphic(q1, q3)

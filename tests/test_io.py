@@ -1,0 +1,100 @@
+"""Round-trip tests for the JSON serialization module."""
+
+import pytest
+
+from repro.db.generators import random_database
+from repro.engine.evaluate import evaluate
+from repro.errors import ReproError
+from repro.io import (
+    database_from_dict,
+    database_to_dict,
+    dump_session,
+    load_session,
+    polynomial_from_list,
+    polynomial_to_list,
+    query_from_text,
+    query_to_text,
+    results_from_list,
+    results_to_list,
+)
+from repro.paperdata import figure1, table2_database
+from repro.semiring.polynomial import Polynomial
+
+
+class TestDatabaseRoundTrip:
+    def test_paper_database(self):
+        db = table2_database()
+        copy = database_from_dict(database_to_dict(db))
+        assert sorted(copy.all_facts()) == sorted(db.all_facts())
+
+    def test_random_database(self):
+        db = random_database({"R": 2, "S": 1}, ["a", "b", "c"], 6, seed=4)
+        copy = database_from_dict(database_to_dict(db))
+        assert sorted(copy.all_facts()) == sorted(db.all_facts())
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ReproError):
+            database_from_dict({})
+
+
+class TestPolynomialRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["0", "1", "s1", "2*s1^3*s2 + s3 + 4*s4*s5", "s1 + s1^2 + s1^3"],
+    )
+    def test_round_trip(self, text):
+        p = Polynomial.parse(text)
+        assert polynomial_from_list(polynomial_to_list(p)) == p
+
+
+class TestQueryRoundTrip:
+    def test_cq(self, fig1):
+        assert query_from_text(query_to_text(fig1.q_conj)) == fig1.q_conj
+
+    def test_union(self, fig1):
+        assert query_from_text(query_to_text(fig1.q_union)) == fig1.q_union
+
+
+class TestResultsAndSessions:
+    def test_results_round_trip(self):
+        fig = figure1()
+        db = table2_database()
+        results = evaluate(fig.q_union, db)
+        assert results_from_list(results_to_list(results)) == results
+
+    def test_session_round_trip(self, tmp_path):
+        fig = figure1()
+        db = table2_database()
+        results = {"q_union": evaluate(fig.q_union, db)}
+        path = str(tmp_path / "session.json")
+        dump_session(
+            path, db, {"q_union": fig.q_union, "q_conj": fig.q_conj}, results
+        )
+        loaded_db, loaded_queries, loaded_results = load_session(path)
+        assert sorted(loaded_db.all_facts()) == sorted(db.all_facts())
+        assert loaded_queries["q_conj"] == fig.q_conj
+        assert loaded_results["q_union"] == results["q_union"]
+
+    def test_session_without_results(self, tmp_path):
+        db = table2_database()
+        path = str(tmp_path / "bare.json")
+        dump_session(path, db, {})
+        _, queries, results = load_session(path)
+        assert queries == {} and results == {}
+
+    def test_offline_minimization_of_loaded_session(self, tmp_path):
+        """The Sec. 5 workflow across process boundaries: record now,
+        minimize later from the file alone."""
+        from repro.direct.pipeline import core_provenance_table
+        from repro.minimize.minprov import min_prov
+
+        fig = figure1()
+        db = table2_database()
+        path = str(tmp_path / "recorded.json")
+        dump_session(
+            path, db, {"q": fig.q_conj}, {"q": evaluate(fig.q_conj, db)}
+        )
+        loaded_db, loaded_queries, loaded_results = load_session(path)
+        core = core_provenance_table(loaded_results["q"], loaded_db)
+        rewritten = evaluate(min_prov(loaded_queries["q"]), loaded_db)
+        assert core == rewritten

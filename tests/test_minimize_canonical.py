@@ -1,0 +1,112 @@
+"""Unit tests for possible completions and canonical rewritings."""
+
+import pytest
+
+from repro.db.generators import all_databases, random_cq, random_database
+from repro.engine.evaluate import evaluate
+from repro.hom.containment import is_equivalent
+from repro.hom.homomorphism import is_isomorphic
+from repro.minimize.canonical import canonical_rewriting, possible_completions
+from repro.paperdata.figures import example_4_2_query, figure3_expected_steps
+from repro.query.parser import parse_query
+from repro.query.terms import Constant
+from repro.utils.partitions import bell_number
+
+
+class TestPossibleCompletions:
+    def test_example_4_2(self):
+        """Can(Q, {a, b}) has exactly the five adjuncts of the paper."""
+        query = example_4_2_query()
+        completions = possible_completions(query, [Constant("a"), Constant("b")])
+        expected = [
+            "ans(v1, 'a') :- R(v1, 'a'), v1 != 'a', v1 != 'b'",
+            "ans(v1, 'b') :- R(v1, 'b'), v1 != 'a', v1 != 'b'",
+            "ans(v1, v2) :- R(v1, v2), v1 != v2, v1 != 'a', v1 != 'b', "
+            "v2 != 'a', v2 != 'b'",
+            "ans('b', 'a') :- R('b', 'a')",
+            "ans('b', v1) :- R('b', v1), v1 != 'a', v1 != 'b'",
+        ]
+        assert len(completions) == len(expected)
+        for text in expected:
+            target = parse_query(text)
+            assert any(is_isomorphic(c, target) for c in completions), text
+
+    def test_figure3_step1(self, qhat):
+        """The five completions of Q̂ match Figure 3 literally."""
+        completions = possible_completions(qhat)
+        expected = figure3_expected_steps()["QI"].adjuncts
+        assert len(completions) == 5
+        for target in expected:
+            assert any(is_isomorphic(c, target) for c in completions)
+
+    def test_count_is_bell_number_without_constraints(self):
+        query = parse_query("ans() :- R(x, y), S(z), T(w)")
+        assert len(possible_completions(query)) == bell_number(4)
+
+    def test_diseqs_prune_cases(self, fig1):
+        # Q1 has x != y: only the all-distinct case survives for 2 vars.
+        assert len(possible_completions(fig1.q1)) == 1
+
+    def test_all_completions_complete(self):
+        query = parse_query("ans(x) :- R(x, y), S(y, 'c')")
+        constants = [Constant("c"), Constant("d")]
+        for completion in possible_completions(query, constants):
+            assert completion.is_complete(constants)
+
+    def test_distinct_cases_may_be_isomorphic_queries(self, qhat):
+        """Q̂2, Q̂3 and Q̂4 come from the three "one pair of variables
+        merged" cases; by the triangle's rotational symmetry they are
+        pairwise isomorphic as standalone queries, yet each contributes
+        its own assignments to the canonical provenance (Example 5.2
+        lists one monomial per case)."""
+        completions = possible_completions(qhat)
+        isomorphic_pairs = [
+            (a, b)
+            for i, a in enumerate(completions)
+            for b in completions[i + 1:]
+            if is_isomorphic(a, b)
+        ]
+        assert len(isomorphic_pairs) == 3
+
+    def test_no_variables_single_completion(self):
+        query = parse_query("ans() :- R('a', 'b')")
+        completions = possible_completions(query)
+        assert len(completions) == 1
+        assert completions[0] == query
+
+
+class TestCanonicalRewritingSemantics:
+    def test_theorem_4_3_preserves_results(self, qhat):
+        """Q ≡ Can(Q) — checked symbolically and on databases."""
+        rewriting = canonical_rewriting(qhat)
+        assert is_equivalent(qhat, rewriting)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_theorem_4_4_preserves_provenance(self, seed):
+        """Q ≡_P Can(Q): identical polynomials on random databases."""
+        query = random_cq(
+            seed=seed, n_atoms=2, n_variables=3,
+            diseq_probability=0.3 if seed % 2 else 0.0,
+        )
+        rewriting = canonical_rewriting(query)
+        db = random_database({"R": 2, "S": 1}, ["a", "b", "c"], 5, seed=seed)
+        assert evaluate(query, db) == evaluate(rewriting, db)
+
+    def test_theorem_4_4_with_constants_exhaustive(self):
+        query = parse_query("ans(x) :- R(x, y), y != 'a'")
+        rewriting = canonical_rewriting(query)
+        for db in all_databases({"R": 2}, ["a", "b"], max_facts=2):
+            assert evaluate(query, db) == evaluate(rewriting, db)
+
+    def test_lemma_4_5_disjoint_assignments(self, qhat, db_table6):
+        """Each assignment satisfies exactly one canonical adjunct: the
+        canonical polynomial's occurrence count equals the original's."""
+        from repro.engine.evaluate import provenance_of_boolean
+
+        original = provenance_of_boolean(qhat, db_table6)
+        canonical = provenance_of_boolean(canonical_rewriting(qhat), db_table6)
+        assert original.monomial_count() == canonical.monomial_count()
+
+    def test_union_rewriting_covers_all_adjuncts(self, fig1):
+        rewriting = canonical_rewriting(fig1.q_union)
+        assert len(rewriting.adjuncts) == 2  # one case each (Q1 fixed, Q2 single var)

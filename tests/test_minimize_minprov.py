@@ -1,0 +1,139 @@
+"""Unit and semantic tests for MinProv (Algorithm 1)."""
+
+import pytest
+
+from repro.db.generators import all_databases, random_cq, random_database
+from repro.engine.evaluate import evaluate
+from repro.hom.containment import is_equivalent
+from repro.hom.homomorphism import is_isomorphic
+from repro.minimize.minprov import is_p_minimal, min_prov, min_prov_trace
+from repro.order.query_order import le_on_database
+from repro.paperdata.figures import figure3_expected_steps
+from repro.query.parser import parse_query
+from repro.semiring.polynomial import Polynomial
+
+
+def assert_same_adjuncts_up_to_iso(union1, union2):
+    adjuncts1 = list(union1.adjuncts)
+    adjuncts2 = list(union2.adjuncts)
+    assert len(adjuncts1) == len(adjuncts2)
+    remaining = list(adjuncts2)
+    for adjunct in adjuncts1:
+        match = next(
+            (i for i, c in enumerate(remaining) if is_isomorphic(adjunct, c)), None
+        )
+        assert match is not None, "no isomorphic partner for {}".format(adjunct)
+        del remaining[match]
+
+
+class TestFigure3:
+    def test_step_by_step_matches_paper(self, qhat):
+        """Example 4.7: Q̂I, Q̂II, Q̂III exactly as in Figure 3."""
+        trace = min_prov_trace(qhat)
+        expected = figure3_expected_steps()
+        assert_same_adjuncts_up_to_iso(trace.step1, expected["QI"])
+        assert_same_adjuncts_up_to_iso(trace.step2, expected["QII"])
+        assert_same_adjuncts_up_to_iso(trace.step3, expected["QIII"])
+
+    def test_result_property(self, qhat):
+        trace = min_prov_trace(qhat)
+        assert trace.result == trace.step3
+
+
+class TestEquivalencePreserved:
+    def test_qhat(self, qhat):
+        assert is_equivalent(qhat, min_prov(qhat))
+
+    def test_qconj_becomes_qunion(self, fig1):
+        """MinProv(Qconj) ≡ Qunion with exactly its two adjuncts."""
+        result = min_prov(fig1.q_conj)
+        assert is_equivalent(result, fig1.q_conj)
+        assert_same_adjuncts_up_to_iso(result, fig1.q_union)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_queries(self, seed):
+        query = random_cq(
+            seed=seed, n_atoms=2, n_variables=3,
+            diseq_probability=0.3 if seed % 2 else 0.0,
+        )
+        assert is_equivalent(query, min_prov(query))
+
+    def test_query_with_constants(self):
+        query = parse_query("ans(x) :- R(x, 'a')")
+        result = min_prov(query)
+        assert is_equivalent(query, result)
+
+
+class TestProvenanceReduced:
+    """For every database, P(t, MinProv(Q), D) <= P(t, Q, D)."""
+
+    def test_on_paper_database(self, qhat, db_table6):
+        minimal = min_prov(qhat)
+        assert le_on_database(minimal, qhat, db_table6)
+        original = evaluate(qhat, db_table6)[()]
+        reduced = evaluate(minimal, db_table6)[()]
+        assert reduced == Polynomial.parse("s1 + 3*s2*s4*s5")
+        assert original != reduced
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_on_random_databases(self, seed):
+        query = random_cq(seed=seed, n_atoms=2, n_variables=2)
+        minimal = min_prov(query)
+        db = random_database({"R": 2, "S": 1}, ["a", "b", "c"], 5, seed=seed)
+        assert le_on_database(minimal, query, db)
+
+    def test_exhaustive_small_databases(self, fig1):
+        minimal = min_prov(fig1.q_conj)
+        for db in all_databases({"R": 2}, ["a", "b"], max_facts=3):
+            assert le_on_database(minimal, fig1.q_conj, db)
+
+
+class TestIdempotence:
+    def test_minprov_of_minprov_is_stable(self, qhat):
+        once = min_prov(qhat)
+        twice = min_prov(once)
+        assert_same_adjuncts_up_to_iso(once, twice)
+
+    def test_union_input(self, fig1):
+        result = min_prov(fig1.q_union)
+        assert_same_adjuncts_up_to_iso(result, fig1.q_union)
+
+
+class TestStepEffects:
+    def test_step2_removes_duplicates_only(self, qhat):
+        trace = min_prov_trace(qhat)
+        assert len(trace.step1.adjuncts) == len(trace.step2.adjuncts)
+        for before, after in zip(trace.step1.adjuncts, trace.step2.adjuncts):
+            assert after.size() <= before.size()
+            assert not after.duplicate_atom_indices()
+
+    def test_step3_only_removes(self, qhat):
+        trace = min_prov_trace(qhat)
+        survivors = set(trace.step3.adjuncts)
+        assert survivors <= set(trace.step2.adjuncts)
+
+    def test_duplicate_adjuncts_in_union_collapse(self):
+        query = parse_query("ans(x) :- R(x, x)\nans(y) :- R(y, y)")
+        result = min_prov(query)
+        assert len(result.adjuncts) == 1
+
+
+class TestPMinimality:
+    def test_qconj_not_p_minimal(self, fig1):
+        """Thm. 3.11: Qconj is p-minimal in CQ but not overall."""
+        assert not is_p_minimal(fig1.q_conj)
+
+    def test_qunion_p_minimal(self, fig1):
+        assert is_p_minimal(fig1.q_union)
+
+    def test_minprov_output_p_minimal(self, qhat):
+        assert is_p_minimal(min_prov(qhat))
+
+    def test_complete_query_p_minimal(self):
+        """Thm. 3.12: a duplicate-free complete query is p-minimal."""
+        query = parse_query("ans(x) :- R(x, y), x != y")
+        assert is_p_minimal(query)
+
+    def test_complete_query_with_duplicates_not_p_minimal(self):
+        query = parse_query("ans() :- R(x, x), R(x, x)")
+        assert not is_p_minimal(query)

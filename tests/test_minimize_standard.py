@@ -1,0 +1,122 @@
+"""Unit tests for standard (join-count) minimization."""
+
+import pytest
+
+from repro.db.generators import random_cq
+from repro.errors import UnsupportedQueryError
+from repro.hom.containment import is_equivalent
+from repro.hom.homomorphism import is_isomorphic
+from repro.minimize.standard import (
+    minimize_complete,
+    minimize_cq,
+    minimize_cq_diseq,
+    minimize_query,
+    minimize_ucq,
+    remove_contained_adjuncts,
+)
+from repro.query.parser import parse_query
+from repro.query.ucq import UnionQuery
+
+
+class TestChandraMerlin:
+    def test_redundant_atom_removed(self):
+        query = parse_query("ans(x) :- R(x, y), R(x, z)")
+        assert minimize_cq(query).size() == 1
+
+    def test_core_preserves_equivalence(self):
+        query = parse_query("ans(x) :- R(x, y), R(y, z), R(x, w)")
+        minimal = minimize_cq(query)
+        assert is_equivalent(query, minimal)
+
+    def test_already_minimal_untouched(self, fig1):
+        assert minimize_cq(fig1.q_conj) == fig1.q_conj
+
+    def test_triangle_is_core(self):
+        triangle = parse_query("ans() :- R(x, y), R(y, z), R(z, x)")
+        assert minimize_cq(triangle).size() == 3
+
+    def test_triangle_with_reflexive_shortcut_folds(self):
+        query = parse_query("ans() :- R(x, y), R(y, z), R(z, x), R(w, w)")
+        assert minimize_cq(query).size() == 1
+
+    def test_constants_respected(self):
+        query = parse_query("ans() :- R(x, 'a'), R(y, 'b')")
+        assert minimize_cq(query).size() == 2
+
+    def test_rejects_disequalities(self):
+        with pytest.raises(UnsupportedQueryError):
+            minimize_cq(parse_query("ans() :- R(x, y), x != y"))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cqs_minimized_equivalently(self, seed):
+        query = random_cq(seed=seed, n_atoms=4, n_variables=3)
+        minimal = minimize_cq(query)
+        assert minimal.size() <= query.size()
+        assert is_equivalent(query, minimal)
+
+    def test_core_unique_up_to_isomorphism(self):
+        # Minimizing two presentations of the same query gives
+        # isomorphic cores.
+        q1 = parse_query("ans(x) :- R(x, y), R(x, z), S(y)")
+        q2 = parse_query("ans(x) :- R(x, b), S(b), R(x, a), R(x, c)")
+        assert is_isomorphic(minimize_cq(q1), minimize_cq(q2))
+
+
+class TestCompleteMinimization:
+    def test_duplicates_removed(self):
+        query = parse_query("ans() :- R(x, x), R(x, x)")
+        assert minimize_complete(query).size() == 1
+
+    def test_lemma_3_13_no_duplicates_means_minimal(self):
+        query = parse_query("ans() :- R(x, y), R(y, x), x != y")
+        assert minimize_complete(query) == query
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(UnsupportedQueryError):
+            minimize_complete(parse_query("ans() :- R(x, y)"))
+
+
+class TestDisequalityMinimization:
+    def test_removable_atom_with_diseq(self):
+        query = parse_query("ans(x) :- R(x, y), R(x, z), x != y, x != z")
+        minimal = minimize_cq_diseq(query)
+        assert minimal.size() == 1
+        assert is_equivalent(query, minimal)
+
+    def test_figure2_already_minimal(self, fig2):
+        assert minimize_cq_diseq(fig2.q_no_pmin).size() == 6
+
+    def test_dispatches_to_cq_when_no_diseqs(self):
+        query = parse_query("ans(x) :- R(x, y), R(x, z)")
+        assert minimize_cq_diseq(query).size() == 1
+
+
+class TestUnionMinimization:
+    def test_contained_adjunct_removed(self, fig1):
+        union = UnionQuery([fig1.q_conj, fig1.q2])  # Q2 ⊆ Qconj
+        minimal = minimize_ucq(union)
+        assert len(minimal.adjuncts) == 1
+        assert is_equivalent(minimal, union)
+
+    def test_equivalent_adjuncts_keep_one(self):
+        union = parse_query("ans(x) :- R(x, y)\nans(u) :- R(u, w)")
+        assert len(minimize_ucq(union).adjuncts) == 1
+
+    def test_incomparable_adjuncts_kept(self, fig1):
+        minimal = minimize_ucq(fig1.q_union)
+        assert len(minimal.adjuncts) == 2
+
+    def test_adjuncts_individually_minimized(self):
+        union = parse_query("ans(x) :- R(x, y), R(x, z)\nans(x) :- S(x)")
+        minimal = minimize_ucq(union)
+        assert {a.size() for a in minimal.adjuncts} == {1}
+
+    def test_remove_contained_survivor_semantics(self):
+        a = parse_query("ans(x) :- R(x, y)")
+        b = parse_query("ans(u) :- R(u, w)")
+        survivors = remove_contained_adjuncts([a, b])
+        assert survivors == [a]
+
+    def test_minimize_query_dispatch(self, fig1):
+        assert minimize_query(fig1.q_conj) == fig1.q_conj
+        assert isinstance(minimize_query(fig1.q_union), UnionQuery)

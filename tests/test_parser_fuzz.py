@@ -1,0 +1,61 @@
+"""Property-based fuzzing of the parser/printer and query model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.generators import random_cq, random_ucq
+from repro.query.parser import parse_query
+from repro.query.printer import query_to_str
+
+
+class TestPrintParseRoundTrip:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_cq_round_trips(self, seed):
+        rng = random.Random(seed)
+        query = random_cq(
+            seed=seed,
+            n_atoms=rng.randint(1, 4),
+            n_variables=rng.randint(1, 4),
+            head_arity=rng.randint(0, 2),
+            diseq_probability=rng.choice([0.0, 0.3, 1.0]),
+        )
+        assert parse_query(query_to_str(query)) == query
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_ucq_round_trips(self, seed):
+        query = random_ucq(seed=seed, n_adjuncts=3, n_atoms=2, n_variables=3)
+        assert parse_query(query_to_str(query)) == query
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_rename_is_isomorphic(self, seed):
+        from repro.hom.homomorphism import is_isomorphic
+
+        query = random_cq(seed=seed, n_atoms=3, n_variables=3,
+                          diseq_probability=0.3)
+        assert is_isomorphic(query, query.canonical_rename())
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_substitution_to_self_is_identity(self, seed):
+        query = random_cq(seed=seed, n_atoms=3, n_variables=3)
+        identity = {v: v for v in query.variables()}
+        assert query.substitute(identity) == query
+
+
+class TestGarbageInputsRejected:
+    @given(st.text(max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """The parser either parses or raises ParseError / a library
+        error — never an unexpected exception type."""
+        from repro.errors import ReproError
+
+        try:
+            parse_query(text)
+        except ReproError:
+            pass

@@ -1,0 +1,107 @@
+"""Tests for PosBool(X) and the text-table reporting module."""
+
+import pytest
+
+from repro.db.instance import AnnotatedDatabase
+from repro.direct.core_polynomial import core_monomials
+from repro.engine.evaluate import evaluate
+from repro.paperdata import figure1, table2_database
+from repro.report import (
+    comparison_table,
+    database_report,
+    relation_table,
+    result_table,
+)
+from repro.semiring.polynomial import Polynomial
+from repro.semiring.posbool import PosBoolSemiring, posbool_of
+
+
+class TestPosBool:
+    def test_absorption(self):
+        s = PosBoolSemiring()
+        x, y = s.variable("x"), s.variable("y")
+        assert s.add(x, s.mul(x, y)) == x
+
+    def test_idempotence(self):
+        s = PosBoolSemiring()
+        x = s.variable("x")
+        assert s.add(x, x) == x
+        assert s.mul(x, x) == x
+
+    def test_units(self):
+        s = PosBoolSemiring()
+        x = s.variable("x")
+        assert s.add(x, s.zero) == x
+        assert s.mul(x, s.one) == x
+        assert s.mul(x, s.zero) == s.zero
+        # one absorbs everything added to it (empty witness is minimal):
+        assert s.add(x, s.one) == s.one
+
+    def test_distributivity_spotcheck(self):
+        s = PosBoolSemiring()
+        x, y, z = s.variable("x"), s.variable("y"), s.variable("z")
+        assert s.mul(x, s.add(y, z)) == s.add(s.mul(x, y), s.mul(x, z))
+
+    def test_posbool_of_matches_core_supports(self):
+        """PosBool projection == supports of the core monomials."""
+        p = Polynomial.parse("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5 + s2*s4")
+        expected = {frozenset(m.symbols) for m in core_monomials(p)}
+        assert posbool_of(p) == frozenset(expected)
+
+    def test_posbool_of_query_result(self):
+        fig = figure1()
+        db = table2_database()
+        conj = evaluate(fig.q_conj, db)
+        union = evaluate(fig.q_union, db)
+        # The two equivalent queries have the SAME PosBool provenance —
+        # PosBool cannot see the difference the core order measures.
+        for output in conj:
+            assert posbool_of(conj[output]) == posbool_of(union[output])
+
+    def test_posbool_of_zero(self):
+        assert posbool_of(Polynomial.zero()) == frozenset()
+
+
+class TestReport:
+    def test_relation_table_matches_table2_shape(self):
+        db = table2_database()
+        text = relation_table(db, "R", ("A", "B"))
+        lines = text.splitlines()
+        assert lines[0].split() == ["A", "B", "Provenance"]
+        assert len(lines) == 2 + 4  # header, rule, four tuples
+        assert any("s3" in line for line in lines)
+
+    def test_relation_table_markdown(self):
+        db = table2_database()
+        text = relation_table(db, "R", markdown=True)
+        assert text.startswith("| c0")
+        assert "|---" in text.replace(" ", "")
+
+    def test_relation_table_bad_attribute_count(self):
+        db = table2_database()
+        with pytest.raises(ValueError):
+            relation_table(db, "R", ("only-one",))
+
+    def test_result_table(self):
+        fig = figure1()
+        db = table2_database()
+        text = result_table(evaluate(fig.q_union, db), ("A",))
+        assert "s1 + s2*s3" in text
+        assert text.splitlines()[0].split() == ["A", "Provenance"]
+
+    def test_result_table_boolean_query(self):
+        results = {(): Polynomial.parse("s1")}
+        text = result_table(results)
+        assert "Provenance" in text
+        assert "s1" in text
+
+    def test_comparison_table(self):
+        text = comparison_table(
+            [("P((a))", "s2*s3 + s1", "s1 + s2*s3")], markdown=True
+        )
+        assert "paper" in text and "measured" in text
+
+    def test_database_report_lists_all_relations(self):
+        db = AnnotatedDatabase.from_rows({"R": [("a",)], "S": [("b", "c")]})
+        text = database_report(db)
+        assert "Relation R" in text and "Relation S" in text

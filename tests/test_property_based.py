@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Strategies generate random multisets, monomials, polynomials and small
+queries/databases; properties are the invariants listed in DESIGN.md.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.generators import random_cq, random_database
+from repro.direct.core_polynomial import core_monomials
+from repro.engine.evaluate import evaluate
+from repro.minimize.canonical import canonical_rewriting
+from repro.semiring.boolean import BooleanSemiring
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.order import polynomial_le, polynomial_lt
+from repro.semiring.polynomial import Monomial, Polynomial
+from repro.semiring.tropical import TropicalSemiring
+from repro.utils.multiset import FrozenMultiset
+
+SYMBOLS = ["s1", "s2", "s3", "s4"]
+
+monomials = st.lists(st.sampled_from(SYMBOLS), max_size=4).map(Monomial)
+polynomials = st.lists(monomials, max_size=4).map(Polynomial.from_monomials)
+multisets = st.lists(st.sampled_from("abcd"), max_size=6).map(FrozenMultiset)
+
+
+class TestMultisetOrderIsPartialOrder:
+    @given(multisets)
+    def test_reflexive(self, m):
+        assert m <= m
+
+    @given(multisets, multisets)
+    def test_antisymmetric(self, m1, m2):
+        if m1 <= m2 and m2 <= m1:
+            assert m1 == m2
+
+    @given(multisets, multisets, multisets)
+    def test_transitive(self, m1, m2, m3):
+        if m1 <= m2 and m2 <= m3:
+            assert m1 <= m3
+
+    @given(multisets, multisets)
+    def test_sum_is_upper_bound(self, m1, m2):
+        assert m1 <= m1 + m2
+        assert m2 <= m1 + m2
+
+
+class TestPolynomialOrderProperties:
+    @given(polynomials)
+    def test_reflexive(self, p):
+        assert polynomial_le(p, p)
+
+    @given(polynomials, polynomials)
+    def test_addition_grows(self, p, q):
+        assert polynomial_le(p, p + q)
+
+    @given(polynomials, polynomials)
+    def test_antisymmetric_up_to_identity(self, p, q):
+        """Def. 2.15 equality coincides with polynomial identity."""
+        if polynomial_le(p, q) and polynomial_le(q, p):
+            assert p == q
+
+    @given(polynomials, polynomials, polynomials)
+    @settings(max_examples=60)
+    def test_transitive(self, p, q, r):
+        if polynomial_le(p, q) and polynomial_le(q, r):
+            assert polynomial_le(p, r)
+
+    @given(polynomials)
+    def test_zero_is_bottom(self, p):
+        assert polynomial_le(Polynomial.zero(), p)
+
+    @given(polynomials, polynomials)
+    def test_lt_is_strict(self, p, q):
+        if polynomial_lt(p, q):
+            assert not polynomial_lt(q, p)
+
+
+class TestCoreTransformProperties:
+    @given(polynomials)
+    def test_core_is_dominated_by_original(self, p):
+        """Cor. 5.6 only ever shrinks under the terseness order."""
+        core = Polynomial.from_monomials(core_monomials(p))
+        assert polynomial_le(core, p)
+
+    @given(polynomials)
+    def test_core_monomials_are_linear_and_minimal(self, p):
+        core = core_monomials(p)
+        for m in core:
+            assert m.is_linear()
+        for m in core:
+            assert not any(other < m for other in core)
+
+    @given(polynomials)
+    def test_core_idempotent(self, p):
+        once = Polynomial.from_monomials(core_monomials(p))
+        twice = Polynomial.from_monomials(core_monomials(once))
+        assert set(core_monomials(p)) == set(core_monomials(twice))
+
+    @given(polynomials, st.lists(st.sampled_from(SYMBOLS), max_size=4))
+    def test_boolean_evaluation_invariant(self, p, trusted_list):
+        """Absorptive semirings cannot distinguish core from full."""
+        trusted = set(trusted_list)
+        core = Polynomial.from_monomials(core_monomials(p))
+        boolean = BooleanSemiring()
+        full_value = evaluate_polynomial(p, boolean, lambda s: s in trusted)
+        core_value = evaluate_polynomial(core, boolean, lambda s: s in trusted)
+        assert full_value == core_value
+
+    @given(polynomials)
+    def test_tropical_evaluation_invariant_on_supports(self, p):
+        """With 0/1 costs, min-cost over support monomials is preserved
+        by dropping containing monomials (absorption)."""
+        tropical = TropicalSemiring()
+        costs = {s: float(i) for i, s in enumerate(SYMBOLS)}
+        support_poly = Polynomial.from_monomials(
+            m.support() for m in p.expanded()
+        )
+        core = Polynomial.from_monomials(core_monomials(p))
+        full_value = evaluate_polynomial(support_poly, tropical, costs)
+        core_value = evaluate_polynomial(core, tropical, costs)
+        assert full_value == core_value
+
+
+class TestSemanticInvariants:
+    """Random query/database invariants (seeded via hypothesis ints)."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_canonical_rewriting_preserves_provenance(self, seed):
+        rng = random.Random(seed)
+        query = random_cq(
+            seed=seed,
+            n_atoms=rng.randint(1, 2),
+            n_variables=rng.randint(1, 3),
+            diseq_probability=rng.choice([0.0, 0.4]),
+        )
+        db = random_database({"R": 2, "S": 1}, ["a", "b"], rng.randint(0, 4), seed=seed)
+        assert evaluate(query, db) == evaluate(canonical_rewriting(query), db)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_engines_agree(self, seed):
+        from repro.db.sqlite_backend import SQLiteDatabase
+
+        rng = random.Random(seed)
+        query = random_cq(
+            seed=seed,
+            n_atoms=rng.randint(1, 3),
+            n_variables=rng.randint(1, 3),
+            diseq_probability=rng.choice([0.0, 0.3]),
+        )
+        db = random_database(
+            {"R": 2, "S": 1}, ["a", "b", "c"], rng.randint(0, 6), seed=seed
+        )
+        store = SQLiteDatabase.from_annotated(db)
+        try:
+            assert evaluate(query, db) == store.evaluate(query)
+        finally:
+            store.close()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_minprov_reduces_provenance(self, seed):
+        from repro.minimize.minprov import min_prov
+        from repro.order.query_order import le_on_database
+
+        rng = random.Random(seed)
+        query = random_cq(
+            seed=seed,
+            n_atoms=rng.randint(1, 2),
+            n_variables=2,
+            diseq_probability=rng.choice([0.0, 0.4]),
+        )
+        minimal = min_prov(query)
+        db = random_database({"R": 2, "S": 1}, ["a", "b"], rng.randint(0, 4), seed=seed)
+        assert le_on_database(minimal, query, db)

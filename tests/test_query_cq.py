@@ -1,0 +1,130 @@
+"""Unit tests for conjunctive queries (Def. 2.1) and completeness."""
+
+import pytest
+
+from repro.errors import QueryConstructionError
+from repro.query.atoms import Atom, Disequality
+from repro.query.build import atom, c, cq, diseq
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.terms import Constant, Variable
+
+
+class TestWellFormedness:
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryConstructionError):
+            cq(["z"], [atom("R", "x")])
+
+    def test_diseq_variable_must_occur_in_body(self):
+        with pytest.raises(QueryConstructionError):
+            cq(["x"], [atom("R", "x")], [diseq("x", "z")])
+
+    def test_needs_at_least_one_atom(self):
+        with pytest.raises(QueryConstructionError):
+            cq([], [])
+
+    def test_constant_in_head_allowed(self):
+        query = cq([c("a"), "x"], [atom("R", "x")])
+        assert query.arity == 2
+
+    def test_boolean_query(self):
+        assert cq([], [atom("R", "x")]).is_boolean()
+
+
+class TestAccessors:
+    def test_variables_and_constants(self):
+        query = parse_query("ans(x) :- R(x, y), S(y, 'c'), x != 'd'")
+        assert {v.name for v in query.variables()} == {"x", "y"}
+        assert {k.value for k in query.constants()} == {"c", "d"}
+
+    def test_relations(self):
+        query = parse_query("ans(x) :- R(x), S(x), R(x)")
+        assert query.relations() == {"R", "S"}
+
+    def test_size(self):
+        assert parse_query("ans(x) :- R(x), S(x)").size() == 2
+
+    def test_duplicate_atom_indices(self):
+        query = parse_query("ans(x) :- R(x), S(x), R(x)")
+        assert query.duplicate_atom_indices() == [2]
+
+    def test_arguments(self):
+        query = parse_query("ans(x) :- R(x, 'a')")
+        assert query.arguments() == {Variable("x"), Constant("a")}
+
+
+class TestCompleteness:
+    def test_example_2_3(self):
+        """Q is incomplete, Q' is complete (the paper's Example 2.3)."""
+        q = parse_query("ans(x, y) :- R(x, y), S(y, 'c'), x != y, y != 'c'")
+        q_prime = parse_query(
+            "ans(x, y) :- R(x, y), S(y, 'c'), x != y, y != 'c', x != 'c'"
+        )
+        assert not q.is_complete()
+        assert q_prime.is_complete()
+
+    def test_completeness_wrt_extra_constants(self):
+        query = parse_query("ans(x) :- R(x)")
+        complete = query.completion_of([Constant("a")])
+        assert complete.is_complete([Constant("a")])
+        assert not query.is_complete([Constant("a")])
+
+    def test_single_variable_no_constants_is_complete(self):
+        assert parse_query("ans(x) :- R(x)").is_complete()
+
+    def test_completion_of_adds_all_disequalities(self):
+        query = parse_query("ans(x) :- R(x, y)")
+        complete = query.completion_of()
+        assert complete.is_complete()
+        assert Disequality(Variable("x"), Variable("y")) in complete.disequalities
+
+
+class TestTransformations:
+    def test_substitute(self):
+        query = parse_query("ans(x) :- R(x, y)")
+        result = query.substitute({Variable("y"): Constant("a")})
+        assert str(result) == "ans(x) :- R(x, 'a')"
+
+    def test_without_atom_drops_dangling_diseq(self):
+        query = parse_query("ans(x) :- R(x), S(y), x != y")
+        result = query.without_atom(1)
+        assert result.disequalities == frozenset()
+        assert result.size() == 1
+
+    def test_without_atom_keeps_needed_diseq(self):
+        query = parse_query("ans(x) :- R(x, y), S(x), x != y")
+        result = query.without_atom(1)
+        assert len(result.disequalities) == 1
+
+    def test_deduplicate_atoms(self):
+        query = parse_query("ans(x) :- R(x), R(x), S(x)")
+        assert query.deduplicate_atoms().size() == 2
+
+    def test_canonical_rename(self):
+        query = parse_query("ans(b) :- R(b, q), S(q)")
+        renamed = query.canonical_rename()
+        assert str(renamed) == "ans(x1) :- R(x1, x2), S(x2)"
+
+    def test_rename_apart(self):
+        query = parse_query("ans(x) :- R(x, y)")
+        renamed = query.rename_apart(["x"])
+        assert Variable("x") not in renamed.variables()
+        assert renamed.size() == 1
+
+
+class TestEquality:
+    def test_equal_up_to_atom_order(self):
+        q1 = parse_query("ans(x) :- R(x), S(x)")
+        q2 = parse_query("ans(x) :- S(x), R(x)")
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_atom_multiplicity_matters(self):
+        q1 = parse_query("ans(x) :- R(x)")
+        q2 = parse_query("ans(x) :- R(x), R(x)")
+        assert q1 != q2
+
+    def test_not_equal_up_to_renaming(self):
+        q1 = parse_query("ans(x) :- R(x)")
+        q2 = parse_query("ans(y) :- R(y)")
+        assert q1 != q2  # use is_isomorphic for renaming-equality

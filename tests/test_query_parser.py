@@ -1,0 +1,125 @@
+"""Unit tests for the rule parser and printer round-trip."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_program, parse_query, parse_rules
+from repro.query.printer import cq_to_str, query_to_latex, query_to_str
+from repro.query.terms import Constant, Variable
+from repro.query.ucq import UnionQuery
+
+
+class TestBasicParsing:
+    def test_simple_rule(self):
+        query = parse_query("ans(x) :- R(x, y)")
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.size() == 1
+        assert query.arity == 1
+
+    def test_paper_arrow_accepted(self):
+        assert parse_query("ans(x) := R(x)") == parse_query("ans(x) :- R(x)")
+
+    def test_trailing_period(self):
+        assert parse_query("ans(x) :- R(x).") == parse_query("ans(x) :- R(x)")
+
+    def test_string_constants(self):
+        query = parse_query("ans(x) :- S(x, 'c')")
+        assert Constant("c") in query.constants()
+
+    def test_double_quoted_constants(self):
+        query = parse_query('ans(x) :- S(x, "c")')
+        assert Constant("c") in query.constants()
+
+    def test_integer_constants(self):
+        query = parse_query("ans(x) :- S(x, 42)")
+        assert Constant(42) in query.constants()
+
+    def test_negative_integer(self):
+        query = parse_query("ans(x) :- S(x, -3)")
+        assert Constant(-3) in query.constants()
+
+    def test_disequalities(self):
+        query = parse_query("ans(x) :- R(x, y), x != y, y != 'c'")
+        assert len(query.disequalities) == 2
+
+    def test_alternative_neq_tokens(self):
+        q1 = parse_query("ans(x) :- R(x, y), x != y")
+        q2 = parse_query("ans(x) :- R(x, y), x <> y")
+        assert q1 == q2
+
+    def test_boolean_head(self):
+        query = parse_query("ans() :- R(x)")
+        assert query.is_boolean()
+
+    def test_comments_ignored(self):
+        query = parse_query("# header\nans(x) :- R(x)  # tail\n% datalog style")
+        assert query.size() == 1
+
+
+class TestUnionsAndPrograms:
+    def test_two_rules_make_a_union(self):
+        query = parse_query("ans(x) :- R(x)\nans(x) :- S(x)")
+        assert isinstance(query, UnionQuery)
+
+    def test_parse_program_groups_by_head(self):
+        program = parse_program(
+            "view(x) :- R(x)\nview(x) :- S(x)\nother(x) :- T(x)"
+        )
+        assert set(program) == {"view", "other"}
+        assert isinstance(program["view"], UnionQuery)
+        assert isinstance(program["other"], ConjunctiveQuery)
+
+    def test_parse_rules_returns_list(self):
+        rules = parse_rules("a(x) :- R(x). a(y) :- S(y).")
+        assert len(rules) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "ans(x)",
+            "ans(x) :- ",
+            "ans(x) :- R(x,)",
+            "ans(x) :- R(x) S(x)",
+            "ans(x) :- x != ",
+            "ans(x) :- R(x), !",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("ans(x) :- R(x) $$")
+        assert info.value.position >= 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "ans(x) :- R(x, y)",
+            "ans(x, y) :- R(x, y), S(y, 'c'), x != y, y != 'c'",
+            "ans() :- R(x), R(y), x != y",
+            "ans(x) :- R(x, 3)",
+            "ans('k', x) :- R(x)",
+        ],
+    )
+    def test_print_then_parse_is_identity(self, text):
+        query = parse_query(text)
+        assert parse_query(query_to_str(query)) == query
+
+    def test_union_round_trip(self, fig1):
+        assert parse_query(query_to_str(fig1.q_union)) == fig1.q_union
+
+    def test_cq_to_str_deterministic(self):
+        query = parse_query("ans(x) :- R(x, y), y != x, x != 'a'")
+        assert cq_to_str(query) == cq_to_str(parse_query(cq_to_str(query)))
+
+    def test_latex_output_mentions_neq(self, fig1):
+        assert r"\neq" in query_to_latex(fig1.q1)
+        assert r"\cup" in query_to_latex(fig1.q_union)

@@ -1,0 +1,119 @@
+"""Unit tests for terms, atoms and disequalities."""
+
+import pytest
+
+from repro.errors import QueryConstructionError, UnsatisfiableQueryError
+from repro.query.atoms import Atom, Disequality
+from repro.query.terms import (
+    Constant,
+    Variable,
+    is_constant,
+    is_variable,
+    term_sort_key,
+)
+
+
+class TestTerms:
+    def test_variable_equality(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_variable_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_constant_equality(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_variable_never_equals_constant(self):
+        assert Variable("a") != Constant("a")
+
+    def test_predicates(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+        assert is_constant(Constant(1))
+
+    def test_str_forms(self):
+        assert str(Variable("x")) == "x"
+        assert str(Constant("a")) == "'a'"
+        assert str(Constant(3)) == "3"
+
+    def test_sort_key_orders_variables_before_constants(self):
+        assert term_sort_key(Variable("z")) < term_sort_key(Constant("a"))
+
+    def test_constant_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            Constant([1, 2])
+
+
+class TestAtom:
+    def test_construction_and_str(self):
+        atom = Atom("R", (Variable("x"), Constant("a")))
+        assert atom.arity == 2
+        assert str(atom) == "R(x, 'a')"
+
+    def test_variables_and_constants(self):
+        atom = Atom("R", (Variable("x"), Constant("a"), Variable("x")))
+        assert list(atom.variables()) == [Variable("x"), Variable("x")]
+        assert list(atom.constants()) == [Constant("a")]
+
+    def test_substitute(self):
+        atom = Atom("R", (Variable("x"), Variable("y")))
+        result = atom.substitute({Variable("x"): Constant("a")})
+        assert result == Atom("R", (Constant("a"), Variable("y")))
+
+    def test_substitute_leaves_constants(self):
+        atom = Atom("R", (Constant("a"),))
+        assert atom.substitute({Variable("a"): Variable("z")}) == atom
+
+    def test_rejects_bad_relation_name(self):
+        with pytest.raises(QueryConstructionError):
+            Atom("", (Variable("x"),))
+
+    def test_rejects_non_term_args(self):
+        with pytest.raises(QueryConstructionError):
+            Atom("R", ("x",))
+
+    def test_nullary_atom(self):
+        assert Atom("T", ()).arity == 0
+
+
+class TestDisequality:
+    def test_symmetric_equality(self):
+        x, y = Variable("x"), Variable("y")
+        assert Disequality(x, y) == Disequality(y, x)
+        assert hash(Disequality(x, y)) == hash(Disequality(y, x))
+
+    def test_variable_constant(self):
+        dis = Disequality(Constant("c"), Variable("x"))
+        assert dis.left == Variable("x")  # variables sort first
+        assert dis.right == Constant("c")
+
+    def test_rejects_two_constants(self):
+        with pytest.raises(QueryConstructionError):
+            Disequality(Constant("a"), Constant("b"))
+
+    def test_rejects_identical_terms(self):
+        with pytest.raises(UnsatisfiableQueryError):
+            Disequality(Variable("x"), Variable("x"))
+
+    def test_substitute(self):
+        dis = Disequality(Variable("x"), Variable("y"))
+        result = dis.substitute({Variable("x"): Variable("z")})
+        assert result == Disequality(Variable("z"), Variable("y"))
+
+    def test_substitute_collapse_raises(self):
+        dis = Disequality(Variable("x"), Variable("y"))
+        with pytest.raises(UnsatisfiableQueryError):
+            dis.substitute({Variable("x"): Variable("y")})
+
+    def test_is_satisfied_by(self):
+        dis = Disequality(Variable("x"), Constant("a"))
+        values = {Variable("x"): "b", Constant("a"): "a"}
+        assert dis.is_satisfied_by(lambda t: values[t])
+
+    def test_variables(self):
+        dis = Disequality(Variable("x"), Constant("a"))
+        assert dis.variables() == (Variable("x"),)

@@ -1,0 +1,80 @@
+"""Unit tests for union queries (Def. 2.4)."""
+
+import pytest
+
+from repro.errors import QueryConstructionError
+from repro.query.build import atom, cq, ucq
+from repro.query.parser import parse_query
+from repro.query.ucq import UnionQuery, adjuncts_of, as_union
+
+
+class TestConstruction:
+    def test_from_parser(self):
+        query = parse_query("ans(x) :- R(x)\nans(x) :- S(x)")
+        assert isinstance(query, UnionQuery)
+        assert len(query.adjuncts) == 2
+
+    def test_rejects_mixed_arity(self):
+        q1 = cq(["x"], [atom("R", "x")])
+        q2 = cq(["x", "y"], [atom("R", "x", "y")])
+        with pytest.raises(QueryConstructionError):
+            UnionQuery([q1, q2])
+
+    def test_rejects_mixed_head_relation(self):
+        q1 = cq(["x"], [atom("R", "x")], head_relation="ans")
+        q2 = cq(["x"], [atom("R", "x")], head_relation="out")
+        with pytest.raises(QueryConstructionError):
+            UnionQuery([q1, q2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryConstructionError):
+            UnionQuery([])
+
+    def test_ucq_builder_flattens(self):
+        q1 = cq(["x"], [atom("R", "x")])
+        q2 = cq(["x"], [atom("S", "x")])
+        union = ucq(ucq(q1), q2)
+        assert len(union.adjuncts) == 2
+
+
+class TestAccessors:
+    def test_variables_union(self, fig1):
+        assert {v.name for v in fig1.q_union.variables()} == {"x", "y"}
+
+    def test_relations(self, fig1):
+        assert fig1.q_union.relations() == {"R"}
+
+    def test_size_sums_adjuncts(self, fig1):
+        assert fig1.q_union.size() == 3
+
+    def test_is_complete(self, fig1):
+        assert fig1.q_union.is_complete()  # Qunion is in cUCQ≠ (Ex. 2.5)
+
+    def test_union_method(self, fig1):
+        combined = fig1.q_union.union(fig1.q_conj)
+        assert len(combined.adjuncts) == 3
+
+
+class TestCoercion:
+    def test_as_union_of_cq(self):
+        query = parse_query("ans(x) :- R(x)")
+        union = as_union(query)
+        assert isinstance(union, UnionQuery)
+        assert union.adjuncts == (query,)
+
+    def test_as_union_idempotent(self, fig1):
+        assert as_union(fig1.q_union) is fig1.q_union
+
+    def test_adjuncts_of(self, fig1):
+        assert adjuncts_of(fig1.q_conj) == (fig1.q_conj,)
+        assert adjuncts_of(fig1.q_union) == fig1.q_union.adjuncts
+
+    def test_as_union_rejects_other(self):
+        with pytest.raises(TypeError):
+            as_union("ans(x) :- R(x)")
+
+    def test_equality_as_sets(self):
+        q1 = parse_query("ans(x) :- R(x)\nans(x) :- S(x)")
+        q2 = parse_query("ans(x) :- S(x)\nans(x) :- R(x)")
+        assert q1 == q2
+        assert hash(q1) == hash(q2)

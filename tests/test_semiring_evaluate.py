@@ -1,0 +1,70 @@
+"""Unit tests for polynomial specialization into semirings."""
+
+import pytest
+
+from repro.semiring.boolean import BooleanSemiring
+from repro.semiring.evaluate import evaluate_polynomial
+from repro.semiring.natural import NaturalSemiring
+from repro.semiring.polynomial import Polynomial
+from repro.semiring.security import Clearance, SecuritySemiring
+from repro.semiring.tropical import TropicalSemiring
+
+
+class TestEvaluate:
+    def test_boolean_trust(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        value = evaluate_polynomial(
+            p, BooleanSemiring(), {"s1": True, "s2": True, "s3": False}
+        )
+        assert value is True
+
+    def test_boolean_untrusted(self):
+        p = Polynomial.parse("s1*s2")
+        assert not evaluate_polynomial(
+            p, BooleanSemiring(), {"s1": True, "s2": False}
+        )
+
+    def test_counting_with_coefficients_and_exponents(self):
+        p = Polynomial.parse("2*s1^2 + s2")
+        assert evaluate_polynomial(p, NaturalSemiring(), {"s1": 3, "s2": 5}) == 23
+
+    def test_tropical_min_cost(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        cost = evaluate_polynomial(
+            p, TropicalSemiring(), {"s1": 1.0, "s2": 1.5, "s3": 4.0}
+        )
+        assert cost == 2.5
+
+    def test_security_clearance(self):
+        p = Polynomial.parse("s1*s2 + s3")
+        level = evaluate_polynomial(
+            p,
+            SecuritySemiring(),
+            {
+                "s1": Clearance.TOP_SECRET,
+                "s2": Clearance.PUBLIC,
+                "s3": Clearance.SECRET,
+            },
+        )
+        assert level == Clearance.SECRET
+
+    def test_callable_valuation(self):
+        p = Polynomial.parse("s1 + s2")
+        assert evaluate_polynomial(p, NaturalSemiring(), lambda s: 1) == 2
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_polynomial(Polynomial.parse("s1"), NaturalSemiring(), {})
+
+    def test_zero_polynomial(self):
+        assert evaluate_polynomial(Polynomial.zero(), NaturalSemiring(), {}) == 0
+
+    def test_identity_specialization(self):
+        """Evaluating with X -> X in N[X] is the identity (universality)."""
+        from repro.semiring.polynomial import ProvenancePolynomialSemiring
+
+        p = Polynomial.parse("2*s1^2*s2 + s3")
+        value = evaluate_polynomial(
+            p, ProvenancePolynomialSemiring(), Polynomial.variable
+        )
+        assert value == p

@@ -1,0 +1,111 @@
+"""Unit tests for the terseness order (Def. 2.15)."""
+
+import pytest
+
+from repro.paperdata.figures import example_2_16_polynomials
+from repro.semiring.order import (
+    Ordering,
+    compare_polynomials,
+    monomial_le,
+    polynomial_eq,
+    polynomial_le,
+    polynomial_lt,
+)
+from repro.semiring.polynomial import Monomial, Polynomial
+
+
+class TestMonomialOrder:
+    def test_containment(self):
+        assert monomial_le(Monomial(["s1"]), Monomial(["s1", "s2"]))
+
+    def test_exponents_counted(self):
+        assert monomial_le(Monomial(["s1", "s1"]), Monomial(["s1", "s1", "s1"]))
+        assert not monomial_le(Monomial(["s1", "s1"]), Monomial(["s1", "s2"]))
+
+    def test_unit_below_everything(self):
+        assert monomial_le(Monomial.one(), Monomial(["s1"]))
+
+
+class TestPolynomialOrder:
+    def test_example_2_16(self):
+        """The paper's worked example: p1 < p2."""
+        p1, p2 = example_2_16_polynomials()
+        assert polynomial_lt(p1, p2)
+        assert not polynomial_le(p2, p1)
+
+    def test_reflexive(self):
+        p = Polynomial.parse("s1*s2 + 2*s3")
+        assert polynomial_le(p, p)
+
+    def test_zero_below_everything(self):
+        assert polynomial_le(Polynomial.zero(), Polynomial.parse("s1"))
+
+    def test_monomial_multiplicity_needs_injectivity(self):
+        # Two occurrences of s1 cannot both map into a single s1*s2.
+        p = Polynomial.parse("2*s1")
+        q = Polynomial.parse("s1*s2")
+        assert not polynomial_le(p, q)
+        assert polynomial_le(p, Polynomial.parse("s1*s2 + s1*s3"))
+
+    def test_matching_requires_maximum_not_greedy(self):
+        # Greedy might map s1 -> s1*s2 and strand s1*s3; the maximum
+        # matching maps s1 -> s1 and s1*s3 -> s1*s3... constructed so
+        # that only one perfect assignment exists.
+        p = Polynomial.parse("s1 + s1*s3")
+        q = Polynomial.parse("s1*s3 + s1")
+        assert polynomial_le(p, q)
+        assert polynomial_eq(p, q)
+
+    def test_example_2_14_vs_2_13(self):
+        """Qunion yields s2*s3 + s1, Qconj yields s2*s3 + s1*s1."""
+        terse = Polynomial.parse("s2*s3 + s1")
+        verbose = Polynomial.parse("s2*s3 + s1^2")
+        assert polynomial_lt(terse, verbose)
+
+    def test_eq_coincides_with_identity(self):
+        p = Polynomial.parse("s1 + s2*s3")
+        q = Polynomial.parse("s2*s3 + s1")
+        assert polynomial_eq(p, q)
+        assert p == q
+
+    def test_transitivity_spotcheck(self):
+        p1 = Polynomial.parse("s1")
+        p2 = Polynomial.parse("s1*s2")
+        p3 = Polynomial.parse("s1*s2*s3 + s4")
+        assert polynomial_le(p1, p2)
+        assert polynomial_le(p2, p3)
+        assert polynomial_le(p1, p3)
+
+
+class TestCompare:
+    def test_equal(self):
+        p = Polynomial.parse("s1 + s2")
+        assert compare_polynomials(p, p) is Ordering.EQUAL
+
+    def test_less_and_greater(self):
+        p = Polynomial.parse("s1")
+        q = Polynomial.parse("s1*s2")
+        assert compare_polynomials(p, q) is Ordering.LESS
+        assert compare_polynomials(q, p) is Ordering.GREATER
+
+    def test_incomparable(self):
+        p = Polynomial.parse("s1 + s1")
+        q = Polynomial.parse("s1")
+        # p has two occurrences, q one: q <= p but p !<= q -> GREATER.
+        assert compare_polynomials(p, q) is Ordering.GREATER
+        r = Polynomial.parse("s2")
+        assert compare_polynomials(Polynomial.parse("s1"), r) is Ordering.INCOMPARABLE
+
+    def test_lemma_3_6_incomparability(self):
+        """The two Figure 2 polynomial pairs order in opposite ways."""
+        from repro.paperdata.databases import lemma_3_6_expected
+
+        expected = lemma_3_6_expected()
+        on_d = compare_polynomials(
+            expected["q_no_pmin_on_d"], expected["q_alt_on_d"]
+        )
+        on_dp = compare_polynomials(
+            expected["q_no_pmin_on_dp"], expected["q_alt_on_dp"]
+        )
+        assert on_d is Ordering.GREATER
+        assert on_dp is Ordering.LESS

@@ -1,0 +1,175 @@
+"""Unit tests for monomials and N[X] polynomials."""
+
+import pytest
+
+from repro.semiring.polynomial import (
+    Monomial,
+    Polynomial,
+    ProvenancePolynomialSemiring,
+)
+
+
+class TestMonomial:
+    def test_unit_monomial(self):
+        one = Monomial.one()
+        assert one.degree == 0
+        assert str(one) == "1"
+
+    def test_degree_counts_multiplicity(self):
+        assert Monomial(["s1", "s1", "s2"]).degree == 3
+
+    def test_exponent(self):
+        m = Monomial(["s1", "s1", "s2"])
+        assert m.exponent("s1") == 2
+        assert m.exponent("s3") == 0
+
+    def test_str_compact_form(self):
+        assert str(Monomial(["s1", "s1", "s2"])) == "s1^2*s2"
+
+    def test_expanded_str(self):
+        assert Monomial(["s1", "s1"]).expanded_str() == "s1*s1"
+
+    def test_multiplication(self):
+        m = Monomial(["s1"]) * Monomial(["s1", "s2"])
+        assert m == Monomial(["s1", "s1", "s2"])
+
+    def test_multiplication_by_symbol(self):
+        assert Monomial(["s1"]) * "s2" == Monomial(["s1", "s2"])
+
+    def test_support(self):
+        assert Monomial(["s1", "s1", "s2"]).support() == Monomial(["s1", "s2"])
+
+    def test_is_linear(self):
+        assert Monomial(["s1", "s2"]).is_linear()
+        assert not Monomial(["s1", "s1"]).is_linear()
+
+    def test_order_is_multiset_inclusion(self):
+        assert Monomial(["s1"]) <= Monomial(["s1", "s2"])
+        assert not Monomial(["s1", "s1"]) <= Monomial(["s1", "s2"])
+
+    def test_rejects_non_string_factors(self):
+        with pytest.raises(TypeError):
+            Monomial([1, 2])
+
+    def test_hashable_and_equal(self):
+        assert hash(Monomial(["a", "b"])) == hash(Monomial(["b", "a"]))
+
+
+class TestPolynomialConstruction:
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert str(Polynomial.zero()) == "0"
+
+    def test_one(self):
+        assert str(Polynomial.one()) == "1"
+
+    def test_variable(self):
+        assert str(Polynomial.variable("s1")) == "s1"
+
+    def test_from_monomials_accumulates(self):
+        p = Polynomial.from_monomials([Monomial(["s1"]), Monomial(["s1"])])
+        assert p.coefficient(Monomial(["s1"])) == 2
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial({Monomial(["s1"]): 0})
+        assert p.is_zero()
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial({Monomial(["s1"]): -1})
+
+    def test_non_monomial_key_rejected(self):
+        with pytest.raises(TypeError):
+            Polynomial({"s1": 1})
+
+
+class TestPolynomialParse:
+    def test_parse_simple(self):
+        assert str(Polynomial.parse("s1 + s2*s3")) == "s1 + s2*s3"
+
+    def test_parse_exponents(self):
+        p = Polynomial.parse("s1^2*s2")
+        assert p.coefficient(Monomial(["s1", "s1", "s2"])) == 1
+
+    def test_parse_coefficients(self):
+        p = Polynomial.parse("3*s1")
+        assert p.coefficient(Monomial(["s1"])) == 3
+
+    def test_parse_repeated_factors_fold(self):
+        assert Polynomial.parse("s1*s1") == Polynomial.parse("s1^2")
+
+    def test_parse_zero(self):
+        assert Polynomial.parse("0").is_zero()
+        assert Polynomial.parse("").is_zero()
+
+    def test_parse_roundtrip(self):
+        text = "2*s1^2*s2 + s3 + 4*s4*s5"
+        assert str(Polynomial.parse(text)) == text
+
+
+class TestPolynomialAlgebra:
+    def test_addition(self):
+        p = Polynomial.parse("s1") + Polynomial.parse("s1 + s2")
+        assert p == Polynomial.parse("2*s1 + s2")
+
+    def test_multiplication_distributes(self):
+        p = Polynomial.parse("s1 + s2") * Polynomial.parse("s3")
+        assert p == Polynomial.parse("s1*s3 + s2*s3")
+
+    def test_multiplication_merges_coefficients(self):
+        p = Polynomial.parse("s1 + s2") * Polynomial.parse("s1 + s2")
+        assert p == Polynomial.parse("s1^2 + 2*s1*s2 + s2^2")
+
+    def test_scale(self):
+        assert Polynomial.parse("s1").scale(3) == Polynomial.parse("3*s1")
+
+    def test_scale_by_zero(self):
+        assert Polynomial.parse("s1 + s2").scale(0).is_zero()
+
+    def test_map_symbols(self):
+        p = Polynomial.parse("s1*s2 + s1")
+        renamed = p.map_symbols({"s1": "t"})
+        assert renamed == Polynomial.parse("t*s2 + t")
+
+    def test_map_symbols_can_merge(self):
+        p = Polynomial.parse("s1 + s2")
+        assert p.map_symbols({"s2": "s1"}) == Polynomial.parse("2*s1")
+
+
+class TestPolynomialStructure:
+    def test_monomial_count_counts_occurrences(self):
+        assert Polynomial.parse("2*s1 + s2").monomial_count() == 3
+
+    def test_expanded_lists_occurrences(self):
+        expanded = Polynomial.parse("2*s1").expanded()
+        assert expanded == [Monomial(["s1"]), Monomial(["s1"])]
+
+    def test_expanded_str(self):
+        assert Polynomial.parse("2*s1^2").expanded_str() == "s1*s1 + s1*s1"
+
+    def test_support(self):
+        assert Polynomial.parse("s1*s2 + s3").support() == frozenset(
+            {"s1", "s2", "s3"}
+        )
+
+    def test_degree(self):
+        assert Polynomial.parse("s1 + s2^3").degree() == 3
+        assert Polynomial.zero().degree() == 0
+
+    def test_hashable(self):
+        assert hash(Polynomial.parse("s1 + s2")) == hash(Polynomial.parse("s2 + s1"))
+
+
+class TestProvenanceSemiring:
+    def test_semiring_laws_spotcheck(self):
+        semiring = ProvenancePolynomialSemiring()
+        a = Polynomial.parse("s1 + s2")
+        b = Polynomial.parse("s3")
+        c = Polynomial.parse("s1*s2")
+        assert semiring.add(a, b) == semiring.add(b, a)
+        assert semiring.mul(a, b) == semiring.mul(b, a)
+        assert semiring.mul(a, semiring.add(b, c)) == semiring.add(
+            semiring.mul(a, b), semiring.mul(a, c)
+        )
+        assert semiring.mul(a, semiring.zero).is_zero()
+        assert semiring.mul(a, semiring.one) == a

@@ -1,0 +1,166 @@
+"""Unit tests for the concrete semirings and their structural laws."""
+
+import pytest
+
+from repro.semiring.base import Semiring
+from repro.semiring.boolean import BooleanSemiring
+from repro.semiring.lineage import LineageSemiring, lineage_of
+from repro.semiring.natural import NaturalSemiring
+from repro.semiring.polynomial import Polynomial
+from repro.semiring.security import Clearance, SecuritySemiring
+from repro.semiring.trio import TrioSemiring, trio_of
+from repro.semiring.tropical import TropicalSemiring
+from repro.semiring.viterbi import ViterbiSemiring
+from repro.semiring.whyprov import WhySemiring
+
+
+def _samples(semiring):
+    """A few representative elements per semiring for law checks."""
+    if isinstance(semiring, BooleanSemiring):
+        return [False, True]
+    if isinstance(semiring, NaturalSemiring):
+        return [0, 1, 2, 5]
+    if isinstance(semiring, TropicalSemiring):
+        return [semiring.zero, 0.0, 1.0, 2.5]
+    if isinstance(semiring, ViterbiSemiring):
+        return [0.0, 0.25, 0.5, 1.0]
+    if isinstance(semiring, SecuritySemiring):
+        return list(Clearance)
+    if isinstance(semiring, WhySemiring):
+        x = WhySemiring.variable("x")
+        y = WhySemiring.variable("y")
+        return [semiring.zero, semiring.one, x, semiring.mul(x, y)]
+    if isinstance(semiring, LineageSemiring):
+        x = LineageSemiring.variable("x")
+        y = LineageSemiring.variable("y")
+        return [semiring.zero, semiring.one, x, semiring.mul(x, y)]
+    if isinstance(semiring, TrioSemiring):
+        return [
+            semiring.zero,
+            semiring.one,
+            Polynomial.parse("x"),
+            Polynomial.parse("x*y + 2*z"),
+        ]
+    raise AssertionError("no samples for {!r}".format(semiring))
+
+
+ALL_SEMIRINGS = [
+    BooleanSemiring(),
+    NaturalSemiring(),
+    TropicalSemiring(),
+    ViterbiSemiring(),
+    SecuritySemiring(),
+    WhySemiring(),
+    LineageSemiring(),
+    TrioSemiring(),
+]
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: type(s).__name__)
+class TestSemiringLaws:
+    def test_additive_unit(self, semiring):
+        for a in _samples(semiring):
+            assert semiring.add(a, semiring.zero) == a
+
+    def test_multiplicative_unit(self, semiring):
+        for a in _samples(semiring):
+            assert semiring.mul(a, semiring.one) == a
+
+    def test_annihilation(self, semiring):
+        for a in _samples(semiring):
+            assert semiring.mul(a, semiring.zero) == semiring.zero
+
+    def test_commutativity(self, semiring):
+        samples = _samples(semiring)
+        for a in samples:
+            for b in samples:
+                assert semiring.add(a, b) == semiring.add(b, a)
+                assert semiring.mul(a, b) == semiring.mul(b, a)
+
+    def test_associativity(self, semiring):
+        samples = _samples(semiring)[:3]
+        for a in samples:
+            for b in samples:
+                for c in samples:
+                    assert semiring.add(semiring.add(a, b), c) == semiring.add(
+                        a, semiring.add(b, c)
+                    )
+                    assert semiring.mul(semiring.mul(a, b), c) == semiring.mul(
+                        a, semiring.mul(b, c)
+                    )
+
+    def test_distributivity(self, semiring):
+        samples = _samples(semiring)[:3]
+        for a in samples:
+            for b in samples:
+                for c in samples:
+                    left = semiring.mul(a, semiring.add(b, c))
+                    right = semiring.add(semiring.mul(a, b), semiring.mul(a, c))
+                    assert left == right
+
+    def test_declared_idempotence_holds(self, semiring):
+        if semiring.idempotent_add:
+            for a in _samples(semiring):
+                assert semiring.add(a, a) == a
+
+    def test_declared_absorptivity_holds(self, semiring):
+        if semiring.absorptive:
+            for a in _samples(semiring):
+                for b in _samples(semiring):
+                    assert semiring.add(a, semiring.mul(a, b)) == a
+
+
+class TestTimesAndPower:
+    def test_times_in_natural(self):
+        semiring = NaturalSemiring()
+        assert semiring.times(4, 3) == 12
+        assert semiring.times(0, 3) == 0
+
+    def test_times_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NaturalSemiring().times(-1, 2)
+
+    def test_times_idempotent_shortcut(self):
+        assert BooleanSemiring().times(100, True) is True
+
+    def test_power(self):
+        assert NaturalSemiring().power(2, 10) == 1024
+        assert NaturalSemiring().power(7, 0) == 1
+
+    def test_sum_product(self):
+        semiring = NaturalSemiring()
+        assert semiring.sum([1, 2, 3]) == 6
+        assert semiring.product([2, 3, 4]) == 24
+        assert semiring.sum([]) == 0
+        assert semiring.product([]) == 1
+
+
+class TestSpecificBehaviour:
+    def test_tropical_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            TropicalSemiring().mul(-1.0, 2.0)
+
+    def test_viterbi_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ViterbiSemiring().mul(1.5, 0.5)
+
+    def test_why_minimal_witnesses(self):
+        x = WhySemiring.variable("x")
+        xy = WhySemiring().mul(x, WhySemiring.variable("y"))
+        value = WhySemiring().add(x, xy)
+        assert WhySemiring.minimal_witnesses(value) == frozenset(
+            {frozenset({"x"})}
+        )
+
+    def test_trio_drops_exponents_keeps_coefficients(self):
+        assert trio_of(Polynomial.parse("s1^2 + 2*s2")) == Polynomial.parse(
+            "s1 + 2*s2"
+        )
+
+    def test_lineage_flattens_everything(self):
+        assert lineage_of(Polynomial.parse("s1*s2 + s3")) == frozenset(
+            {"s1", "s2", "s3"}
+        )
+
+    def test_lineage_of_zero(self):
+        assert lineage_of(Polynomial.zero()) == LineageSemiring.ZERO

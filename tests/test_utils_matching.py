@@ -1,0 +1,84 @@
+"""Unit and differential tests for Hopcroft-Karp matching."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.utils.matching import (
+    greedy_matching_size,
+    maximum_matching,
+    maximum_matching_size,
+)
+
+
+class TestSmallGraphs:
+    def test_empty_graph(self):
+        assert maximum_matching_size([], 0) == 0
+
+    def test_no_edges(self):
+        assert maximum_matching_size([[], []], 3) == 0
+
+    def test_perfect_matching(self):
+        assert maximum_matching_size([[0], [1]], 2) == 2
+
+    def test_competition_for_one_vertex(self):
+        assert maximum_matching_size([[0], [0]], 1) == 1
+
+    def test_augmenting_path_needed(self):
+        # Greedy picks 0-0, blocking 1; maximum re-routes 0-1, 1-0.
+        adjacency = [[0, 1], [0]]
+        assert maximum_matching_size(adjacency, 2) == 2
+
+    def test_returns_valid_matching(self):
+        adjacency = [[0, 1], [0], [1, 2]]
+        match_left = maximum_matching(adjacency, 3)
+        used = [v for v in match_left if v is not None]
+        assert len(used) == len(set(used))
+        for u, v in enumerate(match_left):
+            if v is not None:
+                assert v in adjacency[u]
+
+
+class TestDifferentialAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_graph_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        n_left = rng.randint(0, 8)
+        n_right = rng.randint(0, 8)
+        adjacency = [
+            [v for v in range(n_right) if rng.random() < 0.4]
+            for _ in range(n_left)
+        ]
+        ours = maximum_matching_size(adjacency, n_right)
+        graph = nx.Graph()
+        graph.add_nodes_from(("L", u) for u in range(n_left))
+        graph.add_nodes_from(("R", v) for v in range(n_right))
+        for u, neighbours in enumerate(adjacency):
+            for v in neighbours:
+                graph.add_edge(("L", u), ("R", v))
+        theirs = len(
+            nx.bipartite.maximum_matching(
+                graph, top_nodes=[("L", u) for u in range(n_left)]
+            )
+        ) // 2
+        assert ours == theirs
+
+
+class TestGreedyBaseline:
+    def test_greedy_never_exceeds_maximum(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            n_right = rng.randint(1, 6)
+            adjacency = [
+                [v for v in range(n_right) if rng.random() < 0.5]
+                for _ in range(rng.randint(1, 6))
+            ]
+            assert greedy_matching_size(adjacency, n_right) <= maximum_matching_size(
+                adjacency, n_right
+            )
+
+    def test_greedy_suboptimal_example(self):
+        adjacency = [[0, 1], [0]]
+        assert greedy_matching_size(adjacency, 2) == 1
+        assert maximum_matching_size(adjacency, 2) == 2

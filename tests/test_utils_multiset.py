@@ -1,0 +1,107 @@
+"""Unit tests for the frozen multiset."""
+
+import pytest
+
+from repro.utils.multiset import FrozenMultiset
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = FrozenMultiset()
+        assert len(m) == 0
+        assert list(m) == []
+
+    def test_sorted_storage(self):
+        m = FrozenMultiset(["b", "a", "b"])
+        assert m.items == ("a", "b", "b")
+
+    def test_equal_multisets_equal_objects(self):
+        assert FrozenMultiset(["a", "b"]) == FrozenMultiset(["b", "a"])
+
+    def test_hash_consistency(self):
+        assert hash(FrozenMultiset(["a", "b"])) == hash(FrozenMultiset(["b", "a"]))
+
+    def test_inequality_with_other_type(self):
+        assert FrozenMultiset(["a"]) != ["a"]
+
+
+class TestQueries:
+    def test_count(self):
+        m = FrozenMultiset(["a", "a", "b"])
+        assert m.count("a") == 2
+        assert m.count("b") == 1
+        assert m.count("z") == 0
+
+    def test_contains(self):
+        m = FrozenMultiset(["a"])
+        assert "a" in m
+        assert "b" not in m
+
+    def test_counts_dict_is_fresh(self):
+        m = FrozenMultiset(["a", "a"])
+        counts = m.counts
+        counts["a"] = 99
+        assert m.count("a") == 2
+
+    def test_support(self):
+        m = FrozenMultiset(["a", "a", "b", "b", "b"])
+        assert m.support() == FrozenMultiset(["a", "b"])
+
+    def test_distinct(self):
+        m = FrozenMultiset(["b", "a", "b"])
+        assert m.distinct() == ("a", "b")
+
+
+class TestOrder:
+    def test_reflexive(self):
+        m = FrozenMultiset(["a", "b"])
+        assert m <= m
+
+    def test_inclusion(self):
+        small = FrozenMultiset(["a"])
+        big = FrozenMultiset(["a", "a", "b"])
+        assert small <= big
+        assert not big <= small
+
+    def test_multiplicity_matters(self):
+        double = FrozenMultiset(["a", "a"])
+        single = FrozenMultiset(["a", "b", "c"])
+        assert not double <= single
+
+    def test_strict_order(self):
+        small = FrozenMultiset(["a"])
+        big = FrozenMultiset(["a", "b"])
+        assert small < big
+        assert not small < small
+
+    def test_incomparable(self):
+        m1 = FrozenMultiset(["a"])
+        m2 = FrozenMultiset(["b"])
+        assert not m1 <= m2
+        assert not m2 <= m1
+
+    def test_ge_gt(self):
+        big = FrozenMultiset(["a", "b"])
+        small = FrozenMultiset(["a"])
+        assert big >= small
+        assert big > small
+
+
+class TestAlgebra:
+    def test_add_is_multiset_sum(self):
+        m = FrozenMultiset(["a"]) + FrozenMultiset(["a", "b"])
+        assert m == FrozenMultiset(["a", "a", "b"])
+
+    def test_union_takes_max_multiplicity(self):
+        m1 = FrozenMultiset(["a", "a", "b"])
+        m2 = FrozenMultiset(["a", "b", "b"])
+        assert m1.union(m2) == FrozenMultiset(["a", "a", "b", "b"])
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            FrozenMultiset(["a"]) + ["a"]
+
+    def test_heterogeneous_elements_sortable(self):
+        m = FrozenMultiset([1, "a", 2])
+        assert len(m) == 3
+        assert m.count(1) == 1

@@ -1,0 +1,35 @@
+"""Unit tests for fresh-name generation."""
+
+from repro.utils.naming import NameSupply, fresh_names, subscript_stream
+
+
+class TestNameSupply:
+    def test_sequential_names(self):
+        supply = NameSupply("v")
+        assert [supply.fresh() for _ in range(3)] == ["v1", "v2", "v3"]
+
+    def test_avoids_reserved(self):
+        supply = NameSupply("v", avoid={"v1", "v3"})
+        assert [supply.fresh() for _ in range(3)] == ["v2", "v4", "v5"]
+
+    def test_reserve_blocks_future(self):
+        supply = NameSupply("s")
+        supply.reserve("s2")
+        assert [supply.fresh() for _ in range(2)] == ["s1", "s3"]
+
+    def test_no_repeats(self):
+        supply = NameSupply("x")
+        names = [supply.fresh() for _ in range(100)]
+        assert len(set(names)) == 100
+
+
+class TestHelpers:
+    def test_fresh_names(self):
+        assert fresh_names("s", 3) == ["s1", "s2", "s3"]
+
+    def test_fresh_names_avoid(self):
+        assert fresh_names("s", 2, avoid=["s1"]) == ["s2", "s3"]
+
+    def test_subscript_stream(self):
+        stream = subscript_stream("t")
+        assert [next(stream) for _ in range(3)] == ["t1", "t2", "t3"]

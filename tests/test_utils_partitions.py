@@ -1,0 +1,76 @@
+"""Unit tests for constrained partition enumeration."""
+
+import pytest
+
+from repro.utils.partitions import (
+    bell_number,
+    constrained_partitions,
+    count_partitions,
+)
+
+
+class TestUnconstrained:
+    @pytest.mark.parametrize("n,expected", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)])
+    def test_bell_counts(self, n, expected):
+        assert count_partitions(list(range(n))) == expected
+
+    def test_bell_number_function(self):
+        assert [bell_number(i) for i in range(8)] == [1, 1, 2, 5, 15, 52, 203, 877]
+
+    def test_bell_number_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+    def test_partitions_cover_all_items(self):
+        items = ["a", "b", "c"]
+        for partition in constrained_partitions(items):
+            flattened = sorted(x for block in partition for x in block)
+            assert flattened == items
+
+    def test_blocks_are_disjoint(self):
+        for partition in constrained_partitions(list(range(4))):
+            seen = set()
+            for block in partition:
+                assert not (seen & set(block))
+                seen.update(block)
+
+    def test_partitions_distinct(self):
+        partitions = [
+            frozenset(frozenset(b) for b in p)
+            for p in constrained_partitions(list(range(4)))
+        ]
+        assert len(partitions) == len(set(partitions))
+
+
+class TestConstraints:
+    def test_separation_constraint(self):
+        parts = list(constrained_partitions(["x", "y"], separate=[("x", "y")]))
+        assert parts == [(("x",), ("y",))]
+
+    def test_separation_reduces_count(self):
+        free = count_partitions(["x", "y", "z"])
+        constrained = count_partitions(["x", "y", "z"], separate=[("x", "y")])
+        assert constrained < free
+
+    def test_singletons_never_merge(self):
+        parts = list(constrained_partitions(["x", "a", "b"], singletons=["a", "b"]))
+        for partition in parts:
+            for block in partition:
+                assert sum(1 for item in block if item in ("a", "b")) <= 1
+
+    def test_example_4_2_count(self):
+        # Var = {x, y}, C = {a, b}; constraints x != a, x != y: 5 cases.
+        count = count_partitions(
+            ["x", "y", "a", "b"],
+            separate=[("x", "a"), ("x", "y")],
+            singletons=["a", "b"],
+        )
+        assert count == 5
+
+    def test_self_separation_rejected(self):
+        with pytest.raises(ValueError):
+            list(constrained_partitions(["x"], separate=[("x", "x")]))
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            list(constrained_partitions(["x", "x"]))

@@ -1,0 +1,133 @@
+"""Tests for view programs and provenance composition."""
+
+import pytest
+
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import evaluate
+from repro.errors import EvaluationError
+from repro.query.parser import parse_program, parse_query
+from repro.semiring.polynomial import Polynomial
+from repro.views.program import (
+    dependency_order,
+    evaluate_program,
+    expand_to_base,
+)
+
+
+@pytest.fixture
+def edges():
+    return AnnotatedDatabase.from_dict(
+        {
+            "E": {
+                ("a", "b"): "s1",
+                ("b", "c"): "s2",
+                ("c", "a"): "s3",
+            }
+        }
+    )
+
+
+class TestDependencyOrder:
+    def test_linear_chain(self):
+        program = parse_program(
+            """
+            hop2(x, z) :- E(x, y), E(y, z)
+            hop3(x, w) :- hop2(x, z), E(z, w)
+            """
+        )
+        assert dependency_order(program) == ["hop2", "hop3"]
+
+    def test_independent_views_sorted(self):
+        program = parse_program("a(x) :- E(x, y)\nb(x) :- E(y, x)")
+        assert dependency_order(program) == ["a", "b"]
+
+    def test_cycle_rejected(self):
+        program = parse_program("a(x) :- b(x)\nb(x) :- a(x)")
+        with pytest.raises(EvaluationError):
+            dependency_order(program)
+
+    def test_self_recursion_rejected(self):
+        program = parse_program("a(x) :- a(x), E(x, y)")
+        with pytest.raises(EvaluationError):
+            dependency_order(program)
+
+
+class TestEvaluation:
+    def test_two_layer_program(self, edges):
+        program = parse_program(
+            """
+            hop2(x, z) :- E(x, y), E(y, z)
+            hop3(x, w) :- hop2(x, z), E(z, w)
+            """
+        )
+        evaluation = evaluate_program(program, edges)
+        hop2 = evaluation.views["hop2"]
+        assert set(hop2.results) == {("a", "c"), ("b", "a"), ("c", "b")}
+        assert hop2.results[("a", "c")] == Polynomial.parse("s1*s2")
+        hop3 = evaluation.views["hop3"]
+        assert set(hop3.results) == {("a", "a"), ("b", "b"), ("c", "c")}
+
+    def test_base_expansion_matches_unfolded_query(self, edges):
+        """Composing provenance through a view layer equals evaluating
+        the unfolded query directly — the universality of N[X]."""
+        program = parse_program(
+            """
+            hop2(x, z) :- E(x, y), E(y, z)
+            hop4(x, w) :- hop2(x, z), hop2(z, w)
+            """
+        )
+        evaluation = evaluate_program(program, edges)
+        composed = evaluation.base_provenance("hop4")
+        unfolded = parse_query(
+            "ans(x, w) :- E(x, y1), E(y1, z), E(z, y2), E(y2, w)"
+        )
+        direct = evaluate(unfolded, edges)
+        assert composed == direct
+
+    def test_view_symbols_are_fresh(self, edges):
+        program = parse_program("hop2(x, z) :- E(x, y), E(y, z)")
+        evaluation = evaluate_program(program, edges)
+        symbols = set(evaluation.views["hop2"].symbols.values())
+        assert symbols.isdisjoint(edges.annotations())
+        assert len(symbols) == 3
+
+    def test_name_clash_rejected(self, edges):
+        program = parse_program("E(x, y) :- E(y, x)")
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, edges)
+
+    def test_section6_non_abstract_tags_arise(self, edges):
+        """Two view tuples can carry equal base polynomials — the
+        composed layer is effectively non-abstractly tagged, the
+        Sec. 6 setting."""
+        db = AnnotatedDatabase.from_dict({"E": {("a", "a"): "s"}})
+        program = parse_program(
+            "pair(x, y) :- E(x, z), E(z, y)\nloop(x) :- pair(x, x)"
+        )
+        evaluation = evaluate_program(program, db)
+        expanded = evaluation.base_provenance("loop")
+        assert expanded[("a",)] == Polynomial.parse("s^2")
+
+
+class TestExpansion:
+    def test_base_symbols_stand_for_themselves(self):
+        p = Polynomial.parse("s1*s2")
+        assert expand_to_base(p, {}) == p
+
+    def test_single_substitution(self):
+        p = Polynomial.parse("w1 + s3")
+        bindings = {"w1": Polynomial.parse("s1*s2")}
+        assert expand_to_base(p, bindings) == Polynomial.parse("s1*s2 + s3")
+
+    def test_nested_substitution(self):
+        bindings = {
+            "w2": Polynomial.parse("w1*s3"),
+            "w1": Polynomial.parse("s1 + s2"),
+        }
+        expanded = expand_to_base(Polynomial.parse("w2"), bindings)
+        assert expanded == Polynomial.parse("s1*s3 + s2*s3")
+
+    def test_coefficients_and_exponents_compose(self):
+        bindings = {"w1": Polynomial.parse("2*s1")}
+        expanded = expand_to_base(Polynomial.parse("w1^2"), bindings)
+        assert expanded == Polynomial.parse("4*s1^2")
