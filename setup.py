@@ -1,6 +1,32 @@
-"""Setup shim: enables legacy editable installs in offline environments
-where the `wheel` package (needed for PEP 660 builds) is unavailable.
-All metadata lives in pyproject.toml."""
-from setuptools import setup
+"""Packaging for the `repro` provenance-minimization reproduction.
 
-setup()
+Pure standard library at runtime; `pip install -e .` exposes the
+`repro-prov` CLI and removes the need for PYTHONPATH gymnastics.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-provenance-minimization",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'On Provenance Minimization' (PODS 2011): "
+        "N[X] provenance, CQ/UCQ minimization, and incremental view "
+        "maintenance"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-prov=repro.cli:main",
+        ]
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering",
+    ],
+)

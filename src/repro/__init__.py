@@ -30,6 +30,9 @@ from repro.direct.core_polynomial import core_monomials, core_polynomial_approx
 from repro.direct.pipeline import core_provenance, core_provenance_table
 from repro.engine.evaluate import evaluate, provenance, provenance_of_boolean
 from repro.hom.containment import is_contained, is_equivalent
+from repro.incremental.delta import Delta
+from repro.incremental.maintain import check_consistency, maintain
+from repro.incremental.registry import MaintenanceReport, ViewRegistry
 from repro.hom.homomorphism import (
     count_automorphisms,
     find_homomorphism,
@@ -138,5 +141,11 @@ __all__ = [
     "evaluate_program",
     "explain_tuple",
     "explain_missing",
+    # incremental view maintenance
+    "Delta",
+    "ViewRegistry",
+    "MaintenanceReport",
+    "check_consistency",
+    "maintain",
     "__version__",
 ]

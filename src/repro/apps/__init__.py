@@ -22,13 +22,20 @@ from repro.apps.causality import (
 )
 from repro.apps.clearance import required_clearance
 from repro.apps.cost import cheapest_derivation, derivation_cost
-from repro.apps.deletion import delete_tuples, propagate_deletion
+from repro.apps.deletion import (
+    delete_tuples,
+    partition_by_survival,
+    propagate_deletion,
+    survives_deletion,
+)
 from repro.apps.probability import tuple_probability
 from repro.apps.trust import is_trusted, minimal_trust_sets
 
 __all__ = [
     "delete_tuples",
+    "partition_by_survival",
     "propagate_deletion",
+    "survives_deletion",
     "is_trusted",
     "minimal_trust_sets",
     "tuple_probability",

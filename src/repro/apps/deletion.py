@@ -12,7 +12,7 @@ the core provenance; the surviving *polynomial* itself is not.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.semiring.polynomial import Polynomial
 
@@ -22,11 +22,18 @@ HeadTuple = Tuple
 def delete_tuples(polynomial: Polynomial, deleted: Iterable[str]) -> Polynomial:
     """The provenance after deleting the tuples annotated ``deleted``.
 
+    Symbols that appear in no monomial are simply ignored — deleting
+    them is a no-op, not an error.
+
     >>> p = Polynomial.parse("s1*s2 + s3")
     >>> str(delete_tuples(p, ["s2"]))
     's3'
+    >>> str(delete_tuples(p, ["s99"]))
+    's1*s2 + s3'
     """
     gone = set(deleted)
+    if not gone:
+        return polynomial
     return Polynomial(
         {
             monomial: coefficient
@@ -49,10 +56,34 @@ def propagate_deletion(
 
     Returns the surviving view tuples with their updated provenance.
     """
+    survivors, _killed = partition_by_survival(view, deleted)
+    return survivors
+
+
+def partition_by_survival(
+    view: Mapping[HeadTuple, Polynomial],
+    deleted: Iterable[str],
+) -> Tuple[Dict[HeadTuple, Polynomial], List[HeadTuple]]:
+    """Split a view into survivors and casualties of a deletion batch.
+
+    Returns ``(survivors, killed)``: survivors carry their updated
+    polynomials, ``killed`` lists the output tuples whose provenance
+    became zero.  This is the batch primitive behind provenance-driven
+    invalidation in :mod:`repro.incremental` — symbols absent from
+    every monomial are harmless no-ops.
+
+    >>> view = {("a",): Polynomial.parse("s1*s2"), ("b",): Polynomial.parse("s3")}
+    >>> survivors, killed = partition_by_survival(view, ["s2", "s99"])
+    >>> sorted(survivors), killed
+    ([('b',)], [('a',)])
+    """
     deleted = set(deleted)
-    maintained: Dict[HeadTuple, Polynomial] = {}
+    survivors: Dict[HeadTuple, Polynomial] = {}
+    killed: List[HeadTuple] = []
     for output, polynomial in view.items():
         updated = delete_tuples(polynomial, deleted)
-        if not updated.is_zero():
-            maintained[output] = updated
-    return maintained
+        if updated.is_zero():
+            killed.append(output)
+        else:
+            survivors[output] = updated
+    return survivors, killed

@@ -1,4 +1,4 @@
-"""Command-line interface: evaluate, minimize, core, sql.
+"""Command-line interface: evaluate, minimize, core, sql, maintain.
 
 Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
 
@@ -6,12 +6,21 @@ Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
     repro-prov minimize -p program.dl [--algorithm minprov|standard] [--trace]
     repro-prov core     -p program.dl -d data.json [--view NAME]
     repro-prov sql      -p program.dl
+    repro-prov maintain -p program.dl -d data.json -u updates.json [--check] [--quiet]
 
 The program file uses the rule syntax of :mod:`repro.query.parser`
 (one or more rules; rules sharing a head relation form a union).  The
 data file is JSON: either ``{"R": [["a", "b"], ...]}`` (fresh
 annotations are generated, keeping the database abstractly tagged) or
 ``{"R": [{"row": ["a", "b"], "annotation": "s1"}, ...]}``.
+
+The updates file for ``maintain`` is a JSON list of delta batches (a
+single object is treated as one batch)::
+
+    [{"insert": {"R": [["a", "b"],
+                       {"row": ["c", "d"], "annotation": "s9"}]},
+      "delete": {"R": [["b", "a"]]},
+      "retag":  {"R": [{"row": ["a", "b"], "annotation": "t1"}]}}]
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ from repro.db.sqlite_backend import SQLiteDatabase
 from repro.direct.pipeline import core_provenance_table
 from repro.engine.evaluate import evaluate
 from repro.errors import ReproError
+from repro.incremental.delta import Delta
+from repro.incremental.maintain import check_consistency
+from repro.incremental.registry import ViewRegistry
 from repro.minimize.minprov import min_prov, min_prov_trace
 from repro.minimize.standard import minimize_query
 from repro.query.parser import parse_program
@@ -57,6 +69,68 @@ def load_program(path: str) -> Dict[str, Query]:
     """Load a query program from a rule file."""
     with open(path) as handle:
         return parse_program(handle.read())
+
+
+def _delta_entries(section) -> List:
+    entries = []
+    for relation, rows in section.items():
+        for entry in rows:
+            if isinstance(entry, dict):
+                if "row" not in entry or not isinstance(entry["row"], list):
+                    raise ReproError(
+                        "update entry for {!r} needs a \"row\" list, got "
+                        "{!r}".format(relation, entry)
+                    )
+                entries.append(
+                    (relation, tuple(entry["row"]), entry.get("annotation"))
+                )
+            elif isinstance(entry, list):
+                entries.append((relation, tuple(entry)))
+            else:
+                raise ReproError(
+                    "update entry for {!r} must be a row list or an object, "
+                    "got {!r}".format(relation, entry)
+                )
+    return entries
+
+
+def load_deltas(path: str) -> List[Delta]:
+    """Load a list of delta batches from a JSON updates file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise ReproError("updates file must hold a JSON list of batches")
+    deltas: List[Delta] = []
+    for batch in payload:
+        if not isinstance(batch, dict):
+            raise ReproError("each update batch must be a JSON object")
+        unknown = set(batch) - {"insert", "delete", "retag"}
+        if unknown:
+            raise ReproError(
+                "unknown update batch keys: {}".format(sorted(unknown))
+            )
+        retags = []
+        for relation, rows in batch.get("retag", {}).items():
+            for entry in rows:
+                if (
+                    not isinstance(entry, dict)
+                    or "annotation" not in entry
+                    or not isinstance(entry.get("row"), list)
+                ):
+                    raise ReproError(
+                        "retag entries need {\"row\": [...], \"annotation\": ...}"
+                    )
+                retags.append((relation, tuple(entry["row"]), entry["annotation"]))
+        deltas.append(
+            Delta(
+                inserts=_delta_entries(batch.get("insert", {})),
+                deletes=[entry[:2] for entry in _delta_entries(batch.get("delete", {}))],
+                retags=retags,
+            )
+        )
+    return deltas
 
 
 def _select_views(
@@ -131,6 +205,40 @@ def command_core(args, out) -> int:
     return 0
 
 
+def command_maintain(args, out) -> int:
+    program = load_program(args.program)
+    db = load_database(args.data)
+    deltas = load_deltas(args.updates)
+    registry = ViewRegistry(program, db)
+    stats = registry.stats()
+    print(
+        "-- materialized {} views ({} tuples) over {} base facts".format(
+            len(registry.order), stats["view_tuples"], stats["base_facts"]
+        ),
+        file=out,
+    )
+    for index, delta in enumerate(deltas, start=1):
+        report = registry.apply(delta)
+        print(
+            "-- batch {} ({} changes): {}".format(
+                index, delta.size(), report.summary()
+            ),
+            file=out,
+        )
+    if args.check:
+        audit = check_consistency(registry)
+        if not audit.consistent:
+            print("consistency: FAILED", file=out)
+            for mismatch in audit.mismatches:
+                print("  {}".format(mismatch), file=out)
+            return 1
+        print("consistency: ok (matches full re-evaluation)", file=out)
+    if not args.quiet:
+        for name in registry.order:
+            _print_results(name, registry.view(name), out)
+    return 0
+
+
 def command_sql(args, out) -> int:
     program = _select_views(load_program(args.program), args.view)
     store = SQLiteDatabase()
@@ -188,6 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub_sql = subparsers.add_parser("sql", help="show compiled SQL")
     add_common(sub_sql, needs_data=False)
     sub_sql.set_defaults(handler=command_sql)
+
+    sub_maintain = subparsers.add_parser(
+        "maintain", help="materialize views and apply update batches incrementally"
+    )
+    sub_maintain.add_argument("-p", "--program", required=True, help="rule file")
+    sub_maintain.add_argument("-d", "--data", required=True, help="JSON data file")
+    sub_maintain.add_argument(
+        "-u", "--updates", required=True, help="JSON updates file (delta batches)"
+    )
+    sub_maintain.add_argument(
+        "--check",
+        action="store_true",
+        help="audit the maintained state against full re-evaluation",
+    )
+    sub_maintain.add_argument(
+        "--quiet", action="store_true", help="suppress the final view dump"
+    )
+    sub_maintain.set_defaults(handler=command_maintain)
     return parser
 
 

@@ -33,6 +33,11 @@ Value = Hashable
 Row = Tuple[Value, ...]
 FactKey = Tuple[str, Row]
 
+#: One entry of the change log: ``(version, op, relation, row, annotation)``
+#: where ``op`` is ``"insert"``, ``"delete"`` or ``"retag"``.  For a retag
+#: the annotation field holds the *new* annotation.
+ChangeRecord = Tuple[int, str, str, Row, str]
+
 
 class AnnotatedDatabase:
     """A database whose tuples carry provenance annotations.
@@ -46,11 +51,21 @@ class AnnotatedDatabase:
     's1'
     """
 
-    def __init__(self, annotation_prefix: str = "s"):  # noqa: D107
+    def __init__(
+        self, annotation_prefix: str = "s", track_changes: bool = True
+    ):  # noqa: D107
         self._relations: Dict[str, Dict[Row, str]] = {}
         self._arities: Dict[str, int] = {}
         self._supply = NameSupply(annotation_prefix)
         self._by_annotation: Dict[str, List[FactKey]] = {}
+        self._version = 0
+        self._track_changes = track_changes
+        self._changelog: List[ChangeRecord] = []
+
+    def _log(self, op: str, relation: str, row: Row, annotation: str) -> None:
+        self._version += 1
+        if self._track_changes:
+            self._changelog.append((self._version, op, relation, row, annotation))
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,7 +136,55 @@ class AnnotatedDatabase:
             self._supply.reserve(annotation)
         self._relations[relation][row] = annotation
         self._by_annotation.setdefault(annotation, []).append((relation, row))
+        self._log("insert", relation, row, annotation)
         return annotation
+
+    def remove(self, relation: str, row: Sequence[Value]) -> str:
+        """Delete a tuple; returns the annotation it carried.
+
+        Raises :class:`~repro.errors.SchemaError` when the tuple is
+        absent.  The relation stays declared (with its arity), so later
+        re-insertions keep working.
+        """
+        row = tuple(row)
+        rows = self._relations.get(relation)
+        if rows is None or row not in rows:
+            raise SchemaError(
+                "cannot remove absent tuple {}{}".format(relation, row)
+            )
+        annotation = rows.pop(row)
+        facts = self._by_annotation[annotation]
+        facts.remove((relation, row))
+        if not facts:
+            del self._by_annotation[annotation]
+        self._log("delete", relation, row, annotation)
+        return annotation
+
+    def retag(self, relation: str, row: Sequence[Value], annotation: str) -> str:
+        """Change the annotation of an existing tuple; returns the old one.
+
+        This is the "annotation update" primitive of incremental view
+        maintenance: the tuple itself is untouched, only its provenance
+        symbol changes.
+        """
+        row = tuple(row)
+        rows = self._relations.get(relation)
+        if rows is None or row not in rows:
+            raise SchemaError(
+                "cannot retag absent tuple {}{}".format(relation, row)
+            )
+        old = rows[row]
+        if annotation == old:
+            return old
+        rows[row] = annotation
+        facts = self._by_annotation[old]
+        facts.remove((relation, row))
+        if not facts:
+            del self._by_annotation[old]
+        self._supply.reserve(annotation)
+        self._by_annotation.setdefault(annotation, []).append((relation, row))
+        self._log("retag", relation, row, annotation)
+        return old
 
     def declare_relation(self, relation: str, arity: int) -> None:
         """Declare an (initially empty) relation."""
@@ -167,6 +230,40 @@ class AnnotatedDatabase:
     def annotation_of(self, relation: str, row: Sequence[Value]) -> str:
         """The annotation of a tuple; raises ``KeyError`` when absent."""
         return self._relations[relation][tuple(row)]
+
+    def contains(self, relation: str, row: Sequence[Value]) -> bool:
+        """Is the tuple present?  (Cheap dictionary lookup.)"""
+        return tuple(row) in self._relations.get(relation, {})
+
+    def version(self) -> int:
+        """Monotonically increasing modification counter.
+
+        Every :meth:`add`, :meth:`remove` and :meth:`retag` that actually
+        changes the database bumps it by one; a snapshot of the version
+        plus :meth:`changes_since` yields the delta accumulated since.
+        """
+        return self._version
+
+    def changes_since(self, version: int) -> List[ChangeRecord]:
+        """The change records logged after ``version``.
+
+        This is the cheap tuple-touch bookkeeping consumed by
+        :mod:`repro.incremental`:  callers snapshot :meth:`version`,
+        mutate freely, then fold the returned records into a
+        :class:`~repro.incremental.delta.Delta` batch.  Versions in the
+        log are strictly increasing, so the cut point is found by
+        bisection.  Databases built with ``track_changes=False`` keep
+        no log (the version counter still advances).
+        """
+        records = self._changelog
+        low, high = 0, len(records)
+        while low < high:
+            mid = (low + high) // 2
+            if records[mid][0] <= version:
+                low = mid + 1
+            else:
+                high = mid
+        return records[low:]
 
     def tuples_for_annotation(self, annotation: str) -> List[FactKey]:
         """All ``(relation, tuple)`` pairs carrying ``annotation``."""

@@ -1,0 +1,107 @@
+"""The apply/refresh loop and consistency checking for view maintenance.
+
+The correctness contract of the whole subsystem is *observational*:
+after any sequence of delta batches, every view's base-expanded
+provenance must equal what :func:`repro.views.program.evaluate_program`
+computes from scratch on the mutated base database.  Fresh view symbols
+differ between an incrementally maintained registry and a fresh
+evaluation (they are arbitrary names), so the comparison happens after
+composing every layer down to base annotations, where the polynomials
+are canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.db.instance import AnnotatedDatabase
+from repro.errors import EvaluationError
+from repro.incremental.delta import Delta
+from repro.incremental.registry import MaintenanceReport, ViewRegistry
+from repro.query.ucq import Query
+from repro.views.program import ViewEvaluation, evaluate_program
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """The outcome of comparing a registry against full re-evaluation."""
+
+    consistent: bool
+    mismatches: Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def full_recompute(registry: ViewRegistry) -> ViewEvaluation:
+    """Re-evaluate the registry's program from scratch on its base data.
+
+    This is the expensive reference path that incremental maintenance
+    replaces — and the oracle it is checked against.
+    """
+    return evaluate_program(registry.program, registry.base_database())
+
+
+def check_consistency(registry: ViewRegistry) -> ConsistencyReport:
+    """Compare incrementally maintained state against full re-evaluation.
+
+    Views are compared on base-expanded provenance (exact polynomial
+    equality, coefficients included), so any drift — a lost monomial, a
+    phantom tuple, a wrong coefficient — is detected.
+    """
+    reference = full_recompute(registry)
+    mismatches: List[str] = []
+    for name in registry.order:
+        maintained = registry.base_provenance(name)
+        expected = reference.base_provenance(name)
+        for row in sorted(set(expected) - set(maintained), key=repr):
+            mismatches.append("{}: missing tuple {!r}".format(name, row))
+        for row in sorted(set(maintained) - set(expected), key=repr):
+            mismatches.append("{}: phantom tuple {!r}".format(name, row))
+        for row in sorted(set(maintained) & set(expected), key=repr):
+            if maintained[row] != expected[row]:
+                mismatches.append(
+                    "{}: {!r} has provenance {} but recompute says {}".format(
+                        name, row, maintained[row], expected[row]
+                    )
+                )
+    return ConsistencyReport(
+        consistent=not mismatches, mismatches=tuple(mismatches)
+    )
+
+
+def refresh(registry: ViewRegistry) -> ViewRegistry:
+    """A freshly materialized registry over the same program and base data.
+
+    The escape hatch when incremental state is suspect (or after a
+    schema-level change the delta rules do not cover).
+    """
+    return ViewRegistry(registry.program, registry.base_database())
+
+
+def maintain(
+    program: Mapping[str, Query],
+    db: AnnotatedDatabase,
+    deltas: Iterable[Delta],
+    check_every: int = 0,
+) -> Tuple[ViewRegistry, List[MaintenanceReport]]:
+    """Materialize ``program`` over ``db`` and push a stream of deltas.
+
+    With ``check_every = k > 0`` every ``k``-th batch is audited against
+    full re-evaluation and an :class:`~repro.errors.EvaluationError` is
+    raised on drift (the strict mode used by tests and the CLI's
+    ``--check``).
+    """
+    registry = ViewRegistry(program, db)
+    reports: List[MaintenanceReport] = []
+    for index, delta in enumerate(deltas, start=1):
+        reports.append(registry.apply(delta))
+        if check_every and index % check_every == 0:
+            audit = check_consistency(registry)
+            if not audit.consistent:
+                raise EvaluationError(
+                    "incremental maintenance diverged after batch {}: "
+                    "{}".format(index, "; ".join(audit.mismatches[:5]))
+                )
+    return registry, reports

@@ -1,0 +1,405 @@
+"""A registry of materialized views maintained incrementally.
+
+:class:`ViewRegistry` materializes a view program (as
+:func:`repro.views.program.evaluate_program` does) and then keeps every
+view consistent under batched base updates without re-evaluation:
+
+* deletions and annotation updates are pushed through the stored
+  polynomials — a view tuple is touched **only** when one of its
+  monomials mentions a changed symbol, found through an inverted
+  symbol → view-tuple index (provenance-driven invalidation, reusing
+  :func:`repro.apps.deletion.partition_by_survival`);
+* insertions are pushed through the delta rule of
+  :mod:`repro.incremental.delta`, joining only against rows reachable
+  from the inserted tuples via hash indexes;
+* view-level changes (a view tuple dying or being born) become the
+  delta of downstream views, processed in topological order.
+
+Fresh symbols keep the layered structure of
+:class:`~repro.views.program.ViewEvaluation`: each view tuple carries a
+symbol standing for its polynomial over the previous layers, and
+``base_provenance`` composes the layers down to base annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.apps.deletion import partition_by_survival
+from repro.db.instance import AnnotatedDatabase, Row
+from repro.engine.evaluate import evaluate
+from repro.errors import EvaluationError
+from repro.incremental.delta import (
+    Delta,
+    HashIndexes,
+    apply_to_database,
+    delta_provenance,
+)
+from repro.query.ucq import Query
+from repro.semiring.polynomial import Polynomial
+from repro.utils.naming import NameSupply
+from repro.views.program import (
+    MaterializedView,
+    ViewEvaluation,
+    dependency_order,
+    expand_to_base,
+)
+
+ViewTuple = Tuple[str, Row]
+
+
+@dataclass
+class ViewChange:
+    """What one maintenance batch did to one view."""
+
+    inserted: Dict[Row, Polynomial] = field(default_factory=dict)
+    deleted: Dict[Row, str] = field(default_factory=dict)  # row -> retired symbol
+    updated: Dict[Row, Polynomial] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        """True when the view was untouched."""
+        return not (self.inserted or self.deleted or self.updated)
+
+    def summary(self) -> str:
+        """Compact ``+i -d ~u`` counts."""
+        return "+{} -{} ~{}".format(
+            len(self.inserted), len(self.deleted), len(self.updated)
+        )
+
+
+@dataclass
+class MaintenanceReport:
+    """The per-view outcome of applying one :class:`Delta` batch."""
+
+    base: Delta
+    changes: Dict[str, ViewChange]
+
+    def touched_views(self) -> List[str]:
+        """Views actually modified, in maintenance order."""
+        return [name for name, change in self.changes.items() if not change.is_empty()]
+
+    def summary(self) -> str:
+        """One line, e.g. ``V1 +1 -0 ~2; V2 +0 -1 ~0``."""
+        parts = [
+            "{} {}".format(name, change.summary())
+            for name, change in self.changes.items()
+            if not change.is_empty()
+        ]
+        return "; ".join(parts) if parts else "no view changes"
+
+
+class ViewRegistry:
+    """Materialized views over an annotated database, kept fresh by deltas.
+
+    >>> from repro.query.parser import parse_program
+    >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("b", "c")]})
+    >>> registry = ViewRegistry(parse_program("V(x, z) :- R(x, y), R(y, z)"), db)
+    >>> sorted(registry.view("V"))
+    [('a', 'c')]
+    >>> report = registry.apply(Delta(inserts=[("R", ("c", "a"))]))
+    >>> sorted(registry.view("V"))
+    [('a', 'c'), ('b', 'a'), ('c', 'b')]
+    """
+
+    def __init__(
+        self,
+        program: Mapping[str, Query],
+        db: AnnotatedDatabase,
+        symbol_prefix: str = "w",
+    ):  # noqa: D107
+        clashes = set(program) & db.relations()
+        if clashes:
+            raise EvaluationError(
+                "view names clash with base relations: {}".format(sorted(clashes))
+            )
+        if not db.is_abstractly_tagged():
+            # Symbol-keyed invalidation identifies tuples by annotation;
+            # a shared tag would make deletion of one tuple zero the
+            # monomials of another (the Sec. 6 repeated-tag regime needs
+            # composition through views, not shared base tags).
+            raise EvaluationError(
+                "incremental maintenance requires an abstractly-tagged "
+                "base database (every tuple carrying a distinct annotation)"
+            )
+        self._program: Dict[str, Query] = dict(program)
+        self._order = dependency_order(self._program)
+        self._base_relations = set(db.relations())
+        self._supply = NameSupply(symbol_prefix, avoid=db.annotations())
+        self._db = AnnotatedDatabase(track_changes=False)
+        for relation in sorted(db.relations()):
+            self._db.declare_relation(relation, db.arity(relation))
+        for relation, row, annotation in db.all_facts():
+            self._db.add(relation, row, annotation=annotation)
+        self._indexes = HashIndexes(self._db)
+        self._views: Dict[str, Dict[Row, Polynomial]] = {}
+        self._symbols: Dict[str, Dict[Row, str]] = {}
+        self._bindings: Dict[str, Polynomial] = {}
+        self._dependents: Dict[str, Set[ViewTuple]] = {}
+        self._materialize()
+
+    # ------------------------------------------------------------------
+    # Initial materialization (and full-recompute fallback)
+    # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        for name in self._order:
+            self._views[name] = {}
+            self._symbols[name] = {}
+            self._db.declare_relation(name, self._program[name].arity)
+            results = evaluate(self._program[name], self._db)
+            for row, polynomial in sorted(results.items(), key=lambda kv: repr(kv[0])):
+                self._install(name, row, polynomial)
+
+    def _install(self, name: str, row: Row, polynomial: Polynomial) -> str:
+        symbol = self._supply.fresh()
+        self._views[name][row] = polynomial
+        self._symbols[name][row] = symbol
+        self._bindings[symbol] = polynomial
+        self._db.add(name, row, annotation=symbol)
+        self._indexes.insert(name, row)
+        for mentioned in polynomial.support():
+            self._dependents.setdefault(mentioned, set()).add((name, row))
+        return symbol
+
+    def _reindex(
+        self, name: str, row: Row, old: Polynomial, new: Polynomial
+    ) -> None:
+        before = old.support()
+        after = new.support()
+        for symbol in before - after:
+            bucket = self._dependents.get(symbol)
+            if bucket is not None:
+                bucket.discard((name, row))
+                if not bucket:
+                    del self._dependents[symbol]
+        for symbol in after - before:
+            self._dependents.setdefault(symbol, set()).add((name, row))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def apply(self, delta: Delta) -> MaintenanceReport:
+        """Apply one batch of base changes, maintaining every view.
+
+        Views never appear in a :class:`Delta` — they change only as a
+        consequence of base changes.
+        """
+        illegal = delta.touched_relations() & set(self._program)
+        if illegal:
+            raise EvaluationError(
+                "deltas must touch base relations only, not views: "
+                "{}".format(sorted(illegal))
+            )
+        self._validate_annotations(delta)
+        deleted_symbols, inserted, retag_map = apply_to_database(
+            self._db, delta, self._indexes
+        )
+        self._base_relations.update(inserted)
+        changes: Dict[str, ViewChange] = {}
+        for name in self._order:
+            changes[name] = self._maintain_view(name, deleted_symbols, inserted)
+        # Renames run after the maintenance loop: the deletion filter
+        # above matches monomials by the *old* tags, so a batch may
+        # retag a surviving tuple to an annotation freed by one of its
+        # own deletes without the filter eating the survivor.
+        retag_updates = self._apply_retags(retag_map) if retag_map else {}
+        for name, rows in retag_updates.items():
+            change = changes[name]
+            for row in rows:
+                if (
+                    row not in change.deleted
+                    and row not in change.updated
+                    and row not in change.inserted
+                ):
+                    change.updated[row] = self._views[name][row]
+        return MaintenanceReport(base=delta, changes=changes)
+
+    def _validate_annotations(self, delta: Delta) -> None:
+        """Keep the working database abstractly tagged across the batch.
+
+        Annotations introduced by inserts or retags must be fresh —
+        neither live (outside the tuples this very batch deletes) nor
+        introduced twice within the batch.  Re-using the annotation of
+        a tuple deleted in the same batch is fine: by apply order the
+        delete lands first.
+        """
+        freed: Set[str] = set()
+        for relation, row in delta.deletes:
+            if self._db.contains(relation, row):
+                freed.add(self._db.annotation_of(relation, row))
+        introduced: Set[str] = set()
+        for relation, row, annotation in delta.inserts:
+            if annotation is None or self._db.contains(relation, row):
+                continue  # fresh symbol / no-op re-insert
+            if (
+                annotation in introduced
+                or (annotation in self._db.annotations() and annotation not in freed)
+            ):
+                raise EvaluationError(
+                    "insert annotation {!r} is already in use; incremental "
+                    "maintenance requires abstract tagging".format(annotation)
+                )
+            introduced.add(annotation)
+        for relation, row, annotation in delta.retags:
+            current: Set[str] = set()
+            if self._db.contains(relation, row):
+                current.add(self._db.annotation_of(relation, row))
+            if annotation in current:
+                continue  # retag to itself: no-op
+            if (
+                annotation in introduced
+                or (annotation in self._db.annotations() and annotation not in freed)
+            ):
+                raise EvaluationError(
+                    "retag annotation {!r} is already in use; incremental "
+                    "maintenance requires abstract tagging".format(annotation)
+                )
+            introduced.add(annotation)
+
+    def _apply_retags(self, retag_map: Dict[str, str]) -> Dict[str, Set[Row]]:
+        affected: Set[ViewTuple] = set()
+        for old_symbol in retag_map:
+            affected |= self._dependents.get(old_symbol, set())
+        touched: Dict[str, Set[Row]] = {}
+        for name, row in sorted(affected, key=repr):
+            old = self._views[name][row]
+            new = old.map_symbols(retag_map)
+            self._views[name][row] = new
+            self._bindings[self._symbols[name][row]] = new
+            self._reindex(name, row, old, new)
+            touched.setdefault(name, set()).add(row)
+        return touched
+
+    def _maintain_view(
+        self,
+        name: str,
+        deleted_symbols: Set[str],
+        inserted: Dict[str, Set[Row]],
+    ) -> ViewChange:
+        view = self._views[name]
+        symbols = self._symbols[name]
+        change = ViewChange()
+
+        # Invalidation: only view tuples whose provenance mentions a
+        # deleted symbol are touched; everything else is provably stale-free.
+        if deleted_symbols:
+            affected_rows: Set[Row] = set()
+            for symbol in deleted_symbols:
+                for dep_name, dep_row in self._dependents.get(symbol, ()):
+                    if dep_name == name:
+                        affected_rows.add(dep_row)
+            if affected_rows:
+                affected = {row: view[row] for row in affected_rows}
+                survivors, killed = partition_by_survival(
+                    affected, deleted_symbols
+                )
+                for row in sorted(killed, key=repr):
+                    old = view.pop(row)
+                    retired = symbols.pop(row)
+                    del self._bindings[retired]
+                    self._db.remove(name, row)
+                    self._indexes.remove(name, row)
+                    self._reindex(name, row, old, Polynomial.zero())
+                    deleted_symbols.add(retired)  # invalidates downstream
+                    change.deleted[row] = retired
+                for row, new in survivors.items():
+                    old = view[row]
+                    view[row] = new
+                    self._bindings[symbols[row]] = new
+                    self._reindex(name, row, old, new)
+                    change.updated[row] = new
+
+        # Insertions: the delta join adds the provenance increase.
+        if inserted:
+            increase = delta_provenance(
+                self._program[name], self._db, self._indexes, inserted
+            )
+            for row in sorted(increase, key=repr):
+                extra = increase[row]
+                if row in view:
+                    old = view[row]
+                    new = old + extra
+                    view[row] = new
+                    self._bindings[symbols[row]] = new
+                    self._reindex(name, row, old, new)
+                    change.updated[row] = new
+                else:
+                    self._install(name, row, extra)
+                    inserted.setdefault(name, set()).add(row)
+                    change.inserted[row] = extra
+
+        return change
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> Dict[str, Query]:
+        """The view program (a copy)."""
+        return dict(self._program)
+
+    @property
+    def order(self) -> List[str]:
+        """The maintenance (topological) order of the views."""
+        return list(self._order)
+
+    def view(self, name: str) -> Dict[Row, Polynomial]:
+        """The materialized view: output tuple → polynomial over the
+        previous layers' symbols (a copy)."""
+        return dict(self._views[name])
+
+    def symbol_of(self, name: str, row: Row) -> str:
+        """The fresh symbol annotating one view tuple."""
+        return self._symbols[name][tuple(row)]
+
+    def bindings(self) -> Dict[str, Polynomial]:
+        """Every live view symbol → its defining polynomial (a copy)."""
+        return dict(self._bindings)
+
+    def base_provenance(self, name: str) -> Dict[Row, Polynomial]:
+        """The view's provenance fully expanded to base annotations."""
+        return {
+            row: expand_to_base(polynomial, self._bindings)
+            for row, polynomial in self._views[name].items()
+        }
+
+    def base_database(self) -> AnnotatedDatabase:
+        """A copy of the current base portion of the working database."""
+        base = AnnotatedDatabase()
+        for relation in sorted(self._base_relations):
+            if relation not in self._program:
+                base.declare_relation(relation, self._db.arity(relation))
+        for relation, row, annotation in self._db.all_facts():
+            if relation not in self._program:
+                base.add(relation, row, annotation=annotation)
+        return base
+
+    def as_evaluation(self) -> ViewEvaluation:
+        """The current state in :class:`ViewEvaluation` form."""
+        views = {
+            name: MaterializedView(
+                name=name,
+                results=dict(self._views[name]),
+                symbols=dict(self._symbols[name]),
+            )
+            for name in self._order
+        }
+        return ViewEvaluation(views=views, bindings=dict(self._bindings))
+
+    def stats(self) -> Dict[str, int]:
+        """Cheap size counters (for reports and benchmarks)."""
+        return {
+            "base_facts": sum(
+                len(self._db.rows(relation))
+                for relation in self._db.relations()
+                if relation not in self._program
+            ),
+            "view_tuples": sum(len(view) for view in self._views.values()),
+            "live_symbols": len(self._bindings),
+            "indexes": self._indexes.built_count(),
+        }
+
+    def __repr__(self) -> str:
+        return "<ViewRegistry {} views, {} view tuples>".format(
+            len(self._views), sum(len(view) for view in self._views.values())
+        )

@@ -15,6 +15,7 @@ from repro.views.program import (
     dependency_order,
     evaluate_program,
     expand_to_base,
+    invalidation_index,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "MaterializedView",
     "dependency_order",
     "expand_to_base",
+    "invalidation_index",
 ]

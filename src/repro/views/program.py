@@ -22,7 +22,7 @@ p-minimal queries stay p-minimal (Thms. 6.1/6.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
 
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import evaluate
@@ -71,6 +71,26 @@ class ViewEvaluation:
             row: expand_to_base(polynomial, self.bindings)
             for row, polynomial in materialized.results.items()
         }
+
+    def layer_symbols(self) -> Dict[str, FrozenSet[str]]:
+        """Each view's fresh symbols — the invalidation currency.
+
+        Incremental maintenance (:mod:`repro.incremental`) treats a view
+        tuple as touched exactly when a monomial of its polynomial
+        mentions a changed symbol; this export tells which symbols
+        belong to which layer.
+        """
+        return {
+            name: frozenset(view.symbols.values())
+            for name, view in self.views.items()
+        }
+
+    def symbol_layer(self, symbol: str) -> Optional[str]:
+        """The view a fresh symbol belongs to (``None`` for base)."""
+        for name, symbols in self.layer_symbols().items():
+            if symbol in symbols:
+                return name
+        return None
 
 
 def dependency_order(program: Mapping[str, Query]) -> List[str]:
@@ -159,3 +179,23 @@ def expand_to_base(
         return expand_to_base(bound, bindings)
 
     return evaluate_polynomial(polynomial, _NX, valuation)
+
+
+def invalidation_index(
+    bindings: Mapping[str, Polynomial]
+) -> Dict[str, FrozenSet[str]]:
+    """Invert symbol bindings: symbol → view symbols depending on it.
+
+    ``bindings`` is the ``ViewEvaluation.bindings`` shape (view symbol →
+    defining polynomial over the previous layers).  The returned index
+    answers "if this symbol changes, which view tuples must be
+    reconsidered?" — transitive effects follow by chasing the index
+    upward layer by layer, which is exactly what
+    :class:`repro.incremental.registry.ViewRegistry` does during
+    maintenance.
+    """
+    index: Dict[str, Set[str]] = {}
+    for view_symbol, polynomial in bindings.items():
+        for mentioned in polynomial.support():
+            index.setdefault(mentioned, set()).add(view_symbol)
+    return {symbol: frozenset(deps) for symbol, deps in index.items()}

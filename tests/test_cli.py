@@ -117,6 +117,116 @@ class TestMinimize:
         assert "R(x, y), R(y, x)" in output
 
 
+class TestMaintain:
+    @pytest.fixture
+    def view_program_file(self, tmp_path):
+        path = tmp_path / "views.dl"
+        path.write_text("V(x, z) :- R(x, y), R(y, z)\n")
+        return str(path)
+
+    @pytest.fixture
+    def updates_file(self, tmp_path):
+        path = tmp_path / "updates.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"insert": {"R": [["b", "c"]]}},
+                    {
+                        "delete": {"R": [["a", "a"]]},
+                        "retag": {
+                            "R": [{"row": ["a", "b"], "annotation": "t1"}]
+                        },
+                    },
+                ]
+            )
+        )
+        return str(path)
+
+    def test_maintain_applies_batches_and_checks(
+        self, view_program_file, data_file, updates_file
+    ):
+        code, output = run(
+            [
+                "maintain",
+                "-p", view_program_file,
+                "-d", data_file,
+                "-u", updates_file,
+                "--check",
+            ]
+        )
+        assert code == 0
+        assert "batch 1" in output and "batch 2" in output
+        assert "consistency: ok" in output
+        assert "('b', 'a')" in output  # survives the R(a, a) deletion via R(b, b)
+        assert "t1" in output  # the retagged annotation reaches the view
+
+    def test_maintain_quiet_suppresses_dump(
+        self, view_program_file, data_file, updates_file
+    ):
+        code, output = run(
+            [
+                "maintain",
+                "-p", view_program_file,
+                "-d", data_file,
+                "-u", updates_file,
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "-- V (" not in output
+
+    def test_single_batch_object_accepted(
+        self, view_program_file, data_file, tmp_path
+    ):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps({"insert": {"R": [["c", "a"]]}}))
+        code, output = run(
+            ["maintain", "-p", view_program_file, "-d", data_file, "-u", str(path)]
+        )
+        assert code == 0
+        assert "batch 1" in output
+
+    def test_bad_updates_file_errors(self, view_program_file, data_file, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"upsert": {}}]))
+        code, _ = run(
+            ["maintain", "-p", view_program_file, "-d", data_file, "-u", str(path)]
+        )
+        assert code == 1
+
+    def test_malformed_entry_errors_cleanly(
+        self, view_program_file, data_file, tmp_path
+    ):
+        path = tmp_path / "malformed.json"
+        path.write_text(
+            json.dumps([{"insert": {"R": [{"annotation": "t1"}]}}])
+        )
+        code, _ = run(
+            ["maintain", "-p", view_program_file, "-d", data_file, "-u", str(path)]
+        )
+        assert code == 1
+
+    def test_string_row_entry_errors_cleanly(
+        self, view_program_file, data_file, tmp_path
+    ):
+        path = tmp_path / "stringrow.json"
+        path.write_text(json.dumps([{"insert": {"R": ["ab"]}}]))
+        code, _ = run(
+            ["maintain", "-p", view_program_file, "-d", data_file, "-u", str(path)]
+        )
+        assert code == 1
+
+    def test_deleting_absent_tuple_errors(
+        self, view_program_file, data_file, tmp_path
+    ):
+        path = tmp_path / "absent.json"
+        path.write_text(json.dumps([{"delete": {"R": [["z", "z"]]}}]))
+        code, _ = run(
+            ["maintain", "-p", view_program_file, "-d", data_file, "-u", str(path)]
+        )
+        assert code == 1
+
+
 class TestCoreAndSql:
     def test_core_command(self, program_file, data_file):
         code, output = run(["core", "-p", program_file, "-d", data_file])

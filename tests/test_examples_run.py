@@ -11,6 +11,7 @@ EXAMPLES = sorted(
 )
 
 EXPECTED_FRAGMENTS = {
+    "incremental_maintenance.py": "audit vs full re-evaluation: ok",
     "quickstart.py": "p-minimal equivalent found by MinProv",
     "offline_core_provenance.py": "Rewrite-then-evaluate agrees: True",
     "trust_and_maintenance.py": "Minimal trust sets",

@@ -17,6 +17,7 @@ class TestAllExports:
         import repro.algebra
         import repro.apps
         import repro.hom
+        import repro.incremental
         import repro.minimize
         import repro.order
         import repro.paperdata
@@ -29,6 +30,7 @@ class TestAllExports:
             repro.algebra,
             repro.apps,
             repro.hom,
+            repro.incremental,
             repro.minimize,
             repro.order,
             repro.paperdata,
