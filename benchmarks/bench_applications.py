@@ -52,7 +52,6 @@ def test_absorptive_analyses_agree(benchmark):
     db, view, core = _view_and_core()
     symbols = sorted(db.annotations())
     trusted = set(symbols[::2])
-    costs = {s: float(i % 5) for i, s in enumerate(symbols)}
     levels = {
         s: list(Clearance)[i % 4] for i, s in enumerate(symbols)
     }

@@ -16,7 +16,6 @@ import pytest
 
 from conftest import banner
 
-from repro.engine.evaluate import provenance_of_boolean
 from repro.hom.containment import is_equivalent
 from repro.minimize.minprov import is_p_minimal, min_prov
 from repro.minimize.standard import minimize_complete, minimize_cq, minimize_ucq
@@ -24,7 +23,6 @@ from repro.order.query_order import compare_on_database
 from repro.paperdata import figure1, figure2, table4_database, table5_database
 from repro.query.atoms import Atom, Disequality
 from repro.query.cq import ConjunctiveQuery
-from repro.query.parser import parse_query
 from repro.query.terms import Variable
 from repro.semiring.order import Ordering
 

@@ -18,7 +18,16 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.8",
+    python_requires=">=3.9",
+    extras_require={
+        # One pinned-enough set for CI and contributors alike:
+        # `pip install -e .[dev]`.
+        "dev": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "ruff>=0.4",
+        ],
+    },
     entry_points={
         "console_scripts": [
             "repro-prov=repro.cli:main",

@@ -21,7 +21,11 @@ See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
 paper-artifact reproduction index.
 """
 
+from repro.aggregate.evaluate import aggregate_table, evaluate_aggregate
+from repro.aggregate.result import AggregateResult
 from repro.algebra.compile import evaluate_in_semiring, evaluate_via_algebra
+from repro.algebra.monoid import AggregationMonoid, monoid_for
+from repro.algebra.semimodule import SemimoduleElement
 from repro.db.instance import AnnotatedDatabase
 from repro.db.sqlite_backend import SQLiteDatabase
 from repro.explain import explain_missing, explain_tuple
@@ -54,6 +58,12 @@ from repro.order.query_order import (
     le_on_database,
     prove_le_p,
     provenance_equivalent,
+)
+from repro.query.aggregate import (
+    AggregateQuery,
+    AggregateRule,
+    AggregateTerm,
+    is_aggregate,
 )
 from repro.query.atoms import Atom, Disequality
 from repro.query.build import atom, boolean_cq, c, cq, diseq, ucq, v
@@ -147,5 +157,16 @@ __all__ = [
     "MaintenanceReport",
     "check_consistency",
     "maintain",
+    # aggregate provenance (semimodule annotations)
+    "AggregateTerm",
+    "AggregateRule",
+    "AggregateQuery",
+    "is_aggregate",
+    "AggregationMonoid",
+    "monoid_for",
+    "SemimoduleElement",
+    "AggregateResult",
+    "evaluate_aggregate",
+    "aggregate_table",
     "__version__",
 ]

@@ -1,0 +1,87 @@
+"""Provenance for aggregate queries: the semimodule annotation layer.
+
+The paper's headline construction, end to end:
+
+* :mod:`repro.query.aggregate` — ``GROUP BY`` heads with
+  ``sum``/``count``/``min``/``max`` slots (parsed from the rule syntax);
+* :mod:`repro.algebra.monoid` / :mod:`repro.algebra.semimodule` — the
+  aggregation monoids ``M`` and the tensor product ``N[X] ⊗ M`` whose
+  elements annotate aggregated values symbolically;
+* :mod:`repro.aggregate.result` — aggregated K-relations
+  (group → existence provenance + semimodule values);
+* :mod:`repro.aggregate.evaluate` — in-memory evaluation (the SQLite
+  engine's counterpart lives on
+  :meth:`repro.db.sqlite_backend.SQLiteDatabase.evaluate_aggregate`);
+* the application hooks — deletion, trust and probability read concrete
+  aggregates off the cached annotation with no re-evaluation.
+
+Quickstart::
+
+    from repro import AnnotatedDatabase, parse_query
+    from repro.aggregate import evaluate_aggregate, aggregate_after_deletion
+
+    db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
+    q = parse_query("sales(city, sum(cost)) :- S(city, cost)")
+    row = evaluate_aggregate(q, db)[("nyc",)]
+    print(row)                                    # ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
+    print(aggregate_after_deletion(row.aggregates[0], ["s1"]))   # 2
+"""
+
+from repro.aggregate.evaluate import aggregate_table, evaluate_aggregate
+from repro.aggregate.result import AggregateAccumulator, AggregateResult
+from repro.algebra.monoid import (
+    ABSENT,
+    MONOIDS,
+    AggregationMonoid,
+    CountMonoid,
+    MaxMonoid,
+    MinMonoid,
+    SumMonoid,
+    monoid_for,
+)
+from repro.algebra.semimodule import SemimoduleElement
+from repro.apps.deletion import (
+    aggregate_after_deletion,
+    delete_from_aggregate,
+    propagate_deletion_aggregates,
+)
+from repro.apps.probability import aggregate_distribution, expected_aggregate
+from repro.apps.trust import trusted_aggregate_value
+from repro.query.aggregate import (
+    AGGREGATE_OPS,
+    AggregateQuery,
+    AggregateRule,
+    AggregateTerm,
+    is_aggregate,
+)
+
+__all__ = [
+    # query layer
+    "AGGREGATE_OPS",
+    "AggregateTerm",
+    "AggregateRule",
+    "AggregateQuery",
+    "is_aggregate",
+    # algebra
+    "ABSENT",
+    "MONOIDS",
+    "AggregationMonoid",
+    "SumMonoid",
+    "CountMonoid",
+    "MinMonoid",
+    "MaxMonoid",
+    "monoid_for",
+    "SemimoduleElement",
+    # evaluation
+    "AggregateResult",
+    "AggregateAccumulator",
+    "evaluate_aggregate",
+    "aggregate_table",
+    # applications
+    "delete_from_aggregate",
+    "aggregate_after_deletion",
+    "propagate_deletion_aggregates",
+    "trusted_aggregate_value",
+    "expected_aggregate",
+    "aggregate_distribution",
+]

@@ -1,0 +1,78 @@
+"""In-memory evaluation of aggregate queries to semimodule annotations.
+
+Lifts the backtracking engine (Def. 2.6 assignments) to aggregation:
+every assignment of a rule's inner CQ contributes one simple tensor
+``monomial ⊗ value`` to its group, and the group's existence provenance
+collects the same monomials — so specializing the annotated result
+under any valuation agrees with evaluating the plain aggregate on the
+specialized database (the property tests assert exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.aggregate.result import AggregateAccumulator, AggregateResult
+from repro.algebra.monoid import monoid_for
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import assignments
+from repro.query.aggregate import AggregateQuery
+from repro.semiring.polynomial import Polynomial
+
+Row = Tuple[Hashable, ...]
+
+
+def evaluate_aggregate(
+    query: AggregateQuery, db: AnnotatedDatabase
+) -> Dict[Row, AggregateResult]:
+    """Evaluate an aggregate query, returning ``{group: result}``.
+
+    >>> from repro.query.parser import parse_query
+    >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
+    >>> q = parse_query("sales(city, sum(cost)) :- S(city, cost)")
+    >>> print(evaluate_aggregate(q, db)[("nyc",)])
+    ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
+    """
+    accumulator = AggregateAccumulator(query)
+    for rule in query.rules:
+        for assignment in assignments(rule.inner, db):
+            accumulator.add(
+                rule,
+                assignment.head_tuple(),
+                Polynomial({assignment.monomial(db): 1}),
+            )
+    return accumulator.results()
+
+
+def aggregate_table(
+    query: AggregateQuery, db: AnnotatedDatabase
+) -> Dict[Row, Tuple]:
+    """Plain (annotation-free) aggregate evaluation, bag semantics.
+
+    The direct reference implementation: fold monoid values straight
+    from the assignments, no provenance recorded.  Used as the oracle
+    the semimodule specialization is checked against.
+
+    >>> from repro.query.parser import parse_query
+    >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
+    >>> q = parse_query("sales(city, sum(cost)) :- S(city, cost)")
+    >>> aggregate_table(q, db)
+    {('nyc',): (7,)}
+    """
+    monoids = tuple(monoid_for(op) for op in query.aggregate_ops)
+    groups: Dict[Row, list] = {}
+    for rule in query.rules:
+        for assignment in assignments(rule.inner, db):
+            group, contributions = rule.split_inner_head(
+                assignment.head_tuple()
+            )
+            folded = groups.get(group)
+            if folded is None:
+                folded = [monoid.identity for monoid in monoids]
+                groups[group] = folded
+            for index, (monoid, value) in enumerate(
+                zip(monoids, contributions)
+            ):
+                monoid.validate(value)
+                folded[index] = monoid.combine(folded[index], value)
+    return {group: tuple(values) for group, values in groups.items()}

@@ -1,0 +1,137 @@
+"""Aggregated K-relations: the result shape of aggregate queries.
+
+An aggregate query maps each *group* (the tuple of grouping values) to
+an :class:`AggregateResult` carrying
+
+* ``provenance`` — the plain ``N[X]`` polynomial of the group's
+  existence (one monomial per contributing assignment, exactly as for
+  UCQ results), and
+* ``aggregates`` — one :class:`~repro.algebra.semimodule.SemimoduleElement`
+  per aggregate head slot, the symbolic value in ``N[X] ⊗ M``.
+
+The :class:`AggregateAccumulator` folds per-assignment contributions
+into this shape; both evaluation engines and the incremental registry
+feed it, which is what keeps them in exact agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.algebra.monoid import AggregationMonoid, monoid_for
+from repro.algebra.semimodule import SemimoduleElement
+from repro.query.aggregate import AggregateQuery, AggregateRule
+from repro.semiring.evaluate import Valuation, evaluate_polynomial
+from repro.semiring.natural import NaturalSemiring
+from repro.semiring.polynomial import Polynomial
+
+_NAT = NaturalSemiring()
+
+Row = Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """One group's annotated aggregate row.
+
+    >>> from repro.algebra.monoid import monoid_for
+    >>> r = AggregateResult(
+    ...     Polynomial.parse("s1 + s2"),
+    ...     (SemimoduleElement(monoid_for("sum"),
+    ...                        {3: Polynomial.parse("s1 + s2")}),),
+    ... )
+    >>> r.specialize({"s1": 1, "s2": 0})
+    (3,)
+    >>> r.specialize({"s1": 0, "s2": 0}) is None
+    True
+    """
+
+    provenance: Polynomial
+    aggregates: Tuple[SemimoduleElement, ...]
+
+    def specialize(self, valuation: Valuation) -> Optional[Tuple]:
+        """Concrete aggregate values under a valuation ``X → N``.
+
+        Returns ``None`` when the group itself has no surviving
+        derivation (its provenance evaluates to zero) — the group is
+        absent from the specialized result, not present with identity
+        values.
+        """
+        if evaluate_polynomial(self.provenance, _NAT, valuation) == 0:
+            return None
+        return tuple(
+            element.specialize(valuation) for element in self.aggregates
+        )
+
+    def map_polynomials(self, transform) -> "AggregateResult":
+        """Rewrite every annotation polynomial (renaming, expansion)."""
+        return AggregateResult(
+            transform(self.provenance),
+            tuple(
+                element.map_polynomials(transform)
+                for element in self.aggregates
+            ),
+        )
+
+    def support(self) -> frozenset:
+        """All annotation symbols of the row (provenance side)."""
+        symbols = set(self.provenance.support())
+        for element in self.aggregates:
+            symbols.update(element.support())
+        return frozenset(symbols)
+
+    def __str__(self) -> str:
+        values = " ".join(str(element) for element in self.aggregates)
+        return "⟨{}⟩ {}".format(self.provenance, values)
+
+
+class AggregateAccumulator:
+    """Folds per-assignment contributions into aggregated results.
+
+    Feed it ``(rule, inner_head_tuple, annotation polynomial)`` triples —
+    one per assignment of the rule's inner CQ (or one per inner output
+    tuple with its whole delta polynomial, during incremental
+    maintenance); :meth:`results` returns the aggregated K-relation.
+    """
+
+    def __init__(self, query: AggregateQuery):  # noqa: D107
+        self._monoids: Tuple[AggregationMonoid, ...] = tuple(
+            monoid_for(op) for op in query.aggregate_ops
+        )
+        self._provenance: Dict[Row, Polynomial] = {}
+        self._elements: Dict[Row, list] = {}
+
+    def add(
+        self,
+        rule: AggregateRule,
+        inner_head: Sequence[Hashable],
+        annotation: Polynomial,
+    ) -> None:
+        """Fold one contribution (or one delta of contributions) in."""
+        group, contributions = rule.split_inner_head(inner_head)
+        previous = self._provenance.get(group)
+        self._provenance[group] = (
+            annotation if previous is None else previous + annotation
+        )
+        elements = self._elements.get(group)
+        if elements is None:
+            elements = [
+                SemimoduleElement.zero(monoid) for monoid in self._monoids
+            ]
+            self._elements[group] = elements
+        for index, (monoid, value) in enumerate(
+            zip(self._monoids, contributions)
+        ):
+            elements[index] = elements[index] + SemimoduleElement.tensor(
+                annotation, value, monoid
+            )
+
+    def results(self) -> Dict[Row, AggregateResult]:
+        """The accumulated aggregated K-relation."""
+        return {
+            group: AggregateResult(
+                self._provenance[group], tuple(self._elements[group])
+            )
+            for group in self._provenance
+        }

@@ -1,0 +1,219 @@
+"""Aggregation monoids: the ``M`` of the semimodule construction.
+
+Aggregate queries compute their values in a commutative monoid
+``(M, ⊕, 0_M)`` — ``SUM`` in ``(R, +, 0)``, ``COUNT`` in ``(N, +, 0)``,
+``MIN``/``MAX`` in the lattice monoids ``(R ∪ {+∞}, min)`` /
+``(R ∪ {-∞}, max)``.  Annotated aggregation pairs each contribution
+with a provenance annotation inside the tensor product ``N[X] ⊗ M``
+(see :mod:`repro.algebra.semimodule`); specializing an annotation needs
+the *action* of the naturals on ``M``::
+
+    n · m  =  m ⊕ m ⊕ ... ⊕ m   (n times, 0 · m = 0_M)
+
+because a surviving derivation of multiplicity ``n`` contributes its
+value ``n`` times under bag semantics.  The lattice monoids are
+idempotent, so their action collapses to "present or absent".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Iterable, Optional
+
+from repro.errors import EvaluationError
+
+#: The absent value of the lattice monoids MIN and MAX: ``None`` plays
+#: the role of the adjoined top (+∞) / bottom (-∞) identity element.
+ABSENT = None
+
+
+class AggregationMonoid(abc.ABC):
+    """A commutative aggregation monoid with its natural-number action.
+
+    ``linear`` marks the monoids whose action distributes over value
+    addition (``SUM``/``COUNT``); expectations can be computed by
+    linearity for exactly these (see :mod:`repro.apps.probability`).
+    """
+
+    #: Short name used by the parser (``sum(x)``) and in printed forms.
+    name: str = "?"
+    #: ``n · m == n * m`` over a numeric monoid; enables E[·] by linearity.
+    linear: bool = False
+    #: ``m ⊕ m == m``; the action collapses to presence for these.
+    idempotent: bool = False
+
+    @property
+    @abc.abstractmethod
+    def identity(self) -> Hashable:
+        """The monoid identity ``0_M`` (the value of an empty group)."""
+
+    @abc.abstractmethod
+    def combine(self, a: Hashable, b: Hashable) -> Hashable:
+        """The monoid operation ``a ⊕ b``."""
+
+    def validate(self, value: Hashable) -> None:
+        """Reject domain values the monoid cannot aggregate.
+
+        Raises :class:`~repro.errors.EvaluationError`; the default
+        accepts everything.
+        """
+
+    def act(self, n: int, m: Hashable) -> Hashable:
+        """The N-semimodule action ``n · m`` (``n``-fold ``⊕``)."""
+        if n < 0:
+            raise EvaluationError("multiplicities must be nonnegative")
+        if n == 0:
+            return self.identity
+        if self.idempotent:
+            return m
+        result = m
+        for _ in range(n - 1):
+            result = self.combine(result, m)
+        return result
+
+    def fold(self, values: Iterable[Hashable]) -> Hashable:
+        """Fold :meth:`combine` over ``values`` (identity when empty)."""
+        result = self.identity
+        for value in values:
+            result = self.combine(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return type(self).__name__ + "()"
+
+
+class SumMonoid(AggregationMonoid):
+    """``SUM``: numbers under addition.
+
+    >>> SumMonoid().fold([1, 2, 3.5])
+    6.5
+    """
+
+    name = "sum"
+    linear = True
+
+    @property
+    def identity(self) -> int:
+        return 0
+
+    def combine(self, a, b):
+        return a + b
+
+    def validate(self, value) -> None:
+        if not isinstance(value, (int, float)):
+            raise EvaluationError(
+                "sum aggregates numbers, got {!r}".format(value)
+            )
+
+    def act(self, n: int, m):
+        if n < 0:
+            raise EvaluationError("multiplicities must be nonnegative")
+        return n * m
+
+
+class CountMonoid(AggregationMonoid):
+    """``COUNT``: assignment counting, i.e. ``SUM`` of ones.
+
+    >>> CountMonoid().fold([1, 1, 1])
+    3
+    """
+
+    name = "count"
+    linear = True
+
+    @property
+    def identity(self) -> int:
+        return 0
+
+    def combine(self, a, b):
+        return a + b
+
+    def validate(self, value) -> None:
+        if not isinstance(value, int):
+            raise EvaluationError(
+                "count contributions must be integers, got {!r}".format(value)
+            )
+
+    def act(self, n: int, m):
+        if n < 0:
+            raise EvaluationError("multiplicities must be nonnegative")
+        return n * m
+
+
+class MinMonoid(AggregationMonoid):
+    """``MIN``: the meet-semilattice monoid with adjoined top ``ABSENT``.
+
+    >>> MinMonoid().fold([3, 1, 2])
+    1
+    >>> MinMonoid().fold([]) is ABSENT
+    True
+    """
+
+    name = "min"
+    idempotent = True
+
+    @property
+    def identity(self):
+        return ABSENT
+
+    def combine(self, a, b):
+        if a is ABSENT:
+            return b
+        if b is ABSENT:
+            return a
+        return a if a <= b else b
+
+    def validate(self, value) -> None:
+        if value is ABSENT:
+            raise EvaluationError("min cannot aggregate the absent value")
+
+
+class MaxMonoid(AggregationMonoid):
+    """``MAX``: the join-semilattice monoid with adjoined bottom ``ABSENT``.
+
+    >>> MaxMonoid().fold([3, 1, 2])
+    3
+    """
+
+    name = "max"
+    idempotent = True
+
+    @property
+    def identity(self):
+        return ABSENT
+
+    def combine(self, a, b):
+        if a is ABSENT:
+            return b
+        if b is ABSENT:
+            return a
+        return a if a >= b else b
+
+    def validate(self, value) -> None:
+        if value is ABSENT:
+            raise EvaluationError("max cannot aggregate the absent value")
+
+
+#: The supported aggregation operators, by parser name.
+MONOIDS = {
+    "sum": SumMonoid(),
+    "count": CountMonoid(),
+    "min": MinMonoid(),
+    "max": MaxMonoid(),
+}
+
+
+def monoid_for(op: str) -> AggregationMonoid:
+    """The monoid of an aggregation operator name (case-insensitive).
+
+    >>> monoid_for("SUM").name
+    'sum'
+    """
+    monoid: Optional[AggregationMonoid] = MONOIDS.get(op.lower())
+    if monoid is None:
+        raise EvaluationError(
+            "unknown aggregation operator {!r}; supported: {}".format(
+                op, ", ".join(sorted(MONOIDS))
+            )
+        )
+    return monoid

@@ -23,7 +23,7 @@ against both other engines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Sequence, Tuple, Union as TypingUnion
+from typing import Hashable, Mapping, Sequence, Tuple
 
 from repro.errors import EvaluationError, SchemaError
 from repro.algebra.krelation import KRelation

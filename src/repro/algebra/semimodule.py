@@ -1,0 +1,262 @@
+"""The tensor product ``N[X] ⊗ M``: semimodule-annotated aggregates.
+
+An aggregated value is kept *symbolic* as a finite formal sum
+
+``Σ_i  p_i ⊗ m_i``
+
+of simple tensors pairing a provenance polynomial ``p_i ∈ N[X]`` with an
+aggregation-monoid value ``m_i ∈ M``, modulo the tensor congruences
+
+* ``(p + p') ⊗ m  ≡  p ⊗ m + p' ⊗ m``  (annotations of equal values merge),
+* ``p ⊗ (m ⊕ m')  ≡  p ⊗ m + p ⊗ m'``  (values of equal annotations merge,
+  applied on demand by :meth:`SemimoduleElement.condense`),
+* ``0 ⊗ m ≡ 0`` and ``p ⊗ 0_M ≡ 0``  (trivial tensors vanish).
+
+The normal form stored here groups tensors by monoid value (rule one is
+applied eagerly), which keeps elements canonical and makes equality
+decidable.  Specializing the provenance side under a valuation
+``X → N`` turns each ``p_i`` into a multiplicity ``n_i`` and yields the
+concrete aggregate ``⊕_i  n_i · m_i`` — the same homomorphic story as
+plain polynomial provenance, lifted to the semimodule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, Mapping, Tuple, Union
+
+from repro.algebra.monoid import AggregationMonoid
+from repro.errors import EvaluationError
+from repro.semiring.evaluate import Valuation, evaluate_polynomial
+from repro.semiring.natural import NaturalSemiring
+from repro.semiring.polynomial import Monomial, Polynomial
+
+_NAT = NaturalSemiring()
+
+AnnotationLike = Union[str, Monomial, Polynomial]
+
+
+def _as_polynomial(annotation: AnnotationLike) -> Polynomial:
+    if isinstance(annotation, Polynomial):
+        return annotation
+    if isinstance(annotation, Monomial):
+        return Polynomial({annotation: 1})
+    if isinstance(annotation, str):
+        return Polynomial.variable(annotation)
+    raise TypeError(
+        "annotations must be symbols, monomials or polynomials, got "
+        "{!r}".format(annotation)
+    )
+
+
+def _value_sort_key(value: Hashable) -> Tuple[str, str]:
+    return (type(value).__name__, repr(value))
+
+
+class SemimoduleElement:
+    """An element of ``N[X] ⊗ M`` in value-grouped normal form.
+
+    >>> from repro.algebra.monoid import monoid_for
+    >>> e = SemimoduleElement.tensor("s1", 5, monoid_for("sum"))
+    >>> e += SemimoduleElement.tensor("s2", 5, monoid_for("sum"))
+    >>> e += SemimoduleElement.tensor("s3", 2, monoid_for("sum"))
+    >>> str(e)
+    'sum[s3⊗2 + (s1 + s2)⊗5]'
+    >>> e.specialize({"s1": 0, "s2": 1, "s3": 1})
+    7
+    """
+
+    __slots__ = ("_monoid", "_terms")
+
+    def __init__(
+        self,
+        monoid: AggregationMonoid,
+        terms: Mapping[Hashable, Polynomial] = (),
+    ):  # noqa: D107
+        self._monoid = monoid
+        cleaned: Dict[Hashable, Polynomial] = {}
+        for value, polynomial in dict(terms).items():
+            if not isinstance(polynomial, Polynomial):
+                raise TypeError(
+                    "tensor annotations must be Polynomial instances"
+                )
+            # Validate before the congruence drops anything: a bad value
+            # must raise (as the plain-aggregate oracle does), not vanish
+            # because it happens to equal the identity (MIN/MAX's ABSENT).
+            monoid.validate(value)
+            if polynomial.is_zero() or value == monoid.identity:
+                continue  # 0 ⊗ m  and  p ⊗ 0_M  vanish
+            cleaned[value] = polynomial
+        self._terms = cleaned
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def zero(cls, monoid: AggregationMonoid) -> "SemimoduleElement":
+        """The zero element (the annotation of an empty group)."""
+        return cls(monoid)
+
+    @classmethod
+    def tensor(
+        cls,
+        annotation: AnnotationLike,
+        value: Hashable,
+        monoid: AggregationMonoid,
+    ) -> "SemimoduleElement":
+        """The simple tensor ``annotation ⊗ value``."""
+        return cls(monoid, {value: _as_polynomial(annotation)})
+
+    # -- structure ------------------------------------------------------
+    @property
+    def monoid(self) -> AggregationMonoid:
+        """The aggregation monoid M."""
+        return self._monoid
+
+    def terms(self) -> Dict[Hashable, Polynomial]:
+        """A fresh ``{value: annotation polynomial}`` dictionary."""
+        return dict(self._terms)
+
+    def values(self) -> Tuple[Hashable, ...]:
+        """The distinct monoid values, deterministically ordered."""
+        return tuple(sorted(self._terms, key=_value_sort_key))
+
+    def support(self) -> frozenset:
+        """All annotation symbols mentioned by any tensor."""
+        symbols = set()
+        for polynomial in self._terms.values():
+            symbols.update(polynomial.support())
+        return frozenset(symbols)
+
+    def is_zero(self) -> bool:
+        """True when no tensor remains (no contribution at all)."""
+        return not self._terms
+
+    def tensor_count(self) -> int:
+        """Number of simple-tensor occurrences in expanded form."""
+        return sum(p.monomial_count() for p in self._terms.values())
+
+    # -- algebra ----------------------------------------------------------
+    def __add__(self, other: "SemimoduleElement") -> "SemimoduleElement":
+        if not isinstance(other, SemimoduleElement):
+            return NotImplemented
+        if other._monoid.name != self._monoid.name:
+            raise EvaluationError(
+                "cannot add {} and {} semimodule elements".format(
+                    self._monoid.name, other._monoid.name
+                )
+            )
+        terms = dict(self._terms)
+        for value, polynomial in other._terms.items():
+            previous = terms.get(value)
+            terms[value] = (
+                polynomial if previous is None else previous + polynomial
+            )
+        return SemimoduleElement(self._monoid, terms)
+
+    def scale(self, annotation: AnnotationLike) -> "SemimoduleElement":
+        """The K-action ``k · (p ⊗ m) = (k p) ⊗ m`` applied termwise.
+
+        Joining an aggregated tuple against further atoms multiplies its
+        annotation by theirs; the value side is untouched.
+        """
+        factor = _as_polynomial(annotation)
+        return SemimoduleElement(
+            self._monoid,
+            {value: factor * p for value, p in self._terms.items()},
+        )
+
+    def condense(self) -> "SemimoduleElement":
+        """Apply ``p ⊗ m + p ⊗ m' ≡ p ⊗ (m ⊕ m')`` exhaustively.
+
+        Tensors with *equal* annotation polynomials merge their values
+        through the monoid — the paper's compaction congruence, most
+        effective for the idempotent MIN/MAX monoids.
+
+        >>> from repro.algebra.monoid import monoid_for
+        >>> e = (SemimoduleElement.tensor("s1", 4, monoid_for("min"))
+        ...      + SemimoduleElement.tensor("s1", 9, monoid_for("min")))
+        >>> str(e.condense())
+        'min[s1⊗4]'
+        """
+        by_polynomial: Dict[Polynomial, Hashable] = {}
+        for value in self.values():
+            polynomial = self._terms[value]
+            previous = by_polynomial.get(polynomial)
+            by_polynomial[polynomial] = (
+                value
+                if previous is None
+                else self._monoid.combine(previous, value)
+            )
+        merged: Dict[Hashable, Polynomial] = {}
+        for polynomial, value in by_polynomial.items():
+            previous = merged.get(value)
+            merged[value] = (
+                polynomial if previous is None else previous + polynomial
+            )
+        return SemimoduleElement(self._monoid, merged)
+
+    def map_symbols(self, mapping: Mapping[str, str]) -> "SemimoduleElement":
+        """Rename annotation symbols in every tensor (Sec. 6 re-tagging)."""
+        return self.map_polynomials(lambda p: p.map_symbols(mapping))
+
+    def map_polynomials(
+        self, transform: Callable[[Polynomial], Polynomial]
+    ) -> "SemimoduleElement":
+        """Rewrite every annotation polynomial (e.g. expansion to base).
+
+        Zero results drop their tensor, preserving the normal form.
+        """
+        return SemimoduleElement(
+            self._monoid,
+            {value: transform(p) for value, p in self._terms.items()},
+        )
+
+    # -- specialization ---------------------------------------------------
+    def specialize(self, valuation: Valuation) -> Hashable:
+        """The concrete aggregate under a valuation ``X → N``.
+
+        Each annotation polynomial evaluates to a derivation
+        multiplicity ``n_i``; the result is ``⊕_i n_i · m_i`` — the
+        monoid identity when nothing survives (``0`` for SUM/COUNT,
+        :data:`~repro.algebra.monoid.ABSENT` for MIN/MAX).
+        """
+        result = self._monoid.identity
+        for value in self.values():
+            multiplicity = evaluate_polynomial(
+                self._terms[value], _NAT, valuation
+            )
+            result = self._monoid.combine(
+                result, self._monoid.act(multiplicity, value)
+            )
+        return result
+
+    # -- protocol ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SemimoduleElement):
+            return NotImplemented
+        return (
+            self._monoid.name == other._monoid.name
+            and self._terms == other._terms
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._monoid.name, frozenset(self._terms.items()))
+        )
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, Polynomial]]:
+        for value in self.values():
+            yield value, self._terms[value]
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "{}[0]".format(self._monoid.name)
+        parts = []
+        for value, polynomial in self:
+            if len(polynomial.terms) == 1 and polynomial.degree() <= 1:
+                annotation = str(polynomial)
+            else:
+                annotation = "({})".format(polynomial)
+            parts.append("{}⊗{!r}".format(annotation, value))
+        return "{}[{}]".format(self._monoid.name, " + ".join(parts))
+
+    def __repr__(self) -> str:
+        return "<SemimoduleElement {}>".format(self)

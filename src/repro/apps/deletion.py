@@ -12,9 +12,13 @@ the core provenance; the surviving *polynomial* itself is not.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Mapping, Tuple
 
+from repro.algebra.semimodule import SemimoduleElement
 from repro.semiring.polynomial import Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.aggregate.result import AggregateResult
 
 HeadTuple = Tuple
 
@@ -86,4 +90,76 @@ def partition_by_survival(
             killed.append(output)
         else:
             survivors[output] = updated
+    return survivors, killed
+
+
+# ----------------------------------------------------------------------
+# Aggregates: deletion on semimodule annotations
+# ----------------------------------------------------------------------
+def delete_from_aggregate(
+    element: SemimoduleElement, deleted: Iterable[str]
+) -> SemimoduleElement:
+    """The semimodule annotation after deleting the ``deleted`` tuples.
+
+    Deletion filters tensors exactly as it filters polynomial
+    monomials: a contribution whose annotation mentions a deleted
+    symbol vanishes; the value side is untouched.  The result is still
+    symbolic and can be specialized or deleted-from again.
+
+    >>> from repro.algebra.monoid import monoid_for
+    >>> from repro.algebra.semimodule import SemimoduleElement
+    >>> e = (SemimoduleElement.tensor("s1", 5, monoid_for("sum"))
+    ...      + SemimoduleElement.tensor("s2", 2, monoid_for("sum")))
+    >>> str(delete_from_aggregate(e, ["s1"]))
+    'sum[s2⊗2]'
+    """
+    gone = set(deleted)
+    if not gone:
+        return element
+    return element.map_polynomials(lambda p: delete_tuples(p, gone))
+
+
+def aggregate_after_deletion(
+    element: SemimoduleElement, deleted: Iterable[str]
+) -> Hashable:
+    """The concrete aggregate value once ``deleted`` are gone.
+
+    Computed from the cached annotation with no re-evaluation: deleted
+    symbols specialize to 0, survivors to 1 (their multiplicity).  The
+    monoid identity signals an empty group (``0`` for SUM/COUNT,
+    ``None`` for MIN/MAX); pair with the group's survival check when
+    the distinction matters.
+
+    >>> from repro.algebra.monoid import monoid_for
+    >>> from repro.algebra.semimodule import SemimoduleElement
+    >>> e = (SemimoduleElement.tensor("s1", 5, monoid_for("sum"))
+    ...      + SemimoduleElement.tensor("s2", 2, monoid_for("sum")))
+    >>> aggregate_after_deletion(e, ["s1"])
+    2
+    """
+    gone = set(deleted)
+    return element.specialize(lambda symbol: 0 if symbol in gone else 1)
+
+
+def propagate_deletion_aggregates(
+    view: Mapping[HeadTuple, "AggregateResult"],
+    deleted: Iterable[str],
+) -> Tuple[Dict[HeadTuple, "AggregateResult"], List[HeadTuple]]:
+    """Maintain a whole aggregated view under deletion of input tuples.
+
+    ``view`` maps groups to
+    :class:`~repro.aggregate.result.AggregateResult` rows.  Returns
+    ``(survivors, killed)``: survivors carry filtered provenance *and*
+    filtered semimodule annotations; groups whose provenance became
+    zero are killed — their aggregate has no derivation left.
+    """
+    gone = set(deleted)
+    survivors: Dict[HeadTuple, "AggregateResult"] = {}
+    killed: List[HeadTuple] = []
+    for group, result in view.items():
+        updated = result.map_polynomials(lambda p: delete_tuples(p, gone))
+        if updated.provenance.is_zero():
+            killed.append(group)
+        else:
+            survivors[group] = updated
     return survivors, killed

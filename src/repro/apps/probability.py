@@ -16,9 +16,14 @@ counting, which is not.
 from __future__ import annotations
 
 import itertools
-from typing import Mapping
+from typing import TYPE_CHECKING, Dict, Hashable, Mapping, Optional
 
+from repro.algebra.semimodule import SemimoduleElement
+from repro.errors import EvaluationError
 from repro.semiring.polynomial import Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.aggregate.result import AggregateResult
 
 
 def tuple_probability(
@@ -49,3 +54,78 @@ def tuple_probability(
             weight *= probabilities[symbol] if bit else 1.0 - probabilities[symbol]
         total += weight
     return total
+
+
+def expected_aggregate(
+    element: SemimoduleElement,
+    probabilities: Mapping[str, float],
+) -> float:
+    """Expected SUM/COUNT over a tuple-independent database.
+
+    Linearity of expectation makes this exact and cheap for the linear
+    monoids: every tensor ``p ⊗ m`` contributes
+    ``m · E[multiplicity of p]``, and a monomial's expected
+    multiplicity is its coefficient times the product of its *distinct*
+    symbols' marginals (presence indicators are idempotent).  MIN/MAX
+    are not linear — use :func:`aggregate_distribution` for them.
+
+    >>> from repro.algebra.monoid import monoid_for
+    >>> e = (SemimoduleElement.tensor("s1", 10, monoid_for("sum"))
+    ...      + SemimoduleElement.tensor("s2", 4, monoid_for("sum")))
+    >>> expected_aggregate(e, {"s1": 0.5, "s2": 0.25})
+    6.0
+    """
+    if not element.monoid.linear:
+        raise EvaluationError(
+            "expectation by linearity is only defined for the linear "
+            "monoids (sum/count), not {}; use "
+            "aggregate_distribution".format(element.monoid.name)
+        )
+    for symbol in sorted(element.support()):
+        if symbol not in probabilities:
+            raise KeyError("no probability for annotation {}".format(symbol))
+    total = 0.0
+    for value, polynomial in element:
+        for monomial, coefficient in polynomial.terms.items():
+            presence = 1.0
+            for symbol in monomial.factors.distinct():
+                presence *= probabilities[symbol]
+            total += value * coefficient * presence
+    return total
+
+
+def aggregate_distribution(
+    result: "AggregateResult",
+    probabilities: Mapping[str, float],
+    aggregate: int = 0,
+) -> Dict[Optional[Hashable], float]:
+    """Exact distribution of one aggregate slot's value.
+
+    Enumerates possible worlds over the group's annotation support
+    (exponential, like :func:`tuple_probability`).  The returned
+    mapping sends each attainable value to its probability; the key
+    ``None`` carries the probability that the group is absent (no
+    derivation survives).  Works for every monoid, including the
+    non-linear MIN/MAX.
+    """
+    element = result.aggregates[aggregate]
+    support = sorted(result.provenance.support() | element.support())
+    for symbol in support:
+        if symbol not in probabilities:
+            raise KeyError("no probability for annotation {}".format(symbol))
+    witnesses = [frozenset(m.symbols) for m in result.provenance.terms]
+    distribution: Dict[Optional[Hashable], float] = {}
+    for world in itertools.product((0, 1), repeat=len(support)):
+        valuation = dict(zip(support, world))
+        present = {symbol for symbol, bit in valuation.items() if bit}
+        weight = 1.0
+        for symbol, bit in zip(support, world):
+            weight *= (
+                probabilities[symbol] if bit else 1.0 - probabilities[symbol]
+            )
+        if any(witness <= present for witness in witnesses):
+            outcome: Optional[Hashable] = element.specialize(valuation)
+        else:
+            outcome = None
+        distribution[outcome] = distribution.get(outcome, 0.0) + weight
+    return distribution

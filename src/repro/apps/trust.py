@@ -10,8 +10,9 @@ concrete.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List
+from typing import FrozenSet, Hashable, Iterable, List
 
+from repro.algebra.semimodule import SemimoduleElement
 from repro.semiring.boolean import BooleanSemiring
 from repro.semiring.evaluate import evaluate_polynomial
 from repro.semiring.polynomial import Polynomial
@@ -44,3 +45,26 @@ def minimal_trust_sets(polynomial: Polynomial) -> List[FrozenSet[str]]:
     from repro.direct.core_polynomial import core_monomials
 
     return [frozenset(m.symbols) for m in core_monomials(polynomial)]
+
+
+def trusted_aggregate_value(
+    element: SemimoduleElement, trusted: Iterable[str]
+) -> Hashable:
+    """The aggregate computed over trusted derivations only.
+
+    Untrusted annotations specialize to multiplicity 0, trusted ones to
+    1 — the aggregate "as if" only trusted inputs existed, read off the
+    cached semimodule annotation with no re-evaluation.  The monoid
+    identity (``0`` / :data:`~repro.algebra.monoid.ABSENT`) means no
+    contribution is fully trusted.
+
+    >>> from repro.algebra.monoid import monoid_for
+    >>> e = (SemimoduleElement.tensor("s1", 5, monoid_for("sum"))
+    ...      + SemimoduleElement.tensor("s2", 2, monoid_for("sum")))
+    >>> trusted_aggregate_value(e, ["s2"])
+    2
+    >>> trusted_aggregate_value(e, [])
+    0
+    """
+    allowed = set(trusted)
+    return element.specialize(lambda symbol: 1 if symbol in allowed else 0)

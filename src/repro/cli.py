@@ -1,12 +1,14 @@
-"""Command-line interface: evaluate, minimize, core, sql, maintain.
+"""Command-line interface: evaluate, aggregate, minimize, core, sql, maintain.
 
 Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
 
-    repro-prov eval     -p program.dl -d data.json [--view NAME] [--engine memory|sqlite|algebra]
-    repro-prov minimize -p program.dl [--algorithm minprov|standard] [--trace]
-    repro-prov core     -p program.dl -d data.json [--view NAME]
-    repro-prov sql      -p program.dl
-    repro-prov maintain -p program.dl -d data.json -u updates.json [--check] [--quiet]
+    repro-prov eval      -p program.dl -d data.json [--view NAME] [--engine memory|sqlite|algebra]
+    repro-prov aggregate -p program.dl -d data.json [--view NAME] [--engine memory|sqlite]
+                         [--delete s1,s2] [--trust s1,s2] [--probabilities probs.json]
+    repro-prov minimize  -p program.dl [--algorithm minprov|standard] [--trace]
+    repro-prov core      -p program.dl -d data.json [--view NAME]
+    repro-prov sql       -p program.dl
+    repro-prov maintain  -p program.dl -d data.json -u updates.json [--check] [--quiet]
 
 The program file uses the rule syntax of :mod:`repro.query.parser`
 (one or more rules; rules sharing a head relation form a union).  The
@@ -30,6 +32,10 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.aggregate.evaluate import evaluate_aggregate
+from repro.apps.deletion import propagate_deletion_aggregates
+from repro.apps.probability import aggregate_distribution, expected_aggregate
+from repro.apps.trust import trusted_aggregate_value
 from repro.db.instance import AnnotatedDatabase
 from repro.db.sqlite_backend import SQLiteDatabase
 from repro.direct.pipeline import core_provenance_table
@@ -40,9 +46,10 @@ from repro.incremental.maintain import check_consistency
 from repro.incremental.registry import ViewRegistry
 from repro.minimize.minprov import min_prov, min_prov_trace
 from repro.minimize.standard import minimize_query
+from repro.query.aggregate import AggregateQuery, AnyQuery
 from repro.query.parser import parse_program
 from repro.query.printer import query_to_str
-from repro.query.ucq import Query, query_constants
+from repro.query.ucq import query_constants
 
 
 def load_database(path: str) -> AnnotatedDatabase:
@@ -134,8 +141,8 @@ def load_deltas(path: str) -> List[Delta]:
 
 
 def _select_views(
-    program: Dict[str, Query], requested: Optional[str]
-) -> Dict[str, Query]:
+    program: Dict[str, AnyQuery], requested: Optional[str]
+) -> Dict[str, AnyQuery]:
     if requested is None:
         return program
     if requested not in program:
@@ -153,31 +160,170 @@ def _print_results(name: str, results, out) -> None:
         print("  {!r:<24} {}".format(output, results[output]), file=out)
 
 
+def _evaluate_any(query: AnyQuery, db: AnnotatedDatabase, engine: str):
+    if isinstance(query, AggregateQuery):
+        if engine == "memory":
+            return evaluate_aggregate(query, db)
+        if engine == "sqlite":
+            store = SQLiteDatabase.from_annotated(db)
+            try:
+                return store.evaluate_aggregate(query)
+            finally:
+                store.close()
+        raise ReproError(
+            "the {} engine does not support aggregate queries; use "
+            "--engine memory or sqlite".format(engine)
+        )
+    if engine == "memory":
+        return evaluate(query, db)
+    if engine == "sqlite":
+        store = SQLiteDatabase.from_annotated(db)
+        try:
+            return store.evaluate(query)
+        finally:
+            store.close()
+    if engine == "algebra":
+        from repro.algebra.compile import evaluate_via_algebra
+
+        return evaluate_via_algebra(query, db)
+    raise ReproError(  # pragma: no cover - argparse restricts choices
+        "unknown engine {!r}".format(engine)
+    )
+
+
 def command_eval(args, out) -> int:
     program = _select_views(load_program(args.program), args.view)
     db = load_database(args.data)
     for name, query in sorted(program.items()):
-        if args.engine == "memory":
-            results = evaluate(query, db)
-        elif args.engine == "sqlite":
-            store = SQLiteDatabase.from_annotated(db)
-            try:
-                results = store.evaluate(query)
-            finally:
-                store.close()
-        elif args.engine == "algebra":
-            from repro.algebra.compile import evaluate_via_algebra
+        _print_results(name, _evaluate_any(query, db, args.engine), out)
+    return 0
 
-            results = evaluate_via_algebra(query, db)
-        else:  # pragma: no cover - argparse restricts choices
-            raise ReproError("unknown engine {!r}".format(args.engine))
+
+def _symbol_set(text: Optional[str]):
+    return {part.strip() for part in text.split(",") if part.strip()} if text else None
+
+
+def command_aggregate(args, out) -> int:
+    program = _select_views(load_program(args.program), args.view)
+    aggregates = {
+        name: query
+        for name, query in program.items()
+        if isinstance(query, AggregateQuery)
+    }
+    if not aggregates:
+        raise ReproError(
+            "the program defines no aggregate queries; heads like "
+            "ans(x, sum(y)) are required"
+        )
+    db = load_database(args.data)
+    deleted = _symbol_set(args.delete)
+    trusted = _symbol_set(args.trust)
+    probabilities = None
+    if args.probabilities:
+        with open(args.probabilities) as handle:
+            try:
+                probabilities = {
+                    str(symbol): float(p)
+                    for symbol, p in json.load(handle).items()
+                }
+            except (AttributeError, TypeError, ValueError) as error:
+                raise ReproError(
+                    "probabilities file must map annotations to numbers: "
+                    "{}".format(error)
+                )
+    for name, query in sorted(aggregates.items()):
+        results = _evaluate_any(query, db, args.engine)
+        ops = query.aggregate_ops
         _print_results(name, results, out)
+        if deleted is not None:
+            survivors, killed = propagate_deletion_aggregates(results, deleted)
+            print(
+                "-- after deleting {{{}}}".format(", ".join(sorted(deleted))),
+                file=out,
+            )
+            for group in sorted(results, key=repr):
+                if group in survivors:
+                    values = survivors[group].specialize(
+                        lambda s: 0 if s in deleted else 1
+                    )
+                    print(
+                        "  {!r:<24} {}".format(
+                            group,
+                            " ".join(
+                                "{}={!r}".format(op, value)
+                                for op, value in zip(ops, values)
+                            ),
+                        ),
+                        file=out,
+                    )
+            for group in sorted(killed, key=repr):
+                print("  {!r:<24} (group deleted)".format(group), file=out)
+        if trusted is not None:
+            print(
+                "-- trusting {{{}}} only".format(", ".join(sorted(trusted))),
+                file=out,
+            )
+            for group in sorted(results, key=repr):
+                values = [
+                    trusted_aggregate_value(element, trusted)
+                    for element in results[group].aggregates
+                ]
+                print(
+                    "  {!r:<24} {}".format(
+                        group,
+                        " ".join(
+                            "{}={!r}".format(op, value)
+                            for op, value in zip(ops, values)
+                        ),
+                    ),
+                    file=out,
+                )
+        if probabilities is not None:
+            print("-- under tuple probabilities", file=out)
+            for group in sorted(results, key=repr):
+                rendered = []
+                for index, op in enumerate(ops):
+                    element = results[group].aggregates[index]
+                    try:
+                        if element.monoid.linear:
+                            rendered.append(
+                                "E[{}]={:.4f}".format(
+                                    op,
+                                    expected_aggregate(element, probabilities),
+                                )
+                            )
+                        else:
+                            distribution = aggregate_distribution(
+                                results[group], probabilities, aggregate=index
+                            )
+                            rendered.append(
+                                "P[{}]={{{}}}".format(
+                                    op,
+                                    ", ".join(
+                                        "{!r}: {:.4f}".format(value, p)
+                                        for value, p in sorted(
+                                            distribution.items(), key=repr
+                                        )
+                                    ),
+                                )
+                            )
+                    except KeyError as error:
+                        raise ReproError(
+                            "probabilities file is incomplete: "
+                            "{}".format(error.args[0])
+                        )
+                print("  {!r:<24} {}".format(group, " ".join(rendered)), file=out)
     return 0
 
 
 def command_minimize(args, out) -> int:
     program = _select_views(load_program(args.program), args.view)
     for name, query in sorted(program.items()):
+        if isinstance(query, AggregateQuery):
+            raise ReproError(
+                "view {!r} is an aggregate query; minimization is defined "
+                "for UCQ≠ only".format(name)
+            )
         print("-- {}".format(name), file=out)
         if args.algorithm == "standard":
             print(query_to_str(minimize_query(query)), file=out)
@@ -199,6 +345,12 @@ def command_core(args, out) -> int:
     program = _select_views(load_program(args.program), args.view)
     db = load_database(args.data)
     for name, query in sorted(program.items()):
+        if isinstance(query, AggregateQuery):
+            raise ReproError(
+                "view {!r} is an aggregate query; core provenance is "
+                "defined for UCQ≠ results (aggregate annotations are "
+                "semimodule elements)".format(name)
+            )
         results = evaluate(query, db)
         core = core_provenance_table(results, db, query_constants(query))
         _print_results(name + " (core provenance)", core, out)
@@ -273,6 +425,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (default: memory)",
     )
     sub_eval.set_defaults(handler=command_eval)
+
+    sub_agg = subparsers.add_parser(
+        "aggregate",
+        help="evaluate aggregate queries to semimodule annotations",
+    )
+    add_common(sub_agg, needs_data=True)
+    sub_agg.add_argument(
+        "--engine",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="evaluation engine (default: memory)",
+    )
+    sub_agg.add_argument(
+        "--delete",
+        metavar="SYMS",
+        help="comma-separated annotations to delete; prints the "
+        "specialized aggregates",
+    )
+    sub_agg.add_argument(
+        "--trust",
+        metavar="SYMS",
+        help="comma-separated trusted annotations; prints the "
+        "trusted-only aggregates",
+    )
+    sub_agg.add_argument(
+        "--probabilities",
+        metavar="FILE",
+        help="JSON {annotation: probability}; prints expected values "
+        "(sum/count) and exact distributions (min/max)",
+    )
+    sub_agg.set_defaults(handler=command_aggregate)
 
     sub_min = subparsers.add_parser("minimize", help="rewrite to p-minimal form")
     add_common(sub_min, needs_data=False)

@@ -17,13 +17,21 @@ None); the in-memory engine has no such restriction.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
 from repro.db.instance import AnnotatedDatabase, Value
-from repro.engine.sql_compile import compile_cq_to_sql, decode_row
+from repro.engine.sql_compile import (
+    compile_aggregate_to_sql,
+    compile_cq_to_sql,
+    decode_row,
+)
 from repro.errors import EvaluationError, SchemaError
+from repro.query.aggregate import AggregateQuery
 from repro.query.ucq import Query, adjuncts_of
 from repro.semiring.polynomial import Monomial, Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.aggregate.result import AggregateResult
 
 _STORABLE = (str, int, float, bytes, type(None))
 
@@ -115,13 +123,61 @@ class SQLiteDatabase:
                 results[head] = previous + Polynomial({Monomial(symbols): 1})
         return results
 
+    def evaluate_aggregate(
+        self, query: AggregateQuery
+    ) -> Dict[HeadTuple, "AggregateResult"]:
+        """Evaluate an aggregate query, reassembling semimodule values.
+
+        Each fetched row of a rule's inner SELECT is one contribution
+        (one assignment); the accumulator folds them into exactly the
+        aggregated K-relation the in-memory engine produces —
+        differential tests enforce the agreement.
+
+        >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
+        >>> sdb = SQLiteDatabase.from_annotated(db)
+        >>> from repro.query.parser import parse_query
+        >>> q = parse_query("sales(city, sum(cost)) :- S(city, cost)")
+        >>> print(sdb.evaluate_aggregate(q)[("nyc",)])
+        ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
+        """
+        # Imported here: repro.aggregate pulls the algebra package,
+        # whose compiler imports repro.db — a top-level import would be
+        # circular through the package __init__ modules.
+        from repro.aggregate.result import AggregateAccumulator
+
+        accumulator = AggregateAccumulator(query)
+        compiled = compile_aggregate_to_sql(query)
+        for rule, statement in zip(query.rules, compiled.rules):
+            if not rule.relations() <= self.relations():
+                continue
+            cursor = self._connection.execute(
+                statement.sql, statement.parameters
+            )
+            for row in cursor:
+                head, symbols = decode_row(statement, row)
+                accumulator.add(
+                    rule, head, Polynomial({Monomial(symbols): 1})
+                )
+        return accumulator.results()
+
     def provenance(self, query: Query, output: Sequence[Value]) -> Polynomial:
         """``P(t, Q, D)`` via SQL (zero when the tuple is absent)."""
         return self.evaluate(query).get(tuple(output), Polynomial.zero())
 
-    def explain(self, query: Query) -> str:
+    def explain(self, query) -> str:
         """The SQL text of each adjunct (for documentation/debugging)."""
         statements = []
+        if isinstance(query, AggregateQuery):
+            compiled = compile_aggregate_to_sql(query)
+            body = "\nUNION ALL\n".join(
+                statement.sql
+                + "  -- params: {}".format(list(statement.parameters))
+                for statement in compiled.rules
+            )
+            return (
+                "-- contributions of {} (aggregated client-side in "
+                "N[X] ⊗ M)\n{}".format(compiled.header, body)
+            )
         for adjunct in adjuncts_of(query):
             compiled = compile_cq_to_sql(adjunct)
             statements.append(compiled.sql + "  -- params: {}".format(

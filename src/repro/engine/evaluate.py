@@ -14,9 +14,11 @@ polynomials of the adjuncts add up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.db.instance import AnnotatedDatabase, Row, Value
+from repro.errors import EvaluationError
+from repro.query.aggregate import AggregateQuery
 from repro.query.cq import ConjunctiveQuery
 from repro.query.terms import Constant, Term, Variable, is_variable
 from repro.query.ucq import Query, adjuncts_of
@@ -135,7 +137,17 @@ def evaluate(query: Query, db: AnnotatedDatabase) -> Dict[HeadTuple, Polynomial]
 
     Implements Def. 2.12: one monomial per assignment, adjunct
     polynomials summed.  Tuples with zero provenance never appear.
+
+    Aggregate queries annotate their values in a semimodule, not a
+    polynomial — they have their own evaluator,
+    :func:`repro.aggregate.evaluate.evaluate_aggregate`, built on the
+    same assignment enumeration.
     """
+    if isinstance(query, AggregateQuery):
+        raise EvaluationError(
+            "aggregate queries produce semimodule annotations; use "
+            "repro.aggregate.evaluate_aggregate instead of evaluate"
+        )
     results: Dict[HeadTuple, Polynomial] = {}
     for adjunct in adjuncts_of(query):
         for assignment in assignments(adjunct, db):

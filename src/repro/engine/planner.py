@@ -15,7 +15,7 @@ evaluation; ``benchmarks/bench_planner.py`` measures the speedup.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Set
 
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import evaluate as _evaluate

@@ -24,8 +24,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import UnsupportedQueryError
+from repro.query.aggregate import AggregateQuery, head_terms_to_str
 from repro.query.cq import ConjunctiveQuery
-from repro.query.terms import Constant, Variable, is_variable
+from repro.query.terms import Variable, is_variable
 
 _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
 
@@ -119,6 +120,50 @@ def compile_cq_to_sql(query: ConjunctiveQuery) -> CompiledQuery:
         parameters=tuple(parameters),
         head_slots=tuple(head_slots),
         prov_count=len(query.atoms),
+    )
+
+
+@dataclass(frozen=True)
+class CompiledAggregate:
+    """A compiled aggregate query.
+
+    ``rules``
+        one :class:`CompiledQuery` per adjunct rule, compiled from the
+        rule's *inner* CQ (grouping columns first, aggregated columns
+        after) — every fetched row is one contribution;
+    ``group_arity``
+        number of leading grouping positions in each decoded head;
+    ``header``
+        the rendered aggregate head (for EXPLAIN-style output).
+    """
+
+    rules: Tuple[CompiledQuery, ...]
+    group_arity: int
+    header: str
+
+
+def compile_aggregate_to_sql(query: AggregateQuery) -> CompiledAggregate:
+    """Compile an aggregate query's rules to per-contribution SELECTs.
+
+    Aggregation itself happens client-side in the semimodule — SQL
+    ``GROUP BY`` would collapse the per-assignment rows the tensor
+    construction needs — so each rule compiles exactly like its inner
+    CQ and the accumulator folds the fetched contributions.
+
+    >>> from repro.query.parser import parse_query
+    >>> compiled = compile_aggregate_to_sql(
+    ...     parse_query("sales(c, sum(v)) :- S(c, v)"))
+    >>> print(compiled.rules[0].sql)
+    SELECT t0.prov, t0.c0, t0.c1 FROM "S" t0
+    >>> compiled.group_arity
+    1
+    """
+    return CompiledAggregate(
+        rules=tuple(compile_cq_to_sql(rule.inner) for rule in query.rules),
+        group_arity=query.group_arity,
+        header=head_terms_to_str(
+            query.head_relation, query.rules[0].head_terms
+        ),
     )
 
 

@@ -27,7 +27,7 @@ from typing import List
 
 from repro.hom.homomorphism import has_homomorphism
 from repro.query.cq import ConjunctiveQuery
-from repro.query.terms import Constant, Variable, is_variable
+from repro.query.terms import is_variable
 from repro.query.ucq import Query, adjuncts_of
 
 
@@ -52,7 +52,7 @@ def is_contained(q1: Query, q2: Query) -> bool:
         # disequalities, containment holds iff every left adjunct admits
         # a homomorphism from some right adjunct.
         return all(
-            any(has_homomorphism(r, l) for r in right) for l in left
+            any(has_homomorphism(r, adj) for r in right) for adj in left
         )
     constants = set()
     for adjunct in left + right:

@@ -34,7 +34,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.query.atoms import Disequality
 from repro.query.cq import ConjunctiveQuery
-from repro.query.terms import Constant, Term, Variable, is_constant, is_variable
+from repro.query.terms import Term, Variable, is_constant, is_variable
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from repro.db.instance import AnnotatedDatabase
 from repro.errors import EvaluationError
 from repro.incremental.delta import Delta
 from repro.incremental.registry import MaintenanceReport, ViewRegistry
-from repro.query.ucq import Query
+from repro.query.aggregate import AnyQuery
 from repro.views.program import ViewEvaluation, evaluate_program
 
 
@@ -48,9 +48,12 @@ def check_consistency(registry: ViewRegistry) -> ConsistencyReport:
 
     Views are compared on base-expanded provenance (exact polynomial
     equality, coefficients included), so any drift — a lost monomial, a
-    phantom tuple, a wrong coefficient — is detected.
+    phantom tuple, a wrong coefficient — is detected.  Aggregate views
+    are additionally compared on their base-expanded semimodule
+    annotations, tensor by tensor.
     """
     reference = full_recompute(registry)
+    aggregate_names = registry.aggregate_names
     mismatches: List[str] = []
     for name in registry.order:
         maintained = registry.base_provenance(name)
@@ -66,6 +69,19 @@ def check_consistency(registry: ViewRegistry) -> ConsistencyReport:
                         name, row, maintained[row], expected[row]
                     )
                 )
+        if name not in aggregate_names:
+            continue
+        maintained_rows = registry.base_aggregates(name)
+        expected_rows = reference.base_aggregates(name)
+        for row in sorted(set(maintained_rows) & set(expected_rows), key=repr):
+            kept = maintained_rows[row].aggregates
+            fresh = expected_rows[row].aggregates
+            for index, (a, b) in enumerate(zip(kept, fresh)):
+                if a != b:
+                    mismatches.append(
+                        "{}: {!r} aggregate #{} is {} but recompute says "
+                        "{}".format(name, row, index, a, b)
+                    )
     return ConsistencyReport(
         consistent=not mismatches, mismatches=tuple(mismatches)
     )
@@ -81,7 +97,7 @@ def refresh(registry: ViewRegistry) -> ViewRegistry:
 
 
 def maintain(
-    program: Mapping[str, Query],
+    program: Mapping[str, AnyQuery],
     db: AnnotatedDatabase,
     deltas: Iterable[Delta],
     check_every: int = 0,

@@ -26,7 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Set, Tuple
 
-from repro.apps.deletion import partition_by_survival
+from repro.aggregate.evaluate import evaluate_aggregate
+from repro.aggregate.result import AggregateAccumulator, AggregateResult
+from repro.apps.deletion import delete_tuples, partition_by_survival
 from repro.db.instance import AnnotatedDatabase, Row
 from repro.engine.evaluate import evaluate
 from repro.errors import EvaluationError
@@ -34,14 +36,16 @@ from repro.incremental.delta import (
     Delta,
     HashIndexes,
     apply_to_database,
+    delta_assignments,
     delta_provenance,
 )
-from repro.query.ucq import Query
+from repro.query.aggregate import AggregateQuery, AnyQuery
 from repro.semiring.polynomial import Polynomial
 from repro.utils.naming import NameSupply
 from repro.views.program import (
     MaterializedView,
     ViewEvaluation,
+    check_aggregates_terminal,
     dependency_order,
     expand_to_base,
 )
@@ -51,7 +55,13 @@ ViewTuple = Tuple[str, Row]
 
 @dataclass
 class ViewChange:
-    """What one maintenance batch did to one view."""
+    """What one maintenance batch did to one view.
+
+    For plain views the values are polynomials and ``deleted`` maps
+    each dead row to its retired symbol; for aggregate views the values
+    are :class:`~repro.aggregate.result.AggregateResult` rows and the
+    retired symbol is ``""`` (terminal views bind no symbols).
+    """
 
     inserted: Dict[Row, Polynomial] = field(default_factory=dict)
     deleted: Dict[Row, str] = field(default_factory=dict)  # row -> retired symbol
@@ -104,7 +114,7 @@ class ViewRegistry:
 
     def __init__(
         self,
-        program: Mapping[str, Query],
+        program: Mapping[str, AnyQuery],
         db: AnnotatedDatabase,
         symbol_prefix: str = "w",
     ):  # noqa: D107
@@ -122,8 +132,9 @@ class ViewRegistry:
                 "incremental maintenance requires an abstractly-tagged "
                 "base database (every tuple carrying a distinct annotation)"
             )
-        self._program: Dict[str, Query] = dict(program)
+        self._program: Dict[str, AnyQuery] = dict(program)
         self._order = dependency_order(self._program)
+        self._aggregate_names = check_aggregates_terminal(self._program)
         self._base_relations = set(db.relations())
         self._supply = NameSupply(symbol_prefix, avoid=db.annotations())
         self._db = AnnotatedDatabase(track_changes=False)
@@ -135,6 +146,7 @@ class ViewRegistry:
         self._views: Dict[str, Dict[Row, Polynomial]] = {}
         self._symbols: Dict[str, Dict[Row, str]] = {}
         self._bindings: Dict[str, Polynomial] = {}
+        self._aggregates: Dict[str, Dict[Row, AggregateResult]] = {}
         self._dependents: Dict[str, Set[ViewTuple]] = {}
         self._materialize()
 
@@ -143,12 +155,42 @@ class ViewRegistry:
     # ------------------------------------------------------------------
     def _materialize(self) -> None:
         for name in self._order:
+            if name in self._aggregate_names:
+                # Aggregate views are terminal: their groups never feed
+                # other views, so they get no fresh symbols and no rows
+                # in the working database — only the inverted index.
+                results = evaluate_aggregate(self._program[name], self._db)
+                self._aggregates[name] = results
+                for row, result in results.items():
+                    self._register_aggregate(name, row, result)
+                continue
             self._views[name] = {}
             self._symbols[name] = {}
             self._db.declare_relation(name, self._program[name].arity)
             results = evaluate(self._program[name], self._db)
             for row, polynomial in sorted(results.items(), key=lambda kv: repr(kv[0])):
                 self._install(name, row, polynomial)
+
+    def _affected_rows(self, name: str, changed_symbols: Set[str]) -> Set[Row]:
+        """Rows of one view whose provenance mentions a changed symbol.
+
+        The inverted-index lookup behind provenance-driven invalidation,
+        shared by plain and aggregate maintenance.
+        """
+        affected: Set[Row] = set()
+        for symbol in changed_symbols:
+            for dep_name, dep_row in self._dependents.get(symbol, ()):
+                if dep_name == name:
+                    affected.add(dep_row)
+        return affected
+
+    def _register_aggregate(
+        self, name: str, row: Row, result: AggregateResult
+    ) -> None:
+        # Element annotations only mention monomials of the group's
+        # provenance, so indexing the provenance support covers both.
+        for mentioned in result.provenance.support():
+            self._dependents.setdefault(mentioned, set()).add((name, row))
 
     def _install(self, name: str, row: Row, polynomial: Polynomial) -> str:
         symbol = self._supply.fresh()
@@ -197,7 +239,14 @@ class ViewRegistry:
         self._base_relations.update(inserted)
         changes: Dict[str, ViewChange] = {}
         for name in self._order:
-            changes[name] = self._maintain_view(name, deleted_symbols, inserted)
+            if name in self._aggregate_names:
+                changes[name] = self._maintain_aggregate(
+                    name, deleted_symbols, inserted
+                )
+            else:
+                changes[name] = self._maintain_view(
+                    name, deleted_symbols, inserted
+                )
         # Renames run after the maintenance loop: the deletion filter
         # above matches monomials by the *old* tags, so a batch may
         # retag a surviving tuple to an annotation freed by one of its
@@ -205,13 +254,18 @@ class ViewRegistry:
         retag_updates = self._apply_retags(retag_map) if retag_map else {}
         for name, rows in retag_updates.items():
             change = changes[name]
+            view = (
+                self._aggregates[name]
+                if name in self._aggregate_names
+                else self._views[name]
+            )
             for row in rows:
                 if (
                     row not in change.deleted
                     and row not in change.updated
                     and row not in change.inserted
                 ):
-                    change.updated[row] = self._views[name][row]
+                    change.updated[row] = view[row]
         return MaintenanceReport(base=delta, changes=changes)
 
     def _validate_annotations(self, delta: Delta) -> None:
@@ -262,11 +316,21 @@ class ViewRegistry:
             affected |= self._dependents.get(old_symbol, set())
         touched: Dict[str, Set[Row]] = {}
         for name, row in sorted(affected, key=repr):
-            old = self._views[name][row]
-            new = old.map_symbols(retag_map)
-            self._views[name][row] = new
-            self._bindings[self._symbols[name][row]] = new
-            self._reindex(name, row, old, new)
+            if name in self._aggregate_names:
+                old_result = self._aggregates[name][row]
+                new_result = old_result.map_polynomials(
+                    lambda p: p.map_symbols(retag_map)
+                )
+                self._aggregates[name][row] = new_result
+                self._reindex(
+                    name, row, old_result.provenance, new_result.provenance
+                )
+            else:
+                old = self._views[name][row]
+                new = old.map_symbols(retag_map)
+                self._views[name][row] = new
+                self._bindings[self._symbols[name][row]] = new
+                self._reindex(name, row, old, new)
             touched.setdefault(name, set()).add(row)
         return touched
 
@@ -283,11 +347,7 @@ class ViewRegistry:
         # Invalidation: only view tuples whose provenance mentions a
         # deleted symbol are touched; everything else is provably stale-free.
         if deleted_symbols:
-            affected_rows: Set[Row] = set()
-            for symbol in deleted_symbols:
-                for dep_name, dep_row in self._dependents.get(symbol, ()):
-                    if dep_name == name:
-                        affected_rows.add(dep_row)
+            affected_rows = self._affected_rows(name, deleted_symbols)
             if affected_rows:
                 affected = {row: view[row] for row in affected_rows}
                 survivors, killed = partition_by_survival(
@@ -330,11 +390,82 @@ class ViewRegistry:
 
         return change
 
+    def _maintain_aggregate(
+        self,
+        name: str,
+        deleted_symbols: Set[str],
+        inserted: Dict[str, Set[Row]],
+    ) -> ViewChange:
+        """Maintain one aggregate view through monomial-level deltas.
+
+        Deletions filter the provenance *and* every semimodule tensor
+        of exactly the groups the inverted index flags; insertions run
+        the delta join over the rules' inner CQs and fold the new
+        contributions in.  Aggregate groups never invalidate downstream
+        state (the views are terminal), so nothing propagates further.
+        """
+        query: AggregateQuery = self._program[name]
+        view = self._aggregates[name]
+        change = ViewChange()
+
+        if deleted_symbols:
+            for row in sorted(
+                self._affected_rows(name, deleted_symbols), key=repr
+            ):
+                old = view[row]
+                new = old.map_polynomials(
+                    lambda p: delete_tuples(p, deleted_symbols)
+                )
+                if new.provenance.is_zero():
+                    del view[row]
+                    self._reindex(
+                        name, row, old.provenance, Polynomial.zero()
+                    )
+                    # Terminal views retire no symbol; record the death.
+                    change.deleted[row] = ""
+                else:
+                    view[row] = new
+                    self._reindex(name, row, old.provenance, new.provenance)
+                    change.updated[row] = new
+
+        if inserted:
+            accumulator = AggregateAccumulator(query)
+            for rule in query.rules:
+                for assignment in delta_assignments(
+                    rule.inner, self._db, self._indexes, inserted
+                ):
+                    accumulator.add(
+                        rule,
+                        assignment.head_tuple(),
+                        Polynomial({assignment.monomial(self._db): 1}),
+                    )
+            increase = accumulator.results()
+            for row in sorted(increase, key=repr):
+                extra = increase[row]
+                if row in view:
+                    old = view[row]
+                    new = AggregateResult(
+                        old.provenance + extra.provenance,
+                        tuple(
+                            a + b
+                            for a, b in zip(old.aggregates, extra.aggregates)
+                        ),
+                    )
+                    view[row] = new
+                    self._reindex(name, row, old.provenance, new.provenance)
+                    change.updated[row] = new
+                else:
+                    view[row] = extra
+                    self._register_aggregate(name, row, extra)
+                    change.inserted[row] = extra
+
+        return change
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property
-    def program(self) -> Dict[str, Query]:
+    def program(self) -> Dict[str, AnyQuery]:
         """The view program (a copy)."""
         return dict(self._program)
 
@@ -343,10 +474,31 @@ class ViewRegistry:
         """The maintenance (topological) order of the views."""
         return list(self._order)
 
+    @property
+    def aggregate_names(self) -> Set[str]:
+        """Names of the program's aggregate views (a copy)."""
+        return set(self._aggregate_names)
+
     def view(self, name: str) -> Dict[Row, Polynomial]:
         """The materialized view: output tuple → polynomial over the
-        previous layers' symbols (a copy)."""
+        previous layers' symbols; for aggregate views, group →
+        :class:`~repro.aggregate.result.AggregateResult` (a copy)."""
+        if name in self._aggregate_names:
+            return dict(self._aggregates[name])
         return dict(self._views[name])
+
+    def aggregate_view(self, name: str) -> Dict[Row, AggregateResult]:
+        """One maintained aggregate view (a copy)."""
+        return dict(self._aggregates[name])
+
+    def base_aggregates(self, name: str) -> Dict[Row, AggregateResult]:
+        """An aggregate view with every annotation expanded to base."""
+        return {
+            row: result.map_polynomials(
+                lambda p: expand_to_base(p, self._bindings)
+            )
+            for row, result in self._aggregates[name].items()
+        }
 
     def symbol_of(self, name: str, row: Row) -> str:
         """The fresh symbol annotating one view tuple."""
@@ -358,6 +510,11 @@ class ViewRegistry:
 
     def base_provenance(self, name: str) -> Dict[Row, Polynomial]:
         """The view's provenance fully expanded to base annotations."""
+        if name in self._aggregate_names:
+            return {
+                row: expand_to_base(result.provenance, self._bindings)
+                for row, result in self._aggregates[name].items()
+            }
         return {
             row: expand_to_base(polynomial, self._bindings)
             for row, polynomial in self._views[name].items()
@@ -383,8 +540,16 @@ class ViewRegistry:
                 symbols=dict(self._symbols[name]),
             )
             for name in self._order
+            if name not in self._aggregate_names
         }
-        return ViewEvaluation(views=views, bindings=dict(self._bindings))
+        return ViewEvaluation(
+            views=views,
+            bindings=dict(self._bindings),
+            aggregates={
+                name: dict(groups)
+                for name, groups in self._aggregates.items()
+            },
+        )
 
     def stats(self) -> Dict[str, int]:
         """Cheap size counters (for reports and benchmarks)."""
@@ -394,7 +559,8 @@ class ViewRegistry:
                 for relation in self._db.relations()
                 if relation not in self._program
             ),
-            "view_tuples": sum(len(view) for view in self._views.values()),
+            "view_tuples": sum(len(view) for view in self._views.values())
+            + sum(len(groups) for groups in self._aggregates.values()),
             "live_symbols": len(self._bindings),
             "indexes": self._indexes.built_count(),
         }

@@ -29,7 +29,7 @@ from repro.hom.homomorphism import has_homomorphism, is_isomorphic
 from repro.minimize.canonical import possible_completions
 from repro.minimize.standard import remove_contained_adjuncts
 from repro.query.cq import ConjunctiveQuery
-from repro.query.ucq import Query, UnionQuery, adjuncts_of, as_union
+from repro.query.ucq import Query, UnionQuery, as_union
 
 
 @dataclass(frozen=True)

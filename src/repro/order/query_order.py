@@ -22,7 +22,7 @@ offers the paper's tools instead:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import evaluate
@@ -30,7 +30,7 @@ from repro.hom.homomorphism import has_surjective_homomorphism, is_isomorphic
 from repro.minimize.canonical import possible_completions
 from repro.query.cq import ConjunctiveQuery
 from repro.query.ucq import Query, adjuncts_of, as_union
-from repro.semiring.order import Ordering, compare_polynomials, polynomial_le
+from repro.semiring.order import Ordering, polynomial_le
 from repro.semiring.polynomial import Polynomial
 
 

@@ -5,11 +5,20 @@
 * :mod:`repro.query.cq` — rule-based conjunctive queries (Def. 2.1),
   completeness (Def. 2.2);
 * :mod:`repro.query.ucq` — unions of conjunctive queries (Def. 2.4);
+* :mod:`repro.query.aggregate` — ``GROUP BY`` heads with
+  ``sum``/``count``/``min``/``max`` slots (semimodule-annotated
+  evaluation lives in :mod:`repro.aggregate`);
 * :mod:`repro.query.parser` / :mod:`repro.query.printer` — the textual
   rule syntax ``ans(x, y) :- R(x, y), S(y, 'c'), x != y``;
 * :mod:`repro.query.build` — a concise programmatic construction API.
 """
 
+from repro.query.aggregate import (
+    AggregateQuery,
+    AggregateRule,
+    AggregateTerm,
+    is_aggregate,
+)
 from repro.query.atoms import Atom, Disequality
 from repro.query.build import atom, cq, diseq, ucq
 from repro.query.cq import ConjunctiveQuery
@@ -26,6 +35,10 @@ __all__ = [
     "Disequality",
     "ConjunctiveQuery",
     "UnionQuery",
+    "AggregateTerm",
+    "AggregateRule",
+    "AggregateQuery",
+    "is_aggregate",
     "as_union",
     "adjuncts_of",
     "parse_query",

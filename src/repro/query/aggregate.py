@@ -1,0 +1,397 @@
+"""Aggregate queries: ``GROUP BY`` heads with SUM/COUNT/MIN/MAX.
+
+An :class:`AggregateRule` is a rule whose head mixes plain terms (the
+grouping attributes) with :class:`AggregateTerm` slots::
+
+    sales(city, sum(cost)) :- Supplier(s, city), Supplies(s, part, cost)
+
+Several rules with the same head relation and the same *signature*
+(grouping/operator layout) union into an :class:`AggregateQuery`;
+contributions of all adjunct rules feed the same groups, mirroring how
+UCQ adjunct polynomials add up.
+
+Each rule desugars to an *inner* conjunctive query projecting the
+grouping terms followed by the aggregated variables — assignments of
+the inner query are exactly the contributions to the aggregate, one
+simple tensor ``monomial ⊗ value`` per assignment (evaluation lives in
+:mod:`repro.aggregate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import QueryConstructionError
+from repro.query.atoms import Atom, Disequality
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable, is_variable
+from repro.query.ucq import Query, UnionQuery
+
+#: The aggregation operators understood by the query layer (the
+#: corresponding monoids live in :mod:`repro.algebra.monoid`).
+AGGREGATE_OPS = ("sum", "count", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """One aggregate slot of a head: ``sum(x)``, ``count(*)``, ...
+
+    ``var`` is the aggregated variable; only ``count`` may omit it
+    (``count(*)`` counts assignments).
+
+    >>> str(AggregateTerm("sum", Variable("x")))
+    'sum(x)'
+    >>> str(AggregateTerm("count"))
+    'count(*)'
+    """
+
+    op: str
+    var: Optional[Variable] = None
+
+    def __post_init__(self):
+        if self.op not in AGGREGATE_OPS:
+            raise QueryConstructionError(
+                "unknown aggregation operator {!r}; supported: {}".format(
+                    self.op, ", ".join(AGGREGATE_OPS)
+                )
+            )
+        if self.var is None and self.op != "count":
+            raise QueryConstructionError(
+                "{}(*) is not defined; only count may aggregate without "
+                "a variable".format(self.op)
+            )
+        if self.var is not None and not isinstance(self.var, Variable):
+            raise QueryConstructionError(
+                "aggregate arguments must be variables, got {!r}".format(
+                    self.var
+                )
+            )
+
+    def __str__(self) -> str:
+        return "{}({})".format(self.op, self.var if self.var else "*")
+
+
+HeadTerm = Union[Term, AggregateTerm]
+
+#: One signature slot: ``None`` for a grouping position, otherwise the
+#: ``(operator, carries a variable)`` pair of an aggregate position.
+SignatureSlot = Optional[Tuple[str, bool]]
+
+
+class AggregateRule:
+    """One aggregate rule ``ans(u, agg(v), ...) :- body``.
+
+    >>> from repro.query.build import atom
+    >>> rule = AggregateRule(
+    ...     "ans",
+    ...     [Variable("x"), AggregateTerm("sum", Variable("y"))],
+    ...     [atom("R", "x", "y")],
+    ... )
+    >>> str(rule)
+    'ans(x, sum(y)) :- R(x, y)'
+    >>> rule.inner.head.arity
+    2
+    """
+
+    __slots__ = ("_head_terms", "_inner", "_hash")
+
+    def __init__(
+        self,
+        head_relation: str,
+        head_terms: Sequence[HeadTerm],
+        atoms: Sequence[Atom],
+        disequalities: Iterable[Disequality] = (),
+    ):  # noqa: D107
+        self._head_terms: Tuple[HeadTerm, ...] = tuple(head_terms)
+        if not any(
+            isinstance(term, AggregateTerm) for term in self._head_terms
+        ):
+            raise QueryConstructionError(
+                "an aggregate rule needs at least one aggregate head term"
+            )
+        group_args: List[Term] = []
+        aggregated: List[Variable] = []
+        for term in self._head_terms:
+            if isinstance(term, AggregateTerm):
+                if term.var is not None:
+                    aggregated.append(term.var)
+            else:
+                group_args.append(term)
+        inner_head = Atom(head_relation, tuple(group_args) + tuple(aggregated))
+        # The inner CQ enforces safety: grouping variables and aggregated
+        # variables alike must occur in the rule body (Def. 2.1 lifted).
+        self._inner = ConjunctiveQuery(inner_head, atoms, disequalities)
+        self._hash = hash(("AggregateRule", self._head_terms, self._inner))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def head_relation(self) -> str:
+        """Name of the head relation."""
+        return self._inner.head_relation
+
+    @property
+    def head_terms(self) -> Tuple[HeadTerm, ...]:
+        """The head slots: grouping terms and aggregate terms, in order."""
+        return self._head_terms
+
+    @property
+    def inner(self) -> ConjunctiveQuery:
+        """The desugared inner CQ ``ans(groups..., aggregated...)``.
+
+        Its assignments are exactly the contributions to the aggregate.
+        """
+        return self._inner
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The relational atoms of the body."""
+        return self._inner.atoms
+
+    @property
+    def disequalities(self):
+        """The disequality atoms of the body."""
+        return self._inner.disequalities
+
+    @property
+    def arity(self) -> int:
+        """Arity of the (aggregate) head."""
+        return len(self._head_terms)
+
+    @property
+    def group_arity(self) -> int:
+        """Number of grouping positions."""
+        return sum(
+            1
+            for term in self._head_terms
+            if not isinstance(term, AggregateTerm)
+        )
+
+    @property
+    def signature(self) -> Tuple[SignatureSlot, ...]:
+        """The grouping/operator layout used to match union adjuncts."""
+        return tuple(
+            (term.op, term.var is not None)
+            if isinstance(term, AggregateTerm)
+            else None
+            for term in self._head_terms
+        )
+
+    @property
+    def aggregate_terms(self) -> Tuple[AggregateTerm, ...]:
+        """The aggregate slots, in head order."""
+        return tuple(
+            term
+            for term in self._head_terms
+            if isinstance(term, AggregateTerm)
+        )
+
+    def relations(self) -> Set[str]:
+        """Names of relations used in the body."""
+        return self._inner.relations()
+
+    def variables(self) -> Set[Variable]:
+        """All variables of the rule."""
+        return self._inner.variables()
+
+    def constants(self) -> Set[Constant]:
+        """All constants of the rule."""
+        return self._inner.constants()
+
+    def split_inner_head(
+        self, values: Sequence
+    ) -> Tuple[Tuple, Tuple]:
+        """Split an inner-head tuple into ``(group, contributions)``.
+
+        ``values`` is an output tuple of :attr:`inner` (grouping values
+        first, aggregated values after); the returned contributions are
+        the monoid values in aggregate-slot order — ``count`` slots
+        contribute ``1`` per assignment whether or not they name a
+        variable.
+        """
+        group = tuple(values[: self.group_arity])
+        aggregated = values[self.group_arity:]
+        contributions: List = []
+        index = 0
+        for term in self._head_terms:
+            if not isinstance(term, AggregateTerm):
+                continue
+            if term.op == "count":
+                if term.var is not None:
+                    index += 1
+                contributions.append(1)
+            else:
+                contributions.append(aggregated[index])
+                index += 1
+        return group, tuple(contributions)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AggregateRule):
+            return NotImplemented
+        return (
+            self._head_terms == other._head_terms
+            and self._inner == other._inner
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        from repro.query.printer import aggregate_rule_to_str
+
+        return aggregate_rule_to_str(self)
+
+    def __repr__(self) -> str:
+        return "<AggregateRule {}>".format(self)
+
+
+class AggregateQuery:
+    """A union of aggregate rules feeding one grouped, aggregated head.
+
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query("ans(x, sum(y)) :- R(x, y)")
+    >>> q.aggregate_ops
+    ('sum',)
+    >>> q.group_arity
+    1
+    """
+
+    __slots__ = ("_rules", "_hash")
+
+    def __init__(self, rules: Sequence[AggregateRule]):  # noqa: D107
+        self._rules: Tuple[AggregateRule, ...] = tuple(rules)
+        if not self._rules:
+            raise QueryConstructionError(
+                "an aggregate query needs at least one rule"
+            )
+        first = self._rules[0]
+        for rule in self._rules[1:]:
+            if rule.head_relation != first.head_relation:
+                raise QueryConstructionError(
+                    "all aggregate rules must share the head relation "
+                    "({} vs {})".format(
+                        first.head_relation, rule.head_relation
+                    )
+                )
+            if rule.signature != first.signature:
+                raise QueryConstructionError(
+                    "all aggregate rules must share the head signature "
+                    "({} vs {})".format(first.signature, rule.signature)
+                )
+        self._hash = hash(("AggregateQuery", frozenset(self._rules)))
+
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> Tuple[AggregateRule, ...]:
+        """The adjunct rules, in presentation order."""
+        return self._rules
+
+    @property
+    def head_relation(self) -> str:
+        """The common head relation name."""
+        return self._rules[0].head_relation
+
+    @property
+    def signature(self) -> Tuple[SignatureSlot, ...]:
+        """The common grouping/operator layout."""
+        return self._rules[0].signature
+
+    @property
+    def arity(self) -> int:
+        """Arity of the head (grouping plus aggregate slots)."""
+        return self._rules[0].arity
+
+    @property
+    def group_arity(self) -> int:
+        """Number of grouping positions."""
+        return self._rules[0].group_arity
+
+    @property
+    def aggregate_ops(self) -> Tuple[str, ...]:
+        """The operators of the aggregate slots, in head order."""
+        return tuple(
+            slot[0] for slot in self.signature if slot is not None
+        )
+
+    def relations(self) -> Set[str]:
+        """Names of relations used by any rule body."""
+        result: Set[str] = set()
+        for rule in self._rules:
+            result.update(rule.relations())
+        return result
+
+    def variables(self) -> Set[Variable]:
+        """Union of the rules' variables."""
+        result: Set[Variable] = set()
+        for rule in self._rules:
+            result.update(rule.variables())
+        return result
+
+    def constants(self) -> Set[Constant]:
+        """Union of the rules' constants."""
+        result: Set[Constant] = set()
+        for rule in self._rules:
+            result.update(rule.constants())
+        return result
+
+    def inner_query(self) -> Query:
+        """The rules' inner CQs as one plain query (CQ or UCQ).
+
+        Useful for reusing UCQ machinery — SQL compilation, delta
+        evaluation — on the contribution-producing part.
+        """
+        if len(self._rules) == 1:
+            return self._rules[0].inner
+        return UnionQuery([rule.inner for rule in self._rules])
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Equality as *sets* of structurally equal rules."""
+        if not isinstance(other, AggregateQuery):
+            return NotImplemented
+        return frozenset(self._rules) == frozenset(other._rules)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        from repro.query.printer import query_to_str
+
+        return query_to_str(self)
+
+    def __repr__(self) -> str:
+        return "<AggregateQuery of {} rules>".format(len(self._rules))
+
+
+#: Any evaluable query: plain (CQ/UCQ) or aggregate.
+AnyQuery = Union[Query, AggregateQuery]
+
+
+def is_aggregate(query: object) -> bool:
+    """True for :class:`AggregateQuery` instances.
+
+    >>> from repro.query.parser import parse_query
+    >>> is_aggregate(parse_query("ans(count(*)) :- R(x, y)"))
+    True
+    >>> is_aggregate(parse_query("ans(x) :- R(x, y)"))
+    False
+    """
+    return isinstance(query, AggregateQuery)
+
+
+def head_terms_to_str(head_relation: str, head_terms: Sequence[HeadTerm]) -> str:
+    """Render an aggregate head, e.g. ``ans(x, sum(y))``."""
+    rendered = []
+    for term in head_terms:
+        if isinstance(term, AggregateTerm):
+            rendered.append(str(term))
+        elif is_variable(term):
+            rendered.append(term.name)
+        else:
+            rendered.append(str(term))
+    return "{}({})".format(head_relation, ", ".join(rendered))

@@ -4,7 +4,11 @@ Grammar (one rule per line; ``:-`` and the paper's ``:=`` both accepted;
 a trailing period is optional)::
 
     rule      :=  head ( ":-" | ":=" ) body
-    head      :=  NAME "(" terms? ")"
+    head      :=  NAME "(" headterms? ")"
+    headterms :=  headterm ("," headterm)*
+    headterm  :=  term
+               |  AGGOP "(" NAME ")"             -- sum/count/min/max
+               |  "count" "(" "*"? ")"          -- assignment counting
     body      :=  item ("," item)*
     item      :=  NAME "(" terms? ")"            -- relational atom
                |  term ("!=" | "<>") term        -- disequality atom
@@ -13,11 +17,18 @@ a trailing period is optional)::
                |  INTEGER                        -- integer constant
 
 Rules that share a head relation are collected into a
-:class:`~repro.query.ucq.UnionQuery` (Def. 2.4).
+:class:`~repro.query.ucq.UnionQuery` (Def. 2.4); rules whose heads
+carry aggregate terms form an
+:class:`~repro.query.aggregate.AggregateQuery` instead (heads must
+agree on the grouping/operator layout, and aggregate rules cannot mix
+with plain rules for the same head relation).
 
 >>> q = parse_query("ans(x, y) :- R(x, y), S(y, 'c'), x != y, y != 'c'")
 >>> sorted(v.name for v in q.variables())
 ['x', 'y']
+>>> agg = parse_query("sales(city, sum(cost)) :- S(city, cost)")
+>>> agg.aggregate_ops
+('sum',)
 """
 
 from __future__ import annotations
@@ -26,10 +37,18 @@ import re
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ParseError
+from repro.query.aggregate import (
+    AGGREGATE_OPS,
+    AggregateQuery,
+    AggregateRule,
+    AggregateTerm,
+    AnyQuery,
+    HeadTerm,
+)
 from repro.query.atoms import Atom, Disequality
 from repro.query.cq import ConjunctiveQuery
 from repro.query.terms import Constant, Term, Variable
-from repro.query.ucq import Query, UnionQuery
+from repro.query.ucq import UnionQuery
 
 _TOKEN_RE = re.compile(
     r"""
@@ -41,6 +60,7 @@ _TOKEN_RE = re.compile(
   | (?P<RPAREN>\))
   | (?P<COMMA>,)
   | (?P<PERIOD>\.)
+  | (?P<STAR>\*)
   | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
   | (?P<NUMBER>-?\d+)
   | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
@@ -99,8 +119,8 @@ class _Parser:
         return None
 
     # -- grammar -----------------------------------------------------------
-    def parse_rules(self) -> List[ConjunctiveQuery]:
-        rules: List[ConjunctiveQuery] = []
+    def parse_rules(self) -> List[Union[ConjunctiveQuery, AggregateRule]]:
+        rules: List[Union[ConjunctiveQuery, AggregateRule]] = []
         while self._peek()[0] != "EOF":
             rules.append(self._rule())
             self._accept("PERIOD")
@@ -108,8 +128,8 @@ class _Parser:
             raise ParseError("no rules found", 0)
         return rules
 
-    def _rule(self) -> ConjunctiveQuery:
-        head = self._atom()
+    def _rule(self) -> Union[ConjunctiveQuery, AggregateRule]:
+        head_relation, head_terms = self._head()
         self._expect("ARROW")
         atoms: List[Atom] = []
         disequalities: List[Disequality] = []
@@ -121,7 +141,57 @@ class _Parser:
                 disequalities.append(item)
             if not self._accept("COMMA"):
                 break
+        if any(isinstance(term, AggregateTerm) for term in head_terms):
+            return AggregateRule(head_relation, head_terms, atoms, disequalities)
+        head = Atom(head_relation, tuple(head_terms))
         return ConjunctiveQuery(head, atoms, disequalities)
+
+    def _head(self) -> Tuple[str, List[HeadTerm]]:
+        name = self._expect("NAME")[1]
+        self._expect("LPAREN")
+        terms: List[HeadTerm] = []
+        if self._peek()[0] != "RPAREN":
+            terms.append(self._head_term())
+            while self._accept("COMMA"):
+                terms.append(self._head_term())
+        self._expect("RPAREN")
+        return name, terms
+
+    def _head_term(self) -> HeadTerm:
+        token = self._peek()
+        if (
+            token[0] == "NAME"
+            and self._tokens[self._index + 1][0] == "LPAREN"
+        ):
+            op = self._advance()[1].lower()
+            if op not in AGGREGATE_OPS:
+                raise ParseError(
+                    "unknown aggregation operator {!r} (supported: "
+                    "{})".format(token[1], ", ".join(AGGREGATE_OPS)),
+                    token[2],
+                )
+            self._expect("LPAREN")
+            var: Optional[Variable] = None
+            if self._accept("STAR") or self._peek()[0] == "RPAREN":
+                if op != "count":
+                    raise ParseError(
+                        "only count may aggregate without a variable; "
+                        "{}(*) is not defined".format(op),
+                        token[2],
+                    )
+            else:
+                argument = self._peek()
+                term = self._term()
+                if not isinstance(term, Variable):
+                    raise ParseError(
+                        "aggregate arguments must be variables, got "
+                        "{!r}".format(argument[1]),
+                        argument[2],
+                    )
+                var = term
+            self._expect("RPAREN")
+            return AggregateTerm(op, var)
+        return self._term()
 
     def _body_item(self) -> Union[Atom, Disequality]:
         token = self._peek()
@@ -161,33 +231,51 @@ class _Parser:
         )
 
 
-def parse_rules(text: str) -> List[ConjunctiveQuery]:
-    """Parse every rule in ``text`` as a list of conjunctive queries."""
+def parse_rules(text: str) -> List[Union[ConjunctiveQuery, AggregateRule]]:
+    """Parse every rule in ``text``; aggregate heads yield
+    :class:`~repro.query.aggregate.AggregateRule` entries."""
     return _Parser(text).parse_rules()
 
 
-def parse_query(text: str) -> Query:
-    """Parse ``text`` into a CQ (one rule) or UCQ (several rules).
-
-    All rules must share the same head relation; use
-    :func:`parse_program` for texts defining several queries.
-    """
-    rules = parse_rules(text)
+def _assemble(
+    name: str, rules: List[Union[ConjunctiveQuery, AggregateRule]]
+) -> AnyQuery:
+    aggregate = [rule for rule in rules if isinstance(rule, AggregateRule)]
+    if aggregate:
+        if len(aggregate) != len(rules):
+            raise ParseError(
+                "rules for {!r} mix aggregate and non-aggregate heads; "
+                "a head relation is one or the other".format(name),
+                0,
+            )
+        return AggregateQuery(aggregate)
     if len(rules) == 1:
         return rules[0]
     return UnionQuery(rules)
 
 
-def parse_program(text: str) -> Dict[str, Query]:
+def parse_query(text: str) -> AnyQuery:
+    """Parse ``text`` into a CQ (one rule), a UCQ (several rules) or an
+    :class:`~repro.query.aggregate.AggregateQuery` (aggregate heads).
+
+    All rules must share the same head relation; use
+    :func:`parse_program` for texts defining several queries.
+    """
+    rules = parse_rules(text)
+    return _assemble(rules[0].head_relation, rules)
+
+
+def parse_program(text: str) -> Dict[str, AnyQuery]:
     """Parse a multi-query program, grouping rules by head relation.
 
     Returns ``{head_relation: query}`` where each query is a CQ when a
-    single rule defines the relation and a UCQ otherwise.
+    single plain rule defines the relation, a UCQ for several plain
+    rules, and an :class:`~repro.query.aggregate.AggregateQuery` when
+    the head carries aggregate terms.
     """
-    grouped: Dict[str, List[ConjunctiveQuery]] = {}
+    grouped: Dict[str, List[Union[ConjunctiveQuery, AggregateRule]]] = {}
     for rule in parse_rules(text):
         grouped.setdefault(rule.head_relation, []).append(rule)
-    program: Dict[str, Query] = {}
-    for name, rules in grouped.items():
-        program[name] = rules[0] if len(rules) == 1 else UnionQuery(rules)
-    return program
+    return {
+        name: _assemble(name, rules) for name, rules in grouped.items()
+    }

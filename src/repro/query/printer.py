@@ -9,8 +9,14 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.query.aggregate import (
+    AggregateQuery,
+    AggregateRule,
+    AnyQuery,
+    head_terms_to_str,
+)
 from repro.query.cq import ConjunctiveQuery
-from repro.query.ucq import Query, UnionQuery, adjuncts_of
+from repro.query.ucq import UnionQuery, adjuncts_of
 
 
 def cq_to_str(query: ConjunctiveQuery) -> str:
@@ -22,9 +28,25 @@ def cq_to_str(query: ConjunctiveQuery) -> str:
     return "{} :- {}".format(query.head, ", ".join(parts))
 
 
-def query_to_str(query: Query, separator: str = "\n") -> str:
-    """Render a CQ or UCQ; adjuncts of a union are joined by
-    ``separator`` (one per line by default, parseable back as a UCQ)."""
+def aggregate_rule_to_str(rule: AggregateRule) -> str:
+    """Render one aggregate rule as ``head(u, agg(v)) :- body``."""
+    parts: List[str] = [str(atom) for atom in rule.atoms]
+    parts.extend(
+        str(dis)
+        for dis in sorted(rule.disequalities, key=lambda d: d.sort_key())
+    )
+    head = head_terms_to_str(rule.head_relation, rule.head_terms)
+    return "{} :- {}".format(head, ", ".join(parts))
+
+
+def query_to_str(query: AnyQuery, separator: str = "\n") -> str:
+    """Render a CQ, UCQ or aggregate query; adjuncts/rules of a union
+    are joined by ``separator`` (one per line by default, parseable back
+    into the same query)."""
+    if isinstance(query, AggregateQuery):
+        return separator.join(
+            aggregate_rule_to_str(rule) for rule in query.rules
+        )
     return separator.join(cq_to_str(adjunct) for adjunct in adjuncts_of(query))
 
 

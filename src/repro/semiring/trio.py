@@ -13,7 +13,7 @@ monomials and normalizes coefficients to automorphism counts.
 from __future__ import annotations
 
 from repro.semiring.base import Semiring
-from repro.semiring.polynomial import Monomial, Polynomial
+from repro.semiring.polynomial import Polynomial
 
 
 class TrioSemiring(Semiring[Polynomial]):

@@ -21,13 +21,15 @@ p-minimal queries stay p-minimal (Thms. 6.1/6.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
 
+from repro.aggregate.evaluate import evaluate_aggregate
+from repro.aggregate.result import AggregateResult
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import evaluate
 from repro.errors import EvaluationError
-from repro.query.ucq import Query, adjuncts_of
+from repro.query.aggregate import AggregateQuery, AnyQuery
 from repro.semiring.evaluate import evaluate_polynomial
 from repro.semiring.polynomial import Polynomial, ProvenancePolynomialSemiring
 from repro.utils.naming import NameSupply
@@ -58,18 +60,38 @@ class ViewEvaluation:
     ``views`` holds every materialized view by name; ``bindings`` maps
     every fresh view symbol to its defining polynomial (over the
     previous layers); base-relation annotations are absent from
-    ``bindings`` — they stand for themselves.
+    ``bindings`` — they stand for themselves.  ``aggregates`` holds the
+    aggregated K-relations of the program's aggregate views: these are
+    *terminal* (no other view may reference them), so they receive no
+    fresh symbols and contribute no bindings.
     """
 
     views: Mapping[str, MaterializedView]
     bindings: Mapping[str, Polynomial]
+    aggregates: Mapping[str, Mapping[Row, AggregateResult]] = field(
+        default_factory=dict
+    )
 
     def base_provenance(self, view: str) -> Dict[Row, Polynomial]:
         """The view's provenance fully expanded to base annotations."""
+        if view in self.aggregates:
+            return {
+                row: expand_to_base(result.provenance, self.bindings)
+                for row, result in self.aggregates[view].items()
+            }
         materialized = self.views[view]
         return {
             row: expand_to_base(polynomial, self.bindings)
             for row, polynomial in materialized.results.items()
+        }
+
+    def base_aggregates(self, view: str) -> Dict[Row, AggregateResult]:
+        """An aggregate view with every annotation expanded to base."""
+        return {
+            row: result.map_polynomials(
+                lambda p: expand_to_base(p, self.bindings)
+            )
+            for row, result in self.aggregates[view].items()
         }
 
     def layer_symbols(self) -> Dict[str, FrozenSet[str]]:
@@ -93,7 +115,7 @@ class ViewEvaluation:
         return None
 
 
-def dependency_order(program: Mapping[str, Query]) -> List[str]:
+def dependency_order(program: Mapping[str, AnyQuery]) -> List[str]:
     """Topologically order views by body references.
 
     Raises :class:`~repro.errors.EvaluationError` on cyclic (recursive)
@@ -101,10 +123,9 @@ def dependency_order(program: Mapping[str, Query]) -> List[str]:
     """
     dependencies: Dict[str, set] = {}
     for name, query in program.items():
-        refs = set()
-        for adjunct in adjuncts_of(query):
-            refs.update(r for r in adjunct.relations() if r in program)
-        dependencies[name] = refs
+        dependencies[name] = {
+            r for r in query.relations() if r in program
+        }
 
     ordered: List[str] = []
     done: set = set()
@@ -129,8 +150,29 @@ def dependency_order(program: Mapping[str, Query]) -> List[str]:
     return ordered
 
 
+def check_aggregates_terminal(program: Mapping[str, AnyQuery]) -> Set[str]:
+    """The program's aggregate view names, verified to be terminal.
+
+    Aggregate views carry semimodule annotations, which no rule body
+    can consume — referencing one from another view is rejected.
+    """
+    aggregate_names = {
+        name
+        for name, query in program.items()
+        if isinstance(query, AggregateQuery)
+    }
+    for name, query in program.items():
+        used = query.relations() & aggregate_names
+        if used:
+            raise EvaluationError(
+                "view {!r} references aggregate view(s) {}; aggregate "
+                "views are terminal".format(name, sorted(used))
+            )
+    return aggregate_names
+
+
 def evaluate_program(
-    program: Mapping[str, Query],
+    program: Mapping[str, AnyQuery],
     db: AnnotatedDatabase,
     symbol_prefix: str = "w",
 ) -> ViewEvaluation:
@@ -138,12 +180,16 @@ def evaluate_program(
 
     Views may reference base relations of ``db`` and earlier views;
     name clashes between views and base relations are rejected.
+    Aggregate views evaluate to aggregated K-relations over the
+    database-so-far; being terminal, they are not materialized as
+    relations for later views.
     """
     clashes = set(program) & db.relations()
     if clashes:
         raise EvaluationError(
             "view names clash with base relations: {}".format(sorted(clashes))
         )
+    aggregate_names = check_aggregates_terminal(program)
     supply = NameSupply(symbol_prefix, avoid=db.annotations())
     working = AnnotatedDatabase()
     for relation, row, annotation in db.all_facts():
@@ -151,8 +197,12 @@ def evaluate_program(
 
     views: Dict[str, MaterializedView] = {}
     bindings: Dict[str, Polynomial] = {}
+    aggregates: Dict[str, Dict[Row, AggregateResult]] = {}
     for name in dependency_order(program):
         query = program[name]
+        if name in aggregate_names:
+            aggregates[name] = evaluate_aggregate(query, working)
+            continue
         results = evaluate(query, working)
         symbols: Dict[Row, str] = {}
         for row, polynomial in sorted(results.items(), key=lambda kv: repr(kv[0])):
@@ -161,7 +211,7 @@ def evaluate_program(
             bindings[symbol] = polynomial
             working.add(name, row, annotation=symbol)
         views[name] = MaterializedView(name=name, results=results, symbols=symbols)
-    return ViewEvaluation(views=views, bindings=bindings)
+    return ViewEvaluation(views=views, bindings=bindings, aggregates=aggregates)
 
 
 def expand_to_base(

@@ -1,0 +1,431 @@
+"""The aggregate-provenance layer: queries, engines, applications.
+
+The load-bearing guarantee is the specialization property at the
+bottom: for ≥ 50 seeded-random database/query/deletion triples,
+specializing the semimodule annotation under a total valuation equals
+evaluating the plain aggregate on the specialized database.
+"""
+
+import random
+
+import pytest
+
+from repro.aggregate import (
+    ABSENT,
+    AggregateRule,
+    AggregateTerm,
+    aggregate_after_deletion,
+    aggregate_distribution,
+    aggregate_table,
+    delete_from_aggregate,
+    evaluate_aggregate,
+    expected_aggregate,
+    is_aggregate,
+    propagate_deletion_aggregates,
+    trusted_aggregate_value,
+)
+from repro.db.generators import random_database
+from repro.db.instance import AnnotatedDatabase
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.engine.evaluate import evaluate
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    QueryConstructionError,
+)
+from repro.query.build import atom
+from repro.query.parser import parse_query
+from repro.query.printer import query_to_str
+from repro.query.terms import Variable
+from repro.semiring.polynomial import Polynomial
+
+
+def sales_db():
+    return AnnotatedDatabase.from_dict(
+        {
+            "Supplier": {("acme", "nyc"): "s1", ("bolt", "nyc"): "s2",
+                         ("core", "la"): "s3"},
+            "Supplies": {("acme", 5): "s4", ("acme", 3): "s5",
+                         ("bolt", 2): "s6", ("core", 9): "s7"},
+        }
+    )
+
+
+SALES_QUERY = (
+    "sales(city, sum(cost), min(cost), max(cost), count(*)) :- "
+    "Supplier(s, city), Supplies(s, cost)"
+)
+
+
+class TestParserAndPrinter:
+    def test_parse_aggregate_head(self):
+        query = parse_query(SALES_QUERY)
+        assert is_aggregate(query)
+        assert query.aggregate_ops == ("sum", "min", "max", "count")
+        assert query.group_arity == 1
+        assert query.arity == 5
+
+    def test_roundtrip(self):
+        for text in (
+            SALES_QUERY,
+            "a(count(*)) :- R(x, y)",
+            "a(count(x), x) :- R(x, y), x != y",
+            "a(x, sum(y)) :- R(x, y)\na(x, sum(z)) :- S(x, z)",
+        ):
+            query = parse_query(text)
+            assert parse_query(query_to_str(query)) == query
+
+    def test_count_variants(self):
+        starred = parse_query("a(count(*)) :- R(x, y)")
+        empty = parse_query("a(count()) :- R(x, y)")
+        named = parse_query("a(count(x)) :- R(x, y)")
+        assert starred == empty
+        db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("a", "c")]})
+        assert aggregate_table(starred, db) == aggregate_table(named, db)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse_query("a(sum(*)) :- R(x, y)")
+
+    def test_aggregate_argument_must_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_query("a(sum(3)) :- R(x, y)")
+
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError):
+            parse_query("a(median(x)) :- R(x, y)")
+
+    def test_mixing_plain_and_aggregate_rules_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("a(x, sum(y)) :- R(x, y)\na(x, y) :- R(x, y)")
+
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            parse_query("a(x, sum(y)) :- R(x, y)\na(x, min(y)) :- R(x, y)")
+        with pytest.raises(QueryConstructionError):
+            parse_query(
+                "a(x, count(*)) :- R(x, y)\na(x, count(y)) :- R(x, y)"
+            )
+
+    def test_aggregated_variable_must_be_safe(self):
+        with pytest.raises(QueryConstructionError):
+            parse_query("a(x, sum(z)) :- R(x, y)")
+
+    def test_rule_needs_an_aggregate(self):
+        with pytest.raises(QueryConstructionError):
+            AggregateRule("a", [Variable("x")], [atom("R", "x", "y")])
+
+    def test_aggregate_term_validation(self):
+        with pytest.raises(QueryConstructionError):
+            AggregateTerm("sum")
+        with pytest.raises(QueryConstructionError):
+            AggregateTerm("avg", Variable("x"))
+
+
+class TestEvaluation:
+    def test_symbolic_annotations(self):
+        results = evaluate_aggregate(parse_query(SALES_QUERY), sales_db())
+        nyc = results[("nyc",)]
+        assert str(nyc.provenance) == "s1*s4 + s1*s5 + s2*s6"
+        total = nyc.aggregates[0]
+        assert total.terms() == {
+            5: Polynomial.parse("s1*s4"),
+            3: Polynomial.parse("s1*s5"),
+            2: Polynomial.parse("s2*s6"),
+        }
+        count = nyc.aggregates[3]
+        assert count.terms() == {1: nyc.provenance}
+
+    def test_concrete_table(self):
+        table = aggregate_table(parse_query(SALES_QUERY), sales_db())
+        assert table == {
+            ("nyc",): (10, 2, 5, 3),
+            ("la",): (9, 9, 9, 1),
+        }
+
+    def test_specialize_total_valuation_matches_table(self):
+        query = parse_query(SALES_QUERY)
+        db = sales_db()
+        results = evaluate_aggregate(query, db)
+        table = aggregate_table(query, db)
+        for group, result in results.items():
+            assert result.specialize(lambda s: 1) == table[group]
+
+    def test_union_rules_merge_groups(self):
+        db = AnnotatedDatabase.from_rows(
+            {"R": [("a", 1)], "S": [("a", 2), ("b", 5)]}
+        )
+        query = parse_query(
+            "t(x, sum(v)) :- R(x, v)\nt(x, sum(w)) :- S(x, w)"
+        )
+        assert aggregate_table(query, db) == {("a",): (3,), ("b",): (5,)}
+
+    def test_bag_semantics_multiplicities(self):
+        # Two assignments produce the same contribution; both count.
+        db = AnnotatedDatabase.from_rows(
+            {"R": [("a", "x"), ("a", "y")], "S": [(7,)]}
+        )
+        query = parse_query("t(g, sum(v)) :- R(g, w), S(v)")
+        assert aggregate_table(query, db) == {("a",): (14,)}
+        element = evaluate_aggregate(query, db)[("a",)].aggregates[0]
+        assert element.specialize(lambda s: 1) == 14
+
+    def test_empty_result(self):
+        query = parse_query("t(x, sum(y)) :- R(x, y)")
+        assert evaluate_aggregate(query, AnnotatedDatabase()) == {}
+        assert aggregate_table(query, AnnotatedDatabase()) == {}
+
+    def test_sum_over_non_numbers_rejected(self):
+        db = AnnotatedDatabase.from_rows({"R": [("a", "text")]})
+        query = parse_query("t(x, sum(y)) :- R(x, y)")
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate(query, db)
+        with pytest.raises(EvaluationError):
+            aggregate_table(query, db)
+
+    def test_null_values_rejected_consistently(self):
+        # A None contribution equals the MIN/MAX identity; it must raise
+        # (as the plain oracle does), not silently vanish from tensors.
+        db = AnnotatedDatabase.from_rows({"S": [("nyc", None), ("nyc", 2)]})
+        query = parse_query("t(c, min(v)) :- S(c, v)")
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate(query, db)
+        with pytest.raises(EvaluationError):
+            aggregate_table(query, db)
+
+    def test_plain_evaluate_rejects_aggregates(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_query(SALES_QUERY), sales_db())
+
+    def test_boolean_style_global_aggregate(self):
+        # No grouping attributes: one global group, the empty tuple.
+        db = AnnotatedDatabase.from_rows({"R": [("a", 4), ("b", 6)]})
+        query = parse_query("t(sum(v), count(*)) :- R(x, v)")
+        assert aggregate_table(query, db) == {(): (10, 2)}
+
+
+class TestApplications:
+    def setup_method(self):
+        self.results = evaluate_aggregate(
+            parse_query(SALES_QUERY), sales_db()
+        )
+        self.nyc_sum = self.results[("nyc",)].aggregates[0]
+        self.nyc_min = self.results[("nyc",)].aggregates[1]
+
+    def test_deletion_specializes_sum(self):
+        # Delete supplier acme (s1): only bolt's supply remains.
+        assert aggregate_after_deletion(self.nyc_sum, ["s1"]) == 2
+        assert aggregate_after_deletion(self.nyc_sum, ["s6"]) == 8
+        assert aggregate_after_deletion(self.nyc_sum, []) == 10
+
+    def test_deletion_filters_symbolically(self):
+        filtered = delete_from_aggregate(self.nyc_sum, ["s1"])
+        assert filtered.terms() == {2: Polynomial.parse("s2*s6")}
+        # Symbolic deletion composes.
+        assert delete_from_aggregate(filtered, ["s2"]).is_zero()
+
+    def test_deletion_kills_group(self):
+        survivors, killed = propagate_deletion_aggregates(
+            self.results, ["s3"]
+        )
+        assert killed == [("la",)]
+        assert set(survivors) == {("nyc",)}
+
+    def test_min_under_deletion_switches_witness(self):
+        assert aggregate_after_deletion(self.nyc_min, ["s6"]) == 3
+        assert aggregate_after_deletion(self.nyc_min, ["s6", "s5"]) == 5
+        assert (
+            aggregate_after_deletion(self.nyc_min, ["s1", "s2"]) is ABSENT
+        )
+
+    def test_trust(self):
+        assert trusted_aggregate_value(self.nyc_sum, ["s1", "s4", "s5"]) == 8
+        assert trusted_aggregate_value(self.nyc_sum, ["s4", "s5"]) == 0
+        assert trusted_aggregate_value(self.nyc_min, ["s2", "s6"]) == 2
+
+    def test_expected_sum_by_linearity(self):
+        probabilities = {s: 0.5 for s in self.nyc_sum.support()}
+        # E = 5*.25 + 3*.25 + 2*.25
+        assert expected_aggregate(self.nyc_sum, probabilities) == \
+            pytest.approx(2.5)
+
+    def test_expected_rejects_lattice_monoids(self):
+        with pytest.raises(EvaluationError):
+            expected_aggregate(self.nyc_min, {})
+
+    def test_expectation_matches_distribution(self):
+        result = self.results[("nyc",)]
+        probabilities = {s: 0.7 for s in result.support()}
+        distribution = aggregate_distribution(
+            result, probabilities, aggregate=0
+        )
+        assert pytest.approx(sum(distribution.values())) == 1.0
+        by_enumeration = sum(
+            value * p
+            for value, p in distribution.items()
+            if value is not None
+        )
+        assert pytest.approx(by_enumeration) == expected_aggregate(
+            self.nyc_sum, probabilities
+        )
+
+    def test_distribution_of_min(self):
+        result = self.results[("nyc",)]
+        probabilities = {s: 0.5 for s in result.support()}
+        distribution = aggregate_distribution(
+            result, probabilities, aggregate=1
+        )
+        assert set(distribution) <= {2, 3, 5, None}
+        assert pytest.approx(sum(distribution.values())) == 1.0
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(KeyError):
+            expected_aggregate(self.nyc_sum, {"s1": 0.5})
+        with pytest.raises(KeyError):
+            aggregate_distribution(self.results[("nyc",)], {"s1": 0.5})
+
+
+class TestCliIntegration:
+    def test_aggregate_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "prog.dl"
+        program.write_text(
+            "sales(city, sum(cost)) :- Supplier(s, city), Supplies(s, cost)"
+        )
+        data = tmp_path / "data.json"
+        data.write_text(
+            '{"Supplier": [["acme", "nyc"], ["bolt", "nyc"]],'
+            ' "Supplies": [["acme", 5], ["bolt", 2]]}'
+        )
+        import io
+
+        out = io.StringIO()
+        assert main(
+            [
+                "aggregate", "-p", str(program), "-d", str(data),
+                "--delete", "s1", "--trust", "s2,s4",
+            ],
+            out=out,
+        ) == 0
+        text = out.getvalue()
+        assert "sum[" in text
+        assert "after deleting {s1}" in text
+        assert "sum=2" in text
+
+    def test_incomplete_probabilities_exit_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "prog.dl"
+        program.write_text("a(x, sum(y)) :- R(x, y)")
+        data = tmp_path / "data.json"
+        data.write_text('{"R": [["a", 3]]}')
+        probs = tmp_path / "probs.json"
+        import io
+
+        probs.write_text('{"s99": 0.5}')  # misses s1
+        assert main(
+            [
+                "aggregate", "-p", str(program), "-d", str(data),
+                "--probabilities", str(probs),
+            ],
+            out=io.StringIO(),
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+        probs.write_text('{"s1": "high"}')  # not a number
+        assert main(
+            [
+                "aggregate", "-p", str(program), "-d", str(data),
+                "--probabilities", str(probs),
+            ],
+            out=io.StringIO(),
+        ) == 1
+
+    def test_minimize_rejects_aggregates(self, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "prog.dl"
+        program.write_text("a(x, sum(y)) :- R(x, y)")
+        assert main(["minimize", "-p", str(program)]) == 1
+
+    def test_eval_dispatches_to_aggregate(self, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "prog.dl"
+        program.write_text("a(x, count(*)) :- R(x, y)")
+        data = tmp_path / "data.json"
+        data.write_text('{"R": [["a", "b"]]}')
+        import io
+
+        out = io.StringIO()
+        assert main(
+            ["eval", "-p", str(program), "-d", str(data)], out=out
+        ) == 0
+        assert "count[" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# The specialization property: semimodule ≡ recompute-on-specialized-db
+# ----------------------------------------------------------------------
+RELATIONS = {"R": 2, "S": 2}
+DOMAIN = [0, 1, 2, 3]
+
+QUERY_SHAPES = [
+    "agg(x, {op}(y)) :- R(x, y)",
+    "agg(x, {op}(v), count(*)) :- R(x, y), S(y, v)",
+    "agg({op}(y)) :- R(x, y), S(x, y)",
+    "agg(x, {op}(y)) :- R(x, y), x != y",
+    "agg(x, {op}(y)) :- R(x, y)\nagg(x, {op}(v)) :- S(x, v)",
+]
+
+
+def specialized_copy(db, deleted):
+    copy = AnnotatedDatabase()
+    for relation in sorted(db.relations()):
+        copy.declare_relation(relation, db.arity(relation))
+    for relation, row, annotation in db.all_facts():
+        if annotation not in deleted:
+            copy.add(relation, row, annotation=annotation)
+    return copy
+
+
+@pytest.mark.parametrize("seed", range(52))
+def test_specialization_equals_recompute(seed):
+    """Deleting tuples then aggregating == specializing the cached
+    semimodule annotation — for every operator and query shape."""
+    rng = random.Random(seed * 6151 + 5)
+    db = random_database(
+        RELATIONS, DOMAIN, n_facts=rng.randrange(4, 10), seed=seed
+    )
+    op = rng.choice(["sum", "count", "min", "max"])
+    query = parse_query(rng.choice(QUERY_SHAPES).format(op=op))
+    annotations = sorted(db.annotations())
+    deleted = set(rng.sample(annotations, rng.randrange(0, len(annotations))))
+    valuation = {s: (0 if s in deleted else 1) for s in annotations}
+
+    annotated = evaluate_aggregate(query, db)
+    oracle = aggregate_table(query, specialized_copy(db, deleted))
+
+    surviving = {}
+    for group, result in annotated.items():
+        values = result.specialize(valuation)
+        if values is not None:
+            surviving[group] = values
+    assert surviving == oracle, "seed {} diverged".format(seed)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_sqlite_engine_agrees_on_random_aggregates(seed):
+    rng = random.Random(seed * 271 + 17)
+    db = random_database(
+        RELATIONS, DOMAIN, n_facts=rng.randrange(3, 9), seed=seed + 100
+    )
+    op = rng.choice(["sum", "count", "min", "max"])
+    query = parse_query(rng.choice(QUERY_SHAPES).format(op=op))
+    store = SQLiteDatabase.from_annotated(db)
+    try:
+        assert store.evaluate_aggregate(query) == evaluate_aggregate(
+            query, db
+        )
+    finally:
+        store.close()

@@ -1,0 +1,244 @@
+"""Incremental maintenance of aggregate views.
+
+The guarantee mirrors ``test_incremental.py``: for ≥ 50 seeded-random
+program/delta-batch pairs — aggregate views over base relations *and*
+over plain views, with inserts, deletes, retags, group kills and
+revivals — the maintained registry matches full re-evaluation on
+base-expanded provenance and on every semimodule annotation.
+"""
+
+import random
+
+import pytest
+
+from repro.aggregate import evaluate_aggregate
+from repro.db.generators import random_database
+from repro.db.instance import AnnotatedDatabase
+from repro.errors import EvaluationError
+from repro.incremental.delta import Delta
+from repro.incremental.maintain import check_consistency, maintain
+from repro.incremental.registry import ViewRegistry
+from repro.query.parser import parse_program
+from repro.views.program import evaluate_program
+
+
+def sales_db():
+    return AnnotatedDatabase.from_dict(
+        {
+            "R": {("a", "b"): "s1", ("b", "c"): "s2", ("a", "c"): "s3"},
+            "S": {("a", 5): "s4", ("b", 3): "s5", ("c", 2): "s6"},
+        }
+    )
+
+
+PROGRAM = """
+V(x, z) :- R(x, y), R(y, z)
+T(c, sum(v), min(v), count(*)) :- R(c, y), S(y, v)
+W(x, count(*)) :- V(x, z), S(z, v)
+"""
+
+
+class TestAggregateRegistry:
+    def registry(self):
+        return ViewRegistry(parse_program(PROGRAM), sales_db())
+
+    def test_materialization_matches_evaluate_program(self):
+        registry = self.registry()
+        assert registry.aggregate_names == {"T", "W"}
+        reference = evaluate_program(parse_program(PROGRAM), sales_db())
+        assert set(registry.view("T")) == set(reference.aggregates["T"])
+        assert registry.base_aggregates("T") == reference.base_aggregates(
+            "T"
+        )
+        assert check_consistency(registry).consistent
+
+    def test_insert_updates_groups(self):
+        registry = self.registry()
+        report = registry.apply(Delta(inserts=[("S", ("c", 7))]))
+        assert ("b",) in report.changes["T"].updated
+        values = registry.view("T")[("b",)].specialize(lambda s: 1)
+        assert values == (2 + 7, 2, 2)  # sum, min, count over y=c
+        assert check_consistency(registry).consistent
+
+    def test_insert_creates_group(self):
+        registry = self.registry()
+        report = registry.apply(Delta(inserts=[("R", ("c", "a"))]))
+        assert ("c",) in report.changes["T"].inserted
+        assert check_consistency(registry).consistent
+
+    def test_delete_updates_and_kills_groups(self):
+        registry = self.registry()
+        # T(b) derives only through S(c, 2) [s6]: killing it kills the group.
+        report = registry.apply(Delta(deletes=[("S", ("c", 2))]))
+        assert ("b",) in report.changes["T"].deleted
+        assert ("b",) not in registry.view("T")
+        assert check_consistency(registry).consistent
+
+    def test_group_revival_in_one_batch(self):
+        registry = self.registry()
+        registry.apply(
+            Delta(deletes=[("S", ("c", 2))], inserts=[("S", ("c", 8))])
+        )
+        assert registry.view("T")[("b",)].specialize(lambda s: 1) == (
+            8, 8, 1
+        )
+        assert check_consistency(registry).consistent
+
+    def test_retag_rewrites_semimodule_annotations(self):
+        registry = self.registry()
+        registry.apply(Delta(retags=[("S", ("b", 3), "t9")]))
+        element = registry.view("T")[("a",)].aggregates[0]
+        assert "t9" in element.support()
+        assert "s5" not in element.support()
+        assert check_consistency(registry).consistent
+
+    def test_aggregate_over_plain_view_follows_view_changes(self):
+        registry = self.registry()
+        # New R edge creates V tuples, which feed the aggregate W.
+        report = registry.apply(Delta(inserts=[("R", ("c", "a"))]))
+        assert not report.changes["W"].is_empty()
+        assert check_consistency(registry).consistent
+        # Killing the edge rolls W back.
+        registry.apply(Delta(deletes=[("R", ("c", "a"))]))
+        assert check_consistency(registry).consistent
+
+    def test_aggregate_views_are_terminal(self):
+        program = parse_program(
+            "T(x, sum(v)) :- S(x, v)\nU(x) :- T(x, y)"
+        )
+        with pytest.raises(EvaluationError):
+            ViewRegistry(program, sales_db())
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, sales_db())
+
+    def test_pure_aggregate_program(self):
+        db = sales_db()
+        registry = ViewRegistry(
+            parse_program("T(sum(v)) :- S(x, v)"), db
+        )
+        assert registry.view("T")[()].specialize(lambda s: 1) == (10,)
+        registry.apply(Delta(deletes=[("S", ("a", 5))]))
+        assert registry.view("T")[()].specialize(lambda s: 1) == (5,)
+        assert check_consistency(registry).consistent
+
+    def test_maintain_loop_audits_aggregates(self):
+        deltas = [
+            Delta(inserts=[("S", ("a", 1))]),
+            Delta(deletes=[("R", ("a", "b"))]),
+        ]
+        registry, reports = maintain(
+            parse_program(PROGRAM), sales_db(), deltas, check_every=1
+        )
+        assert len(reports) == 2
+
+    def test_stats_count_aggregate_groups(self):
+        registry = self.registry()
+        assert registry.stats()["view_tuples"] >= len(registry.view("T"))
+
+    def test_as_evaluation_exports_aggregates(self):
+        evaluation = self.registry().as_evaluation()
+        assert set(evaluation.aggregates) == {"T", "W"}
+        assert "T" not in evaluation.views
+
+
+# ----------------------------------------------------------------------
+# The equivalence property: incremental ≡ recompute, with aggregates
+# ----------------------------------------------------------------------
+RELATIONS = {"R": 2, "S": 2}
+DOMAIN = [0, 1, 2]
+
+
+def random_program(rng):
+    op = rng.choice(["sum", "count", "min", "max"])
+    program_text = "T(x, {op}(v), count(*)) :- R(x, y), S(y, v)".format(op=op)
+    if rng.random() < 0.5:
+        program_text += "\nV(x, z) :- R(x, y), R(y, z)"
+        if rng.random() < 0.6:
+            program_text += "\nW(x, {op}(v)) :- V(x, z), S(z, v)".format(
+                op=rng.choice(["sum", "min", "max"])
+            )
+    if rng.random() < 0.3:
+        program_text += "\nU({op}(v)) :- S(x, v)".format(
+            op=rng.choice(["sum", "count"])
+        )
+    return parse_program(program_text)
+
+
+def random_delta(rng, db):
+    present = [
+        (relation, row)
+        for relation in sorted(db.relations())
+        for row in db.rows(relation)
+    ]
+    universe = [("R", (x, y)) for x in DOMAIN for y in DOMAIN]
+    universe += [("S", (x, v)) for x in DOMAIN for v in DOMAIN]
+    deletes = rng.sample(present, min(len(present), rng.randrange(0, 3)))
+    deleted = set(deletes)
+    absent = [fact for fact in universe if not db.contains(*fact)]
+    candidates = absent + list(deleted)
+    inserts = rng.sample(candidates, min(len(candidates), rng.randrange(0, 3)))
+    retags = []
+    for relation, row in rng.sample(present, min(len(present), 1)):
+        if (relation, row) not in deleted and rng.random() < 0.4:
+            retags.append(
+                (relation, row, "rt{}".format(rng.randrange(10**6)))
+            )
+    return Delta(inserts=inserts, deletes=deletes, retags=retags)
+
+
+@pytest.mark.parametrize("seed", range(52))
+def test_aggregate_incremental_equals_recompute(seed):
+    rng = random.Random(seed * 9973 + 3)
+    db = random_database(
+        RELATIONS, DOMAIN, n_facts=rng.randrange(4, 9), seed=seed
+    )
+    program = random_program(rng)
+    registry = ViewRegistry(program, db)
+    for _batch in range(3):
+        delta = random_delta(rng, registry.base_database())
+        registry.apply(delta)
+        audit = check_consistency(registry)
+        assert audit.consistent, "seed {}: {}".format(
+            seed, audit.mismatches[:3]
+        )
+
+
+def test_property_run_covers_group_kill_and_revive():
+    """At least one seeded run must kill an aggregate group and at
+    least one must re-create one, or the property is vacuous."""
+    killed = revived = False
+    for seed in range(52):
+        rng = random.Random(seed * 9973 + 3)
+        db = random_database(
+            RELATIONS, DOMAIN, n_facts=rng.randrange(4, 9), seed=seed
+        )
+        program = random_program(rng)
+        registry = ViewRegistry(program, db)
+        seen_dead = set()
+        for _batch in range(3):
+            delta = random_delta(rng, registry.base_database())
+            report = registry.apply(delta)
+            for name in registry.aggregate_names:
+                change = report.changes[name]
+                for row in change.deleted:
+                    killed = True
+                    seen_dead.add((name, row))
+                for row in change.inserted:
+                    if (name, row) in seen_dead:
+                        revived = True
+    assert killed and revived
+
+
+def test_registry_aggregates_match_direct_evaluation():
+    """After arbitrary churn the maintained aggregate equals a fresh
+    evaluate_aggregate over the current base."""
+    registry = ViewRegistry(
+        parse_program("T(x, sum(v)) :- R(x, y), S(y, v)"), sales_db()
+    )
+    registry.apply(Delta(inserts=[("R", (0, 1)), ("S", (1, 4))]))
+    registry.apply(Delta(deletes=[("S", ("b", 3))]))
+    fresh = evaluate_aggregate(
+        parse_program("T(x, sum(v)) :- R(x, y), S(y, v)")["T"],
+        registry.base_database(),
+    )
+    assert registry.base_aggregates("T") == fresh

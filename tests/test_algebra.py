@@ -18,7 +18,6 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.db.generators import random_cq, random_database, random_ucq
-from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import evaluate
 from repro.errors import EvaluationError, SchemaError
 from repro.query.parser import parse_query

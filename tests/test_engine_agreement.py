@@ -2,11 +2,13 @@
 
 Both the backtracking engine (Defs. 2.6/2.12 literally) and the
 SQLite-compiled engine compute annotated results; on every query and
-database they must produce identical polynomial tables.
+database they must produce identical polynomial tables — and, for
+aggregate queries, identical semimodule annotation tables.
 """
 
 import pytest
 
+from repro.aggregate import evaluate_aggregate
 from repro.db.generators import (
     all_databases,
     chain_query,
@@ -25,6 +27,14 @@ def assert_engines_agree(query, db):
     in_memory = evaluate(query, db)
     store = SQLiteDatabase.from_annotated(db)
     via_sql = store.evaluate(query)
+    store.close()
+    assert in_memory == via_sql
+
+
+def assert_aggregate_engines_agree(query, db):
+    in_memory = evaluate_aggregate(query, db)
+    store = SQLiteDatabase.from_annotated(db)
+    via_sql = store.evaluate_aggregate(query)
     store.close()
     assert in_memory == via_sql
 
@@ -72,3 +82,32 @@ class TestRandomized:
         query = parse_query("ans(x) :- R(x, y), S(y), x != 'a', x != y")
         for db in all_databases({"R": 2, "S": 1}, ["a", "b"], max_facts=3):
             assert_engines_agree(query, db)
+
+
+class TestAggregates:
+    @pytest.mark.parametrize("op", ["sum", "count", "min", "max"])
+    def test_operators_on_join(self, op):
+        query = parse_query(
+            "agg(x, {}(v)) :- R(x, y), S(y, v)".format(op)
+        )
+        db = random_database({"R": 2, "S": 2}, [0, 1, 2], 8, seed=3)
+        assert_aggregate_engines_agree(query, db)
+
+    def test_union_rules_and_count_star(self):
+        query = parse_query(
+            "agg(x, sum(v), count(*)) :- R(x, v)\n"
+            "agg(x, sum(w), count(*)) :- S(x, w)"
+        )
+        db = random_database({"R": 2, "S": 2}, [0, 1, 2], 7, seed=5)
+        assert_aggregate_engines_agree(query, db)
+
+    def test_constants_and_diseqs_in_aggregate_bodies(self):
+        query = parse_query("agg(min(y)) :- R(x, y), R(y, x), x != y")
+        for db in all_databases({"R": 2}, [0, 1], max_facts=3):
+            assert_aggregate_engines_agree(query, db)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exhaustive_small_instances(self, seed):
+        query = parse_query("agg(x, sum(v), min(v)) :- R(x, v), S(v, y)")
+        db = random_database({"R": 2, "S": 2}, [0, 1, 2], 6, seed=seed)
+        assert_aggregate_engines_agree(query, db)

@@ -1,6 +1,5 @@
 """Unit tests for the backtracking evaluation engine (Defs. 2.6, 2.12)."""
 
-import pytest
 
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import (

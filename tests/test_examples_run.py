@@ -11,6 +11,7 @@ EXAMPLES = sorted(
 )
 
 EXPECTED_FRAGMENTS = {
+    "aggregate_provenance.py": "SUM under deletion",
     "incremental_maintenance.py": "audit vs full re-evaluation: ok",
     "quickstart.py": "p-minimal equivalent found by MinProv",
     "offline_core_provenance.py": "Rewrite-then-evaluate agrees: True",

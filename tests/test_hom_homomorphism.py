@@ -1,6 +1,5 @@
 """Unit tests for homomorphisms (Def. 2.10) and their refinements."""
 
-import pytest
 
 from repro.hom.homomorphism import (
     automorphisms,
@@ -12,7 +11,7 @@ from repro.hom.homomorphism import (
     is_isomorphic,
 )
 from repro.query.parser import parse_query
-from repro.query.terms import Constant, Variable
+from repro.query.terms import Variable
 
 
 class TestExistence:

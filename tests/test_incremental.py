@@ -23,7 +23,6 @@ from repro.errors import EvaluationError, SchemaError
 from repro.incremental.delta import (
     Delta,
     HashIndexes,
-    apply_to_database,
     delta_provenance,
 )
 from repro.incremental.maintain import (

@@ -1,6 +1,5 @@
 """Unit tests for the provenance order on queries (Def. 2.17)."""
 
-import pytest
 
 from repro.order.query_order import (
     bounded_le_p,

@@ -9,7 +9,6 @@ import pytest
 
 from repro.db.generators import random_cq, random_database
 from repro.db.instance import AnnotatedDatabase
-from repro.direct.core_polynomial import core_polynomial_approx
 from repro.engine.evaluate import evaluate, provenance_of_boolean
 from repro.errors import NotAbstractlyTaggedError
 from repro.hom.containment import is_contained, is_equivalent
@@ -26,9 +25,6 @@ from repro.order.query_order import (
     provenance_equivalent,
 )
 from repro.paperdata import (
-    figure1,
-    figure2,
-    figure3_qhat,
     lemma_3_6_expected,
     table4_database,
     table5_database,

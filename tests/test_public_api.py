@@ -1,6 +1,5 @@
 """The public API surface: everything advertised exists and works."""
 
-import pytest
 
 import repro
 
@@ -14,6 +13,7 @@ class TestAllExports:
         assert repro.__version__ == "1.0.0"
 
     def test_subpackage_alls_resolve(self):
+        import repro.aggregate
         import repro.algebra
         import repro.apps
         import repro.hom
@@ -27,6 +27,7 @@ class TestAllExports:
         import repro.views
 
         for module in (
+            repro.aggregate,
             repro.algebra,
             repro.apps,
             repro.hom,

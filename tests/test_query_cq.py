@@ -3,9 +3,8 @@
 import pytest
 
 from repro.errors import QueryConstructionError
-from repro.query.atoms import Atom, Disequality
+from repro.query.atoms import Disequality
 from repro.query.build import atom, c, cq, diseq
-from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.query.terms import Constant, Variable
 

@@ -6,7 +6,7 @@ from repro.errors import ParseError
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_program, parse_query, parse_rules
 from repro.query.printer import cq_to_str, query_to_latex, query_to_str
-from repro.query.terms import Constant, Variable
+from repro.query.terms import Constant
 from repro.query.ucq import UnionQuery
 
 

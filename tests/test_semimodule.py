@@ -1,0 +1,181 @@
+"""The aggregation monoids and the tensor product ``N[X] ⊗ M``."""
+
+import pytest
+
+from repro.algebra.monoid import (
+    ABSENT,
+    MONOIDS,
+    CountMonoid,
+    MaxMonoid,
+    MinMonoid,
+    SumMonoid,
+    monoid_for,
+)
+from repro.algebra.semimodule import SemimoduleElement
+from repro.errors import EvaluationError
+from repro.semiring.polynomial import Monomial, Polynomial
+
+SUM = SumMonoid()
+COUNT = CountMonoid()
+MIN = MinMonoid()
+MAX = MaxMonoid()
+
+
+class TestMonoids:
+    @pytest.mark.parametrize("op", sorted(MONOIDS))
+    def test_monoid_laws_on_samples(self, op):
+        monoid = monoid_for(op)
+        samples = [1, 2, 3, 7]
+        for a in samples:
+            assert monoid.combine(a, monoid.identity) == a
+            assert monoid.combine(monoid.identity, a) == a
+            for b in samples:
+                assert monoid.combine(a, b) == monoid.combine(b, a)
+                for c in samples:
+                    assert monoid.combine(monoid.combine(a, b), c) == \
+                        monoid.combine(a, monoid.combine(b, c))
+
+    @pytest.mark.parametrize("op", sorted(MONOIDS))
+    def test_action_is_iterated_combine(self, op):
+        monoid = monoid_for(op)
+        for n in range(5):
+            assert monoid.act(n, 3) == monoid.fold([3] * n)
+
+    def test_action_shapes(self):
+        assert SUM.act(3, 5) == 15
+        assert COUNT.act(4, 1) == 4
+        assert MIN.act(3, 5) == 5
+        assert MAX.act(0, 5) is ABSENT
+        assert SUM.act(0, 5) == 0
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(EvaluationError):
+            SUM.act(-1, 5)
+        with pytest.raises(EvaluationError):
+            MIN.act(-1, 5)
+
+    def test_lattice_monoids_pick_extremes(self):
+        assert MIN.fold([4, 2, 9]) == 2
+        assert MAX.fold([4, 2, 9]) == 9
+        assert MIN.fold([]) is ABSENT
+        assert MIN.combine(ABSENT, 7) == 7
+        assert MAX.combine(7, ABSENT) == 7
+
+    def test_sum_validates_values(self):
+        with pytest.raises(EvaluationError):
+            SUM.validate("not a number")
+        SUM.validate(2.5)
+        SUM.validate(4)
+
+    def test_min_max_accept_orderable_values(self):
+        MIN.validate("alpha")
+        assert MIN.fold(["beta", "alpha"]) == "alpha"
+        assert MAX.fold(["beta", "alpha"]) == "beta"
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvaluationError):
+            monoid_for("median")
+
+    def test_linearity_flags(self):
+        assert SUM.linear and COUNT.linear
+        assert not MIN.linear and not MAX.linear
+
+
+def tensor(symbol, value, monoid=SUM):
+    return SemimoduleElement.tensor(symbol, value, monoid)
+
+
+class TestSemimoduleElement:
+    def test_equal_values_merge_annotations(self):
+        # (p ⊗ m) + (p' ⊗ m) ≡ (p + p') ⊗ m, the eager congruence.
+        e = tensor("s1", 5) + tensor("s2", 5)
+        assert e.terms() == {5: Polynomial.parse("s1 + s2")}
+
+    def test_trivial_tensors_vanish(self):
+        assert SemimoduleElement(SUM, {5: Polynomial.zero()}).is_zero()
+        assert SemimoduleElement(SUM, {0: Polynomial.parse("s1")}).is_zero()
+        assert SemimoduleElement(MIN, {}).is_zero()
+
+    def test_monoid_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            tensor("s1", 5, SUM) + tensor("s2", 5, MIN)
+
+    def test_annotation_forms(self):
+        from_str = tensor("s1", 5)
+        from_monomial = SemimoduleElement.tensor(Monomial(["s1"]), 5, SUM)
+        from_poly = SemimoduleElement.tensor(Polynomial.parse("s1"), 5, SUM)
+        assert from_str == from_monomial == from_poly
+
+    def test_scale_is_the_k_action(self):
+        e = tensor("s1", 5) + tensor("s2", 2)
+        scaled = e.scale("s9")
+        assert scaled.terms() == {
+            5: Polynomial.parse("s1*s9"),
+            2: Polynomial.parse("s2*s9"),
+        }
+
+    def test_specialize_counts_multiplicities(self):
+        e = SemimoduleElement(SUM, {5: Polynomial.parse("2*s1 + s2")})
+        assert e.specialize({"s1": 1, "s2": 1}) == 15
+        assert e.specialize({"s1": 1, "s2": 0}) == 10
+        assert e.specialize({"s1": 3, "s2": 0}) == 30
+        assert e.specialize({"s1": 0, "s2": 0}) == 0
+
+    def test_specialize_lattice_ignores_multiplicity(self):
+        e = SemimoduleElement(
+            MIN, {5: Polynomial.parse("2*s1"), 2: Polynomial.parse("s2")}
+        )
+        assert e.specialize({"s1": 5, "s2": 1}) == 2
+        assert e.specialize({"s1": 1, "s2": 0}) == 5
+        assert e.specialize({"s1": 0, "s2": 0}) is ABSENT
+
+    def test_specialize_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            tensor("s1", 5).specialize({})
+
+    def test_condense_merges_equal_annotations(self):
+        e = tensor("s1", 4, MIN) + tensor("s1", 9, MIN)
+        condensed = e.condense()
+        assert condensed.terms() == {4: Polynomial.parse("s1")}
+        # Specialization is invariant under the congruence.
+        for bit in (0, 1):
+            assert condensed.specialize({"s1": bit}) == e.specialize(
+                {"s1": bit}
+            )
+
+    def test_condense_sum_distributes(self):
+        e = tensor("s1", 4) + tensor("s1", 9)
+        condensed = e.condense()
+        assert condensed.terms() == {13: Polynomial.parse("s1")}
+        for n in range(3):
+            assert condensed.specialize({"s1": n}) == e.specialize({"s1": n})
+
+    def test_map_symbols_and_support(self):
+        e = tensor("s1", 5) + tensor("s2", 2)
+        renamed = e.map_symbols({"s1": "t1"})
+        assert renamed.support() == frozenset({"t1", "s2"})
+        assert e.support() == frozenset({"s1", "s2"})
+
+    def test_map_polynomials_drops_zeros(self):
+        e = tensor("s1", 5) + tensor("s2", 2)
+        filtered = e.map_polynomials(
+            lambda p: p if "s1" in p.support() else Polynomial.zero()
+        )
+        assert filtered.terms() == {5: Polynomial.parse("s1")}
+
+    def test_str_and_repr(self):
+        e = tensor("s1", 5) + tensor("s2", 5) + tensor("s3", 2)
+        assert str(e) == "sum[s3⊗2 + (s1 + s2)⊗5]"
+        assert str(SemimoduleElement.zero(MAX)) == "max[0]"
+        assert "sum[" in repr(e)
+
+    def test_hash_and_eq(self):
+        a = tensor("s1", 5) + tensor("s2", 2)
+        b = tensor("s2", 2) + tensor("s1", 5)
+        assert a == b and hash(a) == hash(b)
+        assert a != tensor("s1", 5)
+        assert a != tensor("s1", 5, MIN) + tensor("s2", 2, MIN)
+
+    def test_tensor_count_tracks_expanded_form(self):
+        e = SemimoduleElement(SUM, {5: Polynomial.parse("2*s1 + s2")})
+        assert e.tensor_count() == 3

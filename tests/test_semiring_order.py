@@ -1,6 +1,5 @@
 """Unit tests for the terseness order (Def. 2.15)."""
 
-import pytest
 
 from repro.paperdata.figures import example_2_16_polynomials
 from repro.semiring.order import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.semiring.base import Semiring
 from repro.semiring.boolean import BooleanSemiring
 from repro.semiring.lineage import LineageSemiring, lineage_of
 from repro.semiring.natural import NaturalSemiring
