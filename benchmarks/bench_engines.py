@@ -1,6 +1,6 @@
-"""Ablation: backtracking engine vs SQLite-compiled engine.
+"""Ablation: backtracking vs SQLite-compiled vs hash-join engines.
 
-Both engines compute identical annotated results (asserted here); the
+All engines compute identical annotated results (asserted here); the
 bench compares their cost across the classic join shapes.  The paper's
 narrative — provenance capture can ride on a standard SQL engine —
 corresponds to the SQLite route.
@@ -12,7 +12,8 @@ from conftest import banner
 
 from repro.db.generators import chain_query, star_query, uniform_binary_database
 from repro.db.sqlite_backend import SQLiteDatabase
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate, evaluate_backtracking
+from repro.engine.hashjoin import evaluate_hashjoin
 from repro.query.parser import parse_query
 
 WORKLOADS = {
@@ -37,8 +38,15 @@ def sqlite_store(graph_db):
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_backtracking_engine(benchmark, graph_db, name):
     query = WORKLOADS[name]
-    result = benchmark(evaluate, query, graph_db)
+    result = benchmark(evaluate_backtracking, query, graph_db)
     assert isinstance(result, dict)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_hashjoin_engine(benchmark, graph_db, name):
+    query = WORKLOADS[name]
+    result = benchmark(evaluate_hashjoin, query, graph_db)
+    assert result == evaluate_backtracking(query, graph_db)
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))

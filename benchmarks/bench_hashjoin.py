@@ -1,0 +1,98 @@
+"""Hash-join engine vs backtracking on a 1k-tuple join workload.
+
+The claims under test: (1) on a two-way join over ~1000 annotated
+tuples the set-at-a-time hash-join engine beats the backtracking
+enumerator by at least 3x while producing *identical* provenance
+polynomials; (2) the cardinality-banded plan cache makes repeated
+evaluation plan-free; (3) interned monomial arithmetic keeps the
+aggregate path ahead of assignment-at-a-time folding too.
+"""
+
+import time
+
+import pytest
+
+from conftest import banner
+
+from repro.aggregate.evaluate import evaluate_aggregate
+from repro.db.generators import random_database
+from repro.engine.evaluate import evaluate_backtracking
+from repro.engine.hashjoin import default_plan_cache, evaluate_hashjoin
+from repro.query.parser import parse_query
+
+QUERY = parse_query("ans(x, z) :- R(x, y), S(y, z)")
+AGG_QUERY = parse_query("agg(x, sum(z), count(*)) :- R(x, y), S(y, z)")
+
+RELATIONS = {"R": 2, "S": 2}
+DOMAIN = list(range(40))
+
+
+def workload_db():
+    """~1000 tuples split across the two join sides."""
+    db = random_database(RELATIONS, DOMAIN, n_facts=1000, seed=23)
+    assert db.fact_count() >= 1000
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return workload_db()
+
+
+def test_hashjoin_engine(benchmark, db):
+    result = benchmark(evaluate_hashjoin, QUERY, db)
+    assert result
+
+
+def test_backtracking_engine(benchmark, db):
+    result = benchmark(evaluate_backtracking, QUERY, db)
+    assert result
+
+
+def test_hashjoin_aggregate(benchmark, db):
+    result = benchmark(evaluate_aggregate, AGG_QUERY, db)
+    assert result
+
+
+def test_backtracking_aggregate(benchmark, db):
+    # The assignment-at-a-time counterpart of the timing above — the
+    # pair backs the "interned arithmetic keeps the aggregate path
+    # ahead" claim in the module docstring.
+    result = benchmark(evaluate_aggregate, AGG_QUERY, db, "backtrack")
+    assert result == evaluate_aggregate(AGG_QUERY, db)
+
+
+def test_hashjoin_beats_backtracking_3x(db):
+    """The acceptance criterion: >= 3x on the 1k-tuple join workload,
+    with polynomial-identical results."""
+    rounds = 3
+    # Warm the plan cache and the intern table once, as a refresh loop
+    # would; timings below measure steady-state evaluation.
+    hashed = evaluate_hashjoin(QUERY, db)
+
+    hash_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        hashed = evaluate_hashjoin(QUERY, db)
+        hash_times.append(time.perf_counter() - start)
+    set_at_a_time = min(hash_times)
+
+    backtrack_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        reference = evaluate_backtracking(QUERY, db)
+        backtrack_times.append(time.perf_counter() - start)
+    tuple_at_a_time = min(backtrack_times)
+
+    assert hashed == reference  # identical polynomials ...
+    speedup = tuple_at_a_time / set_at_a_time
+    banner(
+        "1k-tuple join: hash join {:.0f}x faster than backtracking "
+        "({:.2f} ms vs {:.2f} ms), plan cache {}".format(
+            speedup,
+            set_at_a_time * 1e3,
+            tuple_at_a_time * 1e3,
+            default_plan_cache(),
+        )
+    )
+    assert speedup >= 3.0, speedup  # ... at least 3x faster

@@ -9,7 +9,7 @@ differs.
 from conftest import banner
 
 from repro.db.generators import uniform_binary_database
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate, evaluate_backtracking
 from repro.engine.planner import evaluate_planned
 from repro.query.parser import parse_query
 
@@ -26,8 +26,11 @@ def _database():
 
 
 def test_unplanned_bad_order(benchmark):
+    # The backtracking engine on purpose: it is the only engine whose
+    # cost depends on presentation order (the default hash-join engine
+    # replans internally, which would erase the ablation).
     db = _database()
-    result = benchmark(evaluate, BAD_ORDER, db)
+    result = benchmark(evaluate_backtracking, BAD_ORDER, db)
     assert result
 
 

@@ -1,0 +1,67 @@
+"""Racing the three evaluation engines on one join workload.
+
+All three engines — set-at-a-time hash join (the default), tuple-at-a-
+time backtracking, and SQL compilation onto SQLite — compute the same
+Def. 2.12 provenance polynomials.  This script verifies the agreement
+on a ~600-tuple join, times each engine, and shows the hash-join plan
+cache at work across a re-evaluation (the situation every incremental
+refresh loop is in).
+
+Run with ``PYTHONPATH=src python examples/engine_comparison.py``.
+"""
+
+import time
+
+from repro.db.generators import random_database
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.engine.evaluate import evaluate, evaluate_backtracking
+from repro.engine.hashjoin import default_plan_cache, evaluate_hashjoin
+from repro.engine.plan_cache import PlanCache
+from repro.query.parser import parse_query
+
+
+def timed(label, fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    elapsed = (time.perf_counter() - start) * 1e3
+    print("  {:<24} {:>8.2f} ms   {} output tuples".format(
+        label, elapsed, len(result)))
+    return result
+
+
+def main():
+    db = random_database({"R": 2, "S": 2}, list(range(30)), 600, seed=17)
+    query = parse_query("ans(x, z) :- R(x, y), S(y, z), x != z")
+    print("Workload: {} over a {}-tuple database\n".format(
+        query, db.fact_count()))
+
+    print("One evaluation per engine:")
+    hashed = timed("hash join (default)", evaluate, query, db)
+    backtracked = timed("backtracking", evaluate_backtracking, query, db)
+    store = SQLiteDatabase.from_annotated(db)
+    via_sql = timed("sqlite", store.evaluate, query)
+    store.close()
+
+    agree = hashed == backtracked == via_sql
+    print("\nEngines agree polynomial-for-polynomial: {}".format(agree))
+    assert agree
+
+    # The plan cache across a refresh loop: same query, mildly changed
+    # database -> the cached join order is reused (cardinalities stay
+    # inside their power-of-two bands).
+    cache = PlanCache()
+    evaluate_hashjoin(query, db, cache=cache)
+    db.add("R", ("fresh", 0))
+    evaluate_hashjoin(query, db, cache=cache)
+    stats = cache.stats()
+    print("Plan cache after re-evaluation: {hits} hit(s), "
+          "{misses} miss(es)".format(**stats))
+    assert stats["hits"] >= 1
+
+    sample = sorted(hashed)[0]
+    print("\nSample provenance  {!r}: {}".format(sample, hashed[sample]))
+    print("Shared default cache: {}".format(default_plan_cache()))
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ setup(
         "dev": [
             "pytest>=7",
             "pytest-benchmark>=4",
+            "pytest-cov>=4",
             "ruff>=0.4",
         ],
     },

@@ -2,11 +2,11 @@
 
 The library implements the full system of Amsterdamer, Deutch, Milo and
 Tannen's paper: N[X] provenance polynomials and their terseness order,
-conjunctive queries with disequalities and unions thereof, two
-provenance-aware evaluation engines (in-memory and SQLite), query
-containment/equivalence, standard and provenance minimization
-(**MinProv**), and the direct (query-free) computation of core
-provenance.
+conjunctive queries with disequalities and unions thereof, three
+provenance-aware evaluation engines (set-at-a-time hash join,
+backtracking, SQLite), query containment/equivalence, standard and
+provenance minimization (**MinProv**), and the direct (query-free)
+computation of core provenance.
 
 Quickstart::
 
@@ -32,7 +32,13 @@ from repro.explain import explain_missing, explain_tuple
 from repro.views.program import evaluate_program
 from repro.direct.core_polynomial import core_monomials, core_polynomial_approx
 from repro.direct.pipeline import core_provenance, core_provenance_table
-from repro.engine.evaluate import evaluate, provenance, provenance_of_boolean
+from repro.engine.evaluate import (
+    evaluate,
+    evaluate_backtracking,
+    provenance,
+    provenance_of_boolean,
+)
+from repro.engine.hashjoin import evaluate_hashjoin
 from repro.hom.containment import is_contained, is_equivalent
 from repro.incremental.delta import Delta
 from repro.incremental.maintain import check_consistency, maintain
@@ -114,6 +120,8 @@ __all__ = [
     "AnnotatedDatabase",
     "SQLiteDatabase",
     "evaluate",
+    "evaluate_backtracking",
+    "evaluate_hashjoin",
     "provenance",
     "provenance_of_boolean",
     # homomorphisms, containment

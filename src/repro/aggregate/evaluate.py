@@ -16,6 +16,7 @@ from repro.aggregate.result import AggregateAccumulator, AggregateResult
 from repro.algebra.monoid import monoid_for
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import assignments
+from repro.errors import EvaluationError
 from repro.query.aggregate import AggregateQuery
 from repro.semiring.polynomial import Polynomial
 
@@ -23,9 +24,14 @@ Row = Tuple[Hashable, ...]
 
 
 def evaluate_aggregate(
-    query: AggregateQuery, db: AnnotatedDatabase
+    query: AggregateQuery, db: AnnotatedDatabase, engine: str = "hashjoin"
 ) -> Dict[Row, AggregateResult]:
     """Evaluate an aggregate query, returning ``{group: result}``.
+
+    The default ``hashjoin`` engine computes each rule's contributions
+    set-at-a-time (:mod:`repro.engine.hashjoin`); ``backtrack``
+    enumerates assignments one at a time.  Both fold through the shared
+    accumulator and produce tensor-identical results.
 
     >>> from repro.query.parser import parse_query
     >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
@@ -33,6 +39,15 @@ def evaluate_aggregate(
     >>> print(evaluate_aggregate(q, db)[("nyc",)])
     ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
     """
+    if engine == "hashjoin":
+        from repro.engine.hashjoin import evaluate_aggregate_hashjoin
+
+        return evaluate_aggregate_hashjoin(query, db)
+    if engine != "backtrack":
+        raise EvaluationError(
+            "unknown aggregate engine {!r}; supported: hashjoin, "
+            "backtrack".format(engine)
+        )
     accumulator = AggregateAccumulator(query)
     for rule in query.rules:
         for assignment in assignments(rule.inner, db):

@@ -15,6 +15,10 @@ counting, tropical, Why, ... semantics.
 """
 
 from repro.algebra.compile import compile_query_to_plan, evaluate_via_algebra
+# GLOBAL_INTERN is deliberately not re-exported: shared_intern() swaps
+# the module-level binding when the table outgrows its soft bound, and a
+# package-level copy would pin the abandoned table forever.
+from repro.algebra.intern import InternTable, shared_intern
 from repro.algebra.krelation import KRelation
 from repro.algebra.operators import (
     Join,
@@ -27,6 +31,8 @@ from repro.algebra.operators import (
 )
 
 __all__ = [
+    "InternTable",
+    "shared_intern",
     "KRelation",
     "Plan",
     "RelationScan",

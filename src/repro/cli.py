@@ -2,8 +2,8 @@
 
 Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
 
-    repro-prov eval      -p program.dl -d data.json [--view NAME] [--engine memory|sqlite|algebra]
-    repro-prov aggregate -p program.dl -d data.json [--view NAME] [--engine memory|sqlite]
+    repro-prov eval      -p program.dl -d data.json [--view NAME] [--engine hashjoin|backtrack|sql|algebra]
+    repro-prov aggregate -p program.dl -d data.json [--view NAME] [--engine hashjoin|backtrack|sql]
                          [--delete s1,s2] [--trust s1,s2] [--probabilities probs.json]
     repro-prov minimize  -p program.dl [--algorithm minprov|standard] [--trace]
     repro-prov core      -p program.dl -d data.json [--view NAME]
@@ -39,6 +39,7 @@ from repro.apps.trust import trusted_aggregate_value
 from repro.db.instance import AnnotatedDatabase
 from repro.db.sqlite_backend import SQLiteDatabase
 from repro.direct.pipeline import core_provenance_table
+from repro.engine.evaluate import ENGINES as MEMORY_ENGINES
 from repro.engine.evaluate import evaluate
 from repro.errors import ReproError
 from repro.incremental.delta import Delta
@@ -160,10 +161,24 @@ def _print_results(name: str, results, out) -> None:
         print("  {!r:<24} {}".format(output, results[output]), file=out)
 
 
+#: Engine aliases kept for backward compatibility: ``memory`` was the
+#: backtracking engine's historical CLI name, ``sql`` reads better than
+#: ``sqlite`` next to ``hashjoin``/``backtrack``.
+ENGINE_ALIASES = {"memory": "backtrack", "sql": "sqlite"}
+
+#: All accepted ``--engine`` values: the in-memory engines (from the
+#: evaluator's own registry, so a new engine shows up here untouched)
+#: plus the SQLite backend, its aliases, and — for plain UCQ evaluation
+#: only — the K-relation algebra interpreter.
+AGGREGATE_ENGINES = MEMORY_ENGINES + ("sql", "sqlite", "memory")
+EVAL_ENGINES = AGGREGATE_ENGINES + ("algebra",)
+
+
 def _evaluate_any(query: AnyQuery, db: AnnotatedDatabase, engine: str):
+    engine = ENGINE_ALIASES.get(engine, engine)
     if isinstance(query, AggregateQuery):
-        if engine == "memory":
-            return evaluate_aggregate(query, db)
+        if engine in MEMORY_ENGINES:
+            return evaluate_aggregate(query, db, engine=engine)
         if engine == "sqlite":
             store = SQLiteDatabase.from_annotated(db)
             try:
@@ -172,10 +187,10 @@ def _evaluate_any(query: AnyQuery, db: AnnotatedDatabase, engine: str):
                 store.close()
         raise ReproError(
             "the {} engine does not support aggregate queries; use "
-            "--engine memory or sqlite".format(engine)
+            "--engine hashjoin, backtrack or sql".format(engine)
         )
-    if engine == "memory":
-        return evaluate(query, db)
+    if engine in MEMORY_ENGINES:
+        return evaluate(query, db, engine=engine)
     if engine == "sqlite":
         store = SQLiteDatabase.from_annotated(db)
         try:
@@ -420,9 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub_eval, needs_data=True)
     sub_eval.add_argument(
         "--engine",
-        choices=("memory", "sqlite", "algebra"),
-        default="memory",
-        help="evaluation engine (default: memory)",
+        choices=EVAL_ENGINES,
+        default="hashjoin",
+        help="evaluation engine (default: hashjoin; memory/sql are "
+        "aliases of backtrack/sqlite)",
     )
     sub_eval.set_defaults(handler=command_eval)
 
@@ -433,9 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub_agg, needs_data=True)
     sub_agg.add_argument(
         "--engine",
-        choices=("memory", "sqlite"),
-        default="memory",
-        help="evaluation engine (default: memory)",
+        choices=AGGREGATE_ENGINES,
+        default="hashjoin",
+        help="evaluation engine (default: hashjoin; memory/sql are "
+        "aliases of backtrack/sqlite)",
     )
     sub_agg.add_argument(
         "--delete",

@@ -217,6 +217,14 @@ class AnnotatedDatabase:
         queries over absent relations simply have no assignments)."""
         return list(self._relations.get(relation, {}).keys())
 
+    def cardinality(self, relation: str) -> int:
+        """Number of tuples in ``relation`` (0 for unknown relations).
+
+        Constant-time — planners key join orders on cardinalities, so
+        this must not copy the row set the way :meth:`rows` does.
+        """
+        return len(self._relations.get(relation, ()))
+
     def facts(self, relation: str) -> List[Tuple[Row, str]]:
         """``(tuple, annotation)`` pairs of ``relation``."""
         return list(self._relations.get(relation, {}).items())

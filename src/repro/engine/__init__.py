@@ -1,7 +1,11 @@
 """Provenance-aware query evaluation.
 
-Two independent engines compute the same annotated results:
+Three independent engines compute the same annotated results:
 
+* :mod:`repro.engine.hashjoin` — the default: set-at-a-time hash joins
+  over K-relations with interned monomials
+  (:mod:`repro.algebra.intern`) and a cardinality-banded plan cache
+  (:mod:`repro.engine.plan_cache`);
 * :mod:`repro.engine.evaluate` — a backtracking assignment enumerator
   that implements Defs. 2.6 and 2.12 literally;
 * :mod:`repro.engine.sql_compile` +
@@ -9,23 +13,40 @@ Two independent engines compute the same annotated results:
   to SQL self-joins executed by SQLite, with provenance reassembled from
   the per-tuple annotation column.
 
-Tests use them as differential oracles for each other.
+Tests use them as differential oracles for one another.
 """
 
 from repro.engine.evaluate import (
+    ENGINES,
     Assignment,
     assignments,
     evaluate,
+    evaluate_backtracking,
     provenance,
     provenance_of_boolean,
 )
+from repro.engine.hashjoin import (
+    clear_plan_cache,
+    default_plan_cache,
+    evaluate_aggregate_hashjoin,
+    evaluate_hashjoin,
+)
+from repro.engine.plan_cache import PlanCache, cardinality_band
 from repro.engine.sql_compile import compile_cq_to_sql
 
 __all__ = [
+    "ENGINES",
     "Assignment",
     "assignments",
     "evaluate",
+    "evaluate_backtracking",
+    "evaluate_hashjoin",
+    "evaluate_aggregate_hashjoin",
     "provenance",
     "provenance_of_boolean",
     "compile_cq_to_sql",
+    "PlanCache",
+    "cardinality_band",
+    "default_plan_cache",
+    "clear_plan_cache",
 ]

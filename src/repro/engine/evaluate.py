@@ -132,16 +132,14 @@ def assignments(
     yield from extend(0, {}, [])
 
 
-def evaluate(query: Query, db: AnnotatedDatabase) -> Dict[HeadTuple, Polynomial]:
-    """Evaluate a CQ≠ or UCQ≠, returning ``{output tuple: provenance}``.
+def evaluate_backtracking(
+    query: Query, db: AnnotatedDatabase
+) -> Dict[HeadTuple, Polynomial]:
+    """Evaluate by backtracking assignment enumeration (Defs. 2.6/2.12).
 
-    Implements Def. 2.12: one monomial per assignment, adjunct
-    polynomials summed.  Tuples with zero provenance never appear.
-
-    Aggregate queries annotate their values in a semimodule, not a
-    polynomial — they have their own evaluator,
-    :func:`repro.aggregate.evaluate.evaluate_aggregate`, built on the
-    same assignment enumeration.
+    The literal reference implementation: one monomial per assignment,
+    adjunct polynomials summed.  Tuples with zero provenance never
+    appear.
     """
     if isinstance(query, AggregateQuery):
         raise EvaluationError(
@@ -158,11 +156,61 @@ def evaluate(query: Query, db: AnnotatedDatabase) -> Dict[HeadTuple, Polynomial]
     return results
 
 
+#: In-memory engine names accepted by :func:`evaluate`.  The CLI builds
+#: its ``--engine`` choices on top of these (adding the SQLite and
+#: algebra backends plus legacy aliases) — see ``repro.cli``.
+ENGINES = ("hashjoin", "backtrack")
+
+
+def evaluate(
+    query: Query, db: AnnotatedDatabase, engine: str = "hashjoin"
+) -> Dict[HeadTuple, Polynomial]:
+    """Evaluate a CQ≠ or UCQ≠, returning ``{output tuple: provenance}``.
+
+    Implements Def. 2.12: one monomial per assignment, adjunct
+    polynomials summed.  Tuples with zero provenance never appear.
+
+    The default ``hashjoin`` engine evaluates set-at-a-time with a
+    cardinality-banded plan cache (:mod:`repro.engine.hashjoin`);
+    ``backtrack`` is the tuple-at-a-time reference implementation.
+    Both return identical polynomials on every input — the differential
+    suite asserts it — so the choice is purely about speed.
+
+    Aggregate queries annotate their values in a semimodule, not a
+    polynomial — they have their own evaluator,
+    :func:`repro.aggregate.evaluate.evaluate_aggregate`, built on the
+    same engines.
+    """
+    if engine == "hashjoin":
+        if isinstance(query, AggregateQuery):
+            raise EvaluationError(
+                "aggregate queries produce semimodule annotations; use "
+                "repro.aggregate.evaluate_aggregate instead of evaluate"
+            )
+        # Imported lazily: hashjoin's import chain reaches the
+        # repro.aggregate package, whose evaluator imports this module —
+        # a top-level import here would close that cycle during
+        # package initialization.
+        from repro.engine.hashjoin import evaluate_hashjoin
+
+        return evaluate_hashjoin(query, db)
+    if engine == "backtrack":
+        return evaluate_backtracking(query, db)
+    raise EvaluationError(
+        "unknown engine {!r}; supported: {}".format(engine, ", ".join(ENGINES))
+    )
+
+
 def provenance(
-    query: Query, db: AnnotatedDatabase, output: Sequence[Value]
+    query: Query,
+    db: AnnotatedDatabase,
+    output: Sequence[Value],
+    engine: str = "hashjoin",
 ) -> Polynomial:
     """``P(t, Q, D)`` for one output tuple (zero when absent)."""
-    return evaluate(query, db).get(tuple(output), Polynomial.zero())
+    return evaluate(query, db, engine=engine).get(
+        tuple(output), Polynomial.zero()
+    )
 
 
 def provenance_of_boolean(query: Query, db: AnnotatedDatabase) -> Polynomial:

@@ -5,28 +5,46 @@ relational atoms in presentation order; a bad order (e.g. a cartesian
 product first) can be exponentially slower than a good one.  This
 module reorders atoms greedily — prefer atoms with more already-bound
 variables, break ties by smaller relation cardinality and fewer free
-variables — before evaluation.
+variables — before evaluation.  The heuristic itself is shared with the
+hash-join engine (:func:`repro.engine.plan_cache.greedy_order`).
+
+Relation cardinalities are interned **once per planning call**: every
+adjunct of a union reuses the same ``{relation: size}`` map instead of
+re-measuring the database per atom occurrence.
 
 Provenance is untouched by reordering: a monomial is the *multiset* of
-the annotations used (Def. 2.12), independent of atom order.  The
-tests assert polynomial-level equality between ordered and unordered
-evaluation; ``benchmarks/bench_planner.py`` measures the speedup.
+the annotations used (Def. 2.12), independent of atom order, and the
+disequality atoms are carried over verbatim — a reordered query is the
+same query, only its presentation differs.  The tests assert
+polynomial-level equality between ordered and unordered evaluation;
+``benchmarks/bench_planner.py`` measures the speedup.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, Mapping, Optional
 
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import evaluate as _evaluate
-from repro.query.atoms import Atom
+from repro.engine.plan_cache import greedy_order
 from repro.query.cq import ConjunctiveQuery
-from repro.query.terms import Variable
 from repro.query.ucq import Query, UnionQuery, adjuncts_of
 
 
+def relation_cardinalities(
+    query: Query, db: AnnotatedDatabase
+) -> Dict[str, int]:
+    """Measure every relation the query touches, exactly once each."""
+    relations = set()
+    for adjunct in adjuncts_of(query):
+        relations.update(adjunct.relations())
+    return {relation: db.cardinality(relation) for relation in relations}
+
+
 def order_atoms(
-    query: ConjunctiveQuery, db: AnnotatedDatabase
+    query: ConjunctiveQuery,
+    db: AnnotatedDatabase,
+    cardinalities: Optional[Mapping[str, int]] = None,
 ) -> ConjunctiveQuery:
     """Reorder the relational atoms of ``query`` for evaluation on ``db``.
 
@@ -35,33 +53,28 @@ def order_atoms(
     over the smaller relation, then to the atom binding fewer new
     variables (a selectivity proxy).  The head and disequalities are
     unchanged, so the reordered query is the same query — only its
-    presentation differs.
+    presentation differs.  Pass ``cardinalities`` to reuse sizes
+    measured by an enclosing planning call.
     """
-    remaining: List[Atom] = list(query.atoms)
-    bound: Set[Variable] = set()
-    ordered: List[Atom] = []
-    cardinality: Dict[str, int] = {}
-    for atom in remaining:
-        if atom.relation not in cardinality:
-            cardinality[atom.relation] = len(db.rows(atom.relation))
-
-    while remaining:
-        def badness(atom: Atom):
-            atom_vars = set(atom.variables())
-            bound_count = len(atom_vars & bound)
-            free_count = len(atom_vars - bound)
-            return (-bound_count, cardinality[atom.relation], free_count)
-
-        best_index = min(range(len(remaining)), key=lambda i: badness(remaining[i]))
-        chosen = remaining.pop(best_index)
-        ordered.append(chosen)
-        bound.update(chosen.variables())
+    if cardinalities is None:
+        cardinalities = relation_cardinalities(query, db)
+    order = greedy_order(query.atoms, cardinalities)
+    ordered = [query.atoms[index] for index in order]
     return ConjunctiveQuery(query.head, ordered, query.disequalities)
 
 
 def plan_query(query: Query, db: AnnotatedDatabase) -> Query:
-    """Reorder every adjunct of ``query`` for evaluation on ``db``."""
-    adjuncts = [order_atoms(adjunct, db) for adjunct in adjuncts_of(query)]
+    """Reorder every adjunct of ``query`` for evaluation on ``db``.
+
+    The returned query has the same type, head, disequalities and atom
+    multiset as the input — only atom order changes.  Cardinalities are
+    interned once and shared across all adjuncts.
+    """
+    cardinalities = relation_cardinalities(query, db)
+    adjuncts = [
+        order_atoms(adjunct, db, cardinalities)
+        for adjunct in adjuncts_of(query)
+    ]
     if isinstance(query, ConjunctiveQuery):
         return adjuncts[0]
     return UnionQuery(adjuncts)
@@ -69,5 +82,11 @@ def plan_query(query: Query, db: AnnotatedDatabase) -> Query:
 
 def evaluate_planned(query: Query, db: AnnotatedDatabase):
     """Evaluate with greedy join ordering; identical polynomials to the
-    unplanned evaluation (atom order never changes a monomial)."""
-    return _evaluate(plan_query(query, db), db)
+    unplanned evaluation (atom order never changes a monomial).
+
+    Runs on the *backtracking* engine on purpose: it is the only engine
+    whose cost depends on presentation order (the hash-join engine
+    replans internally), so this is where atom ordering matters — and
+    where the ordering-invariance tests have teeth.
+    """
+    return _evaluate(plan_query(query, db), db, engine="backtrack")

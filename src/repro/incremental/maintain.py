@@ -38,7 +38,10 @@ def full_recompute(registry: ViewRegistry) -> ViewEvaluation:
     """Re-evaluate the registry's program from scratch on its base data.
 
     This is the expensive reference path that incremental maintenance
-    replaces — and the oracle it is checked against.
+    replaces — and the oracle it is checked against.  It runs on the
+    default (hash-join) engine, whose plan cache is shared across the
+    refresh loop: repeated audits re-plan nothing unless a relation's
+    cardinality crosses a band boundary.
     """
     return evaluate_program(registry.program, registry.base_database())
 

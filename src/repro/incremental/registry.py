@@ -153,6 +153,10 @@ class ViewRegistry:
     # ------------------------------------------------------------------
     # Initial materialization (and full-recompute fallback)
     # ------------------------------------------------------------------
+    # Materialization and every full-recompute audit go through the
+    # default (hash-join) engine; its cardinality-banded plan cache
+    # means the refresh loop re-plans a view query only when a base
+    # relation's size crosses a power-of-two band.
     def _materialize(self) -> None:
         for name in self._order:
             if name in self._aggregate_names:

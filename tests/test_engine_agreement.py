@@ -1,9 +1,12 @@
-"""Differential tests: the two evaluation engines must agree exactly.
+"""Differential tests: every evaluation engine must agree exactly.
 
-Both the backtracking engine (Defs. 2.6/2.12 literally) and the
-SQLite-compiled engine compute annotated results; on every query and
-database they must produce identical polynomial tables — and, for
-aggregate queries, identical semimodule annotation tables.
+The backtracking engine (Defs. 2.6/2.12 literally), the SQLite-compiled
+engine and the set-at-a-time hash-join engine all compute annotated
+results; on every query and database they must produce identical
+polynomial tables — and, for aggregate queries, identical semimodule
+annotation tables, tensor for tensor.  The backtracking engine is the
+reference implementation; the other two are checked against it (and
+hence against each other).
 """
 
 import pytest
@@ -19,24 +22,30 @@ from repro.db.generators import (
     star_query,
 )
 from repro.db.sqlite_backend import SQLiteDatabase
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate, evaluate_backtracking
+from repro.engine.hashjoin import evaluate_hashjoin
 from repro.query.parser import parse_query
 
 
 def assert_engines_agree(query, db):
-    in_memory = evaluate(query, db)
+    """Backtracking ≡ SQLite ≡ hash join, polynomial for polynomial."""
+    reference = evaluate_backtracking(query, db)
     store = SQLiteDatabase.from_annotated(db)
     via_sql = store.evaluate(query)
     store.close()
-    assert in_memory == via_sql
+    assert reference == via_sql
+    assert reference == evaluate_hashjoin(query, db)
+    assert reference == evaluate(query, db)  # default dispatch
 
 
 def assert_aggregate_engines_agree(query, db):
-    in_memory = evaluate_aggregate(query, db)
+    """Backtracking ≡ SQLite ≡ hash join, tensor for tensor."""
+    reference = evaluate_aggregate(query, db, engine="backtrack")
     store = SQLiteDatabase.from_annotated(db)
     via_sql = store.evaluate_aggregate(query)
     store.close()
-    assert in_memory == via_sql
+    assert reference == via_sql
+    assert reference == evaluate_aggregate(query, db, engine="hashjoin")
 
 
 class TestPaperInstances:
@@ -82,6 +91,78 @@ class TestRandomized:
         query = parse_query("ans(x) :- R(x, y), S(y), x != 'a', x != y")
         for db in all_databases({"R": 2, "S": 1}, ["a", "b"], max_facts=3):
             assert_engines_agree(query, db)
+
+
+class TestThreeEngineDifferential:
+    """The 60-seed property suite: one random workload per seed.
+
+    Each seed derives a random database plus a random query family —
+    a conjunctive query with seed-dependent disequality density, a
+    union, and (in the aggregate class below) a grouped aggregate —
+    and asserts exact three-way agreement.  Seeds vary the domain,
+    database size and query shape so the suite sweeps empty results,
+    cartesian products, self-joins and disequality filtering.
+    """
+
+    SEEDS = range(60)
+
+    @staticmethod
+    def _database(seed, domain_size=4):
+        domain = ["d{}".format(i) for i in range(2 + seed % domain_size)]
+        return random_database(
+            {"R": 2, "S": 1, "T": 2},
+            domain,
+            n_facts=4 + seed % 7,
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_conjunctive_queries(self, seed):
+        query = random_cq(
+            seed=seed,
+            n_atoms=2 + seed % 3,
+            n_variables=3,
+            relations={"R": 2, "S": 1, "T": 2},
+            head_arity=1 + seed % 2,
+            diseq_probability=(seed % 4) * 0.25,
+        )
+        assert_engines_agree(query, self._database(seed))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unions(self, seed):
+        query = random_ucq(
+            seed=seed,
+            n_adjuncts=2 + seed % 2,
+            n_atoms=2,
+            n_variables=3,
+            relations={"R": 2, "S": 1, "T": 2},
+            diseq_probability=0.3 if seed % 2 else 0.0,
+        )
+        assert_engines_agree(query, self._database(seed))
+
+
+class TestThreeEngineAggregates:
+    """Tensor-for-tensor agreement on aggregate queries, 60 seeds."""
+
+    OPS = ("sum", "count", "min", "max")
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_aggregate_workloads(self, seed):
+        op = self.OPS[seed % len(self.OPS)]
+        if seed % 3 == 0:
+            text = "agg(x, {}(v), count(*)) :- R(x, y), S(y, v)".format(op)
+        elif seed % 3 == 1:
+            text = (
+                "agg(x, {}(v)) :- R(x, v)\n"
+                "agg(x, {}(w)) :- S(x, w)".format(op, op)
+            )
+        else:
+            text = "agg({}(v)) :- R(x, v), S(v, y), x != y".format(op)
+        query = parse_query(text)
+        db = random_database(
+            {"R": 2, "S": 2}, list(range(4 + seed % 3)), 5 + seed % 8, seed=seed
+        )
+        assert_aggregate_engines_agree(query, db)
 
 
 class TestAggregates:

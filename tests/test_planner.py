@@ -9,7 +9,7 @@ from repro.db.generators import (
     uniform_binary_database,
 )
 from repro.db.instance import AnnotatedDatabase
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate, evaluate_backtracking
 from repro.engine.planner import evaluate_planned, order_atoms, plan_query
 from repro.query.parser import parse_query
 
@@ -44,6 +44,96 @@ class TestOrdering:
             a.sort_key() for a in query.atoms
         )
         assert ordered.disequalities == query.disequalities
+
+
+class CountingDatabase(AnnotatedDatabase):
+    """Counts cardinality measurements for the interning regression."""
+
+    def __init__(self):
+        super().__init__()
+        self.cardinality_calls = 0
+
+    def cardinality(self, relation):
+        self.cardinality_calls += 1
+        return super().cardinality(relation)
+
+
+class TestCardinalityInterning:
+    def _counting_db(self):
+        db = CountingDatabase()
+        for pair in [("a", "b"), ("b", "c"), ("c", "a")]:
+            db.add("R", pair)
+        db.add("S", ("a",))
+        return db
+
+    def test_order_atoms_measures_each_relation_once(self):
+        db = self._counting_db()
+        query = parse_query("ans(x) :- R(x, y), R(y, z), R(z, x), S(x)")
+        order_atoms(query, db)
+        # Four atoms over two relations: two measurements, not four.
+        assert db.cardinality_calls == 2
+
+    def test_plan_query_shares_cardinalities_across_adjuncts(self):
+        db = self._counting_db()
+        query = parse_query(
+            "ans(x) :- R(x, y), S(x)\n"
+            "ans(x) :- R(x, y), R(y, x)\n"
+            "ans(x) :- S(x), R(x, x)"
+        )
+        plan_query(query, db)
+        # Three adjuncts touching {R, S}: still two measurements.
+        assert db.cardinality_calls == 2
+
+
+class TestDisequalityHeavyRegression:
+    """plan_query must preserve adjunct/disequality structure exactly.
+
+    A complete (all-pairs disequated) query is the worst case: every
+    reordering opportunity exists, yet the planned query must keep the
+    full disequality set, the atom multiset and the query type — and
+    evaluate to identical polynomials.
+    """
+
+    def _diseq_heavy(self):
+        return parse_query(
+            "ans(x) :- R(x, y), R(y, z), S(x), "
+            "x != y, x != z, y != z, x != 'a', y != 'a', z != 'a'"
+        )
+
+    def test_single_cq_structure_preserved(self):
+        db = random_database({"R": 2, "S": 1}, ["a", "b", "c", "d"], 9, seed=4)
+        query = self._diseq_heavy()
+        planned = plan_query(query, db)
+        from repro.query.cq import ConjunctiveQuery
+
+        assert isinstance(planned, ConjunctiveQuery)
+        assert planned.disequalities == query.disequalities
+        assert planned.head == query.head
+        assert sorted(a.sort_key() for a in planned.atoms) == sorted(
+            a.sort_key() for a in query.atoms
+        )
+        # Ordering invariance on the engine where order matters.
+        assert evaluate_backtracking(planned, db) == evaluate_backtracking(
+            query, db
+        )
+
+    def test_single_adjunct_union_stays_union(self):
+        from repro.query.ucq import UnionQuery
+
+        db = random_database({"R": 2, "S": 1}, ["a", "b"], 4, seed=0)
+        union = UnionQuery([self._diseq_heavy()])
+        planned = plan_query(union, db)
+        assert isinstance(planned, UnionQuery)
+        assert len(planned.adjuncts) == 1
+        assert planned.adjuncts[0].disequalities == self._diseq_heavy().disequalities
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_planned_evaluation_identical_on_complete_queries(self, seed):
+        query = random_cq(
+            seed=seed, n_atoms=3, n_variables=3, diseq_probability=1.0
+        )
+        db = random_database({"R": 2, "S": 1}, ["a", "b", "c"], 7, seed=seed)
+        assert evaluate_planned(query, db) == evaluate(query, db)
 
 
 class TestProvenanceInvariance:
