@@ -1,0 +1,125 @@
+"""Shard-parallel vs single-shard evaluation on a 10k-tuple join.
+
+The claims under test: (1) on a two-way join over 10,000 annotated
+tuples, a warm 4-shard :class:`~repro.session.QuerySession` (process
+pool, pickled shard payloads) beats the same session pinned to a
+single shard by at least 1.5x in wall-clock — while producing
+*identical* provenance polynomials, as the cross-shard differential
+suite demands; (2) the session amortizes partitioning, payload
+shipping and planning, so steady-state evaluations measure join work,
+not setup.
+
+Both contenders run through the same sharded execution path (anchored
+fragments, shard-local intern tables, remapping merge), so the ratio
+isolates parallelism; the hash-join engine is timed alongside as the
+serial baseline for the JSON artifact.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import banner
+
+from repro.db.generators import random_database
+from repro.engine.hashjoin import evaluate_hashjoin
+from repro.query.parser import parse_query
+from repro.session import QuerySession
+
+QUERY = parse_query("ans(x, z) :- R(x, y), S(y, z)")
+RELATIONS = {"R": 2, "S": 2}
+DOMAIN = list(range(150))
+
+
+def workload_db():
+    """10k tuples split across the two join sides."""
+    db = random_database(RELATIONS, DOMAIN, n_facts=10_000, seed=31)
+    assert db.fact_count() >= 10_000
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return workload_db()
+
+
+def _session(db, shards, workers):
+    session = QuerySession(
+        db, engine="sharded", shards=shards, workers=workers,
+        broadcast_threshold=0,
+    )
+    session.evaluate(QUERY)  # warm: partitioning, pool, plans, intern
+    return session
+
+
+def _steady_state(session, rounds=3):
+    """Best wall-clock of ``rounds`` re-evaluations on the warm session.
+
+    ``refresh()`` drops the memoized results (so the join actually
+    re-runs) but keeps the pool, the partitioning and the plan cache —
+    the steady state of a refresh loop.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        session.refresh()
+        start = time.perf_counter()
+        session.evaluate(QUERY)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_four_shards_beat_one_with_identical_polynomials(db):
+    """The acceptance criterion: 4-shard >= 1.5x 1-shard on 10k tuples,
+    polynomial-identical output (asserted unconditionally; the speedup
+    needs hardware parallelism, so it is skipped on single-CPU runners
+    where four workers time-slice one core)."""
+    reference = evaluate_hashjoin(QUERY, db)
+    with _session(db, shards=1, workers=1) as single:
+        assert single.evaluate(QUERY) == reference  # identical polynomials
+        single_shard = _steady_state(single)
+    with _session(db, shards=4, workers=4) as four:
+        assert four.evaluate(QUERY) == reference  # ... at every shard count
+        four_shards = _steady_state(four)
+    speedup = single_shard / four_shards
+    banner(
+        "10k-tuple join: 4 shards {:.2f}x vs 1 shard "
+        "({:.0f} ms vs {:.0f} ms) on {} CPU(s)".format(
+            speedup, four_shards * 1e3, single_shard * 1e3, os.cpu_count()
+        )
+    )
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-CPU runner cannot demonstrate shard parallelism")
+    assert speedup >= 1.5, speedup
+
+
+@pytest.fixture(scope="module")
+def four_shard_session(db):
+    with _session(db, shards=4, workers=4) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def single_shard_session(db):
+    with _session(db, shards=1, workers=1) as session:
+        yield session
+
+
+def test_sharded_four_shards(benchmark, four_shard_session):
+    def run():
+        four_shard_session.refresh()
+        return four_shard_session.evaluate(QUERY)
+
+    assert benchmark(run)
+
+
+def test_sharded_single_shard(benchmark, single_shard_session):
+    def run():
+        single_shard_session.refresh()
+        return single_shard_session.evaluate(QUERY)
+
+    assert benchmark(run)
+
+
+def test_hashjoin_serial_baseline(benchmark, db):
+    assert benchmark(evaluate_hashjoin, QUERY, db)

@@ -27,6 +27,7 @@ from repro.algebra.compile import evaluate_in_semiring, evaluate_via_algebra
 from repro.algebra.monoid import AggregationMonoid, monoid_for
 from repro.algebra.semimodule import SemimoduleElement
 from repro.db.instance import AnnotatedDatabase
+from repro.db.sharding import ShardedDatabase
 from repro.db.sqlite_backend import SQLiteDatabase
 from repro.explain import explain_missing, explain_tuple
 from repro.views.program import evaluate_program
@@ -39,6 +40,11 @@ from repro.engine.evaluate import (
     provenance_of_boolean,
 )
 from repro.engine.hashjoin import evaluate_hashjoin
+from repro.engine.sharded import (
+    ShardedExecutor,
+    evaluate_aggregate_sharded,
+    evaluate_sharded,
+)
 from repro.hom.containment import is_contained, is_equivalent
 from repro.incremental.delta import Delta
 from repro.incremental.maintain import check_consistency, maintain
@@ -86,6 +92,7 @@ from repro.semiring.order import (
     polynomial_lt,
 )
 from repro.semiring.polynomial import Monomial, Polynomial
+from repro.session import QuerySession
 
 __version__ = "1.0.0"
 
@@ -119,9 +126,14 @@ __all__ = [
     # databases and evaluation
     "AnnotatedDatabase",
     "SQLiteDatabase",
+    "ShardedDatabase",
+    "ShardedExecutor",
+    "QuerySession",
     "evaluate",
     "evaluate_backtracking",
     "evaluate_hashjoin",
+    "evaluate_sharded",
+    "evaluate_aggregate_sharded",
     "provenance",
     "provenance_of_boolean",
     # homomorphisms, containment

@@ -10,7 +10,7 @@ specialized database (the property tests assert exactly this).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.aggregate.result import AggregateAccumulator, AggregateResult
 from repro.algebra.monoid import monoid_for
@@ -24,14 +24,21 @@ Row = Tuple[Hashable, ...]
 
 
 def evaluate_aggregate(
-    query: AggregateQuery, db: AnnotatedDatabase, engine: str = "hashjoin"
+    query: AggregateQuery,
+    db: AnnotatedDatabase,
+    engine: str = "hashjoin",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Row, AggregateResult]:
     """Evaluate an aggregate query, returning ``{group: result}``.
 
     The default ``hashjoin`` engine computes each rule's contributions
     set-at-a-time (:mod:`repro.engine.hashjoin`); ``backtrack``
-    enumerates assignments one at a time.  Both fold through the shared
-    accumulator and produce tensor-identical results.
+    enumerates assignments one at a time; ``sharded`` splits each
+    rule's hash-join plan across ``shards`` shards and merges the
+    per-shard accumulator states through the semimodule layer
+    (:mod:`repro.engine.sharded`).  All fold through the shared
+    accumulator shape and produce tensor-identical results.
 
     >>> from repro.query.parser import parse_query
     >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
@@ -43,10 +50,16 @@ def evaluate_aggregate(
         from repro.engine.hashjoin import evaluate_aggregate_hashjoin
 
         return evaluate_aggregate_hashjoin(query, db)
+    if engine == "sharded":
+        from repro.engine.sharded import evaluate_aggregate_sharded
+
+        return evaluate_aggregate_sharded(
+            query, db, shards=shards, workers=workers
+        )
     if engine != "backtrack":
         raise EvaluationError(
             "unknown aggregate engine {!r}; supported: hashjoin, "
-            "backtrack".format(engine)
+            "backtrack, sharded".format(engine)
         )
     accumulator = AggregateAccumulator(query)
     for rule in query.rules:

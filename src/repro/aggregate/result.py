@@ -135,3 +135,46 @@ class AggregateAccumulator:
             )
             for group in self._provenance
         }
+
+
+def merge_aggregate_results(
+    partials: Sequence[Dict[Row, AggregateResult]],
+) -> Dict[Row, AggregateResult]:
+    """Union per-shard accumulator states into one aggregated K-relation.
+
+    The shard-parallel engine folds each shard's contributions into a
+    private :class:`AggregateAccumulator`; this merges the resulting
+    states through the monoid/semimodule layer: group provenances add
+    in ``N[X]`` and each aggregate slot adds in ``N[X] ⊗ M``.  Both
+    additions are commutative and keep the value-grouped normal form
+    canonical, so any shard order (and any split of contributions
+    across shards) produces exactly the serial engines' tables.
+    Compaction (:meth:`SemimoduleElement.condense`) stays on demand,
+    after merging, as everywhere else.
+
+    >>> from repro.query.parser import parse_query
+    >>> query = parse_query("agg(sum(v)) :- S(x, v)")
+    >>> rule = query.rules[0]
+    >>> halves = []
+    >>> for symbol, value in (("s1", 5), ("s2", 2)):
+    ...     accumulator = AggregateAccumulator(query)
+    ...     accumulator.add(rule, (value,), Polynomial.parse(symbol))
+    ...     halves.append(accumulator.results())
+    >>> print(merge_aggregate_results(halves)[()])
+    ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
+    """
+    merged: Dict[Row, AggregateResult] = {}
+    for partial in partials:
+        for group, result in partial.items():
+            previous = merged.get(group)
+            if previous is None:
+                merged[group] = result
+            else:
+                merged[group] = AggregateResult(
+                    previous.provenance + result.provenance,
+                    tuple(
+                        a + b
+                        for a, b in zip(previous.aggregates, result.aggregates)
+                    ),
+                )
+    return merged

@@ -2,9 +2,11 @@
 
 Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
 
-    repro-prov eval      -p program.dl -d data.json [--view NAME] [--engine hashjoin|backtrack|sql|algebra]
-    repro-prov aggregate -p program.dl -d data.json [--view NAME] [--engine hashjoin|backtrack|sql]
+    repro-prov eval      -p program.dl -d data.json [--view NAME] [--engine hashjoin|backtrack|sharded|sql|algebra]
+                         [--shards N] [--workers N]
+    repro-prov aggregate -p program.dl -d data.json [--view NAME] [--engine hashjoin|backtrack|sharded|sql]
                          [--delete s1,s2] [--trust s1,s2] [--probabilities probs.json]
+    repro-prov batch     -q queries.json -d data.json [--engine ...] [--shards N] [--workers N]
     repro-prov minimize  -p program.dl [--algorithm minprov|standard] [--trace]
     repro-prov core      -p program.dl -d data.json [--view NAME]
     repro-prov sql       -p program.dl
@@ -15,6 +17,12 @@ The program file uses the rule syntax of :mod:`repro.query.parser`
 data file is JSON: either ``{"R": [["a", "b"], ...]}`` (fresh
 annotations are generated, keeping the database abstractly tagged) or
 ``{"R": [{"row": ["a", "b"], "annotation": "s1"}, ...]}``.
+
+The queries file for ``batch`` is a JSON list of query texts — each
+entry one query in rule syntax (multi-rule unions and aggregates join
+their rules with ``\\n``).  The whole batch runs through one
+:class:`~repro.session.QuerySession`, so repeated or overlapping
+queries share plans, shard runs and interned provenance.
 
 The updates file for ``maintain`` is a JSON list of delta batches (a
 single object is treated as one batch)::
@@ -48,7 +56,7 @@ from repro.incremental.registry import ViewRegistry
 from repro.minimize.minprov import min_prov, min_prov_trace
 from repro.minimize.standard import minimize_query
 from repro.query.aggregate import AggregateQuery, AnyQuery
-from repro.query.parser import parse_program
+from repro.query.parser import parse_program, parse_query
 from repro.query.printer import query_to_str
 from repro.query.ucq import query_constants
 
@@ -174,11 +182,19 @@ AGGREGATE_ENGINES = MEMORY_ENGINES + ("sql", "sqlite", "memory")
 EVAL_ENGINES = AGGREGATE_ENGINES + ("algebra",)
 
 
-def _evaluate_any(query: AnyQuery, db: AnnotatedDatabase, engine: str):
+def _evaluate_any(
+    query: AnyQuery,
+    db: AnnotatedDatabase,
+    engine: str,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+):
     engine = ENGINE_ALIASES.get(engine, engine)
     if isinstance(query, AggregateQuery):
         if engine in MEMORY_ENGINES:
-            return evaluate_aggregate(query, db, engine=engine)
+            return evaluate_aggregate(
+                query, db, engine=engine, shards=shards, workers=workers
+            )
         if engine == "sqlite":
             store = SQLiteDatabase.from_annotated(db)
             try:
@@ -187,10 +203,10 @@ def _evaluate_any(query: AnyQuery, db: AnnotatedDatabase, engine: str):
                 store.close()
         raise ReproError(
             "the {} engine does not support aggregate queries; use "
-            "--engine hashjoin, backtrack or sql".format(engine)
+            "--engine hashjoin, backtrack, sharded or sql".format(engine)
         )
     if engine in MEMORY_ENGINES:
-        return evaluate(query, db, engine=engine)
+        return evaluate(query, db, engine=engine, shards=shards, workers=workers)
     if engine == "sqlite":
         store = SQLiteDatabase.from_annotated(db)
         try:
@@ -209,8 +225,64 @@ def _evaluate_any(query: AnyQuery, db: AnnotatedDatabase, engine: str):
 def command_eval(args, out) -> int:
     program = _select_views(load_program(args.program), args.view)
     db = load_database(args.data)
+    if ENGINE_ALIASES.get(args.engine, args.engine) == "sharded":
+        # One session for the whole program: the database is
+        # partitioned (and shipped to the worker pool) once, not once
+        # per view.
+        from repro.session import QuerySession
+
+        with QuerySession(
+            db, engine="sharded", shards=args.shards, workers=args.workers
+        ) as session:
+            for name, query in sorted(program.items()):
+                if isinstance(query, AggregateQuery):
+                    _print_results(name, session.evaluate_aggregate(query), out)
+                else:
+                    _print_results(name, session.evaluate(query), out)
+        return 0
     for name, query in sorted(program.items()):
-        _print_results(name, _evaluate_any(query, db, args.engine), out)
+        _print_results(
+            name,
+            _evaluate_any(
+                query, db, args.engine, shards=args.shards, workers=args.workers
+            ),
+            out,
+        )
+    return 0
+
+
+def load_queries(path: str) -> List[str]:
+    """Load the ``batch`` subcommand's JSON list of query texts."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list) or not all(
+        isinstance(entry, str) for entry in payload
+    ):
+        raise ReproError(
+            "queries file must hold a JSON list of query strings"
+        )
+    return payload
+
+
+def command_batch(args, out) -> int:
+    texts = load_queries(args.queries)
+    queries = [parse_query(text) for text in texts]
+    db = load_database(args.data)
+    engine = ENGINE_ALIASES.get(args.engine, args.engine)
+    if engine in ("sharded", "hashjoin"):
+        # One session for the whole batch: shared plan cache, shared
+        # shard partitioning/pool, one pinned intern table, and
+        # duplicate or overlapping queries evaluated once.
+        from repro.session import QuerySession
+
+        with QuerySession(
+            db, engine=engine, shards=args.shards, workers=args.workers
+        ) as session:
+            results = session.evaluate_batch(queries)
+    else:
+        results = [_evaluate_any(query, db, args.engine) for query in queries]
+    for index, (text, result) in enumerate(zip(texts, results)):
+        _print_results("[{}] {}".format(index, " ".join(text.split())), result, out)
     return 0
 
 
@@ -219,6 +291,8 @@ def _symbol_set(text: Optional[str]):
 
 
 def command_aggregate(args, out) -> int:
+    shards = getattr(args, "shards", None)
+    workers = getattr(args, "workers", None)
     program = _select_views(load_program(args.program), args.view)
     aggregates = {
         name: query
@@ -247,7 +321,9 @@ def command_aggregate(args, out) -> int:
                     "{}".format(error)
                 )
     for name, query in sorted(aggregates.items()):
-        results = _evaluate_any(query, db, args.engine)
+        results = _evaluate_any(
+            query, db, args.engine, shards=shards, workers=workers
+        )
         ops = query.aggregate_ops
         _print_results(name, results, out)
         if deleted is not None:
@@ -431,6 +507,21 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("-d", "--data", required=True, help="JSON data file")
         sub.add_argument("--view", help="restrict to one view name")
 
+    def add_parallel(sub):
+        sub.add_argument(
+            "--shards",
+            type=int,
+            metavar="N",
+            help="shard count for --engine sharded (default: 4)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            help="worker-pool size for --engine sharded "
+            "(default: min(shards, CPU count))",
+        )
+
     sub_eval = subparsers.add_parser("eval", help="evaluate with provenance")
     add_common(sub_eval, needs_data=True)
     sub_eval.add_argument(
@@ -440,7 +531,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (default: hashjoin; memory/sql are "
         "aliases of backtrack/sqlite)",
     )
+    add_parallel(sub_eval)
     sub_eval.set_defaults(handler=command_eval)
+
+    sub_batch = subparsers.add_parser(
+        "batch",
+        help="evaluate a JSON list of queries through one QuerySession",
+    )
+    sub_batch.add_argument(
+        "-q",
+        "--queries",
+        required=True,
+        help="JSON file: a list of query texts (rule syntax)",
+    )
+    sub_batch.add_argument("-d", "--data", required=True, help="JSON data file")
+    sub_batch.add_argument(
+        "--engine",
+        choices=EVAL_ENGINES,
+        default="sharded",
+        help="evaluation engine (default: sharded; sharded/hashjoin "
+        "batch through a QuerySession)",
+    )
+    add_parallel(sub_batch)
+    sub_batch.set_defaults(handler=command_batch)
 
     sub_agg = subparsers.add_parser(
         "aggregate",
@@ -454,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (default: hashjoin; memory/sql are "
         "aliases of backtrack/sqlite)",
     )
+    add_parallel(sub_agg)
     sub_agg.add_argument(
         "--delete",
         metavar="SYMS",

@@ -5,10 +5,13 @@
 * :mod:`repro.db.sqlite_backend` — a SQLite-backed store that evaluates
   compiled SQL and reassembles provenance polynomials;
 * :mod:`repro.db.generators` — seeded random/synthetic workloads used by
-  tests and benchmarks.
+  tests and benchmarks;
+* :mod:`repro.db.sharding` — horizontal hash-partitioning (with a
+  broadcast path for small relations) behind the shard-parallel engine.
 """
 
 from repro.db.instance import AnnotatedDatabase
+from repro.db.sharding import ShardedDatabase, shard_of
 from repro.db.sqlite_backend import SQLiteDatabase
 
-__all__ = ["AnnotatedDatabase", "SQLiteDatabase"]
+__all__ = ["AnnotatedDatabase", "SQLiteDatabase", "ShardedDatabase", "shard_of"]

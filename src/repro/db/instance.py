@@ -273,6 +273,27 @@ class AnnotatedDatabase:
                 high = mid
         return records[low:]
 
+    def prune_changes(self, version: int) -> int:
+        """Drop change records at or before ``version``; returns the count.
+
+        The change log exists so incremental consumers can catch up from
+        a version snapshot; once every consumer has folded the records
+        up to ``version`` in (a :class:`~repro.db.sharding.ShardedDatabase`
+        refresh does), that prefix is dead weight.  Long-lived refresh
+        loops prune as they go to keep memory bounded.
+        """
+        records = self._changelog
+        low, high = 0, len(records)
+        while low < high:
+            mid = (low + high) // 2
+            if records[mid][0] <= version:
+                low = mid + 1
+            else:
+                high = mid
+        if low:
+            del records[:low]
+        return low
+
     def tuples_for_annotation(self, annotation: str) -> List[FactKey]:
         """All ``(relation, tuple)`` pairs carrying ``annotation``."""
         return list(self._by_annotation.get(annotation, []))

@@ -1,0 +1,338 @@
+"""Horizontal hash-partitioning of annotated databases into shards.
+
+The shard-parallel engine (:mod:`repro.engine.sharded`) splits the
+work of one hash-join plan across N shards.  Its correctness model is
+**anchored partitioning**: every row of a partitioned relation has one
+*owner* shard (a deterministic hash of the row), and a plan run on
+shard ``i`` restricts exactly one join step — the *anchor* — to the
+rows shard ``i`` owns, while every other step scans a replicated copy.
+Each Def. 2.6 assignment maps the anchor atom to exactly one row and
+that row is owned by exactly one shard, so the per-shard results
+partition the assignment space: their union is the Def. 2.12 sum over
+assignments, monomial for monomial.  Self-joins are safe because only
+the anchor occurrence is restricted.
+
+Relations below the broadcast threshold take the **broadcast path**:
+they are replicated without owners and never anchor a plan (a tiny
+anchor fragment would idle most shards); a plan whose relations are all
+broadcast runs on a single shard.
+
+:class:`ShardedDatabase` is the parent-side bookkeeping — ownership
+maps, refresh-on-change, broadcast promotion/demotion — and
+:class:`ShardPayload` is the immutable, picklable snapshot shipped to
+worker processes (or shared by reference with worker threads).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.db.instance import AnnotatedDatabase, Row
+from repro.errors import EvaluationError
+
+#: Relations with fewer rows than this are broadcast (replicated without
+#: owners) instead of hash-partitioned; see :class:`ShardedDatabase`.
+DEFAULT_BROADCAST_THRESHOLD = 16
+
+#: Owner tag of broadcast rows inside a :class:`ShardPayload`.
+OWNER_BROADCAST = -1
+
+
+def shard_of(row: Row, shard_count: int) -> int:
+    """The owner shard of ``row`` — deterministic across processes.
+
+    Python's builtin ``hash`` is salted per process, so worker processes
+    could not reproduce the parent's partitioning with it; CRC32 of the
+    row's ``repr`` is stable for the hashable values databases hold.
+
+    >>> shard_of(("a", 1), 4) == shard_of(("a", 1), 4)
+    True
+    >>> 0 <= shard_of(("a", 1), 3) < 3
+    True
+    """
+    return zlib.crc32(repr(row).encode("utf-8")) % shard_count
+
+
+class ShardPayload:
+    """A self-contained, picklable snapshot of a sharded database.
+
+    Every relation ships in full — the replicated probe copies the
+    non-anchor join steps need — with each row tagged by its owner
+    shard (:data:`OWNER_BROADCAST` for broadcast relations).  Workers
+    derive anchor fragments by filtering on the owner tag, caching per
+    ``(relation, shard)`` so a batch filters each fragment once.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        epoch: int,
+        arities: Mapping[str, int],
+        relations: Mapping[str, Tuple[Tuple[Row, str, int], ...]],
+    ):  # noqa: D107
+        self.shard_count = shard_count
+        #: The parent-side epoch this snapshot was taken at.
+        self.epoch = epoch
+        self._arities = dict(arities)
+        self._relations = dict(relations)
+        self._facts_cache: Dict[str, List[Tuple[Row, str]]] = {}
+        self._owned_cache: Dict[Tuple[str, int], List[Tuple[Row, str]]] = {}
+
+    def __getstate__(self):
+        return (self.shard_count, self.epoch, self._arities, self._relations)
+
+    def __setstate__(self, state):
+        self.shard_count, self.epoch, self._arities, self._relations = state
+        self._facts_cache = {}
+        self._owned_cache = {}
+
+    def relations(self) -> Set[str]:
+        """Names of the relations in the snapshot."""
+        return set(self._relations)
+
+    def arity(self, relation: str) -> Optional[int]:
+        """Arity of ``relation`` (``None`` when unknown)."""
+        return self._arities.get(relation)
+
+    def facts(self, relation: str) -> List[Tuple[Row, str]]:
+        """The full ``(row, annotation)`` list (empty when unknown)."""
+        cached = self._facts_cache.get(relation)
+        if cached is None:
+            cached = self._facts_cache[relation] = [
+                (row, annotation)
+                for row, annotation, _owner in self._relations.get(relation, ())
+            ]
+        return cached
+
+    def owned_facts(self, relation: str, shard_index: int) -> List[Tuple[Row, str]]:
+        """The anchor fragment: rows of ``relation`` owned by one shard."""
+        key = (relation, shard_index)
+        cached = self._owned_cache.get(key)
+        if cached is None:
+            cached = self._owned_cache[key] = [
+                (row, annotation)
+                for row, annotation, owner in self._relations.get(relation, ())
+                if owner == shard_index
+            ]
+        return cached
+
+    def fact_count(self) -> int:
+        """Total number of rows in the snapshot."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def __repr__(self) -> str:
+        return "<ShardPayload {} relations, {} facts, {} shards>".format(
+            len(self._relations), self.fact_count(), self.shard_count
+        )
+
+
+class ShardedDatabase:
+    """Hash-partitioned view of an :class:`AnnotatedDatabase`.
+
+    Partitioning is computed once and kept **warm**: :meth:`refresh`
+    folds the database's change log into the ownership maps instead of
+    re-hashing every relation, so a refresh loop pays per *delta*, not
+    per database size.  Relations crossing the broadcast threshold in
+    either direction are promoted/demoted during refresh.
+
+    >>> db = AnnotatedDatabase.from_rows({"R": [("a", i) for i in range(6)]})
+    >>> sharded = ShardedDatabase(db, shard_count=2, broadcast_threshold=4)
+    >>> sharded.partitioned_relations()
+    {'R'}
+    >>> sum(len(sharded.fragment("R", i)) for i in range(2))
+    6
+    """
+
+    def __init__(
+        self,
+        db: AnnotatedDatabase,
+        shard_count: int,
+        broadcast_threshold: Optional[int] = None,
+    ):  # noqa: D107
+        if shard_count < 1:
+            raise EvaluationError("shard count must be positive")
+        self._db = db
+        self._shard_count = shard_count
+        self._threshold = (
+            DEFAULT_BROADCAST_THRESHOLD
+            if broadcast_threshold is None
+            else broadcast_threshold
+        )
+        self._owners: Dict[str, Dict[Row, int]] = {}
+        self._synced_version = db.version()
+        self._epoch = 0
+        self._payload: Optional[ShardPayload] = None
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of shards rows are partitioned into."""
+        return self._shard_count
+
+    @property
+    def broadcast_threshold(self) -> int:
+        """Relations smaller than this are broadcast, not partitioned."""
+        return self._threshold
+
+    @property
+    def epoch(self) -> int:
+        """Bumped whenever content or partitioning changed (pool keying)."""
+        return self._epoch
+
+    def _partition_relation(self, relation: str) -> None:
+        if self._db.cardinality(relation) >= self._threshold:
+            self._owners[relation] = {
+                row: shard_of(row, self._shard_count)
+                for row in self._db.rows(relation)
+            }
+        else:
+            self._owners.pop(relation, None)
+
+    def _rebuild(self) -> None:
+        self._owners.clear()
+        for relation in self._db.relations():
+            self._partition_relation(relation)
+
+    def refresh(self) -> bool:
+        """Sync partitioning with the database; returns True on change.
+
+        Uses :meth:`AnnotatedDatabase.changes_since` when the database
+        keeps a change log (each record touches one row's ownership);
+        falls back to a full re-partition otherwise.  Either way the
+        cached payload is invalidated and the epoch bumps, so executors
+        re-ship snapshots to their workers exactly when needed.
+        """
+        version = self._db.version()
+        if version == self._synced_version:
+            return False
+        records = self._db.changes_since(self._synced_version)
+        if not records:
+            self._rebuild()
+        else:
+            touched: Set[str] = set()
+            for _version, op, relation, row, _annotation in records:
+                touched.add(relation)
+                owners = self._owners.get(relation)
+                if owners is None:
+                    continue  # broadcast (or new): re-checked below
+                if op == "insert":
+                    owners[row] = shard_of(row, self._shard_count)
+                elif op == "delete":
+                    owners.pop(row, None)
+                # retag: the row (hence its owner) is unchanged
+            for relation in touched:
+                partitioned_now = (
+                    self._db.cardinality(relation) >= self._threshold
+                )
+                if partitioned_now != (relation in self._owners):
+                    self._partition_relation(relation)
+        self._synced_version = version
+        self._payload = None
+        self._epoch += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def partitioned_relations(self) -> Set[str]:
+        """Relations with per-shard owners (a copy)."""
+        return set(self._owners)
+
+    def broadcast_relations(self) -> Set[str]:
+        """Relations replicated without owners (a copy)."""
+        return self._db.relations() - set(self._owners)
+
+    def is_partitioned(self, relation: str) -> bool:
+        """Does ``relation`` have per-shard owners?"""
+        return relation in self._owners
+
+    def owner_of(self, relation: str, row: Row) -> Optional[int]:
+        """The owner shard of one row (``None`` for broadcast rows)."""
+        owners = self._owners.get(relation)
+        return None if owners is None else owners.get(tuple(row))
+
+    def fragment(self, relation: str, shard_index: int) -> Dict[Row, str]:
+        """The ``{row: annotation}`` fragment one shard owns."""
+        owners = self._owners.get(relation, {})
+        return {
+            row: annotation
+            for row, annotation in self._db.facts(relation)
+            if owners.get(row) == shard_index
+        }
+
+    def anchor_step_for(self, plan) -> Optional[int]:
+        """The join step a plan should anchor on, or ``None``.
+
+        Picks the step over the largest partitioned relation — the most
+        rows to split is the best load balance.  ``None`` means every
+        relation is broadcast: the plan runs on a single shard.
+        """
+        best: Optional[int] = None
+        best_cardinality = -1
+        for index, step in enumerate(plan.steps):
+            if step.relation in self._owners:
+                cardinality = self._db.cardinality(step.relation)
+                if cardinality > best_cardinality:
+                    best, best_cardinality = index, cardinality
+        return best
+
+    def payload(self) -> ShardPayload:
+        """The current snapshot (cached until the next refresh)."""
+        if self._payload is None:
+            relations: Dict[str, Tuple[Tuple[Row, str, int], ...]] = {}
+            arities: Dict[str, int] = {}
+            for relation in sorted(self._db.relations()):
+                arities[relation] = self._db.arity(relation)
+                owners = self._owners.get(relation)
+                if owners is None:
+                    relations[relation] = tuple(
+                        (row, annotation, OWNER_BROADCAST)
+                        for row, annotation in self._db.facts(relation)
+                    )
+                else:
+                    relations[relation] = tuple(
+                        (row, annotation, owners[row])
+                        for row, annotation in self._db.facts(relation)
+                    )
+            self._payload = ShardPayload(
+                self._shard_count, self._epoch, arities, relations
+            )
+        return self._payload
+
+    def stats(self) -> Dict[str, int]:
+        """Cheap size counters (for reports and tests)."""
+        return {
+            "shards": self._shard_count,
+            "partitioned": len(self._owners),
+            "broadcast": len(self.broadcast_relations()),
+            "owned_rows": sum(len(owners) for owners in self._owners.values()),
+            "epoch": self._epoch,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            "<ShardedDatabase {shards} shards, {partitioned} partitioned, "
+            "{broadcast} broadcast>".format(**self.stats())
+        )
+
+
+def partition_rows(
+    rows: Sequence[Row], shard_count: int
+) -> List[List[Row]]:
+    """Hash-partition a row list into ``shard_count`` fragments.
+
+    The standalone helper behind :class:`ShardedDatabase`, exposed for
+    tests and tooling.
+
+    >>> fragments = partition_rows([("a",), ("b",), ("c",)], 2)
+    >>> sorted(row for fragment in fragments for row in fragment)
+    [('a',), ('b',), ('c',)]
+    """
+    fragments: List[List[Row]] = [[] for _ in range(shard_count)]
+    for row in rows:
+        fragments[shard_of(row, shard_count)].append(row)
+    return fragments

@@ -11,7 +11,11 @@ Three independent engines compute the same annotated results:
 * :mod:`repro.engine.sql_compile` +
   :class:`repro.db.sqlite_backend.SQLiteDatabase` — compilation of CQ≠
   to SQL self-joins executed by SQLite, with provenance reassembled from
-  the per-tuple annotation column.
+  the per-tuple annotation column;
+* :mod:`repro.engine.sharded` — the hash-join plans fanned out across
+  hash-partitioned shards (:mod:`repro.db.sharding`) evaluated by a
+  worker pool, with shard-local intern tables merged back into global
+  ids.
 
 Tests use them as differential oracles for one another.
 """
@@ -32,6 +36,11 @@ from repro.engine.hashjoin import (
     evaluate_hashjoin,
 )
 from repro.engine.plan_cache import PlanCache, cardinality_band
+from repro.engine.sharded import (
+    ShardedExecutor,
+    evaluate_aggregate_sharded,
+    evaluate_sharded,
+)
 from repro.engine.sql_compile import compile_cq_to_sql
 
 __all__ = [
@@ -42,6 +51,9 @@ __all__ = [
     "evaluate_backtracking",
     "evaluate_hashjoin",
     "evaluate_aggregate_hashjoin",
+    "evaluate_sharded",
+    "evaluate_aggregate_sharded",
+    "ShardedExecutor",
     "provenance",
     "provenance_of_boolean",
     "compile_cq_to_sql",

@@ -14,7 +14,7 @@ polynomials of the adjuncts add up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.db.instance import AnnotatedDatabase, Row, Value
 from repro.errors import EvaluationError
@@ -159,11 +159,15 @@ def evaluate_backtracking(
 #: In-memory engine names accepted by :func:`evaluate`.  The CLI builds
 #: its ``--engine`` choices on top of these (adding the SQLite and
 #: algebra backends plus legacy aliases) — see ``repro.cli``.
-ENGINES = ("hashjoin", "backtrack")
+ENGINES = ("hashjoin", "backtrack", "sharded")
 
 
 def evaluate(
-    query: Query, db: AnnotatedDatabase, engine: str = "hashjoin"
+    query: Query,
+    db: AnnotatedDatabase,
+    engine: str = "hashjoin",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Dict[HeadTuple, Polynomial]:
     """Evaluate a CQ≠ or UCQ≠, returning ``{output tuple: provenance}``.
 
@@ -172,25 +176,33 @@ def evaluate(
 
     The default ``hashjoin`` engine evaluates set-at-a-time with a
     cardinality-banded plan cache (:mod:`repro.engine.hashjoin`);
-    ``backtrack`` is the tuple-at-a-time reference implementation.
-    Both return identical polynomials on every input — the differential
-    suite asserts it — so the choice is purely about speed.
+    ``backtrack`` is the tuple-at-a-time reference implementation;
+    ``sharded`` fans the hash-join plans out across ``shards``
+    hash-partitioned shards evaluated by ``workers`` parallel workers
+    (:mod:`repro.engine.sharded`) — batches should prefer a warm
+    :class:`~repro.session.QuerySession`.  All engines return identical
+    polynomials on every input — the differential suites assert it —
+    so the choice is purely about speed.
 
     Aggregate queries annotate their values in a semimodule, not a
     polynomial — they have their own evaluator,
     :func:`repro.aggregate.evaluate.evaluate_aggregate`, built on the
     same engines.
     """
-    if engine == "hashjoin":
+    if engine in ("hashjoin", "sharded"):
         if isinstance(query, AggregateQuery):
             raise EvaluationError(
                 "aggregate queries produce semimodule annotations; use "
                 "repro.aggregate.evaluate_aggregate instead of evaluate"
             )
-        # Imported lazily: hashjoin's import chain reaches the
+        # Imported lazily: these engines' import chains reach the
         # repro.aggregate package, whose evaluator imports this module —
         # a top-level import here would close that cycle during
         # package initialization.
+        if engine == "sharded":
+            from repro.engine.sharded import evaluate_sharded
+
+            return evaluate_sharded(query, db, shards=shards, workers=workers)
         from repro.engine.hashjoin import evaluate_hashjoin
 
         return evaluate_hashjoin(query, db)
@@ -206,11 +218,13 @@ def provenance(
     db: AnnotatedDatabase,
     output: Sequence[Value],
     engine: str = "hashjoin",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Polynomial:
     """``P(t, Q, D)`` for one output tuple (zero when absent)."""
-    return evaluate(query, db, engine=engine).get(
-        tuple(output), Polynomial.zero()
-    )
+    return evaluate(
+        query, db, engine=engine, shards=shards, workers=workers
+    ).get(tuple(output), Polynomial.zero())
 
 
 def provenance_of_boolean(query: Query, db: AnnotatedDatabase) -> Polynomial:

@@ -253,16 +253,27 @@ def _merge_into(target: _Annotation, source: _Annotation) -> None:
 
 
 def _execute(
-    plan: CQPlan, db: AnnotatedDatabase, intern: InternTable
+    plan: CQPlan,
+    db: Optional[AnnotatedDatabase],
+    intern: InternTable,
+    facts_fn=None,
 ) -> Dict[HeadTuple, _Annotation]:
+    """Run a compiled plan; ``facts_fn(step_index, step)`` overrides the
+    row source of each step (the sharded engine anchors one step on a
+    shard's owned fragment this way)."""
     if not plan.satisfiable:
         return {}
     state: Dict[Tuple[Value, ...], _Annotation] = {(): {intern.one: 1}}
     symbol_id = intern.symbol_id
     times = intern.times_symbol
-    for step in plan.steps:
+    for step_index, step in enumerate(plan.steps):
+        source = (
+            db.facts(step.relation)
+            if facts_fn is None
+            else facts_fn(step_index, step)
+        )
         index: Dict[Tuple[Value, ...], List[Tuple[Tuple[Value, ...], int]]] = {}
-        for row, annotation in db.facts(step.relation):
+        for row, annotation in source:
             if any(row[p] != value for p, value in step.const_checks):
                 continue
             if any(row[a] != row[b] for a, b in step.intra_checks):

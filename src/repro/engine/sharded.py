@@ -1,0 +1,497 @@
+"""Shard-parallel hash-join execution of CQ≠/UCQ≠ and aggregates.
+
+Scales the set-at-a-time engine (:mod:`repro.engine.hashjoin`) across
+cores: the database is hash-partitioned into N shards
+(:mod:`repro.db.sharding`), each conjunctive plan is **anchored** on
+one join step over a partitioned relation, and shard ``i`` runs the
+plan with the anchor step scanning only the rows it owns (every other
+step scans a replicated copy).  Every Def. 2.6 assignment maps the
+anchor atom to exactly one owned row, so the shard results partition
+the assignment space and their union is annotation-identical to the
+Def. 2.12 sum over assignments — the cross-shard differential suite
+asserts this against the backtracking engine for every shard count.
+
+Workers intern provenance into **shard-local**
+:class:`~repro.algebra.intern.InternTable`\\ s (worker processes cannot
+share the parent's); results come home as ``{head: {local monomial id:
+coefficient}}`` plus the table snapshot, and a merge step remaps every
+monomial through :meth:`InternTable.remapper` while unioning the
+per-binding annotation dictionaries — polynomial addition on globally
+interned ids.  Aggregate rules fold shard-locally into
+:class:`~repro.aggregate.result.AggregateAccumulator` states that are
+merged through the monoid/semimodule layer
+(:func:`repro.aggregate.result.merge_aggregate_results`).
+
+Execution backends: a ``concurrent.futures`` process pool fed pickled
+:class:`~repro.db.sharding.ShardPayload` snapshots (shipped once per
+database epoch via the pool initializer, then reused for every query
+of a batch), with a thread-pool fallback when process spawning is
+unavailable.  :class:`ShardedExecutor` owns both and is what a
+:class:`~repro.session.QuerySession` keeps warm across a batch.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.intern import InternTable, shared_intern
+from repro.db.instance import AnnotatedDatabase
+from repro.db.sharding import ShardedDatabase, ShardPayload
+from repro.engine.hashjoin import HeadTuple, _Annotation, _execute, plan_for
+from repro.engine.plan_cache import PlanCache
+from repro.errors import EvaluationError
+from repro.query.aggregate import AggregateQuery
+from repro.query.cq import ConjunctiveQuery
+from repro.query.ucq import Query, adjuncts_of
+from repro.semiring.polynomial import Polynomial
+
+#: Default number of shards when the caller does not choose one.
+DEFAULT_SHARDS = 4
+
+#: What one shard returns for one plan: interned annotations plus the
+#: shard-local table snapshot they are encoded against.
+ShardResult = Tuple[
+    Dict[HeadTuple, _Annotation], Tuple[List[str], List[Tuple[int, ...]]]
+]
+
+_EXECUTOR_MODES = ("process", "thread")
+
+
+# ----------------------------------------------------------------------
+# Shard tasks (run in workers: top-level, picklable by reference)
+# ----------------------------------------------------------------------
+def _facts_fn(payload: ShardPayload, anchor_step: Optional[int], shard_index: int):
+    def facts(step_index, step):
+        if step_index == anchor_step:
+            return payload.owned_facts(step.relation, shard_index)
+        return payload.facts(step.relation)
+
+    return facts
+
+
+def _run_plan(
+    payload: ShardPayload, plan, anchor_step: Optional[int], shard_index: int
+) -> ShardResult:
+    """Execute one plan on one shard into a fresh local intern table."""
+    intern = InternTable()
+    results = _execute(
+        plan, None, intern, facts_fn=_facts_fn(payload, anchor_step, shard_index)
+    )
+    return results, intern.export_state()
+
+
+def _run_aggregate(
+    payload: ShardPayload,
+    query: AggregateQuery,
+    plans: Sequence,
+    anchors: Sequence[Optional[int]],
+    shard_index: int,
+):
+    """Fold one shard's rule contributions into an accumulator state.
+
+    Rules whose plans have no partitioned anchor run on shard 0 only
+    (their work cannot be split); anchored rules run everywhere.
+    """
+    # Imported here: repro.aggregate reaches back into repro.engine
+    # during package initialization (same cycle hashjoin dodges).
+    from repro.aggregate.result import AggregateAccumulator
+
+    intern = InternTable()
+    accumulator = AggregateAccumulator(query)
+    for rule, plan, anchor in zip(query.rules, plans, anchors):
+        if anchor is None and shard_index != 0:
+            continue
+        results = _execute(
+            plan, None, intern, facts_fn=_facts_fn(payload, anchor, shard_index)
+        )
+        for head, annotation in sorted(
+            results.items(), key=lambda kv: repr(kv[0])
+        ):
+            accumulator.add(rule, head, intern.polynomial(annotation))
+    return accumulator.results()
+
+
+#: Worker-process global: the payload installed by the pool initializer.
+_WORKER_PAYLOAD: Optional[ShardPayload] = None
+
+
+def _init_worker(payload: ShardPayload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _run_plan_in_worker(plan, anchor_step, shard_index):
+    return _run_plan(_WORKER_PAYLOAD, plan, anchor_step, shard_index)
+
+
+def _run_aggregate_in_worker(query, plans, anchors, shard_index):
+    return _run_aggregate(_WORKER_PAYLOAD, query, plans, anchors, shard_index)
+
+
+# ----------------------------------------------------------------------
+# Parent-side merging
+# ----------------------------------------------------------------------
+def _merge_shard_results(
+    intern: InternTable,
+    shard_outputs: Sequence[ShardResult],
+) -> Dict[HeadTuple, _Annotation]:
+    """Union per-shard annotation dictionaries under global intern ids.
+
+    Remapping preserves each monomial as a symbol multiset, and dict
+    union adds coefficients — polynomial addition in ``N[X]`` — so the
+    merged table equals the single-table evaluation exactly.
+    """
+    merged: Dict[HeadTuple, _Annotation] = {}
+    for results, state in shard_outputs:
+        remap = intern.remapper(*state)
+        for head, annotation in results.items():
+            bucket = merged.get(head)
+            if bucket is None:
+                bucket = merged[head] = {}
+            for monomial, coefficient in annotation.items():
+                key = remap(monomial)
+                bucket[key] = bucket.get(key, 0) + coefficient
+    return merged
+
+
+def sum_adjunct_annotations(
+    adjuncts: Sequence[ConjunctiveQuery],
+    table: Dict[ConjunctiveQuery, Dict[HeadTuple, _Annotation]],
+) -> Dict[HeadTuple, _Annotation]:
+    """Add up per-adjunct interned annotations (UCQ union semantics).
+
+    ``adjuncts`` may repeat — each occurrence contributes once, exactly
+    as :func:`repro.engine.hashjoin.evaluate_hashjoin` sums adjuncts.
+    """
+    merged: Dict[HeadTuple, _Annotation] = {}
+    for adjunct in adjuncts:
+        for head, annotation in table[adjunct].items():
+            bucket = merged.get(head)
+            if bucket is None:
+                merged[head] = dict(annotation)
+                continue
+            for monomial, coefficient in annotation.items():
+                bucket[monomial] = bucket.get(monomial, 0) + coefficient
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ShardedExecutor:
+    """Owns one database's partitioning and worker pool.
+
+    Reuse it (directly or through a
+    :class:`~repro.session.QuerySession`) to amortize partitioning,
+    payload pickling and worker start-up across many queries; the pool
+    re-ships its payload only when :meth:`refresh` detects a new
+    database epoch.
+
+    ``mode`` is ``"process"`` (true parallelism, pickled payloads) or
+    ``"thread"`` (shared payload, cheap start-up — the fallback used
+    automatically when process pools cannot start).
+    """
+
+    def __init__(
+        self,
+        db: AnnotatedDatabase,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        mode: str = "process",
+        broadcast_threshold: Optional[int] = None,
+    ):  # noqa: D107
+        if mode not in _EXECUTOR_MODES:
+            raise EvaluationError(
+                "unknown executor mode {!r}; supported: {}".format(
+                    mode, ", ".join(_EXECUTOR_MODES)
+                )
+            )
+        shards = DEFAULT_SHARDS if shards is None else shards
+        self._db = db
+        self._sharded = ShardedDatabase(
+            db, shards, broadcast_threshold=broadcast_threshold
+        )
+        self._workers = (
+            max(1, min(shards, os.cpu_count() or 1))
+            if workers is None
+            else max(1, workers)
+        )
+        self._mode = mode
+        self._pool = None
+        self._pool_epoch: Optional[int] = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def sharded_db(self) -> ShardedDatabase:
+        """The parent-side partitioning this executor evaluates over."""
+        return self._sharded
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards each anchored plan fans out to."""
+        return self._sharded.shard_count
+
+    @property
+    def workers(self) -> int:
+        """Worker-pool size."""
+        return self._workers
+
+    @property
+    def mode(self) -> str:
+        """The currently effective execution mode."""
+        return self._mode
+
+    def refresh(self) -> bool:
+        """Re-sync partitioning with the database; True when it changed."""
+        return self._sharded.refresh()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_epoch = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- pool management ------------------------------------------------
+    def _ensure_pool(self):
+        if self._closed:
+            raise EvaluationError("executor is closed")
+        epoch = self._sharded.epoch
+        if self._pool is not None and (
+            # Thread workers read payload() per submit and hold no epoch
+            # state, so only process pools (whose initializer installed
+            # a snapshot) must be recreated when the database changes.
+            self._mode == "thread" or self._pool_epoch == epoch
+        ):
+            return self._pool
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._mode == "process":
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_init_worker,
+                    initargs=(self._sharded.payload(),),
+                )
+            except (OSError, ValueError):
+                self._mode = "thread"
+        if self._mode == "thread":
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self._workers
+            )
+        self._pool_epoch = epoch
+        return self._pool
+
+    def _submit(self, pool, task, *args):
+        if self._mode == "process":
+            worker = (
+                _run_plan_in_worker
+                if task is _run_plan
+                else _run_aggregate_in_worker
+            )
+            return pool.submit(worker, *args)
+        return pool.submit(task, self._sharded.payload(), *args)
+
+    def _run_tasks(self, task, task_args: Sequence[Tuple]) -> List:
+        """Fan a task list out to the pool, falling back to threads when
+        the process pool dies (spawn failure, unpicklable payloads)."""
+        pool = self._ensure_pool()
+        try:
+            futures = [self._submit(pool, task, *args) for args in task_args]
+            return [future.result() for future in futures]
+        except (BrokenProcessPool, pickle.PicklingError, OSError):
+            if self._mode != "process":
+                raise
+            self._mode = "thread"
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            pool = self._ensure_pool()
+            futures = [self._submit(pool, task, *args) for args in task_args]
+            return [future.result() for future in futures]
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate_adjuncts(
+        self,
+        adjuncts: Sequence[ConjunctiveQuery],
+        intern: InternTable,
+        cache: Optional[PlanCache] = None,
+    ) -> Dict[ConjunctiveQuery, Dict[HeadTuple, _Annotation]]:
+        """Evaluate distinct adjuncts, merged into ``intern``'s ids.
+
+        All (adjunct × shard) tasks of the batch are submitted in one
+        wave, so a batch of small queries still fills every worker.
+        Plans without a partitioned anchor run on shard 0 only.
+        """
+        self.refresh()
+        unique = list(dict.fromkeys(adjuncts))
+        planned = []
+        task_args = []
+        spans = []  # (start, count) into task_args per adjunct
+        for adjunct in unique:
+            plan = plan_for(adjunct, self._db, cache)
+            anchor = self._sharded.anchor_step_for(plan)
+            shard_indices = (
+                range(self._sharded.shard_count)
+                if anchor is not None
+                else range(1)
+            )
+            spans.append((len(task_args), len(shard_indices)))
+            planned.append(plan)
+            for shard_index in shard_indices:
+                task_args.append((plan, anchor, shard_index))
+        outputs = self._run_tasks(_run_plan, task_args)
+        merged: Dict[ConjunctiveQuery, Dict[HeadTuple, _Annotation]] = {}
+        for adjunct, (start, count) in zip(unique, spans):
+            merged[adjunct] = _merge_shard_results(
+                intern, outputs[start:start + count]
+            )
+        return merged
+
+    def evaluate(
+        self,
+        query: Query,
+        cache: Optional[PlanCache] = None,
+        intern: Optional[InternTable] = None,
+    ) -> Dict[HeadTuple, Polynomial]:
+        """Evaluate a CQ≠/UCQ≠ across the shards (Def. 2.12 polynomials)."""
+        if isinstance(query, AggregateQuery):
+            raise EvaluationError(
+                "aggregate queries produce semimodule annotations; use "
+                "evaluate_aggregate_sharded instead of evaluate_sharded"
+            )
+        intern = shared_intern() if intern is None else intern
+        adjuncts = list(adjuncts_of(query))
+        table = self.evaluate_adjuncts(adjuncts, intern, cache)
+        merged = sum_adjunct_annotations(adjuncts, table)
+        return {
+            head: intern.polynomial(annotation)
+            for head, annotation in merged.items()
+        }
+
+    def evaluate_aggregate(
+        self,
+        query: AggregateQuery,
+        cache: Optional[PlanCache] = None,
+    ):
+        """Evaluate an aggregate query across the shards.
+
+        Each shard folds its contributions into a local accumulator;
+        the states merge through the monoid/semimodule layer, yielding
+        the exact aggregated K-relation of the serial engines (addition
+        in ``N[X]`` and ``N[X] ⊗ M`` is commutative and normal-form
+        stable).  ``condense()`` stays on demand, as everywhere else.
+        """
+        from repro.aggregate.result import merge_aggregate_results
+
+        self.refresh()
+        plans = [plan_for(rule.inner, self._db, cache) for rule in query.rules]
+        anchors = [self._sharded.anchor_step_for(plan) for plan in plans]
+        shard_count = (
+            self._sharded.shard_count
+            if any(anchor is not None for anchor in anchors)
+            else 1
+        )
+        outputs = self._run_tasks(
+            _run_aggregate,
+            [
+                (query, plans, anchors, shard_index)
+                for shard_index in range(shard_count)
+            ],
+        )
+        return merge_aggregate_results(outputs)
+
+
+# ----------------------------------------------------------------------
+# Public one-shot API (the ``engine="sharded"`` dispatch target)
+# ----------------------------------------------------------------------
+def evaluate_sharded(
+    query: Query,
+    db: AnnotatedDatabase,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    mode: str = "process",
+    broadcast_threshold: Optional[int] = None,
+    cache: Optional[PlanCache] = None,
+    intern: Optional[InternTable] = None,
+    executor: Optional[ShardedExecutor] = None,
+) -> Dict[HeadTuple, Polynomial]:
+    """Evaluate one query shard-parallel, returning Def. 2.12 polynomials.
+
+    One-shot convenience: builds (and tears down) a
+    :class:`ShardedExecutor` unless ``executor`` is given.  Batches
+    should go through :class:`~repro.session.QuerySession`, which keeps
+    the partitioning, pool, plans and intern table warm.
+
+    >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("b", "a")]})
+    >>> from repro.query.parser import parse_query
+    >>> query = parse_query("ans(x) :- R(x, y), R(y, x)")
+    >>> result = evaluate_sharded(
+    ...     query, db, shards=2, workers=2, mode="thread",
+    ...     broadcast_threshold=0)
+    >>> sorted(str(p) for p in result.values())
+    ['s1*s2', 's1*s2']
+    """
+    own = executor is None
+    if own:
+        executor = ShardedExecutor(
+            db,
+            shards=shards,
+            workers=workers,
+            mode=mode,
+            broadcast_threshold=broadcast_threshold,
+        )
+    try:
+        return executor.evaluate(query, cache=cache, intern=intern)
+    finally:
+        if own:
+            executor.close()
+
+
+def evaluate_aggregate_sharded(
+    query: AggregateQuery,
+    db: AnnotatedDatabase,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    mode: str = "process",
+    broadcast_threshold: Optional[int] = None,
+    cache: Optional[PlanCache] = None,
+    executor: Optional[ShardedExecutor] = None,
+):
+    """Evaluate an aggregate query shard-parallel (semimodule results).
+
+    >>> from repro.query.parser import parse_query
+    >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
+    >>> q = parse_query("sales(city, sum(cost)) :- S(city, cost)")
+    >>> result = evaluate_aggregate_sharded(
+    ...     q, db, shards=2, workers=2, mode="thread",
+    ...     broadcast_threshold=0)
+    >>> print(result[("nyc",)])
+    ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
+    """
+    own = executor is None
+    if own:
+        executor = ShardedExecutor(
+            db,
+            shards=shards,
+            workers=workers,
+            mode=mode,
+            broadcast_threshold=broadcast_threshold,
+        )
+    try:
+        return executor.evaluate_aggregate(query, cache=cache)
+    finally:
+        if own:
+            executor.close()

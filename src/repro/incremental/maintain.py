@@ -94,9 +94,16 @@ def refresh(registry: ViewRegistry) -> ViewRegistry:
     """A freshly materialized registry over the same program and base data.
 
     The escape hatch when incremental state is suspect (or after a
-    schema-level change the delta rules do not cover).
+    schema-level change the delta rules do not cover).  The engine
+    configuration carries over — refreshing a sharded registry yields a
+    sharded registry with the same shard/worker setup.
     """
-    return ViewRegistry(registry.program, registry.base_database())
+    return ViewRegistry(
+        registry.program,
+        registry.base_database(),
+        engine=registry.engine,
+        **registry.engine_options,
+    )
 
 
 def maintain(

@@ -24,7 +24,7 @@ symbol standing for its polynomial over the previous layers, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.aggregate.evaluate import evaluate_aggregate
 from repro.aggregate.result import AggregateAccumulator, AggregateResult
@@ -117,7 +117,18 @@ class ViewRegistry:
         program: Mapping[str, AnyQuery],
         db: AnnotatedDatabase,
         symbol_prefix: str = "w",
+        engine: str = "hashjoin",
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
     ):  # noqa: D107
+        if engine not in ("hashjoin", "sharded"):
+            raise EvaluationError(
+                "unknown registry engine {!r}; supported: hashjoin, "
+                "sharded".format(engine)
+            )
+        self._engine = engine
+        self._shards = shards
+        self._workers = workers
         clashes = set(program) & db.relations()
         if clashes:
             raise EvaluationError(
@@ -137,12 +148,31 @@ class ViewRegistry:
         self._aggregate_names = check_aggregates_terminal(self._program)
         self._base_relations = set(db.relations())
         self._supply = NameSupply(symbol_prefix, avoid=db.annotations())
-        self._db = AnnotatedDatabase(track_changes=False)
+        # The sharded engine keeps its partitioning warm through the
+        # working database's change log, so only that engine pays for
+        # one.
+        self._db = AnnotatedDatabase(track_changes=(engine == "sharded"))
         for relation in sorted(db.relations()):
             self._db.declare_relation(relation, db.arity(relation))
         for relation, row, annotation in db.all_facts():
             self._db.add(relation, row, annotation=annotation)
         self._indexes = HashIndexes(self._db)
+        self._session = None
+        if engine == "sharded":
+            # Imported lazily (repro.session imports the engine stack,
+            # which reaches back into this package's siblings).  Thread
+            # mode: the working database mutates every batch, and
+            # re-pickling payloads to a process pool per delta would
+            # swamp the deltas themselves.
+            from repro.session import QuerySession
+
+            self._session = QuerySession(
+                self._db,
+                engine="sharded",
+                shards=shards,
+                workers=workers,
+                mode="thread",
+            )
         self._views: Dict[str, Dict[Row, Polynomial]] = {}
         self._symbols: Dict[str, Dict[Row, str]] = {}
         self._bindings: Dict[str, Polynomial] = {}
@@ -163,7 +193,12 @@ class ViewRegistry:
                 # Aggregate views are terminal: their groups never feed
                 # other views, so they get no fresh symbols and no rows
                 # in the working database — only the inverted index.
-                results = evaluate_aggregate(self._program[name], self._db)
+                if self._session is not None:
+                    results = self._session.evaluate_aggregate(
+                        self._program[name]
+                    )
+                else:
+                    results = evaluate_aggregate(self._program[name], self._db)
                 self._aggregates[name] = results
                 for row, result in results.items():
                     self._register_aggregate(name, row, result)
@@ -171,7 +206,10 @@ class ViewRegistry:
             self._views[name] = {}
             self._symbols[name] = {}
             self._db.declare_relation(name, self._program[name].arity)
-            results = evaluate(self._program[name], self._db)
+            if self._session is not None:
+                results = self._session.evaluate(self._program[name])
+            else:
+                results = evaluate(self._program[name], self._db)
             for row, polynomial in sorted(results.items(), key=lambda kv: repr(kv[0])):
                 self._install(name, row, polynomial)
 
@@ -270,6 +308,14 @@ class ViewRegistry:
                     and row not in change.inserted
                 ):
                     change.updated[row] = view[row]
+        if self._session is not None:
+            # Keep the shard partitioning warm: fold this batch's change
+            # records into the ownership maps now, so ad-hoc queries
+            # served through :attr:`session` (and re-materializations)
+            # re-partition nothing — then prune the consumed records so
+            # a long-lived refresh loop's change log stays bounded.
+            self._session.refresh()
+            self._db.prune_changes(self._db.version())
         return MaintenanceReport(base=delta, changes=changes)
 
     def _validate_annotations(self, delta: Delta) -> None:
@@ -482,6 +528,39 @@ class ViewRegistry:
     def aggregate_names(self) -> Set[str]:
         """Names of the program's aggregate views (a copy)."""
         return set(self._aggregate_names)
+
+    @property
+    def session(self):
+        """The warm :class:`~repro.session.QuerySession` of a registry
+        built with ``engine="sharded"`` (``None`` otherwise).
+
+        It evaluates over the registry's working database — base
+        relations *and* materialized plain views — so it doubles as a
+        serving path for ad-hoc queries against the maintained state,
+        staying warm across :meth:`apply` batches.
+        """
+        return self._session
+
+    @property
+    def engine(self) -> str:
+        """The evaluation engine this registry was built with."""
+        return self._engine
+
+    @property
+    def engine_options(self) -> Dict[str, Optional[int]]:
+        """The ``shards``/``workers`` configuration (for rebuilds)."""
+        return {"shards": self._shards, "workers": self._workers}
+
+    def close(self) -> None:
+        """Release the session's worker pool, if any (idempotent)."""
+        if self._session is not None:
+            self._session.close()
+
+    def __enter__(self) -> "ViewRegistry":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def view(self, name: str) -> Dict[Row, Polynomial]:
         """The materialized view: output tuple → polynomial over the

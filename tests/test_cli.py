@@ -94,6 +94,85 @@ class TestEval:
         code, _ = run(["eval", "-p", "/does/not/exist", "-d", data_file])
         assert code == 1
 
+    def test_sharded_engine_agrees(self, program_file, data_file):
+        _, memory_out = run(["eval", "-p", program_file, "-d", data_file])
+        code, sharded_out = run(
+            [
+                "eval", "-p", program_file, "-d", data_file,
+                "--engine", "sharded", "--shards", "2", "--workers", "1",
+            ]
+        )
+        assert code == 0
+        assert sharded_out == memory_out
+
+    def test_sharded_eval_handles_aggregate_views(self, data_file, tmp_path):
+        path = tmp_path / "mixed.dl"
+        path.write_text(
+            "pairs(x) :- R(x, y), R(y, x)\n"
+            "total(x, count(*)) :- R(x, y)\n"
+        )
+        _, default_out = run(["eval", "-p", str(path), "-d", data_file])
+        code, sharded_out = run(
+            [
+                "eval", "-p", str(path), "-d", data_file,
+                "--engine", "sharded", "--shards", "2", "--workers", "1",
+            ]
+        )
+        assert code == 0
+        assert sharded_out == default_out
+
+
+class TestBatch:
+    @pytest.fixture
+    def queries_file(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(
+            json.dumps(
+                [
+                    "ans(x) :- R(x, y), R(y, x)",
+                    "ans(x) :- R(x, y), R(y, x)",
+                    "loops(x) :- R(x, x)",
+                    "agg(x, count(*)) :- R(x, y)",
+                ]
+            )
+        )
+        return str(path)
+
+    @pytest.mark.parametrize("engine", ["hashjoin", "sharded", "sql"])
+    def test_batch_evaluates_every_query(self, queries_file, data_file, engine):
+        argv = ["batch", "-q", queries_file, "-d", data_file, "--engine", engine]
+        if engine == "sharded":
+            argv += ["--shards", "2", "--workers", "1"]
+        code, output = run(argv)
+        assert code == 0
+        for index in range(4):
+            assert "[{}]".format(index) in output
+        assert "s1^2 + s2*s3" in output  # pairs provenance
+        assert "count[" in output  # the aggregate query's tensor
+
+    def test_batch_results_identical_across_engines(
+        self, queries_file, data_file
+    ):
+        _, hashed = run(
+            ["batch", "-q", queries_file, "-d", data_file, "--engine", "hashjoin"]
+        )
+        _, sharded = run(
+            [
+                "batch", "-q", queries_file, "-d", data_file,
+                "--engine", "sharded", "--shards", "2", "--workers", "1",
+            ]
+        )
+        assert sharded == hashed
+
+    def test_batch_rejects_bad_queries_file(self, data_file, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        code, _ = run(["batch", "-q", str(path), "-d", data_file])
+        assert code == 1
+        path.write_text(json.dumps(["ans(x) :- R(x, y)", 42]))
+        code, _ = run(["batch", "-q", str(path), "-d", data_file])
+        assert code == 1
+
 
 class TestMinimize:
     def test_minprov_output(self, program_file):

@@ -1,13 +1,15 @@
 """Differential tests: every evaluation engine must agree exactly.
 
 The backtracking engine (Defs. 2.6/2.12 literally), the SQLite-compiled
-engine and the set-at-a-time hash-join engine all compute annotated
-results; on every query and database they must produce identical
-polynomial tables — and, for aggregate queries, identical semimodule
-annotation tables, tensor for tensor.  The backtracking engine is the
-reference implementation; the other two are checked against it (and
-hence against each other).
+engine, the set-at-a-time hash-join engine and the shard-parallel
+engine (at every shard count) all compute annotated results; on every
+query and database they must produce identical polynomial tables — and,
+for aggregate queries, identical semimodule annotation tables, tensor
+for tensor.  The backtracking engine is the reference implementation;
+the others are checked against it (and hence against each other).
 """
+
+import os
 
 import pytest
 
@@ -24,7 +26,15 @@ from repro.db.generators import (
 from repro.db.sqlite_backend import SQLiteDatabase
 from repro.engine.evaluate import evaluate, evaluate_backtracking
 from repro.engine.hashjoin import evaluate_hashjoin
+from repro.engine.sharded import (
+    evaluate_aggregate_sharded,
+    evaluate_sharded,
+)
 from repro.query.parser import parse_query
+
+#: Worker-pool size of the sharded runs; the CI ``parallel`` job pins
+#: it to 2 explicitly.
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 
 
 def assert_engines_agree(query, db):
@@ -163,6 +173,125 @@ class TestThreeEngineAggregates:
             {"R": 2, "S": 2}, list(range(4 + seed % 3)), 5 + seed % 8, seed=seed
         )
         assert_aggregate_engines_agree(query, db)
+
+
+class TestCrossShardDifferential:
+    """The 60-seed cross-shard suite: shard counts must be invisible.
+
+    ``sharded(1) ≡ sharded(2) ≡ sharded(4) ≡ sharded(8) ≡ hashjoin ≡
+    backtrack`` — polynomial-identical on CQ≠/UCQ≠, tensor-identical on
+    aggregates.  Seeds sweep the shard-specific hazards on top of the
+    usual query-shape ones: empty relations, relations smaller than the
+    shard count (some shards own nothing), broadcast thresholds from
+    "partition everything" to "broadcast everything" (anchorless plans
+    run on a single shard), self-joins over partitioned relations, and
+    databases whose every relation is broadcast.
+    """
+
+    SEEDS = range(60)
+    SHARD_COUNTS = (1, 2, 4, 8)
+    RELATIONS = {"R": 2, "S": 1, "T": 2}
+
+    @staticmethod
+    def _database(seed):
+        domain = ["d{}".format(i) for i in range(2 + seed % 4)]
+        db = random_database(
+            TestCrossShardDifferential.RELATIONS,
+            domain,
+            n_facts=3 + seed % 9,  # some relations end up below any shard count
+            seed=seed,
+        )
+        if seed % 5 == 0:
+            # Drain one relation: declared but empty.
+            for row in db.rows("S"):
+                db.remove("S", row)
+        return db
+
+    @staticmethod
+    def _threshold(seed):
+        # 0 partitions everything (every fragment exercised), 2 mixes
+        # broadcast and partitioned relations, 16 broadcasts these
+        # small databases entirely (single-shard anchorless path).
+        return (0, 2, 16)[seed % 3]
+
+    @classmethod
+    def _assert_shards_agree(cls, query, db, seed):
+        reference = evaluate_backtracking(query, db)
+        assert evaluate_hashjoin(query, db) == reference
+        for shards in cls.SHARD_COUNTS:
+            sharded = evaluate_sharded(
+                query,
+                db,
+                shards=shards,
+                workers=WORKERS,
+                mode="thread",
+                broadcast_threshold=cls._threshold(seed),
+            )
+            assert sharded == reference, "diverged at {} shards".format(shards)
+
+    @classmethod
+    def _assert_aggregate_shards_agree(cls, query, db, seed):
+        reference = evaluate_aggregate(query, db, engine="backtrack")
+        assert evaluate_aggregate(query, db, engine="hashjoin") == reference
+        for shards in cls.SHARD_COUNTS:
+            sharded = evaluate_aggregate_sharded(
+                query,
+                db,
+                shards=shards,
+                workers=WORKERS,
+                mode="thread",
+                broadcast_threshold=cls._threshold(seed),
+            )
+            assert sharded == reference, "diverged at {} shards".format(shards)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_conjunctive_queries(self, seed):
+        query = random_cq(
+            seed=seed,
+            n_atoms=2 + seed % 3,
+            n_variables=3,
+            relations=self.RELATIONS,
+            head_arity=1 + seed % 2,
+            diseq_probability=(seed % 4) * 0.25,
+        )
+        self._assert_shards_agree(query, self._database(seed), seed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unions(self, seed):
+        query = random_ucq(
+            seed=seed,
+            n_adjuncts=2 + seed % 2,
+            n_atoms=2,
+            n_variables=3,
+            relations=self.RELATIONS,
+            diseq_probability=0.3 if seed % 2 else 0.0,
+        )
+        self._assert_shards_agree(query, self._database(seed), seed)
+
+    OPS = ("sum", "count", "min", "max")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_aggregates(self, seed):
+        op = self.OPS[seed % len(self.OPS)]
+        if seed % 3 == 0:
+            text = "agg(x, {}(v), count(*)) :- R(x, y), T(y, v)".format(op)
+        elif seed % 3 == 1:
+            text = (
+                "agg(x, {}(v)) :- R(x, v)\n"
+                "agg(x, {}(w)) :- T(x, w)".format(op, op)
+            )
+        else:
+            text = "agg({}(v)) :- R(x, v), T(v, y), x != y".format(op)
+        db = random_database(
+            {"R": 2, "T": 2},
+            list(range(4 + seed % 3)),
+            n_facts=5 + seed % 8,
+            seed=seed,
+        )
+        if seed % 7 == 0:
+            for row in db.rows("T"):  # empty relation inside a join
+                db.remove("T", row)
+        self._assert_aggregate_shards_agree(parse_query(text), db, seed)
 
 
 class TestAggregates:

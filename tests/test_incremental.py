@@ -98,6 +98,21 @@ class TestDbBookkeeping:
         assert db.changes_since(0) == db._changelog
         assert db.changes_since(version + 1) == records[1:]
 
+    def test_prune_changes_drops_consumed_prefix(self):
+        db = simple_db()
+        initial = len(db.changes_since(0))
+        version = db.version()
+        db.add("R", ("x", "y"))
+        db.remove("R", ("b", "c"))
+        later = db.version()
+        db.retag("R", ("c", "a"), "t1")
+        assert db.prune_changes(later) == initial + 2
+        assert [record[1] for record in db.changes_since(0)] == ["retag"]
+        assert db.changes_since(version) == db.changes_since(0)
+        assert db.prune_changes(later) == 0  # idempotent on a pruned log
+        assert db.prune_changes(db.version()) == 1
+        assert db.changes_since(0) == []
+
     def test_track_changes_false_keeps_no_log(self):
         db = AnnotatedDatabase(track_changes=False)
         db.add("R", ("a", "b"))
