@@ -1,0 +1,202 @@
+"""Benchmark-regression gate: diff a timed run against the baseline.
+
+CI generates ``benchmark.json`` (pytest-benchmark's ``--benchmark-json``
+artifact) and then runs::
+
+    python benchmarks/compare_bench.py benchmark.json
+
+which fails (exit 1) when any benchmark present in **both** the fresh
+run and ``benchmarks/baseline.json`` slowed its median down by more
+than the tolerance (default 35% — generous on purpose: shared CI
+runners jitter, and the gate is after order-of-magnitude regressions,
+not percent-level noise).  New benchmarks pass through and are
+reported; benchmarks that disappeared are warned about but do not fail
+the gate; benchmarks whose baseline median sits under
+:data:`GATE_FLOOR_SECONDS` are reported but never gated (at
+microsecond scale the 35% band is pure scheduler noise).
+
+Refreshing the baseline (after an intentional perf change, or when the
+benchmark set grows)::
+
+    python -m pytest benchmarks/bench_incremental.py benchmarks/bench_aggregate.py \
+        benchmarks/bench_hashjoin.py benchmarks/bench_sharded.py \
+        benchmarks/bench_server.py -q --benchmark-only --benchmark-json=benchmark.json
+    python benchmarks/compare_bench.py --refresh benchmark.json
+
+and commit the rewritten ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+DEFAULT_TOLERANCE = 0.35
+
+#: Benchmarks whose baseline median is below this many seconds are
+#: reported but never gated: at microsecond scale a 35% swing is
+#: scheduler jitter on a shared runner, not a regression the gate
+#: should page anyone about.
+GATE_FLOOR_SECONDS = 1e-3
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """``{fullname: median seconds}`` from a pytest-benchmark JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        entry["fullname"]: entry["stats"]["median"]
+        for entry in payload["benchmarks"]
+    }
+
+
+def refresh_baseline(fresh_path: str, baseline_path: str, tolerance: float) -> int:
+    """Rewrite the committed baseline from a fresh timed run."""
+    medians = load_medians(fresh_path)
+    with open(fresh_path) as handle:
+        machine_info = json.load(handle).get("machine_info", {})
+    payload = {
+        "note": (
+            "Median seconds per benchmark, written by "
+            "`python benchmarks/compare_bench.py --refresh benchmark.json`. "
+            "Medians are machine-dependent; refresh on the reference "
+            "hardware after intentional performance changes."
+        ),
+        "machine": {
+            key: machine_info.get(key)
+            for key in ("machine", "processor", "system", "python_version")
+        },
+        "tolerance": tolerance,
+        "benchmarks": {name: medians[name] for name in sorted(medians)},
+    }
+    with open(baseline_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        "baseline refreshed: {} benchmarks -> {}".format(
+            len(medians), baseline_path
+        )
+    )
+    return 0
+
+
+def compare(fresh_path: str, baseline_path: str, tolerance: float) -> int:
+    """Diff fresh medians against the baseline; 1 on regression."""
+    fresh = load_medians(fresh_path)
+    with open(baseline_path) as handle:
+        baseline_payload = json.load(handle)
+    baseline: Dict[str, float] = baseline_payload["benchmarks"]
+    tolerance = baseline_payload.get("tolerance", tolerance)
+    machine = baseline_payload.get("machine") or {}
+    if machine:
+        print(
+            "baseline recorded on: {} {} (python {})\n"
+            "(cross-machine comparisons drift; refresh the baseline from "
+            "this machine's run if the gate misfires without a code "
+            "change)\n".format(
+                machine.get("system", "?"),
+                machine.get("machine", "?"),
+                machine.get("python_version", "?"),
+            )
+        )
+
+    width = max((len(name) for name in set(fresh) | set(baseline)), default=20)
+    header = "{:<{w}}  {:>12}  {:>12}  {:>8}  verdict".format(
+        "benchmark", "baseline ms", "fresh ms", "ratio", w=width
+    )
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for name in sorted(set(fresh) | set(baseline)):
+        if name not in baseline:
+            print(
+                "{:<{w}}  {:>12}  {:>12.3f}  {:>8}  new (passes through)".format(
+                    name, "-", fresh[name] * 1e3, "-", w=width
+                )
+            )
+            continue
+        if name not in fresh:
+            print(
+                "{:<{w}}  {:>12.3f}  {:>12}  {:>8}  missing from run (warn)".format(
+                    name, baseline[name] * 1e3, "-", "-", w=width
+                )
+            )
+            continue
+        ratio = fresh[name] / baseline[name] if baseline[name] else float("inf")
+        below_floor = baseline[name] < GATE_FLOOR_SECONDS
+        slowed = ratio > 1.0 + tolerance and not below_floor
+        if slowed:
+            regressions.append((name, ratio))
+        if below_floor:
+            verdict = "below {:.0f}ms floor (informational)".format(
+                GATE_FLOOR_SECONDS * 1e3
+            )
+        elif slowed:
+            verdict = "REGRESSION (> {:.0f}% slower)".format(tolerance * 100)
+        else:
+            verdict = "ok"
+        print(
+            "{:<{w}}  {:>12.3f}  {:>12.3f}  {:>7.2f}x  {}".format(
+                name,
+                baseline[name] * 1e3,
+                fresh[name] * 1e3,
+                ratio,
+                verdict,
+                w=width,
+            )
+        )
+
+    if regressions:
+        print(
+            "\n{} benchmark(s) regressed past the {:.0f}% gate:".format(
+                len(regressions), tolerance * 100
+            )
+        )
+        for name, ratio in regressions:
+            print("  {}  ({:.2f}x the baseline median)".format(name, ratio))
+        print(
+            "If the slowdown is intentional, refresh the baseline "
+            "(see benchmarks/compare_bench.py's docstring)."
+        )
+        return 1
+    print("\nno regressions past the {:.0f}% gate".format(tolerance * 100))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Diff a pytest-benchmark JSON run against the "
+        "committed baseline; exit 1 on >tolerance median slowdowns."
+    )
+    parser.add_argument("fresh", help="benchmark.json from --benchmark-json")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline file (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed median slowdown fraction when the baseline file "
+        "does not pin one (default: 0.35)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the baseline from the fresh run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    if args.refresh:
+        return refresh_baseline(args.fresh, args.baseline, args.tolerance)
+    return compare(args.fresh, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

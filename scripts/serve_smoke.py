@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Boot `repro-prov serve` and fire a threaded mixed query/update load.
+
+The CI `serve` job's smoke check, also runnable locally::
+
+    python scripts/serve_smoke.py [--threads 16] [--requests 50]
+
+Steps:
+
+1. generate a seeded random database and write it as a CLI data file;
+2. boot ``repro-prov serve`` (via ``python -m repro.cli``) on a free
+   port, parsing the chosen port from its banner line;
+3. run ``--threads`` workers, each firing ``--requests`` requests —
+   a rotating mix of ``/query`` texts with every tenth request an
+   ``/update`` inserting a unique tuple;
+4. assert every response was a 200 and, from ``/stats``, that the
+   result cache actually served hits (hit rate > 0).
+
+Exit code 0 on success, 1 on any failed request or a cold cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from http.client import HTTPConnection
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+    )
+
+QUERIES = [
+    "ans(x, z) :- R(x, y), S(y, z)",
+    "ans(x) :- R(x, y)\nans(x) :- S(x, y)",
+    "agg(x, count(*)) :- R(x, y)",
+    "agg(sum(z)) :- R(x, y), S(y, z)",
+]
+
+
+def write_database(path: str) -> None:
+    """A seeded 600-fact database in the CLI's data-file format."""
+    from repro.db.generators import random_database
+
+    db = random_database({"R": 2, "S": 2}, list(range(40)), n_facts=600, seed=17)
+    payload = {
+        relation: [
+            {"row": list(row), "annotation": annotation}
+            for row, annotation in db.facts(relation)
+        ]
+        for relation in sorted(db.relations())
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def worker(host: str, port: int, thread_id: int, requests: int, outcomes: list):
+    """One load thread: keep-alive connection, mixed query/update."""
+    conn = HTTPConnection(host, port, timeout=60)
+    try:
+        for index in range(requests):
+            if index % 10 == 9:
+                path, body = "/update", {
+                    "insert": {
+                        "R": [
+                            {
+                                "row": ["u{}".format(thread_id), "w{}".format(index)],
+                                "annotation": "u{}x{}".format(thread_id, index),
+                            }
+                        ]
+                    }
+                }
+            else:
+                path = "/query"
+                body = {"query": QUERIES[(thread_id + index) % len(QUERIES)]}
+            try:
+                conn.request("POST", path, body=json.dumps(body))
+                response = conn.getresponse()
+                response.read()
+                outcomes.append((path, response.status))
+            except OSError as error:
+                outcomes.append((path, repr(error)))
+                return
+    finally:
+        conn.close()
+
+
+def main(argv=None) -> int:
+    """Run the smoke load; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--engine", default="hashjoin", choices=("hashjoin", "sharded"))
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        data = os.path.join(tmp, "data.json")
+        write_database(data)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "-d",
+                data,
+                "--port",
+                "0",
+                "--engine",
+                args.engine,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+        )
+        try:
+            banner = process.stdout.readline()
+            if "listening on http://" not in banner:
+                print("server failed to boot: {!r}".format(banner), file=sys.stderr)
+                print(process.stderr.read(), file=sys.stderr)
+                return 1
+            address = banner.split("http://", 1)[1].split()[0]
+            host, port = address.rsplit(":", 1)
+            print("server up at {} ({} engine)".format(address, args.engine))
+
+            outcomes: list = []
+            threads = [
+                threading.Thread(
+                    target=worker,
+                    args=(host, int(port), thread_id, args.requests, outcomes),
+                )
+                for thread_id in range(args.threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            expected = args.threads * args.requests
+            failures = [entry for entry in outcomes if entry[1] != 200]
+            print(
+                "{} requests, {} completed, {} non-200".format(
+                    expected, len(outcomes), len(failures)
+                )
+            )
+            conn = HTTPConnection(host, int(port), timeout=60)
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            conn.close()
+            cache = stats["cache"]
+            print(
+                "cache: {} hits, {} dedup, {} misses, hit rate {:.1%}; "
+                "db version {}".format(
+                    cache["hits"],
+                    cache["dedup_hits"],
+                    cache["misses"],
+                    cache["hit_rate"],
+                    stats["db_version"],
+                )
+            )
+            if failures:
+                print("FAIL: non-200 responses: {}".format(failures[:10]), file=sys.stderr)
+                return 1
+            if len(outcomes) != expected:
+                print("FAIL: load threads died early", file=sys.stderr)
+                return 1
+            if cache["hit_rate"] <= 0:
+                print("FAIL: the result cache served no hits", file=sys.stderr)
+                return 1
+            print("smoke load passed")
+            return 0
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,9 +92,10 @@ from repro.semiring.order import (
     polynomial_lt,
 )
 from repro.semiring.polynomial import Monomial, Polynomial
+from repro.server import ResultCache, ServerState, make_server
 from repro.session import QuerySession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # query model
@@ -177,6 +178,10 @@ __all__ = [
     "MaintenanceReport",
     "check_consistency",
     "maintain",
+    # serving tier
+    "ResultCache",
+    "ServerState",
+    "make_server",
     # aggregate provenance (semimodule annotations)
     "AggregateTerm",
     "AggregateRule",

@@ -11,6 +11,9 @@ Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
     repro-prov core      -p program.dl -d data.json [--view NAME]
     repro-prov sql       -p program.dl
     repro-prov maintain  -p program.dl -d data.json -u updates.json [--check] [--quiet]
+    repro-prov serve     -d data.json [-p program.dl] [--host H] [--port P]
+                         [--engine hashjoin|sharded] [--shards N] [--workers N]
+                         [--cache-size N]
 
 The program file uses the rule syntax of :mod:`repro.query.parser`
 (one or more rules; rules sharing a head relation form a union).  The
@@ -53,6 +56,7 @@ from repro.errors import ReproError
 from repro.incremental.delta import Delta
 from repro.incremental.maintain import check_consistency
 from repro.incremental.registry import ViewRegistry
+from repro.io import deltas_from_payload
 from repro.minimize.minprov import min_prov, min_prov_trace
 from repro.minimize.standard import minimize_query
 from repro.query.aggregate import AggregateQuery, AnyQuery
@@ -87,66 +91,15 @@ def load_program(path: str) -> Dict[str, Query]:
         return parse_program(handle.read())
 
 
-def _delta_entries(section) -> List:
-    entries = []
-    for relation, rows in section.items():
-        for entry in rows:
-            if isinstance(entry, dict):
-                if "row" not in entry or not isinstance(entry["row"], list):
-                    raise ReproError(
-                        "update entry for {!r} needs a \"row\" list, got "
-                        "{!r}".format(relation, entry)
-                    )
-                entries.append(
-                    (relation, tuple(entry["row"]), entry.get("annotation"))
-                )
-            elif isinstance(entry, list):
-                entries.append((relation, tuple(entry)))
-            else:
-                raise ReproError(
-                    "update entry for {!r} must be a row list or an object, "
-                    "got {!r}".format(relation, entry)
-                )
-    return entries
-
-
 def load_deltas(path: str) -> List[Delta]:
-    """Load a list of delta batches from a JSON updates file."""
+    """Load a list of delta batches from a JSON updates file.
+
+    The parsing itself lives in :func:`repro.io.deltas_from_payload` —
+    the server's ``POST /update`` bodies use the identical format.
+    """
     with open(path) as handle:
         payload = json.load(handle)
-    if isinstance(payload, dict):
-        payload = [payload]
-    if not isinstance(payload, list):
-        raise ReproError("updates file must hold a JSON list of batches")
-    deltas: List[Delta] = []
-    for batch in payload:
-        if not isinstance(batch, dict):
-            raise ReproError("each update batch must be a JSON object")
-        unknown = set(batch) - {"insert", "delete", "retag"}
-        if unknown:
-            raise ReproError(
-                "unknown update batch keys: {}".format(sorted(unknown))
-            )
-        retags = []
-        for relation, rows in batch.get("retag", {}).items():
-            for entry in rows:
-                if (
-                    not isinstance(entry, dict)
-                    or "annotation" not in entry
-                    or not isinstance(entry.get("row"), list)
-                ):
-                    raise ReproError(
-                        "retag entries need {\"row\": [...], \"annotation\": ...}"
-                    )
-                retags.append((relation, tuple(entry["row"]), entry["annotation"]))
-        deltas.append(
-            Delta(
-                inserts=_delta_entries(batch.get("insert", {})),
-                deletes=[entry[:2] for entry in _delta_entries(batch.get("delete", {}))],
-                retags=retags,
-            )
-        )
-    return deltas
+    return deltas_from_payload(payload)
 
 
 def _select_views(
@@ -452,33 +405,76 @@ def command_maintain(args, out) -> int:
     program = load_program(args.program)
     db = load_database(args.data)
     deltas = load_deltas(args.updates)
-    registry = ViewRegistry(program, db)
-    stats = registry.stats()
-    print(
-        "-- materialized {} views ({} tuples) over {} base facts".format(
-            len(registry.order), stats["view_tuples"], stats["base_facts"]
-        ),
-        file=out,
-    )
-    for index, delta in enumerate(deltas, start=1):
-        report = registry.apply(delta)
+    # Context-managed like every other CLI session holder: a hashjoin
+    # registry has no pool, but forgetting close() on a sharded one
+    # would leak its worker threads past the command.
+    with ViewRegistry(program, db) as registry:
+        stats = registry.stats()
         print(
-            "-- batch {} ({} changes): {}".format(
-                index, delta.size(), report.summary()
+            "-- materialized {} views ({} tuples) over {} base facts".format(
+                len(registry.order), stats["view_tuples"], stats["base_facts"]
             ),
             file=out,
         )
-    if args.check:
-        audit = check_consistency(registry)
-        if not audit.consistent:
-            print("consistency: FAILED", file=out)
-            for mismatch in audit.mismatches:
-                print("  {}".format(mismatch), file=out)
-            return 1
-        print("consistency: ok (matches full re-evaluation)", file=out)
-    if not args.quiet:
-        for name in registry.order:
-            _print_results(name, registry.view(name), out)
+        for index, delta in enumerate(deltas, start=1):
+            report = registry.apply(delta)
+            print(
+                "-- batch {} ({} changes): {}".format(
+                    index, delta.size(), report.summary()
+                ),
+                file=out,
+            )
+        if args.check:
+            audit = check_consistency(registry)
+            if not audit.consistent:
+                print("consistency: FAILED", file=out)
+                for mismatch in audit.mismatches:
+                    print("  {}".format(mismatch), file=out)
+                return 1
+            print("consistency: ok (matches full re-evaluation)", file=out)
+        if not args.quiet:
+            for name in registry.order:
+                _print_results(name, registry.view(name), out)
+    return 0
+
+
+def command_serve(args, out) -> int:
+    """Serve the database (and optional view program) over HTTP.
+
+    Everything is context-managed: the server owns a
+    :class:`~repro.server.app.ServerState` whose session (and registry)
+    worker pools are released on the way out — including on Ctrl-C and
+    on errors — so no leaked pool outlives the command.
+    """
+    from repro.server.app import make_server
+
+    db = load_database(args.data)
+    program = load_program(args.program) if args.program else None
+    with make_server(
+        db,
+        host=args.host,
+        port=args.port,
+        program=program,
+        engine=args.engine,
+        shards=args.shards,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    ) as server:
+        host, port = server.server_address[:2]
+        print(
+            "listening on http://{}:{} (engine={}{}; Ctrl-C stops)".format(
+                host,
+                port,
+                args.engine,
+                ", {} views".format(len(program)) if program else "",
+            ),
+            file=out,
+        )
+        out.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=out)
     return 0
 
 
@@ -628,6 +624,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the final view dump"
     )
     sub_maintain.set_defaults(handler=command_maintain)
+
+    sub_serve = subparsers.add_parser(
+        "serve",
+        help="serve queries, updates and views over JSON HTTP",
+    )
+    sub_serve.add_argument("-d", "--data", required=True, help="JSON data file")
+    sub_serve.add_argument(
+        "-p",
+        "--program",
+        help="optional rule file; given one, the server fronts a "
+        "ViewRegistry (incremental /update, /views/<name> reads)",
+    )
+    sub_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    sub_serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks a free one; the chosen port is printed)",
+    )
+    sub_serve.add_argument(
+        "--engine",
+        choices=("hashjoin", "sharded"),
+        default="hashjoin",
+        help="serving engine (default: hashjoin; sharded runs a "
+        "thread-mode shard pool)",
+    )
+    add_parallel(sub_serve)
+    sub_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="LRU bound of the version-keyed result cache (default: 256)",
+    )
+    sub_serve.set_defaults(handler=command_serve)
     return parser
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
+import weakref
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,18 @@ ShardResult = Tuple[
 ]
 
 _EXECUTOR_MODES = ("process", "thread")
+
+
+def _shutdown_pool(pool) -> None:
+    """Finalizer target: release a leaked executor's worker pool.
+
+    Registered through :func:`weakref.finalize` (never ``__del__``) so
+    a session dropped without :meth:`ShardedExecutor.close` — an
+    exception path, a forgotten context manager — cannot strand a
+    process pool.  The callback must not reference the executor, or the
+    reference cycle would keep it alive forever.
+    """
+    pool.shutdown(wait=False)
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +236,7 @@ class ShardedExecutor:
         self._mode = mode
         self._pool = None
         self._pool_epoch: Optional[int] = None
+        self._finalizer: Optional[weakref.finalize] = None
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------
@@ -254,8 +268,7 @@ class ShardedExecutor:
         """Shut the worker pool down (idempotent)."""
         self._closed = True
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+            self._release_pool(wait=True)
             self._pool_epoch = None
 
     def __enter__(self) -> "ShardedExecutor":
@@ -265,6 +278,24 @@ class ShardedExecutor:
         self.close()
 
     # -- pool management ------------------------------------------------
+    def _adopt_pool(self, pool) -> None:
+        """Install ``pool`` and arm its leak finalizer.
+
+        The finalizer closes over the *pool*, not the executor, so
+        dropping the executor without :meth:`close` still shuts the
+        workers down when the garbage collector reclaims it.
+        """
+        self._pool = pool
+        self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+
+    def _release_pool(self, wait: bool) -> None:
+        """Shut the current pool down and disarm its finalizer."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._pool.shutdown(wait=wait)
+        self._pool = None
+
     def _ensure_pool(self):
         if self._closed:
             raise EvaluationError("executor is closed")
@@ -277,20 +308,21 @@ class ShardedExecutor:
         ):
             return self._pool
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+            self._release_pool(wait=True)
         if self._mode == "process":
             try:
-                self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self._workers,
-                    initializer=_init_worker,
-                    initargs=(self._sharded.payload(),),
+                self._adopt_pool(
+                    concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self._workers,
+                        initializer=_init_worker,
+                        initargs=(self._sharded.payload(),),
+                    )
                 )
             except (OSError, ValueError):
                 self._mode = "thread"
-        if self._mode == "thread":
-            self._pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=self._workers
+        if self._pool is None:
+            self._adopt_pool(
+                concurrent.futures.ThreadPoolExecutor(max_workers=self._workers)
             )
         self._pool_epoch = epoch
         return self._pool
@@ -316,8 +348,7 @@ class ShardedExecutor:
             if self._mode != "process":
                 raise
             self._mode = "thread"
-            self._pool.shutdown(wait=False)
-            self._pool = None
+            self._release_pool(wait=False)
             pool = self._ensure_pool()
             futures = [self._submit(pool, task, *args) for args in task_args]
             return [future.result() for future in futures]

@@ -570,6 +570,55 @@ class ViewRegistry:
             return dict(self._aggregates[name])
         return dict(self._views[name])
 
+    # ------------------------------------------------------------------
+    # Serving path
+    # ------------------------------------------------------------------
+    @property
+    def serving_db(self) -> AnnotatedDatabase:
+        """The working database: base relations plus materialized plain
+        views, the instance a serving session should evaluate over.
+
+        Read/evaluate only — every mutation must go through
+        :meth:`apply`, or the maintained polynomials would silently
+        diverge from the data.
+        """
+        return self._db
+
+    def db_version(self) -> int:
+        """The working database's version counter.
+
+        Bumps on every base *and* view change of an :meth:`apply`
+        batch, so it is the freshness token the serving tier keys its
+        version-keyed result cache on: any maintained change moves it.
+        """
+        return self._db.version()
+
+    def read_view(self, name: str, base: bool = False) -> Dict[Row, object]:
+        """One materialized view for the serving tier (a copy).
+
+        Unlike the version-keyed query cache, view reads need no
+        staleness machinery at all: the registry's provenance-driven
+        invalidation already rewrote exactly the affected rows during
+        :meth:`apply`, so the materialized table *is* the current
+        answer.  With ``base=True`` annotations are expanded down to
+        base symbols (plain views yield polynomials, aggregate views
+        yield :class:`~repro.aggregate.result.AggregateResult` rows
+        either way).  Unknown names raise
+        :class:`~repro.errors.EvaluationError` — the HTTP layer maps
+        that to a 404, not a 500.
+        """
+        if name not in self._program:
+            raise EvaluationError(
+                "no view named {!r}; registry serves {}".format(
+                    name, sorted(self._program)
+                )
+            )
+        if not base:
+            return self.view(name)
+        if name in self._aggregate_names:
+            return self.base_aggregates(name)
+        return self.base_provenance(name)
+
     def aggregate_view(self, name: str) -> Dict[Row, AggregateResult]:
         """One maintained aggregate view (a copy)."""
         return dict(self._aggregates[name])

@@ -9,16 +9,26 @@ so the library provides a stable JSON wire format:
 * queries — their rule-syntax text (the parser is the codec);
 * annotated results — rows paired with polynomials.
 
+The same codecs double as the serving tier's wire format
+(:mod:`repro.server`): update requests reuse the ``maintain``
+subcommand's delta-batch JSON (:func:`deltas_from_payload`), and
+aggregate responses serialize their ``N[X] ⊗ M`` tensors with
+:func:`aggregate_results_to_list`.
+
 Round-trips are exact and tested.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Hashable, Mapping, Tuple
+from typing import Dict, Hashable, List, Mapping, Tuple
 
+from repro.aggregate.result import AggregateResult
+from repro.algebra.monoid import monoid_for
+from repro.algebra.semimodule import SemimoduleElement
 from repro.db.instance import AnnotatedDatabase
 from repro.errors import ReproError
+from repro.incremental.delta import Delta
 from repro.query.parser import parse_query
 from repro.query.printer import query_to_str
 from repro.query.ucq import Query
@@ -109,6 +119,156 @@ def results_from_list(payload) -> Dict[Row, Polynomial]:
         tuple(entry["tuple"]): polynomial_from_list(entry["provenance"])
         for entry in payload
     }
+
+
+# ----------------------------------------------------------------------
+# Aggregate results (N[X] ⊗ M tensors)
+# ----------------------------------------------------------------------
+def semimodule_to_dict(element: SemimoduleElement) -> dict:
+    """A JSON-ready representation of one ``N[X] ⊗ M`` element.
+
+    Tensors appear in the element's deterministic value order, each as
+    ``{"value": m, "annotation": [polynomial terms]}``; the monoid name
+    travels along so the inverse can rebuild the element.
+    """
+    return {
+        "monoid": element.monoid.name,
+        "tensors": [
+            {"value": value, "annotation": polynomial_to_list(polynomial)}
+            for value, polynomial in element
+        ],
+    }
+
+
+def semimodule_from_dict(payload: Mapping) -> SemimoduleElement:
+    """Inverse of :func:`semimodule_to_dict`."""
+    monoid = monoid_for(payload["monoid"])
+    terms: Dict[Hashable, Polynomial] = {}
+    for tensor in payload["tensors"]:
+        polynomial = polynomial_from_list(tensor["annotation"])
+        previous = terms.get(tensor["value"])
+        terms[tensor["value"]] = (
+            polynomial if previous is None else previous + polynomial
+        )
+    return SemimoduleElement(monoid, terms)
+
+
+def aggregate_results_to_list(results: Mapping[Row, AggregateResult]) -> list:
+    """A JSON-ready representation of an aggregated K-relation."""
+    return [
+        {
+            "group": list(group),
+            "provenance": polynomial_to_list(result.provenance),
+            "aggregates": [
+                semimodule_to_dict(element) for element in result.aggregates
+            ],
+        }
+        for group, result in sorted(results.items(), key=lambda kv: repr(kv[0]))
+    ]
+
+
+def aggregate_results_from_list(payload) -> Dict[Row, AggregateResult]:
+    """Inverse of :func:`aggregate_results_to_list`."""
+    return {
+        tuple(entry["group"]): AggregateResult(
+            polynomial_from_list(entry["provenance"]),
+            tuple(
+                semimodule_from_dict(element)
+                for element in entry["aggregates"]
+            ),
+        )
+        for entry in payload
+    }
+
+
+# ----------------------------------------------------------------------
+# Update batches (the `maintain` delta format, shared with the server)
+# ----------------------------------------------------------------------
+def _delta_entries(section: Mapping) -> List[Tuple]:
+    entries: List[Tuple] = []
+    for relation, rows in section.items():
+        for entry in rows:
+            if isinstance(entry, dict):
+                if "row" not in entry or not isinstance(entry["row"], list):
+                    raise ReproError(
+                        "update entry for {!r} needs a \"row\" list, got "
+                        "{!r}".format(relation, entry)
+                    )
+                entries.append(
+                    (relation, tuple(entry["row"]), entry.get("annotation"))
+                )
+            elif isinstance(entry, list):
+                entries.append((relation, tuple(entry)))
+            else:
+                raise ReproError(
+                    "update entry for {!r} must be a row list or an object, "
+                    "got {!r}".format(relation, entry)
+                )
+    return entries
+
+
+def delta_from_dict(batch: Mapping) -> Delta:
+    """One update batch — ``{"insert": ..., "delete": ..., "retag": ...}``.
+
+    The format is exactly the ``maintain`` subcommand's updates file
+    (and therefore the server's ``POST /update`` body): each section
+    maps relations to rows, where a row is either a plain list (fresh
+    annotation) or ``{"row": [...], "annotation": s}``.
+    """
+    if not isinstance(batch, Mapping):
+        raise ReproError("each update batch must be a JSON object")
+    unknown = set(batch) - {"insert", "delete", "retag"}
+    if unknown:
+        raise ReproError(
+            "unknown update batch keys: {}".format(sorted(unknown))
+        )
+    retags = []
+    for relation, rows in batch.get("retag", {}).items():
+        for entry in rows:
+            if (
+                not isinstance(entry, dict)
+                or "annotation" not in entry
+                or not isinstance(entry.get("row"), list)
+            ):
+                raise ReproError(
+                    "retag entries need {\"row\": [...], \"annotation\": ...}"
+                )
+            retags.append((relation, tuple(entry["row"]), entry["annotation"]))
+    return Delta(
+        inserts=_delta_entries(batch.get("insert", {})),
+        deletes=[
+            entry[:2] for entry in _delta_entries(batch.get("delete", {}))
+        ],
+        retags=retags,
+    )
+
+
+def deltas_from_payload(payload) -> List[Delta]:
+    """A list of update batches (a single object counts as one batch)."""
+    if isinstance(payload, Mapping):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise ReproError("updates payload must be a JSON object or list")
+    return [delta_from_dict(batch) for batch in payload]
+
+
+def delta_to_dict(delta: Delta) -> dict:
+    """Inverse of :func:`delta_from_dict` (annotations always explicit)."""
+    payload: Dict[str, Dict[str, list]] = {}
+    for relation, row, annotation in delta.inserts:
+        entry = {"row": list(row)}
+        if annotation is not None:
+            entry["annotation"] = annotation
+        payload.setdefault("insert", {}).setdefault(relation, []).append(entry)
+    for relation, row in delta.deletes:
+        payload.setdefault("delete", {}).setdefault(relation, []).append(
+            list(row)
+        )
+    for relation, row, annotation in delta.retags:
+        payload.setdefault("retag", {}).setdefault(relation, []).append(
+            {"row": list(row), "annotation": annotation}
+        )
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""JSON-over-HTTP serving of provenance queries.
+
+The serving tier fronts a long-lived
+:class:`~repro.session.QuerySession` (and, when a view program is
+given, a :class:`~repro.incremental.registry.ViewRegistry`) with a
+stdlib :class:`http.server.ThreadingHTTPServer`:
+
+* :class:`~repro.server.app.ServerState` — the shared state behind all
+  request threads: the session, the optional registry, and the
+  version-keyed :class:`~repro.server.cache.ResultCache`;
+* :class:`~repro.server.cache.ResultCache` — results keyed by
+  ``(canonical query text, db version, engine options)`` with LRU
+  bounds and single-flight deduplication;
+* :func:`~repro.server.app.make_server` — binds a
+  :class:`~repro.server.app.ProvenanceServer` ready for
+  ``serve_forever()`` (the CLI ``serve`` subcommand does exactly this).
+"""
+
+from repro.server.app import (
+    ProvenanceServer,
+    ServerState,
+    canonical_json,
+    encode_results,
+    make_server,
+)
+from repro.server.cache import ResultCache
+
+__all__ = [
+    "ProvenanceServer",
+    "ResultCache",
+    "ServerState",
+    "canonical_json",
+    "encode_results",
+    "make_server",
+]

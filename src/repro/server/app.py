@@ -1,0 +1,483 @@
+"""The serving tier's shared state and HTTP server shell.
+
+:class:`ServerState` is everything the request threads share: one
+long-lived :class:`~repro.session.QuerySession` (thread mode — the
+database mutates under ``/update``), an optional
+:class:`~repro.incremental.registry.ViewRegistry` when a view program
+is served, and the version-keyed
+:class:`~repro.server.cache.ResultCache`.
+
+Concurrency model — one lock, three rules:
+
+* every evaluation goes through :meth:`QuerySession.run_batch`, which
+  holds the session lock and reports the version it evaluated at;
+* every update holds the same lock around the database mutation, so no
+  evaluation observes a half-applied batch;
+* cache keys carry the database version, so an update invalidates by
+  *moving the version on*, never by touching the cache.  A computation
+  that raced an update (its result version differs from the keyed
+  version) is returned fresh and simply not cached.
+
+Responses are canonical JSON (sorted keys, fixed separators) built from
+the :mod:`repro.io` codecs — the differential tests assert that a
+served body is byte-identical to encoding an in-process
+``evaluate``/``evaluate_aggregate`` result the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.aggregate.result import AggregateResult
+from repro.errors import EvaluationError, ReproError
+from repro.incremental.delta import Delta, apply_to_database
+from repro.incremental.registry import ViewRegistry
+from repro.io import (
+    aggregate_results_to_list,
+    deltas_from_payload,
+    results_to_list,
+)
+from repro.query.aggregate import AggregateQuery, AnyQuery
+from repro.query.parser import parse_query
+from repro.query.printer import query_to_str
+from repro.server.cache import ResultCache
+from repro.session import QuerySession
+
+#: Engines the server can front (the session engines, by construction).
+SERVER_ENGINES = ("hashjoin", "sharded")
+
+#: Default LRU bound of the result cache.
+DEFAULT_CACHE_SIZE = 256
+
+
+def canonical_json(payload) -> bytes:
+    """Serialize a response payload to canonical JSON bytes.
+
+    Sorted keys and fixed separators make encoding deterministic, which
+    is what lets the differential suite compare served bodies against
+    in-process evaluation byte for byte.  The trailing newline is for
+    humans running ``curl``.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def encode_results(results: Mapping, aggregate: Optional[bool] = None) -> dict:
+    """The response fragment for one query's result table.
+
+    Plain UCQ≠ tables serialize their polynomials, aggregate tables
+    their ``N[X] ⊗ M`` tensors; pass ``aggregate`` explicitly when the
+    table may be empty (an empty dict carries no type of its own).
+    """
+    if aggregate is None:
+        aggregate = any(
+            isinstance(value, AggregateResult) for value in results.values()
+        )
+    if aggregate:
+        return {"kind": "aggregate", "results": aggregate_results_to_list(results)}
+    return {"kind": "polynomial", "results": results_to_list(results)}
+
+
+class _CachedResult:
+    """One cached response: the payload dict plus its encoded body.
+
+    ``/query`` serves the bytes straight off the hit path; ``/batch``
+    embeds the payload dicts in its envelope without re-parsing.
+    """
+
+    __slots__ = ("payload", "body")
+
+    def __init__(self, payload: dict, body: bytes):  # noqa: D107
+        self.payload = payload
+        self.body = body
+
+
+class ServerState:
+    """Everything the request-handler threads share.
+
+    Two configurations:
+
+    * **bare session** (no ``program``): queries run against the given
+      database; ``/update`` applies deltas directly and the session
+      auto-refreshes off the version bump;
+    * **registry-fronted** (``program`` given): a
+      :class:`~repro.incremental.registry.ViewRegistry` materializes the
+      program, ``/update`` maintains it incrementally, ``/views/<name>``
+      reads the maintained tables, and ad-hoc queries evaluate over the
+      working database — base relations *and* plain views.
+    """
+
+    def __init__(
+        self,
+        db,
+        program: Optional[Mapping[str, AnyQuery]] = None,
+        engine: str = "hashjoin",
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        broadcast_threshold: Optional[int] = None,
+    ):  # noqa: D107
+        if engine not in SERVER_ENGINES:
+            raise EvaluationError(
+                "unknown server engine {!r}; supported: {}".format(
+                    engine, ", ".join(SERVER_ENGINES)
+                )
+            )
+        self._engine = engine
+        self._options = (engine, shards, workers)
+        self._registry: Optional[ViewRegistry] = None
+        self._db = db
+        if program is not None:
+            self._registry = ViewRegistry(
+                program, db, engine=engine, shards=shards, workers=workers
+            )
+            self._db = self._registry.serving_db
+            if self._registry.session is not None:
+                # The sharded registry already keeps a warm thread-mode
+                # session over the working database; serve through it.
+                self._session = self._registry.session
+            else:
+                self._session = QuerySession(self._db, engine="hashjoin")
+        else:
+            self._session = QuerySession(
+                db,
+                engine=engine,
+                shards=shards,
+                workers=workers,
+                mode="thread",
+                broadcast_threshold=broadcast_threshold,
+            )
+        self._cache = ResultCache(cache_size)
+        self._counter_lock = threading.Lock()
+        self._active = 0
+        self._served = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """The serving engine (``hashjoin`` or ``sharded``)."""
+        return self._engine
+
+    @property
+    def registry(self) -> Optional[ViewRegistry]:
+        """The fronted view registry (``None`` in bare-session mode)."""
+        return self._registry
+
+    @property
+    def session(self) -> QuerySession:
+        """The long-lived serving session."""
+        return self._session
+
+    @property
+    def cache(self) -> ResultCache:
+        """The version-keyed result cache."""
+        return self._cache
+
+    def close(self) -> None:
+        """Release the session (and registry) worker pools (idempotent)."""
+        self._closed = True
+        if self._registry is not None:
+            self._registry.close()
+        self._session.close()
+
+    def __enter__(self) -> "ServerState":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request accounting (the /stats in-flight counter)
+    # ------------------------------------------------------------------
+    def request_started(self) -> None:
+        """Count one request in (called by the handler threads)."""
+        with self._counter_lock:
+            self._active += 1
+
+    def request_finished(self) -> None:
+        """Count one request out."""
+        with self._counter_lock:
+            self._active -= 1
+            self._served += 1
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _session_run(self, queries: Sequence[AnyQuery]) -> Tuple[List, int]:
+        """One lock-guarded engine run (tests stub this to count calls)."""
+        return self._session.run_batch(queries)
+
+    def _key(self, canonical: str, version: int):
+        return (canonical, version, self._options)
+
+    def _entry(self, query: AnyQuery, results, version: int) -> _CachedResult:
+        payload = {
+            "version": version,
+            **encode_results(results, isinstance(query, AggregateQuery)),
+        }
+        return _CachedResult(payload, canonical_json(payload))
+
+    def run_query(self, text: str) -> bytes:
+        """Serve one query text: the ``POST /query`` body bytes.
+
+        Cached under ``(canonical text, version, engine options)`` with
+        single-flight deduplication — N concurrent identical requests
+        run the engine once.
+        """
+        query = parse_query(text)
+        canonical = query_to_str(query)
+        version = self._session.db_version()
+
+        def compute() -> Tuple[_CachedResult, bool]:
+            results, actual = self._session_run([query])
+            return self._entry(query, results[0], actual), actual == version
+
+        return self._cache.get_or_compute(
+            self._key(canonical, version), compute
+        ).body
+
+    def run_queries(self, texts: Sequence[str]) -> bytes:
+        """Serve a query batch: the ``POST /batch`` body bytes.
+
+        The cached prefix is collected first; the misses — deduplicated
+        within the batch — run through **one** session batch, sharing
+        plans, shard runs and interned provenance.  Each entry of the
+        response carries the version it was computed at.
+        """
+        queries = [parse_query(text) for text in texts]
+        canonicals = [query_to_str(query) for query in queries]
+        version = self._session.db_version()
+        entries: Dict[str, _CachedResult] = {}
+        for canonical in dict.fromkeys(canonicals):
+            cached = self._cache.get(self._key(canonical, version))
+            if cached is not None:
+                entries[canonical] = cached
+        missing = [
+            (canonical, query)
+            for canonical, query in dict(zip(canonicals, queries)).items()
+            if canonical not in entries
+        ]
+        if missing:
+            results, actual = self._session_run([q for _c, q in missing])
+            for (canonical, query), result in zip(missing, results):
+                entry = self._entry(query, result, actual)
+                entries[canonical] = entry
+                if actual == version:
+                    self._cache.put(self._key(canonical, version), entry)
+        payload = {
+            "results": [entries[canonical].payload for canonical in canonicals]
+        }
+        return canonical_json(payload)
+
+    def apply_update(self, payload) -> bytes:
+        """Apply delta batches (the ``maintain`` JSON format) and bump
+        the version: the ``POST /update`` body bytes.
+
+        Registry mode maintains every materialized view incrementally;
+        bare mode applies the changes to the database directly.  Either
+        way the version moves, so every cached result keyed on the old
+        version is dead without a scan, and the session refreshes
+        automatically on its next evaluation.
+
+        Every batch is validated against a *simulated* presence state
+        before anything is applied, so deletes/retags of absent tuples
+        reject the whole payload with nothing touched.  Failures the
+        simulation cannot foresee (e.g. an annotation-reuse rejection
+        deep in registry maintenance) abort mid-sequence; the error then
+        reports exactly how many batches had already been committed.
+        """
+        deltas = deltas_from_payload(payload)
+        summaries: List[str] = []
+        changes = 0
+        with self._session.lock:
+            self._validate_deltas(deltas)  # nothing applied on failure
+            applied = 0
+            try:
+                for delta in deltas:
+                    if self._registry is not None:
+                        summaries.append(self._registry.apply(delta).summary())
+                    else:
+                        apply_to_database(self._db, delta)
+                    applied += 1
+                    changes += delta.size()
+            except ReproError as error:
+                raise ReproError(
+                    "{} (update batches 1-{} of {} were already applied; "
+                    "db version is now {})".format(
+                        error, applied, len(deltas), self._session.db_version()
+                    )
+                )
+            version = self._session.db_version()
+        response = {
+            "version": version,
+            "batches": len(deltas),
+            "changes": changes,
+        }
+        if self._registry is not None:
+            response["maintenance"] = summaries
+        return canonical_json(response)
+
+    def _validate_deltas(self, deltas: Sequence[Delta]) -> None:
+        """Reject malformed payloads before touching anything.
+
+        Simulates tuple presence across the whole batch sequence (apply
+        order within a batch is deletes → inserts → retags), so a later
+        batch may legally delete what an earlier one inserted, while a
+        delete or retag of a tuple absent at its point in the sequence
+        fails the entire payload with zero mutations — not as a
+        half-applied batch's SchemaError.
+        """
+        added: set = set()
+        removed: set = set()
+
+        def present(relation: str, row) -> bool:
+            key = (relation, row)
+            if key in removed:
+                return False
+            return key in added or self._db.contains(relation, row)
+
+        for delta in deltas:
+            for relation, row in delta.deletes:
+                if not present(relation, row):
+                    raise ReproError(
+                        "cannot delete absent tuple {}{}".format(
+                            relation, tuple(row)
+                        )
+                    )
+                added.discard((relation, row))
+                removed.add((relation, row))
+            for relation, row, _annotation in delta.inserts:
+                removed.discard((relation, row))
+                added.add((relation, row))
+            for relation, row, _annotation in delta.retags:
+                if not present(relation, row):
+                    raise ReproError(
+                        "cannot retag absent tuple {}{}".format(
+                            relation, tuple(row)
+                        )
+                    )
+
+    def read_view(self, name: str, base: bool = False) -> bytes:
+        """Serve one materialized view: the ``GET /views/<name>`` body.
+
+        View reads bypass the version-keyed cache entirely — the
+        registry's provenance-driven invalidation already keeps the
+        materialized table exact, so the read is a copy-and-encode.
+        """
+        if self._registry is None:
+            raise ReproError(
+                "no view program is being served; restart with --program "
+                "to front a ViewRegistry"
+            )
+        with self._session.lock:
+            results = self._registry.read_view(name, base=base)
+            version = self._registry.db_version()
+        payload = {
+            "version": version,
+            "view": name,
+            **encode_results(
+                results, name in self._registry.aggregate_names
+            ),
+        }
+        return canonical_json(payload)
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload: cache, request and session health."""
+        with self._counter_lock:
+            requests = {"active": self._active, "served": self._served}
+        payload = {
+            "db_version": self._session.db_version(),
+            "engine": self._engine,
+            "mode": "registry" if self._registry is not None else "session",
+            "cache": self._cache.stats(),
+            "requests": requests,
+            "intern": self._session.intern_table.sizes(),
+            "plan_cache": self._session.plan_cache.stats(),
+        }
+        if self._registry is not None:
+            payload["views"] = self._registry.order
+        return payload
+
+    def __repr__(self) -> str:
+        return "<ServerState engine={} {}>".format(
+            self._engine,
+            "registry" if self._registry is not None else "session",
+        )
+
+
+class ProvenanceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`ServerState`.
+
+    Request threads are daemonic: an exiting process never hangs on a
+    slow client, and tests can drop a server without draining it.  The
+    listen backlog is raised well past socketserver's default of 5 —
+    a 16-thread smoke load opening connections in a burst would
+    otherwise see resets before a single request misbehaved.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(self, address, state: ServerState):  # noqa: D107
+        # Imported here, not at module top: the handler module imports
+        # this one for the shared JSON codec.
+        from repro.server.handlers import ProvenanceRequestHandler
+
+        self.state = state
+        super().__init__(address, ProvenanceRequestHandler)
+
+    def close(self) -> None:
+        """Stop accepting connections and release the serving state."""
+        self.server_close()
+        self.state.close()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def make_server(
+    db,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    program: Optional[Mapping[str, AnyQuery]] = None,
+    engine: str = "hashjoin",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    broadcast_threshold: Optional[int] = None,
+) -> ProvenanceServer:
+    """Bind a ready-to-run server (``port=0`` picks a free port).
+
+    >>> from repro.db.instance import AnnotatedDatabase
+    >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b")]})
+    >>> server = make_server(db)
+    >>> server.server_address[0]
+    '127.0.0.1'
+    >>> server.state.session.engine
+    'hashjoin'
+    >>> server.close()
+
+    The caller owns the lifecycle: ``serve_forever()`` on a thread (or
+    the CLI's foreground loop), then :meth:`ProvenanceServer.close`.
+    """
+    state = ServerState(
+        db,
+        program=program,
+        engine=engine,
+        shards=shards,
+        workers=workers,
+        cache_size=cache_size,
+        broadcast_threshold=broadcast_threshold,
+    )
+    try:
+        return ProvenanceServer((host, port), state)
+    except BaseException:
+        state.close()
+        raise

@@ -1,0 +1,197 @@
+"""A thread-safe, version-keyed result cache with single-flight dedup.
+
+The serving tier keys cached responses by ``(canonical query text,
+db version, engine options)``.  Two properties fall out of putting the
+database version *in the key* instead of maintaining the entries:
+
+* **invalidation is free** — an update bumps the version, so every
+  stale entry simply stops being addressable; no scan, no per-entry
+  bookkeeping.  The LRU bound reclaims the dead entries as fresh
+  traffic pushes them out;
+* **hits are exact** — a cached body is byte-identical to what the
+  engine would produce at that version, because it *is* what the
+  engine produced at that version.
+
+Single-flight deduplication handles the thundering-herd case: when N
+concurrent requests miss on the same key, one of them (the *leader*)
+runs the computation while the others wait on its result — the engine
+runs once, not N times.  A leader's failure is propagated to every
+waiter and nothing is cached.
+
+Computations return ``(value, cacheable)`` so a caller that discovers
+mid-flight that the database moved on (the version it keyed on is no
+longer current) can hand the fresh value to all waiters *without*
+poisoning the cache under the stale key.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Tuple
+
+#: A computation run under single-flight: returns the value to hand to
+#: every deduplicated caller, plus whether to store it under the key.
+Compute = Callable[[], Tuple[object, bool]]
+
+#: Distinguishes "not cached" from a legitimately cached ``None`` value
+#: (``dict.get`` with a ``None`` default would conflate the two and turn
+#: a cached ``None`` into a permanent miss that still occupies capacity).
+_MISSING = object()
+
+
+class _Flight:
+    """One in-flight computation; waiters block on :attr:`event`."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):  # noqa: D107
+        self.event = threading.Event()
+        self.value = None
+        self.error = None
+
+
+class ResultCache:
+    """LRU-bounded cache with single-flight deduplication.
+
+    >>> cache = ResultCache(capacity=2)
+    >>> cache.get_or_compute("k", lambda: ("value", True))
+    'value'
+    >>> cache.get_or_compute("k", lambda: ("never run", True))
+    'value'
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, capacity: int = 256):  # noqa: D107
+        if capacity < 1:
+            raise ValueError("result cache capacity must be positive")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._inflight: Dict[Hashable, _Flight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._dedup_hits = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # The serving path
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """The cached value for ``key`` or ``None`` (counts hit/miss).
+
+        A plain lookup without single-flight — the batch path uses it to
+        collect its cached prefix before evaluating the misses together.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries on overflow."""
+        with self._lock:
+            self._store(key, value)
+
+    def get_or_compute(self, key: Hashable, compute: Compute):
+        """The cached value for ``key``, computing it at most once.
+
+        Concurrent callers with the same key are deduplicated: the first
+        becomes the leader and runs ``compute()``; the rest wait and
+        share its value (counted as ``dedup_hits``).  ``compute`` must
+        return ``(value, cacheable)``; when ``cacheable`` is false the
+        value is handed to every waiter but not stored.  If the leader
+        raises, every waiter re-raises the same exception.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+            if leader:
+                self._misses += 1
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self._dedup_hits += 1
+            return flight.value
+        try:
+            value, cacheable = compute()
+        except BaseException as error:
+            with self._lock:
+                del self._inflight[key]
+                flight.error = error
+                flight.event.set()
+            raise
+        with self._lock:
+            del self._inflight[key]
+            if cacheable:
+                self._store(key, value)
+            flight.value = value
+            flight.event.set()
+        return value
+
+    def _store(self, key: Hashable, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/dedup/eviction counters plus the derived hit rate.
+
+        ``dedup_hits`` count toward the hit rate: a deduplicated request
+        was served without its own engine run, which is exactly what the
+        rate is meant to measure.
+        """
+        with self._lock:
+            lookups = self._hits + self._misses + self._dedup_hits
+            served = self._hits + self._dedup_hits
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "dedup_hits": self._dedup_hits,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "inflight": len(self._inflight),
+                "hit_rate": (served / lookups) if lookups else 0.0,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (in-flight survive)."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._dedup_hits = 0
+            self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return "<ResultCache {size}/{capacity}, {hits} hits, {misses} misses>".format(
+            **stats
+        )

@@ -1,0 +1,161 @@
+"""HTTP request handling for the provenance server.
+
+The endpoint surface (all bodies JSON):
+
+======  ==================  ==============================================
+Method  Path                Body / response
+======  ==================  ==============================================
+POST    ``/query``          ``{"query": text}`` → annotated result table
+POST    ``/batch``          ``{"queries": [text, ...]}`` → aligned tables
+POST    ``/update``         delta batch(es), the ``maintain`` file format
+GET     ``/views/<name>``   materialized view (``?base=1`` expands to base)
+GET     ``/stats``          cache / request / session counters
+======  ==================  ==============================================
+
+Error contract: malformed requests (bad JSON, missing keys, query parse
+errors, invalid deltas) are 400s; unknown paths and unknown views are
+404s; method mismatches are 405s; everything else is a 500.  Every
+error body is ``{"error": message}``.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler
+from json import JSONDecodeError, loads
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import ReproError
+from repro.server.app import canonical_json
+
+#: Paths that only accept POST (GETs get a 405 pointing at the verb).
+_POST_PATHS = ("/query", "/batch", "/update")
+
+#: Maximum accepted request body, a backstop against memory abuse.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ProvenanceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request into the shared :class:`ServerState`."""
+
+    server_version = "repro-prov"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002, D102
+        # Per-request stderr lines would swamp tests and load runs; the
+        # /stats endpoint is the observability surface instead.
+        pass
+
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, canonical_json({"error": message}))
+
+    def _read_body(self) -> bytes:
+        """Consume the request body (every request, every route).
+
+        Keep-alive discipline: HTTP/1.1 reuses the connection, so a
+        response sent while body bytes sit unread would leave the next
+        request parser chewing on this request's payload.  Routes that
+        reject a request (404/405, bad JSON) must therefore still have
+        drained the body — which is why this runs before routing.  An
+        oversized body is the one case not worth draining: the
+        connection is marked for close instead.
+        """
+        header = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(header)
+        except ValueError:
+            # The body length is unknowable, so the body is undrainable:
+            # never reuse this socket.
+            self.close_connection = True
+            raise ReproError(
+                "invalid Content-Length header {!r}".format(header)
+            )
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # do not reuse an undrained socket
+            raise ReproError(
+                "request body exceeds {} bytes".format(MAX_BODY_BYTES)
+            )
+        return self.rfile.read(length) if length > 0 else b""
+
+    @staticmethod
+    def _parse_json(raw: bytes):
+        if not raw:
+            raise ReproError("request body must be a JSON document")
+        try:
+            return loads(raw)
+        except JSONDecodeError as error:
+            raise ReproError("invalid JSON body: {}".format(error))
+
+    # -- routing --------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: D102
+        state = self.server.state
+        path = urlsplit(self.path).path
+        state.request_started()
+        try:
+            raw = self._read_body()  # drained before ANY response
+            if path == "/query":
+                payload = self._parse_json(raw)
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("query"), str
+                ):
+                    raise ReproError(
+                        "POST /query expects {\"query\": \"<rule text>\"}"
+                    )
+                self._send(200, state.run_query(payload["query"]))
+            elif path == "/batch":
+                payload = self._parse_json(raw)
+                texts = payload.get("queries") if isinstance(payload, dict) else None
+                if not isinstance(texts, list) or not all(
+                    isinstance(text, str) for text in texts
+                ):
+                    raise ReproError(
+                        "POST /batch expects {\"queries\": [\"<rule text>\", ...]}"
+                    )
+                self._send(200, state.run_queries(texts))
+            elif path == "/update":
+                self._send(200, state.apply_update(self._parse_json(raw)))
+            elif path == "/stats" or path.startswith("/views/"):
+                self._error(405, "{} only accepts GET".format(path))
+            else:
+                self._error(404, "unknown path {}".format(path))
+        except ReproError as error:
+            self._error(400, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, "{}: {}".format(type(error).__name__, error))
+        finally:
+            state.request_finished()
+
+    def do_GET(self) -> None:  # noqa: D102
+        state = self.server.state
+        split = urlsplit(self.path)
+        path = split.path
+        state.request_started()
+        try:
+            self._read_body()  # a GET with a body must still drain it
+            if path == "/stats":
+                self._send(200, canonical_json(state.stats()))
+            elif path.startswith("/views/"):
+                name = unquote(path[len("/views/"):])
+                query = parse_qs(split.query)
+                base = query.get("base", ["0"])[-1] not in ("0", "false", "")
+                try:
+                    self._send(200, state.read_view(name, base=base))
+                except ReproError as error:
+                    self._error(404, str(error))
+            elif path in _POST_PATHS:
+                self._error(405, "{} only accepts POST".format(path))
+            else:
+                self._error(404, "unknown path {}".format(path))
+        except ReproError as error:  # oversized body on a GET
+            self._error(400, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, "{}: {}".format(type(error).__name__, error))
+        finally:
+            state.request_finished()

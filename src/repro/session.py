@@ -32,7 +32,8 @@ not per database size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.intern import InternTable, shared_intern
 from repro.db.instance import AnnotatedDatabase
@@ -98,6 +99,9 @@ class QuerySession:
                 broadcast_threshold=broadcast_threshold,
             )
         self._version = db.version()
+        # Reentrant so a writer can bundle a database mutation with the
+        # refresh it triggers while queries stay out; see :attr:`lock`.
+        self._lock = threading.RLock()
         self._adjunct_memo: Dict[ConjunctiveQuery, Dict] = {}
         self._aggregate_memo: Dict[AggregateQuery, Dict] = {}
         self._queries_served = 0
@@ -127,6 +131,40 @@ class QuerySession:
     def executor(self) -> Optional[ShardedExecutor]:
         """The warm sharded executor (``None`` for hashjoin sessions)."""
         return self._executor
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The session's reentrant evaluation lock.
+
+        :meth:`run_batch` acquires it around every evaluation;
+        concurrent *writers* (the serving tier's ``/update`` path)
+        acquire it around database mutations so no evaluation observes
+        a half-applied batch.  Single-threaded callers never need it.
+        """
+        return self._lock
+
+    def db_version(self) -> int:
+        """The database's current version counter (a cheap probe).
+
+        The serving tier keys its result cache on this: reading it does
+        not synchronize with in-flight evaluations, which is fine —
+        cache keys are validated against the version an evaluation
+        actually ran at (see :meth:`run_batch`).
+        """
+        return self._db.version()
+
+    def run_batch(self, queries: Sequence[AnyQuery]) -> Tuple[List, int]:
+        """Lock-guarded :meth:`evaluate_batch` for concurrent callers.
+
+        Returns ``(results, version)`` where ``version`` is the
+        database version the batch actually evaluated at — under
+        concurrency an update may land between a caller's version probe
+        and the evaluation, and the caller must not file the results
+        under the stale version.
+        """
+        with self._lock:
+            results = self.evaluate_batch(queries)
+            return results, self._version
 
     def refresh(self) -> None:
         """Drop memoized results and re-sync with the database.

@@ -317,3 +317,75 @@ class TestCoreAndSql:
         code, output = run(["sql", "-p", program_file])
         assert code == 0
         assert 'FROM "R" t0, "R" t1' in output
+
+
+class TestServe:
+    def test_serve_command_boots_and_shuts_down(
+        self, data_file, program_file, monkeypatch
+    ):
+        """In-process serve: banner printed, Ctrl-C path closes cleanly."""
+        from repro.server.app import ProvenanceServer
+
+        def interrupted(_self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ProvenanceServer, "serve_forever", interrupted)
+        code, output = run(
+            ["serve", "-d", data_file, "-p", program_file, "--port", "0"]
+        )
+        assert code == 0
+        assert "listening on http://" in output
+        assert "shutting down" in output
+
+    def test_serve_help_lists_options(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        text = capsys.readouterr().out
+        for option in ("--port", "--engine", "--shards", "--workers", "--cache-size"):
+            assert option in text
+
+    def test_serve_subprocess_round_trip(self, data_file, program_file):
+        """`repro-prov serve` boots, answers over HTTP, dies cleanly."""
+        import os
+        import subprocess
+        import sys
+        from http.client import HTTPConnection
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "-d",
+                data_file,
+                "-p",
+                program_file,
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=dict(os.environ),
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on http://" in banner, banner
+            host, port = banner.split("http://", 1)[1].split()[0].split(":")
+            conn = HTTPConnection(host, int(port), timeout=30)
+            try:
+                conn.request("POST", "/query", body=json.dumps({"query": "ans(x) :- R(x, x)"}))
+                response = conn.getresponse()
+                assert response.status == 200
+                body = json.loads(response.read())
+                assert body["kind"] == "polynomial"
+                conn.request("GET", "/views/pairs")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["view"] == "pairs"
+            finally:
+                conn.close()
+        finally:
+            process.terminate()
+            process.wait(timeout=30)

@@ -15,6 +15,7 @@ EXPECTED_FRAGMENTS = {
     "engine_comparison.py": "Engines agree polynomial-for-polynomial: True",
     "incremental_maintenance.py": "audit vs full re-evaluation: ok",
     "quickstart.py": "p-minimal equivalent found by MinProv",
+    "serve_and_query.py": "Server round-trip agrees with in-process evaluation: True",
     "sharded_batch.py": "Sharded batch agrees with the hash-join engine: True",
     "offline_core_provenance.py": "Rewrite-then-evaluate agrees: True",
     "trust_and_maintenance.py": "Minimal trust sets",

@@ -2,12 +2,19 @@
 
 import pytest
 
+from repro.aggregate.evaluate import evaluate_aggregate
 from repro.db.generators import random_database
 from repro.engine.evaluate import evaluate
 from repro.errors import ReproError
+from repro.incremental.delta import Delta
 from repro.io import (
+    aggregate_results_from_list,
+    aggregate_results_to_list,
     database_from_dict,
     database_to_dict,
+    delta_from_dict,
+    delta_to_dict,
+    deltas_from_payload,
     dump_session,
     load_session,
     polynomial_from_list,
@@ -16,8 +23,11 @@ from repro.io import (
     query_to_text,
     results_from_list,
     results_to_list,
+    semimodule_from_dict,
+    semimodule_to_dict,
 )
 from repro.paperdata import figure1, table2_database
+from repro.query.parser import parse_query
 from repro.semiring.polynomial import Polynomial
 
 
@@ -82,6 +92,28 @@ class TestResultsAndSessions:
         _, queries, results = load_session(path)
         assert queries == {} and results == {}
 
+    def test_aggregate_results_round_trip(self):
+        db = random_database({"R": 2, "S": 2}, list(range(6)), n_facts=24, seed=3)
+        for text in (
+            "agg(x, count(*)) :- R(x, y)",
+            "agg(sum(z), min(z), max(z)) :- R(x, y), S(y, z)",
+        ):
+            results = evaluate_aggregate(parse_query(text), db)
+            payload = aggregate_results_to_list(results)
+            assert aggregate_results_from_list(payload) == results
+
+    def test_semimodule_round_trip_merges_duplicate_values(self):
+        db = random_database({"R": 2}, list(range(4)), n_facts=8, seed=1)
+        results = evaluate_aggregate(
+            parse_query("agg(count(*)) :- R(x, y)"), db
+        )
+        element = results[()].aggregates[0]
+        payload = semimodule_to_dict(element)
+        # Duplicated tensors of one value must fold back through +.
+        payload["tensors"] = payload["tensors"] + payload["tensors"]
+        doubled = semimodule_from_dict(payload)
+        assert doubled == element + element
+
     def test_offline_minimization_of_loaded_session(self, tmp_path):
         """The Sec. 5 workflow across process boundaries: record now,
         minimize later from the file alone."""
@@ -98,3 +130,49 @@ class TestResultsAndSessions:
         core = core_provenance_table(loaded_results["q"], loaded_db)
         rewritten = evaluate(min_prov(loaded_queries["q"]), loaded_db)
         assert core == rewritten
+
+
+class TestDeltaCodecs:
+    """The `maintain` updates format, shared with the server's /update."""
+
+    PAYLOAD = {
+        "insert": {
+            "R": [["a", "b"], {"row": ["c", "d"], "annotation": "s9"}]
+        },
+        "delete": {"R": [["b", "a"]]},
+        "retag": {"S": [{"row": ["x"], "annotation": "t1"}]},
+    }
+
+    def test_delta_from_dict(self):
+        delta = delta_from_dict(self.PAYLOAD)
+        assert ("R", ("a", "b"), None) in delta.inserts
+        assert ("R", ("c", "d"), "s9") in delta.inserts
+        assert delta.deletes == (("R", ("b", "a")),)
+        assert delta.retags == (("S", ("x",), "t1"),)
+
+    def test_round_trip_through_dict(self):
+        delta = delta_from_dict(self.PAYLOAD)
+        assert deltas_from_payload(delta_to_dict(delta)) == [delta]
+
+    def test_single_object_counts_as_one_batch(self):
+        assert len(deltas_from_payload(self.PAYLOAD)) == 1
+        assert len(deltas_from_payload([self.PAYLOAD, self.PAYLOAD])) == 2
+
+    def test_empty_delta_round_trips(self):
+        assert deltas_from_payload(delta_to_dict(Delta())) == [Delta()]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            42,
+            "nope",
+            {"upsert": {}},
+            {"insert": {"R": [{"annotation": "s1"}]}},
+            {"insert": {"R": ["ab"]}},
+            {"retag": {"R": [["a", "b"]]}},
+            {"retag": {"R": [{"row": ["a", "b"]}]}},
+        ],
+    )
+    def test_malformed_payloads_rejected(self, bad):
+        with pytest.raises(ReproError):
+            deltas_from_payload(bad)

@@ -1,0 +1,703 @@
+"""Concurrency, differential and protocol tests for the serving tier.
+
+The load-bearing claims:
+
+* **single-flight** — N concurrent identical queries run the engine
+  once (monitored through a counting engine stub);
+* **version-keyed invalidation** — ``/update`` bumps the version and
+  every subsequent read reflects the new state, with no cache scan;
+* **byte-identity** — every ``/query`` and ``/batch`` response equals
+  encoding an in-process ``evaluate``/``evaluate_aggregate`` result
+  with the same codec, byte for byte, on 30 seeded databases and under
+  concurrent load;
+* **leak safety** — sessions dropped without ``close()`` do not strand
+  worker pools (via ``weakref.finalize``, never ``__del__``).
+"""
+
+import gc
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.aggregate.evaluate import evaluate_aggregate
+from repro.db.generators import random_database
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import evaluate
+from repro.engine.sharded import ShardedExecutor
+from repro.errors import EvaluationError
+from repro.query.aggregate import AggregateQuery
+from repro.query.parser import parse_program, parse_query
+from repro.server.app import (
+    ServerState,
+    canonical_json,
+    encode_results,
+    make_server,
+)
+from repro.server.cache import ResultCache
+from repro.session import QuerySession
+
+JOIN = "ans(x, z) :- R(x, y), S(y, z)"
+UNION = "ans(x) :- R(x, y)\nans(x) :- S(x, y)"
+AGG_COUNT = "agg(x, count(*)) :- R(x, y)"
+AGG_SUM = "agg(sum(z)) :- R(x, y), S(y, z)"
+
+
+def small_db():
+    return AnnotatedDatabase.from_rows(
+        {"R": [("a", "b"), ("b", "c"), ("c", "a")], "S": [("b", 1), ("c", 2)]}
+    )
+
+
+class Client:
+    """A tiny JSON HTTP client over :mod:`http.client`."""
+
+    def __init__(self, server):
+        self.host, self.port = server.server_address[:2]
+
+    def request(self, method, path, body=None):
+        conn = HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            conn.request(
+                method, path, body=None if body is None else json.dumps(body)
+            )
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def post(self, path, body):
+        return self.request("POST", path, body)
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def json(self, method, path, body=None):
+        status, raw = self.request(method, path, body)
+        return status, json.loads(raw)
+
+
+@contextmanager
+def serve(db, **kwargs):
+    server = make_server(db, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, Client(server)
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+def expected_query_body(text, db, version):
+    """What the server must answer: the shared codec over a direct,
+    in-process evaluation — the differential oracle."""
+    query = parse_query(text)
+    aggregate = isinstance(query, AggregateQuery)
+    direct = (
+        evaluate_aggregate(query, db) if aggregate else evaluate(query, db)
+    )
+    return canonical_json(
+        {"version": version, **encode_results(direct, aggregate)}
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache itself
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_get_or_compute_caches(self):
+        cache = ResultCache()
+        assert cache.get_or_compute("k", lambda: ("v", True)) == "v"
+        assert cache.get_or_compute("k", lambda: ("other", True)) == "v"
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_uncacheable_results_are_returned_but_not_stored(self):
+        cache = ResultCache()
+        assert cache.get_or_compute("k", lambda: ("fresh", False)) == "fresh"
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # bump a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_clear_resets(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_cached_none_is_a_hit_not_a_permanent_miss(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None, True
+
+        assert cache.get_or_compute("k", compute) is None
+        assert cache.get_or_compute("k", compute) is None
+        assert len(calls) == 1  # the stored None hits; no recompute
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["size"]) == (1, 1, 1)
+        cache.put("n", None)
+        assert cache.get("n") is None
+        assert cache.stats()["hits"] == 2
+
+    def test_reprs_are_cheap_summaries(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        assert "ResultCache" in repr(cache) and "1/256" in repr(cache)
+        with ServerState(small_db()) as state:
+            assert "hashjoin" in repr(state) and "session" in repr(state)
+
+    def test_single_flight_computes_once(self):
+        cache = ResultCache()
+        calls = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            calls.append(1)
+            started.set()
+            release.wait(10)
+            return "value", True
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_compute("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        assert started.wait(10)
+        release.set()
+        for thread in threads:
+            thread.join(10)
+        assert len(calls) == 1  # the engine ran once for 8 callers
+        assert results == ["value"] * 8
+        stats = cache.stats()
+        assert stats["dedup_hits"] + stats["hits"] == 7
+        assert stats["misses"] == 1
+
+    def test_leader_failure_propagates_and_caches_nothing(self):
+        cache = ResultCache()
+        started = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def compute():
+            started.set()
+            release.wait(10)
+            raise RuntimeError("engine exploded")
+
+        def worker():
+            try:
+                cache.get_or_compute("k", compute)
+            except RuntimeError as error:
+                outcomes.append(str(error))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads[0].start()
+        assert started.wait(10)
+        for thread in threads[1:]:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(10)
+        assert outcomes == ["engine exploded"] * 4
+        assert cache.get("k") is None
+        # The key is not poisoned: the next computation succeeds.
+        assert cache.get_or_compute("k", lambda: ("ok", True)) == "ok"
+
+
+# ----------------------------------------------------------------------
+# Endpoint protocol (malformed requests, status codes)
+# ----------------------------------------------------------------------
+class TestProtocol:
+    @pytest.fixture(scope="class")
+    def served(self):
+        with serve(small_db()) as pair:
+            yield pair
+
+    def test_query_ok(self, served):
+        _server, client = served
+        status, payload = client.json("POST", "/query", {"query": JOIN})
+        assert status == 200
+        assert payload["kind"] == "polynomial"
+        assert payload["results"]
+
+    def test_missing_body_is_400(self, served):
+        _server, client = served
+        status, payload = client.json("POST", "/query")
+        assert status == 400
+        assert "body" in payload["error"]
+
+    def test_invalid_json_is_400(self, served):
+        _server, client = served
+        conn = HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request("POST", "/query", body="{not json")
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"invalid JSON" in response.read()
+        finally:
+            conn.close()
+
+    def test_wrong_query_type_is_400(self, served):
+        _server, client = served
+        for body in ({}, {"query": 7}, [JOIN]):
+            status, payload = client.json("POST", "/query", body)
+            assert status == 400, payload
+
+    def test_parse_error_is_400(self, served):
+        _server, client = served
+        status, payload = client.json("POST", "/query", {"query": "not a rule"})
+        assert status == 400
+        assert payload["error"]
+
+    def test_wrong_batch_type_is_400(self, served):
+        _server, client = served
+        for body in ({}, {"queries": JOIN}, {"queries": [JOIN, 3]}):
+            status, _payload = client.json("POST", "/batch", body)
+            assert status == 400
+
+    def test_bad_update_batches_are_400(self, served):
+        _server, client = served
+        for body in (
+            {"upsert": {}},  # unknown section
+            {"insert": {"R": [{"no_row": True}]}},
+            {"retag": {"R": [["a", "b"]]}},
+            {"delete": {"R": [["zz", "zz"]]}},  # absent tuple
+            42,
+        ):
+            status, payload = client.json("POST", "/update", body)
+            assert status == 400, payload
+
+    def test_method_mismatches_are_405(self, served):
+        _server, client = served
+        assert client.get("/query")[0] == 405
+        assert client.get("/batch")[0] == 405
+        assert client.get("/update")[0] == 405
+        assert client.post("/stats", {})[0] == 405
+        assert client.post("/views/V", {})[0] == 405
+
+    def test_unknown_paths_are_404(self, served):
+        _server, client = served
+        assert client.get("/nope")[0] == 404
+        assert client.post("/nope", {})[0] == 404
+
+    def test_views_without_registry_is_404(self, served):
+        _server, client = served
+        status, payload = client.json("GET", "/views/V")
+        assert status == 404
+        assert "program" in payload["error"]
+
+    def test_stats_shape(self, served):
+        _server, client = served
+        status, payload = client.json("GET", "/stats")
+        assert status == 200
+        assert payload["mode"] == "session"
+        assert payload["engine"] == "hashjoin"
+        assert {"hits", "misses", "hit_rate", "inflight"} <= set(payload["cache"])
+        assert {"symbols", "monomials", "products"} <= set(payload["intern"])
+        assert payload["db_version"] >= 0
+        assert payload["requests"]["active"] >= 1  # this very request
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EvaluationError):
+            ServerState(small_db(), engine="warp")
+
+    def test_invalid_content_length_is_400_and_closes(self, served):
+        """An unparseable Content-Length means the body cannot be
+        drained: the response is a clean 400 that closes the socket."""
+        _server, client = served
+        import socket
+
+        with socket.create_connection((client.host, client.port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\n"
+                b"Host: test\r\nContent-Length: 12abc\r\n\r\n"
+            )
+            sock.settimeout(30)
+            chunks = b""
+            while True:
+                data = sock.recv(4096)
+                if not data:
+                    break  # server closed the undrainable connection
+                chunks += data
+            assert b"400" in chunks.split(b"\r\n", 1)[0]
+            assert b"invalid Content-Length" in chunks
+
+    def test_keep_alive_survives_rejected_posts(self, served):
+        """A 405/404/400 response must drain the request body, or the
+        next request on the same keep-alive connection parses garbage."""
+        _server, client = served
+        conn = HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            # POST with a body to a GET-only path: 405, body unread
+            # unless the handler drains it.
+            for path, expected in (
+                ("/stats", 405),
+                ("/nowhere", 404),
+                ("/query", 400),
+            ):
+                conn.request("POST", path, body=json.dumps({"pad": "x" * 256}))
+                response = conn.getresponse()
+                assert response.status == expected
+                response.read()
+                # The SAME connection must still serve the next request.
+                conn.request("GET", "/stats")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["engine"] == "hashjoin"
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Version-keyed invalidation
+# ----------------------------------------------------------------------
+class TestInvalidation:
+    def test_update_invalidates_without_scanning(self):
+        with serve(small_db()) as (server, client):
+            status, first = client.post("/query", {"query": "ans(x) :- R(x, x)"})
+            assert status == 200
+            status, again = client.post("/query", {"query": "ans(x) :- R(x, x)"})
+            assert status == 200
+            assert again == first  # warm hit, byte-identical
+            assert server.state.cache.stats()["hits"] == 1
+
+            status, _ = client.post(
+                "/update", {"insert": {"R": [["a", "a"]]}}
+            )
+            assert status == 200
+            status, fresh = client.json(
+                "POST", "/query", {"query": "ans(x) :- R(x, x)"}
+            )
+            assert status == 200
+            assert [entry["tuple"] for entry in fresh["results"]] == [["a"]]
+            # The stale entry was never touched: invalidation happened
+            # purely by the version moving on.
+            assert server.state.cache.stats()["evictions"] == 0
+
+    def test_update_applies_deletes_and_retags(self):
+        with serve(small_db()) as (server, client):
+            status, payload = client.json(
+                "POST",
+                "/update",
+                {
+                    "delete": {"R": [["c", "a"]]},
+                    "retag": {"S": [{"row": ["b", 1], "annotation": "t9"}]},
+                },
+            )
+            assert status == 200
+            assert payload["changes"] == 2
+            status, result = client.json("POST", "/query", {"query": JOIN})
+            assert status == 200
+            provenances = {
+                json.dumps(entry["provenance"], sort_keys=True)
+                for entry in result["results"]
+            }
+            assert any("t9" in blob for blob in provenances)
+            # S(b, 1) carried s4 before the retag; nothing mentions it now.
+            assert not any('"s4"' in blob for blob in provenances)
+
+    def test_invalid_multi_batch_update_applies_nothing(self):
+        """All batches are validated up front: a bad later batch must
+        not leave earlier batches half-applied behind a 400."""
+        with serve(small_db()) as (server, client):
+            before = server.state.session.db_version()
+            status, payload = client.json(
+                "POST",
+                "/update",
+                [
+                    {"insert": {"R": [["x", "y"]]}},  # valid on its own
+                    {"delete": {"R": [["nope", "nope"]]}},  # absent tuple
+                ],
+            )
+            assert status == 400
+            assert "absent" in payload["error"]
+            assert server.state.session.db_version() == before  # untouched
+            status, result = client.json(
+                "POST", "/query", {"query": "ans(x) :- R(x, y)"}
+            )
+            assert ["x"] not in [e["tuple"] for e in result["results"]]
+
+    def test_later_batch_may_delete_what_an_earlier_one_inserted(self):
+        with serve(small_db()) as (_server, client):
+            status, payload = client.json(
+                "POST",
+                "/update",
+                [
+                    {"insert": {"R": [{"row": ["x", "y"], "annotation": "t1"}]}},
+                    {"delete": {"R": [["x", "y"]]}},
+                ],
+            )
+            assert status == 200
+            assert payload["changes"] == 2
+
+    def test_registry_views_follow_updates(self):
+        program = parse_program(
+            "V1(x, z) :- R(x, y), R(y, z)\nV2(x) :- V1(x, x)"
+        )
+        db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("b", "a")]})
+        with serve(db, program=program) as (server, client):
+            registry = server.state.registry
+            status, before = client.json("GET", "/views/V2")
+            assert status == 200
+            assert [e["tuple"] for e in before["results"]] == [["a"], ["b"]]
+
+            status, _ = client.post(
+                "/update", {"delete": {"R": [["b", "a"]]}}
+            )
+            assert status == 200
+            status, after = client.json("GET", "/views/V2")
+            assert status == 200
+            assert after["results"] == []
+
+            # Base expansion composes the layers down to base symbols.
+            client.post("/update", {"insert": {"R": [["b", "a"]]}})
+            status, base = client.get("/views/V2?base=1")
+            assert status == 200
+            expected = canonical_json(
+                {
+                    "version": registry.db_version(),
+                    "view": "V2",
+                    **encode_results(registry.base_provenance("V2"), False),
+                }
+            )
+            assert base == expected
+
+
+# ----------------------------------------------------------------------
+# Single-flight over HTTP (counting engine stub)
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_concurrent_identical_queries_run_engine_once(self):
+        with serve(small_db()) as (server, client):
+            state = server.state
+            original = state._session_run
+            calls = []
+            release = threading.Event()
+
+            def gated(queries):
+                calls.append(len(queries))
+                release.wait(15)
+                return original(queries)
+
+            state._session_run = gated
+            outcomes = []
+
+            def fire():
+                outcomes.append(client.post("/query", {"query": JOIN}))
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if state.stats()["requests"]["active"] >= 6:
+                    break
+                time.sleep(0.01)
+            release.set()
+            for thread in threads:
+                thread.join(15)
+
+            assert len(calls) == 1  # six requests, one engine run
+            assert {status for status, _ in outcomes} == {200}
+            assert len({body for _, body in outcomes}) == 1
+            stats = state.cache.stats()
+            assert stats["misses"] == 1
+            assert stats["dedup_hits"] + stats["hits"] == 5
+
+
+# ----------------------------------------------------------------------
+# Differential: served bytes == in-process evaluation (30 seeded dbs)
+# ----------------------------------------------------------------------
+class TestDifferential:
+    TEXTS = [JOIN, UNION, AGG_COUNT, AGG_SUM]
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_query_and_batch_byte_identical(self, seed):
+        db = random_database(
+            {"R": 2, "S": 2}, list(range(8)), n_facts=40, seed=seed
+        )
+        with serve(db) as (server, client):
+            version = server.state.session.db_version()
+            expected = {
+                text: expected_query_body(text, db, version)
+                for text in self.TEXTS
+            }
+            for text in self.TEXTS:
+                status, body = client.post("/query", {"query": text})
+                assert status == 200
+                assert body == expected[text], text
+            # /batch embeds the very same per-query payloads.
+            status, body = client.post("/batch", {"queries": self.TEXTS})
+            assert status == 200
+            envelope = {
+                "results": [
+                    json.loads(expected[text]) for text in self.TEXTS
+                ]
+            }
+            assert body == canonical_json(envelope)
+
+    def test_batch_mixes_cached_and_fresh(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            client.post("/query", {"query": JOIN})  # prime one entry
+            status, body = client.post(
+                "/batch", {"queries": [JOIN, UNION, JOIN]}
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert len(payload["results"]) == 3
+            assert payload["results"][0] == payload["results"][2]
+            stats = server.state.cache.stats()
+            assert stats["hits"] >= 1  # the primed entry was reused
+
+    def test_byte_identity_under_concurrent_load(self):
+        db = random_database(
+            {"R": 2, "S": 2}, list(range(10)), n_facts=120, seed=99
+        )
+        with serve(db) as (server, client):
+            version = server.state.session.db_version()
+            expected = {
+                text: expected_query_body(text, db, version)
+                for text in self.TEXTS
+            }
+            failures = []
+
+            def worker(offset):
+                for index in range(12):
+                    text = self.TEXTS[(offset + index) % len(self.TEXTS)]
+                    status, body = client.post("/query", {"query": text})
+                    if status != 200 or body != expected[text]:
+                        failures.append((text, status))
+
+            threads = [
+                threading.Thread(target=worker, args=(offset,))
+                for offset in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert not failures
+            stats = server.state.cache.stats()
+            assert stats["hit_rate"] > 0
+            assert stats["misses"] <= len(self.TEXTS)
+
+    def test_mixed_query_update_load_stays_consistent(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            statuses = []
+
+            def query_worker(offset):
+                for index in range(10):
+                    text = self.TEXTS[(offset + index) % len(self.TEXTS)]
+                    statuses.append(client.post("/query", {"query": text})[0])
+
+            def update_worker(tag):
+                for index in range(5):
+                    body = {
+                        "insert": {
+                            "R": [
+                                {
+                                    "row": ["u{}".format(tag), "v{}".format(index)],
+                                    "annotation": "u{}_{}".format(tag, index),
+                                }
+                            ]
+                        }
+                    }
+                    statuses.append(client.post("/update", body)[0])
+
+            threads = [
+                threading.Thread(target=query_worker, args=(offset,))
+                for offset in range(6)
+            ] + [
+                threading.Thread(target=update_worker, args=(tag,))
+                for tag in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert set(statuses) == {200}
+            # Steady state: the served answer matches a direct
+            # evaluation over the final database.
+            version = server.state.session.db_version()
+            for text in self.TEXTS:
+                status, body = client.post("/query", {"query": text})
+                assert status == 200
+                assert body == expected_query_body(text, db, version)
+
+    def test_sharded_engine_serves_identical_bytes(self):
+        db = random_database(
+            {"R": 2, "S": 2}, list(range(8)), n_facts=60, seed=7
+        )
+        with serve(db, engine="sharded", shards=2, workers=2) as (
+            server,
+            client,
+        ):
+            version = server.state.session.db_version()
+            for text in self.TEXTS:
+                status, body = client.post("/query", {"query": text})
+                assert status == 200
+                assert body == expected_query_body(text, db, version)
+
+
+# ----------------------------------------------------------------------
+# Leaked sessions must not strand worker pools (satellite fix)
+# ----------------------------------------------------------------------
+class TestLeakedSessions:
+    def test_no_del_methods_involved(self):
+        # The cleanup contract is weakref.finalize, never __del__ (which
+        # would resurrect objects and stall gc on reference cycles).
+        assert not hasattr(ShardedExecutor, "__del__")
+        assert not hasattr(QuerySession, "__del__")
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_leaked_session_releases_its_pool(self, mode):
+        db = small_db()
+        session = QuerySession(
+            db, engine="sharded", shards=2, workers=2, mode=mode
+        )
+        session.evaluate(parse_query("ans(x, z) :- R(x, y), R(y, z)"))
+        executor = session.executor
+        finalizer = executor._finalizer
+        assert finalizer is not None and finalizer.alive
+        # Leak the session: no close(), no context manager.
+        del session, executor
+        gc.collect()
+        assert not finalizer.alive  # the pool was shut down on collection
+
+    def test_explicit_close_disarms_the_finalizer(self):
+        db = small_db()
+        with QuerySession(
+            db, engine="sharded", shards=2, workers=2, mode="thread"
+        ) as session:
+            session.evaluate(parse_query("ans(x) :- R(x, y)"))
+            finalizer = session.executor._finalizer
+            assert finalizer.alive
+        assert not finalizer.alive
