@@ -15,6 +15,7 @@ isolates parallelism; the hash-join engine is timed alongside as the
 serial baseline for the JSON artifact.
 """
 
+import json
 import os
 import time
 
@@ -24,6 +25,7 @@ from conftest import banner
 
 from repro.db.generators import random_database
 from repro.engine.hashjoin import evaluate_hashjoin
+from repro.obs.trace import tracing, tree_stage_names
 from repro.query.parser import parse_query
 from repro.session import QuerySession
 
@@ -123,3 +125,59 @@ def test_sharded_single_shard(benchmark, single_shard_session):
 
 def test_hashjoin_serial_baseline(benchmark, db):
     assert benchmark(evaluate_hashjoin, QUERY, db)
+
+
+# ----------------------------------------------------------------------
+# Trace artifact: where does sharded wall-clock actually go?
+# ----------------------------------------------------------------------
+def _stage_totals(tree, totals=None):
+    """Aggregate a trace tree into ``{stage: total_ms}``."""
+    totals = {} if totals is None else totals
+    totals[tree["name"]] = totals.get(tree["name"], 0.0) + tree["duration_ms"]
+    for child in tree.get("children", ()):
+        _stage_totals(child, totals)
+    return totals
+
+
+def test_trace_artifact_breaks_down_sharded_run(db):
+    """Capture cold + steady span trees for 1 and 4 shards.
+
+    Writes ``benchmarks/traces/sharded_10k.json`` — the committed
+    evidence behind the ROADMAP's columnar-refactor item: the cold run
+    shows payload shipping (``shard.ship``), the steady runs split into
+    fan-out/execute (``join``) and cross-shard intern-merge
+    (``shard.merge``).
+    """
+    artifact = {"query": "ans(x, z) :- R(x, y), S(y, z)", "facts": db.fact_count()}
+    for shards in (1, 4):
+        with QuerySession(
+            db, engine="sharded", shards=shards, workers=shards,
+            broadcast_threshold=0,
+        ) as session:
+            with tracing("cold") as tracer:
+                session.evaluate(QUERY)
+            cold = tracer.tree()
+            session.refresh()
+            with tracing("steady") as tracer:
+                session.evaluate(QUERY)
+            steady = tracer.tree()
+        for want in ("shard.refresh", "join", "shard.merge"):
+            assert want in tree_stage_names(steady), (want, steady)
+        artifact["shards_{}".format(shards)] = {
+            "cold": cold,
+            "steady": steady,
+            "steady_stage_ms": {
+                name: round(value, 3)
+                for name, value in sorted(_stage_totals(steady).items())
+            },
+        }
+    path = os.path.join(os.path.dirname(__file__), "traces", "sharded_10k.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    banner(
+        "steady-state stage split (ms): 1 shard {} / 4 shards {}".format(
+            artifact["shards_1"]["steady_stage_ms"],
+            artifact["shards_4"]["steady_stage_ms"],
+        )
+    )

@@ -12,11 +12,19 @@ Steps:
    port, parsing the chosen port from its banner line;
 3. run ``--threads`` workers, each firing ``--requests`` requests —
    a rotating mix of ``/query`` texts with every tenth request an
-   ``/update`` inserting a unique tuple;
-4. assert every response was a 200 and, from ``/stats``, that the
-   result cache actually served hits (hit rate > 0).
+   ``/update`` inserting a unique tuple — while a scraper thread polls
+   ``GET /metrics`` mid-load (each scrape must be a 200 that parses as
+   Prometheus exposition);
+4. assert every response was a 200; from the final ``/metrics`` scrape,
+   that the per-endpoint request counters account for every request the
+   workers sent; and from ``/stats``, that the result cache actually
+   served hits (hit rate > 0) and the latency percentiles are sane.
 
-Exit code 0 on success, 1 on any failed request or a cold cache.
+``--json PATH`` writes the latency percentiles and counter totals as a
+JSON artifact (the CI serve job uploads it).
+
+Exit code 0 on success, 1 on any failed request, counter mismatch or a
+cold cache.
 """
 
 from __future__ import annotations
@@ -93,12 +101,73 @@ def worker(host: str, port: int, thread_id: int, requests: int, outcomes: list):
         conn.close()
 
 
+def scrape_metrics(host: str, port: int) -> str:
+    """One ``GET /metrics`` scrape; raises on a non-200."""
+    conn = HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        if response.status != 200:
+            raise RuntimeError(
+                "GET /metrics answered {}: {!r}".format(response.status, body)
+            )
+        return body
+    finally:
+        conn.close()
+
+
+def parse_exposition(text: str) -> dict:
+    """``{metric{labels}: value}`` from a Prometheus text exposition.
+
+    A deliberately strict parser: any sample line that does not split
+    into ``name[{labels}] value`` with a float value fails the smoke
+    run — the format is the contract ``/metrics`` promises.
+    """
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _space, value = line.rpartition(" ")
+        if not name:
+            raise ValueError("unparseable sample line: {!r}".format(line))
+        samples[name] = float(value)
+    return samples
+
+
+def counter_total(samples: dict, name: str, **labels) -> float:
+    """Sum every series of ``name`` whose labels include ``labels``."""
+    total = 0.0
+    for key, value in samples.items():
+        if not key.startswith(name):
+            continue
+        if all('{}="{}"'.format(k, v) in key for k, v in labels.items()):
+            total += value
+    return total
+
+
+def metrics_scraper(host: str, port: int, stop: threading.Event, scrapes: list):
+    """Poll /metrics until told to stop, recording each parsed scrape."""
+    while not stop.is_set():
+        try:
+            scrapes.append(parse_exposition(scrape_metrics(host, port)))
+        except Exception as error:  # noqa: BLE001 - reported by main
+            scrapes.append(error)
+            return
+        stop.wait(0.05)
+
+
 def main(argv=None) -> int:
     """Run the smoke load; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threads", type=int, default=16)
     parser.add_argument("--requests", type=int, default=50)
     parser.add_argument("--engine", default="hashjoin", choices=("hashjoin", "sharded"))
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write latency percentiles and counter totals as JSON",
+    )
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -140,10 +209,18 @@ def main(argv=None) -> int:
                 )
                 for thread_id in range(args.threads)
             ]
+            stop = threading.Event()
+            scrapes: list = []
+            scraper = threading.Thread(
+                target=metrics_scraper, args=(host, int(port), stop, scrapes)
+            )
+            scraper.start()
             for thread in threads:
                 thread.start()
             for thread in threads:
                 thread.join()
+            stop.set()
+            scraper.join()
 
             expected = args.threads * args.requests
             failures = [entry for entry in outcomes if entry[1] != 200]
@@ -176,6 +253,70 @@ def main(argv=None) -> int:
             if cache["hit_rate"] <= 0:
                 print("FAIL: the result cache served no hits", file=sys.stderr)
                 return 1
+
+            errors = [entry for entry in scrapes if isinstance(entry, Exception)]
+            if errors:
+                print(
+                    "FAIL: mid-load /metrics scrape: {!r}".format(errors[0]),
+                    file=sys.stderr,
+                )
+                return 1
+            if not scrapes:
+                print("FAIL: the scraper never reached /metrics", file=sys.stderr)
+                return 1
+            final = parse_exposition(scrape_metrics(host, int(port)))
+            queries_sent = sum(1 for path, _status in outcomes if path == "/query")
+            updates_sent = sum(1 for path, _status in outcomes if path == "/update")
+            counted = {
+                "/query": counter_total(
+                    final, "repro_http_requests_total", endpoint="/query"
+                ),
+                "/update": counter_total(
+                    final, "repro_http_requests_total", endpoint="/update"
+                ),
+            }
+            print(
+                "metrics: {} scrapes mid-load; counters /query={:.0f} "
+                "/update={:.0f}".format(
+                    len(scrapes), counted["/query"], counted["/update"]
+                )
+            )
+            if counted["/query"] != queries_sent or counted["/update"] != updates_sent:
+                print(
+                    "FAIL: request counters disagree with the load "
+                    "(sent {} queries / {} updates)".format(
+                        queries_sent, updates_sent
+                    ),
+                    file=sys.stderr,
+                )
+                return 1
+            latency = stats.get("latency", {})
+            for endpoint, percentiles in sorted(latency.items()):
+                print(
+                    "latency {}: p50={:.2f}ms p95={:.2f}ms p99={:.2f}ms".format(
+                        endpoint,
+                        (percentiles["p50"] or 0) * 1e3,
+                        (percentiles["p95"] or 0) * 1e3,
+                        (percentiles["p99"] or 0) * 1e3,
+                    )
+                )
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump(
+                        {
+                            "engine": args.engine,
+                            "threads": args.threads,
+                            "requests_per_thread": args.requests,
+                            "latency_seconds": latency,
+                            "request_counters": counted,
+                            "cache": cache,
+                            "metrics_scrapes": len(scrapes),
+                        },
+                        handle,
+                        indent=2,
+                        sort_keys=True,
+                    )
+                print("wrote {}".format(args.json))
             print("smoke load passed")
             return 0
         finally:

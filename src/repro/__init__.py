@@ -91,11 +91,19 @@ from repro.semiring.order import (
     polynomial_le,
     polynomial_lt,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    default_registry,
+    format_trace,
+    tracing,
+)
 from repro.semiring.polynomial import Monomial, Polynomial
 from repro.server import ResultCache, ServerState, make_server
 from repro.session import QuerySession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # query model
@@ -182,6 +190,13 @@ __all__ = [
     "ResultCache",
     "ServerState",
     "make_server",
+    # observability
+    "MetricsRegistry",
+    "Tracer",
+    "current_tracer",
+    "default_registry",
+    "format_trace",
+    "tracing",
     # aggregate provenance (semimodule annotations)
     "AggregateTerm",
     "AggregateRule",

@@ -13,7 +13,9 @@ Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
     repro-prov maintain  -p program.dl -d data.json -u updates.json [--check] [--quiet]
     repro-prov serve     -d data.json [-p program.dl] [--host H] [--port P]
                          [--engine hashjoin|sharded] [--shards N] [--workers N]
-                         [--cache-size N]
+                         [--cache-size N] [--no-metrics] [--log-level LEVEL]
+    repro-prov trace     "<query text>" -d data.json [--engine hashjoin|sharded]
+                         [--shards N] [--workers N] [--json]
 
 The program file uses the rule syntax of :mod:`repro.query.parser`
 (one or more rules; rules sharing a head relation form a union).  The
@@ -40,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Dict, List, Optional
 
@@ -448,6 +451,10 @@ def command_serve(args, out) -> int:
     """
     from repro.server.app import make_server
 
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
     db = load_database(args.data)
     program = load_program(args.program) if args.program else None
     with make_server(
@@ -459,6 +466,7 @@ def command_serve(args, out) -> int:
         shards=args.shards,
         workers=args.workers,
         cache_size=args.cache_size,
+        metrics=not args.no_metrics,
     ) as server:
         host, port = server.server_address[:2]
         print(
@@ -475,6 +483,40 @@ def command_serve(args, out) -> int:
             server.serve_forever()
         except KeyboardInterrupt:
             print("shutting down", file=out)
+    return 0
+
+
+def command_trace(args, out) -> int:
+    """Evaluate one query with tracing on and print the span tree.
+
+    The same ambient-tracer plumbing the server's ``?trace=1`` uses,
+    pointed at a one-shot :class:`~repro.session.QuerySession` — so the
+    printed stages (parse → plan → join → merge, plus the shard
+    fan-out under ``--engine sharded``) are exactly what a served
+    request would record.
+    """
+    from repro.obs.trace import format_trace, tracing
+    from repro.session import QuerySession
+
+    db = load_database(args.data)
+    with tracing("query") as tracer:
+        with tracer.span("parse"):
+            query = parse_query(args.query)
+        with QuerySession(
+            db,
+            engine=args.engine,
+            shards=args.shards,
+            workers=args.workers,
+            mode="thread",
+        ) as session:
+            results = session.evaluate_batch([query])[0]
+    tree = tracer.tree()
+    if args.json:
+        json.dump(tree, out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        print(format_trace(tree), file=out)
+        print("-- {} result tuples".format(len(results)), file=out)
     return 0
 
 
@@ -658,7 +700,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="LRU bound of the version-keyed result cache (default: 256)",
     )
+    sub_serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the metrics registry (GET /metrics answers 404; "
+        "instrumentation points become shared no-ops)",
+    )
+    sub_serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="stdlib logging level; 'info' emits one structured line "
+        "per request on the repro.server logger (default: warning)",
+    )
     sub_serve.set_defaults(handler=command_serve)
+
+    sub_trace = subparsers.add_parser(
+        "trace",
+        help="evaluate one query with tracing on and print the span tree",
+    )
+    sub_trace.add_argument("query", help="query text (rule syntax)")
+    sub_trace.add_argument("-d", "--data", required=True, help="JSON data file")
+    sub_trace.add_argument(
+        "--engine",
+        choices=("hashjoin", "sharded"),
+        default="hashjoin",
+        help="evaluation engine (default: hashjoin; sharded shows the "
+        "shard fan-out stages)",
+    )
+    add_parallel(sub_trace)
+    sub_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the trace tree as JSON instead of the indented view",
+    )
+    sub_trace.set_defaults(handler=command_trace)
     return parser
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.db.instance import AnnotatedDatabase, Row
 from repro.errors import EvaluationError
+from repro.obs.trace import current_tracer
 
 #: Relations with fewer rows than this are broadcast (replicated without
 #: owners) instead of hash-partitioned; see :class:`ShardedDatabase`.
@@ -210,6 +211,10 @@ class ShardedDatabase:
         if version == self._synced_version:
             return False
         records = self._db.changes_since(self._synced_version)
+        repartition_cm = current_tracer().span(
+            "shard.repartition", records=len(records)
+        )
+        repartition_cm.__enter__()
         if not records:
             self._rebuild()
         else:
@@ -233,6 +238,7 @@ class ShardedDatabase:
         self._synced_version = version
         self._payload = None
         self._epoch += 1
+        repartition_cm.__exit__(None, None, None)
         return True
 
     # ------------------------------------------------------------------
@@ -283,24 +289,26 @@ class ShardedDatabase:
     def payload(self) -> ShardPayload:
         """The current snapshot (cached until the next refresh)."""
         if self._payload is None:
-            relations: Dict[str, Tuple[Tuple[Row, str, int], ...]] = {}
-            arities: Dict[str, int] = {}
-            for relation in sorted(self._db.relations()):
-                arities[relation] = self._db.arity(relation)
-                owners = self._owners.get(relation)
-                if owners is None:
-                    relations[relation] = tuple(
-                        (row, annotation, OWNER_BROADCAST)
-                        for row, annotation in self._db.facts(relation)
-                    )
-                else:
-                    relations[relation] = tuple(
-                        (row, annotation, owners[row])
-                        for row, annotation in self._db.facts(relation)
-                    )
-            self._payload = ShardPayload(
-                self._shard_count, self._epoch, arities, relations
-            )
+            with current_tracer().span("shard.snapshot") as span:
+                relations: Dict[str, Tuple[Tuple[Row, str, int], ...]] = {}
+                arities: Dict[str, int] = {}
+                for relation in sorted(self._db.relations()):
+                    arities[relation] = self._db.arity(relation)
+                    owners = self._owners.get(relation)
+                    if owners is None:
+                        relations[relation] = tuple(
+                            (row, annotation, OWNER_BROADCAST)
+                            for row, annotation in self._db.facts(relation)
+                        )
+                    else:
+                        relations[relation] = tuple(
+                            (row, annotation, owners[row])
+                            for row, annotation in self._db.facts(relation)
+                        )
+                self._payload = ShardPayload(
+                    self._shard_count, self._epoch, arities, relations
+                )
+                span.set(facts=self._payload.fact_count())
         return self._payload
 
     def stats(self) -> Dict[str, int]:

@@ -45,6 +45,7 @@ from repro.engine.plan_cache import (
     greedy_order,
 )
 from repro.errors import EvaluationError, SchemaError
+from repro.obs.trace import current_tracer
 from repro.query.aggregate import AggregateQuery
 from repro.query.cq import ConjunctiveQuery
 from repro.query.terms import Constant, Variable
@@ -263,10 +264,15 @@ def _execute(
     shard's owned fragment this way)."""
     if not plan.satisfiable:
         return {}
+    tracer = current_tracer()
     state: Dict[Tuple[Value, ...], _Annotation] = {(): {intern.one: 1}}
     symbol_id = intern.symbol_id
     times = intern.times_symbol
     for step_index, step in enumerate(plan.steps):
+        # One span per *join step*, never per tuple: the inner loops run
+        # untouched, so a null tracer leaves the engine loop as it was.
+        step_span_cm = tracer.span("join.step", relation=step.relation)
+        step_span = step_span_cm.__enter__()
         source = (
             db.facts(step.relation)
             if facts_fn is None
@@ -320,6 +326,8 @@ def _execute(
                     product = times(monomial, symbol)
                     bucket[product] = bucket.get(product, 0) + coefficient
         state = new_state
+        step_span.set(rows=len(source), bindings=len(state))
+        step_span_cm.__exit__(None, None, None)
         if not state:
             return {}
 
@@ -361,12 +369,16 @@ def plan_for(
 ) -> CQPlan:
     """The (cached) hash-join plan of one conjunctive adjunct on ``db``."""
     cache = _DEFAULT_CACHE if cache is None else cache
-    measured = _measure(query, db)
-    key = (query, cardinality_profile(measured))
-    plan = cache.lookup(key)
-    if plan is None:
-        plan = compile_cq(query, db, measured)
-        cache.store(key, plan)
+    with current_tracer().span("plan") as span:
+        measured = _measure(query, db)
+        key = (query, cardinality_profile(measured))
+        plan = cache.lookup(key)
+        if plan is None:
+            span.set(cache="miss")
+            plan = compile_cq(query, db, measured)
+            cache.store(key, plan)
+        else:
+            span.set(cache="hit")
     return plan
 
 
@@ -390,19 +402,23 @@ def evaluate_hashjoin(
             "evaluate_aggregate_hashjoin instead of evaluate_hashjoin"
         )
     intern = shared_intern() if intern is None else intern
+    tracer = current_tracer()
     merged: Dict[HeadTuple, _Annotation] = {}
     for adjunct in adjuncts_of(query):
         plan = plan_for(adjunct, db, cache)
-        for head, annotation in _execute(plan, db, intern).items():
+        with tracer.span("join", engine="hashjoin"):
+            executed = _execute(plan, db, intern)
+        for head, annotation in executed.items():
             bucket = merged.get(head)
             if bucket is None:
                 merged[head] = annotation
             else:
                 _merge_into(bucket, annotation)
-    return {
-        head: intern.polynomial(annotation)
-        for head, annotation in merged.items()
-    }
+    with tracer.span("merge", tuples=len(merged)):
+        return {
+            head: intern.polynomial(annotation)
+            for head, annotation in merged.items()
+        }
 
 
 def evaluate_aggregate_hashjoin(
@@ -429,11 +445,15 @@ def evaluate_aggregate_hashjoin(
     from repro.aggregate.result import AggregateAccumulator
 
     intern = shared_intern() if intern is None else intern
+    tracer = current_tracer()
     accumulator = AggregateAccumulator(query)
     for rule in query.rules:
         plan = plan_for(rule.inner, db, cache)
-        for head, annotation in sorted(
-            _execute(plan, db, intern).items(), key=lambda kv: repr(kv[0])
-        ):
-            accumulator.add(rule, head, intern.polynomial(annotation))
+        with tracer.span("join", engine="hashjoin"):
+            executed = _execute(plan, db, intern)
+        with tracer.span("aggregate.fold", groups=len(executed)):
+            for head, annotation in sorted(
+                executed.items(), key=lambda kv: repr(kv[0])
+            ):
+                accumulator.add(rule, head, intern.polynomial(annotation))
     return accumulator.results()

@@ -45,6 +45,7 @@ from repro.db.sharding import ShardedDatabase, ShardPayload
 from repro.engine.hashjoin import HeadTuple, _Annotation, _execute, plan_for
 from repro.engine.plan_cache import PlanCache
 from repro.errors import EvaluationError
+from repro.obs.trace import current_tracer
 from repro.query.aggregate import AggregateQuery
 from repro.query.cq import ConjunctiveQuery
 from repro.query.ucq import Query, adjuncts_of
@@ -311,13 +312,22 @@ class ShardedExecutor:
             self._release_pool(wait=True)
         if self._mode == "process":
             try:
-                self._adopt_pool(
-                    concurrent.futures.ProcessPoolExecutor(
-                        max_workers=self._workers,
-                        initializer=_init_worker,
-                        initargs=(self._sharded.payload(),),
+                # The span covers snapshotting the payload and starting
+                # the pool — the "ship" cost a new epoch pays before any
+                # worker computes (initargs pickle the payload per
+                # worker as the processes spawn).
+                with current_tracer().span(
+                    "shard.ship", workers=self._workers
+                ) as span:
+                    payload = self._sharded.payload()
+                    span.set(facts=payload.fact_count())
+                    self._adopt_pool(
+                        concurrent.futures.ProcessPoolExecutor(
+                            max_workers=self._workers,
+                            initializer=_init_worker,
+                            initargs=(payload,),
+                        )
                     )
-                )
             except (OSError, ValueError):
                 self._mode = "thread"
         if self._pool is None:
@@ -366,7 +376,9 @@ class ShardedExecutor:
         wave, so a batch of small queries still fills every worker.
         Plans without a partitioned anchor run on shard 0 only.
         """
-        self.refresh()
+        tracer = current_tracer()
+        with tracer.span("shard.refresh"):
+            self.refresh()
         unique = list(dict.fromkeys(adjuncts))
         planned = []
         task_args = []
@@ -383,11 +395,22 @@ class ShardedExecutor:
             planned.append(plan)
             for shard_index in shard_indices:
                 task_args.append((plan, anchor, shard_index))
-        outputs = self._run_tasks(_run_plan, task_args)
+        with tracer.span(
+            "join",
+            engine="sharded",
+            shards=self._sharded.shard_count,
+            tasks=len(task_args),
+        ) as fanout:
+            outputs = self._run_tasks(_run_plan, task_args)
+            fanout.set(mode=self._mode)  # after any fallback flip
         merged: Dict[ConjunctiveQuery, Dict[HeadTuple, _Annotation]] = {}
-        for adjunct, (start, count) in zip(unique, spans):
-            merged[adjunct] = _merge_shard_results(
-                intern, outputs[start:start + count]
+        with tracer.span("shard.merge", adjuncts=len(unique)) as merge_span:
+            for adjunct, (start, count) in zip(unique, spans):
+                merged[adjunct] = _merge_shard_results(
+                    intern, outputs[start:start + count]
+                )
+            merge_span.set(
+                tuples=sum(len(table) for table in merged.values())
             )
         return merged
 
@@ -427,7 +450,9 @@ class ShardedExecutor:
         """
         from repro.aggregate.result import merge_aggregate_results
 
-        self.refresh()
+        tracer = current_tracer()
+        with tracer.span("shard.refresh"):
+            self.refresh()
         plans = [plan_for(rule.inner, self._db, cache) for rule in query.rules]
         anchors = [self._sharded.anchor_step_for(plan) for plan in plans]
         shard_count = (
@@ -435,14 +460,19 @@ class ShardedExecutor:
             if any(anchor is not None for anchor in anchors)
             else 1
         )
-        outputs = self._run_tasks(
-            _run_aggregate,
-            [
-                (query, plans, anchors, shard_index)
-                for shard_index in range(shard_count)
-            ],
-        )
-        return merge_aggregate_results(outputs)
+        with tracer.span(
+            "join", engine="sharded", shards=shard_count, tasks=shard_count
+        ) as fanout:
+            outputs = self._run_tasks(
+                _run_aggregate,
+                [
+                    (query, plans, anchors, shard_index)
+                    for shard_index in range(shard_count)
+                ],
+            )
+            fanout.set(mode=self._mode)
+        with tracer.span("shard.merge", adjuncts=len(plans)):
+            return merge_aggregate_results(outputs)
 
 
 # ----------------------------------------------------------------------

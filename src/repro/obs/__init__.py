@@ -1,0 +1,73 @@
+"""Observability: metrics registry, tracing spans, Prometheus exposition.
+
+The engine pipeline and the serving tier are instrumented through two
+primitives that share one design rule — **disabled means free**:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and
+  fixed-bucket histograms with label support, collected in a
+  :class:`MetricsRegistry` that renders the Prometheus text exposition
+  format (the server's ``GET /metrics``).  The :class:`NullRegistry`
+  hands out one shared no-op instrument, so a component built with
+  metrics off pays a no-op method call per observation.
+* :mod:`repro.obs.trace` — context-manager :class:`Span`\\ s nested
+  under a per-request :class:`Tracer`, installed ambiently via
+  :func:`tracing`/:func:`current_tracer` (context-local, thread-safe).
+  With no tracer installed, every instrumentation point hits the
+  :data:`NULL_TRACER`, whose ``span()`` returns one reusable no-op
+  context manager.
+
+See the README's "Observability" section for the endpoint surface and
+the span naming conventions.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    EXPOSITION_CONTENT_TYPE,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    histogram_percentiles,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    format_trace,
+    tracing,
+    tree_stage_names,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "default_registry",
+    "set_default_registry",
+    "histogram_percentiles",
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "current_tracer",
+    "tracing",
+    "format_trace",
+    "tree_stage_names",
+]

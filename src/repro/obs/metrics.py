@@ -1,0 +1,468 @@
+"""Thread-safe metrics primitives and a Prometheus-compatible registry.
+
+Stdlib-only counters, gauges and fixed-bucket histograms, each guarded
+by its own lock (one metric's hot counter never serializes another's),
+with Prometheus-style label support:
+
+>>> registry = MetricsRegistry()
+>>> requests = registry.counter(
+...     "demo_requests_total", "Requests served", ("endpoint",))
+>>> requests.inc(endpoint="/query")
+>>> requests.value(endpoint="/query")
+1.0
+>>> "demo_requests_total" in registry.render()
+True
+
+The **null registry** is the opt-out: :meth:`NullRegistry.counter` (and
+friends) hand back one shared no-op metric, so a component constructed
+against :data:`NULL_REGISTRY` pays a no-op attribute lookup per
+observation and nothing else — no locks, no dictionaries, no
+allocation.
+
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format (``text/plain; version=0.0.4``): ``# HELP``/``# TYPE`` headers,
+escaped label values, and cumulative ``_bucket``/``_sum``/``_count``
+series for histograms.  The serving tier's ``GET /metrics`` endpoint is
+exactly this string.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets (seconds): micro-benchmark to human scale.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: The exposition content type the ``/metrics`` endpoint serves.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects.
+
+    Integral values print without a fractional part (``12`` not
+    ``12.0``) so counters read as the counts they are.
+    """
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_string(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    return "{{{}}}".format(
+        ",".join(
+            '{}="{}"'.format(name, _escape_label(str(value)))
+            for name, value in zip(names, values)
+        )
+    )
+
+
+class _Metric:
+    """Base of the three instrument types: name, help, labels, lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]):  # noqa: A002, D107
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                "metric {} takes labels {!r}, got {!r}".format(
+                    self.name, self.labelnames, tuple(sorted(labels))
+                )
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append("# HELP {} {}".format(self.name, _escape_help(self.help)))
+        lines.append("# TYPE {} {}".format(self.name, self.kind))
+        lines.extend(self._sample_lines())
+        return lines
+
+    def _sample_lines(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames=()):  # noqa: A002, D107
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be non-negative) to one labelled series."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0.0 when never hit)."""
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Dict[Tuple[str, ...], float]:
+        """A snapshot of every labelled series."""
+        with self._lock:
+            return dict(self._values)
+
+    def _sample_lines(self) -> List[str]:
+        with self._lock:
+            return [
+                "{}{} {}".format(
+                    self.name,
+                    _label_string(self.labelnames, key),
+                    _format_value(value),
+                )
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (in-flight requests, pool sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames=()):  # noqa: A002, D107
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        """Set one labelled series to ``value``."""
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to one labelled series."""
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Subtract ``amount`` from one labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0.0 when never set)."""
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def _sample_lines(self) -> List[str]:
+        with self._lock:
+            return [
+                "{}{} {}".format(
+                    self.name,
+                    _label_string(self.labelnames, key),
+                    _format_value(value),
+                )
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class _HistogramSeries:
+    """Per-labelset histogram state: bucket counts, sum, count."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):  # noqa: D107
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram of observed values (latencies, sizes).
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value (the Prometheus cumulative convention is
+    applied at render time).  Percentiles come from
+    :meth:`percentile` — bucket-resolution estimates, exact enough to
+    tell a 2 ms p50 from a 200 ms p99.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames=(), buckets=None):  # noqa: A002, D107
+        super().__init__(name, help, labelnames)
+        bounds = tuple(DEFAULT_BUCKETS if buckets is None else buckets)
+        if not bounds or tuple(sorted(bounds)) != bounds:
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.buckets = bounds
+        self._series: Dict[Tuple[str, ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into one labelled series."""
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.counts[index] += 1
+            series.sum += value
+            series.count += 1
+
+    def snapshot(self) -> Dict[Tuple[str, ...], Dict[str, object]]:
+        """``{labels: {"counts", "sum", "count"}}`` (counts per bucket)."""
+        with self._lock:
+            return {
+                key: {
+                    "counts": list(series.counts),
+                    "sum": series.sum,
+                    "count": series.count,
+                }
+                for key, series in self._series.items()
+            }
+
+    def percentile(self, quantile: float, **labels) -> Optional[float]:
+        """Bucket-resolution estimate of one series' quantile.
+
+        Interpolates linearly inside the bucket containing the target
+        rank; observations past the last finite bound report that bound
+        (the histogram cannot see further).  ``None`` when the series
+        has no observations.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return None
+            counts = list(series.counts)
+            total = series.count
+        rank = quantile * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]  # beyond the last finite bound
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index else 0.0
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        return self.buckets[-1]
+
+    def _sample_lines(self) -> List[str]:
+        lines: List[str] = []
+        for key, data in sorted(self.snapshot().items()):
+            cumulative = 0
+            for bound, count in zip(
+                self.buckets + (float("inf"),), data["counts"]
+            ):
+                cumulative += count
+                labels = _label_string(
+                    self.labelnames + ("le",), key + (_format_value(bound),)
+                )
+                lines.append(
+                    "{}_bucket{} {}".format(self.name, labels, cumulative)
+                )
+            label_string = _label_string(self.labelnames, key)
+            lines.append(
+                "{}_sum{} {}".format(
+                    self.name, label_string, _format_value(data["sum"])
+                )
+            )
+            lines.append(
+                "{}_count{} {}".format(self.name, label_string, data["count"])
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create semantics.
+
+    Re-registering a name returns the existing instrument (so modules
+    can declare their metrics independently) but re-registering with a
+    different type or label set is a programming error and raises.
+    """
+
+    def __init__(self):  # noqa: D107
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    #: Distinguishes a live registry from :class:`NullRegistry` without
+    #: an isinstance check at every call site.
+    enabled = True
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):  # noqa: A002
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(
+                    name, help, labelnames, **kwargs
+                )
+                return metric
+        if type(metric) is not cls or metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                "metric {!r} is already registered as a {} with labels "
+                "{!r}".format(name, metric.kind, metric.labelnames)
+            )
+        return metric
+
+    def counter(self, name, help="", labelnames=()) -> Counter:  # noqa: A002
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> Gauge:  # noqa: A002
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name, help="", labelnames=(), buckets=None) -> Histogram:  # noqa: A002
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The registered metric of that name, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> List[_Metric]:
+        """Every registered metric, in name order."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every metric."""
+        lines: List[str] = []
+        for metric in self.collect():
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullMetric:
+    """The shared no-op instrument every :class:`NullRegistry` hands out.
+
+    Accepts every instrument call with no locking and no state, so the
+    disabled observability path costs one attribute lookup plus an
+    empty call.
+    """
+
+    def inc(self, amount=1.0, **labels) -> None:  # noqa: D102
+        pass
+
+    def dec(self, amount=1.0, **labels) -> None:  # noqa: D102
+        pass
+
+    def set(self, value, **labels) -> None:  # noqa: D102
+        pass
+
+    def observe(self, value, **labels) -> None:  # noqa: D102
+        pass
+
+    def value(self, **labels) -> float:  # noqa: D102
+        return 0.0
+
+    def series(self) -> dict:  # noqa: D102
+        return {}
+
+    def snapshot(self) -> dict:  # noqa: D102
+        return {}
+
+    def percentile(self, quantile, **labels):  # noqa: D102
+        return None
+
+
+#: The one no-op instrument (identity-tested by the overhead suite).
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The opt-out registry: every instrument is :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def counter(self, name, help="", labelnames=()) -> _NullMetric:  # noqa: A002, D102
+        return NULL_METRIC
+
+    def gauge(self, name, help="", labelnames=()) -> _NullMetric:  # noqa: A002, D102
+        return NULL_METRIC
+
+    def histogram(self, name, help="", labelnames=(), buckets=None) -> _NullMetric:  # noqa: A002, D102
+        return NULL_METRIC
+
+    def get(self, name: str) -> None:  # noqa: D102
+        return None
+
+    def collect(self) -> list:  # noqa: D102
+        return []
+
+    def render(self) -> str:  # noqa: D102
+        return ""
+
+
+#: The process-wide null registry (shared, stateless).
+NULL_REGISTRY = NullRegistry()
+
+#: The process-wide default registry; see :func:`default_registry`.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default registry (library-level metrics)."""
+    return _DEFAULT
+
+
+def set_default_registry(registry):
+    """Swap the process-wide default registry; returns the previous one.
+
+    Pass :data:`NULL_REGISTRY` to turn library-level metrics off
+    entirely — components that captured instrument handles earlier keep
+    their handles, so the swap governs *new* lookups (the serving tier
+    constructs its own registry per server instead, which is the
+    recommended pattern for anything with a lifecycle).
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous
+
+
+def histogram_percentiles(
+    histogram, quantiles=(0.5, 0.95, 0.99), **labels
+) -> Dict[str, Optional[float]]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for one labelled series.
+
+    Works on :class:`Histogram` and :data:`NULL_METRIC` alike (the null
+    metric reports every percentile as ``None``).
+    """
+    return {
+        "p{:g}".format(quantile * 100): histogram.percentile(quantile, **labels)
+        for quantile in quantiles
+    }

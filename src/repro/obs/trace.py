@@ -1,0 +1,300 @@
+"""Lightweight per-query tracing spans for the evaluation pipeline.
+
+A :class:`Tracer` records a tree of timed :class:`Span`\\ s —
+``perf_counter_ns`` timestamps, parent/child nesting via a plain stack,
+per-span attributes — covering the full query pipeline: parse → plan
+(cache hit/miss) → join steps → shard fan-out/ship/merge → result-cache
+lookups.  The tree exports as plain JSON (:meth:`Tracer.tree`) and, when
+the tracer is given a metrics registry, every finished span also folds
+its duration into the registry's ``repro_stage_seconds`` histogram — so
+ad-hoc traces and long-run aggregates come from one instrumentation
+pass.
+
+Instrumented code never takes a tracer parameter; it asks for the
+**ambient** tracer::
+
+    from repro.obs.trace import current_tracer
+
+    with current_tracer().span("join.step", relation=name) as span:
+        ...
+        span.set(rows=len(rows))
+
+and by default :func:`current_tracer` answers :data:`NULL_TRACER`, whose
+``span()`` returns one shared, reusable no-op context manager: the
+disabled path is an attribute lookup and an empty ``with`` block — no
+allocation, no clock reads, no lock.  :func:`tracing` installs a live
+tracer for the current context (:mod:`contextvars`, so concurrent
+request threads trace independently and pool worker threads stay null).
+
+>>> with tracing("demo") as tracer:
+...     with tracer.span("plan", cache="miss"):
+...         pass
+>>> tree = tracer.tree()
+>>> tree["name"], [child["name"] for child in tree["children"]]
+('demo', ['plan'])
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from time import perf_counter_ns
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed stage of a trace: name, window, attributes, children."""
+
+    __slots__ = ("name", "attrs", "children", "start_ns", "end_ns")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None):  # noqa: D107
+        self.name = name
+        self.attrs = attrs or {}
+        self.children: List["Span"] = []
+        self.start_ns = perf_counter_ns()
+        self.end_ns: Optional[int] = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (row counts, outcomes)."""
+        self.attrs.update(attrs)
+
+    def end(self) -> None:
+        """Close the span's time window (idempotent)."""
+        if self.end_ns is None:
+            self.end_ns = perf_counter_ns()
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds (to now while the span is still open)."""
+        return (self.end_ns or perf_counter_ns()) - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds."""
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict:
+        """The JSON-ready subtree rooted at this span."""
+        node: Dict[str, object] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ns / 1e6, 4),
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def walk(self):
+        """Iterate the subtree depth-first (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return "<Span {} {:.3f}ms {} children>".format(
+            self.name, self.duration_ns / 1e6, len(self.children)
+        )
+
+
+class _SpanContext:
+    """Context manager pairing one span with its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):  # noqa: D107
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *_exc) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Records one span tree; single-threaded by design.
+
+    Each request (or CLI invocation) builds its own tracer; the ambient
+    plumbing (:func:`tracing`) is context-local, so tracers are never
+    shared across threads — worker threads and processes see the null
+    tracer and contribute no spans.
+
+    ``registry`` is optional: given one, every closed span's duration is
+    folded into its ``repro_stage_seconds{stage=<span name>}`` histogram
+    so traces double as the source of per-stage latency aggregates.
+    """
+
+    def __init__(self, name: str = "trace", registry=None):  # noqa: D107
+        self._root = Span(name)
+        self._stack: List[Span] = [self._root]
+        self._stage_histogram = (
+            None
+            if registry is None or not registry.enabled
+            else registry.histogram(
+                "repro_stage_seconds",
+                "Per-stage pipeline durations from traced requests",
+                ("stage",),
+            )
+        )
+
+    @property
+    def root(self) -> Span:
+        """The root span (named after the tracer)."""
+        return self._root
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a child span of the innermost open span."""
+        span = Span(name, attrs)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _pop(self, span: Span) -> None:
+        span.end()
+        # Tolerate exits out of order (an exception unwinding through
+        # several spans): pop everything down to and including ours.
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            top.end()
+            if top is span:
+                break
+        if self._stage_histogram is not None:
+            self._stage_histogram.observe(span.duration_s, stage=span.name)
+
+    def finish(self) -> Span:
+        """Close every open span (idempotent); returns the root."""
+        while len(self._stack) > 1:
+            self._stack.pop().end()
+        self._root.end()
+        if self._stage_histogram is not None:
+            self._stage_histogram.observe(
+                self._root.duration_s, stage=self._root.name
+            )
+        return self._root
+
+    def tree(self) -> dict:
+        """The finished trace as a JSON-ready dict."""
+        self.finish()
+        return self._root.to_dict()
+
+    def stage_names(self) -> List[str]:
+        """Every span name in the tree, depth-first (tests, tooling)."""
+        return [span.name for span in self._root.walk()]
+
+    def __repr__(self) -> str:
+        return "<Tracer {} ({} open)>".format(
+            self._root.name, len(self._stack)
+        )
+
+
+class _NullSpan:
+    """The span no-one is recording: every method is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:  # noqa: D102
+        pass
+
+    def end(self) -> None:  # noqa: D102
+        pass
+
+
+class _NullSpanContext:
+    """One shared, reusable context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+#: The shared no-op span and its context manager (identity-tested).
+NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: ``span()`` returns one shared no-op context."""
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:  # noqa: D102
+        return _NULL_SPAN_CONTEXT
+
+    def finish(self) -> None:  # noqa: D102
+        return None
+
+    def tree(self) -> dict:  # noqa: D102
+        return {}
+
+
+#: The process-wide null tracer: what :func:`current_tracer` answers
+#: unless :func:`tracing` installed a live one for this context.
+NULL_TRACER = NullTracer()
+
+_ACTIVE: "contextvars.ContextVar" = contextvars.ContextVar(
+    "repro_obs_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer():
+    """The ambient tracer of the calling context (null by default)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def tracing(name: str = "trace", registry=None):
+    """Install a live :class:`Tracer` for the duration of the block.
+
+    The tracer is finished (all spans closed, stage histogram fed) on
+    the way out, even on exceptions, and the previous ambient tracer is
+    restored — nested ``tracing`` blocks produce independent trees.
+    """
+    tracer = Tracer(name, registry=registry)
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+        tracer.finish()
+
+
+def tree_stage_names(tree: dict) -> List[str]:
+    """Every span name in an exported trace tree, depth-first."""
+    if not tree:
+        return []
+    names = [tree.get("name", "")]
+    for child in tree.get("children", ()):
+        names.extend(tree_stage_names(child))
+    return names
+
+
+def format_trace(tree: dict, indent: int = 0) -> str:
+    """Pretty-print an exported trace tree, one span per line.
+
+    The layout the ``repro-prov trace`` subcommand prints::
+
+        query (12.41 ms)
+          parse (0.08 ms)
+          plan (0.21 ms) cache=miss
+          join (10.02 ms) engine=hashjoin
+            join.step (6.77 ms) relation=R rows=10000
+    """
+    if not tree:
+        return "(empty trace)"
+    attrs = tree.get("attrs") or {}
+    line = "{}{} ({:.2f} ms){}".format(
+        "  " * indent,
+        tree.get("name", "?"),
+        tree.get("duration_ms", 0.0),
+        "".join(
+            " {}={}".format(key, attrs[key]) for key in sorted(attrs)
+        ),
+    )
+    lines = [line]
+    for child in tree.get("children", ()):
+        lines.append(format_trace(child, indent + 1))
+    return "\n".join(lines)

@@ -40,6 +40,12 @@ from repro.io import (
     deltas_from_payload,
     results_to_list,
 )
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    histogram_percentiles,
+)
+from repro.obs.trace import current_tracer, tracing
 from repro.query.aggregate import AggregateQuery, AnyQuery
 from repro.query.parser import parse_query
 from repro.query.printer import query_to_str
@@ -120,6 +126,7 @@ class ServerState:
         workers: Optional[int] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         broadcast_threshold: Optional[int] = None,
+        metrics: bool = True,
     ):  # noqa: D107
         if engine not in SERVER_ENGINES:
             raise EvaluationError(
@@ -156,6 +163,20 @@ class ServerState:
         self._active = 0
         self._served = 0
         self._closed = False
+        # Per-server registry (not the process-wide default) so parallel
+        # test servers never bleed counters into each other; the null
+        # registry makes every instrument below a shared no-op.
+        self._metrics = MetricsRegistry() if metrics else NULL_REGISTRY
+        self._request_counter = self._metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint, method and status",
+            ("endpoint", "method", "status"),
+        )
+        self._request_latency = self._metrics.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency, by endpoint",
+            ("endpoint",),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -179,6 +200,16 @@ class ServerState:
     def cache(self) -> ResultCache:
         """The version-keyed result cache."""
         return self._cache
+
+    @property
+    def metrics(self):
+        """The server's metrics registry (the null registry when off)."""
+        return self._metrics
+
+    @property
+    def metrics_enabled(self) -> bool:
+        """Is this server collecting metrics?"""
+        return self._metrics.enabled
 
     def close(self) -> None:
         """Release the session (and registry) worker pools (idempotent)."""
@@ -207,12 +238,26 @@ class ServerState:
             self._active -= 1
             self._served += 1
 
+    def observe_request(
+        self, endpoint: str, method: str, status: int, duration_s: float
+    ) -> None:
+        """Fold one finished request into the per-endpoint metrics."""
+        self._request_counter.inc(
+            endpoint=endpoint, method=method, status=status
+        )
+        self._request_latency.observe(duration_s, endpoint=endpoint)
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` exposition body."""
+        return self._metrics.render()
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def _session_run(self, queries: Sequence[AnyQuery]) -> Tuple[List, int]:
         """One lock-guarded engine run (tests stub this to count calls)."""
-        return self._session.run_batch(queries)
+        with current_tracer().span("evaluate", queries=len(queries)):
+            return self._session.run_batch(queries)
 
     def _key(self, canonical: str, version: int):
         return (canonical, version, self._options)
@@ -224,15 +269,10 @@ class ServerState:
         }
         return _CachedResult(payload, canonical_json(payload))
 
-    def run_query(self, text: str) -> bytes:
-        """Serve one query text: the ``POST /query`` body bytes.
-
-        Cached under ``(canonical text, version, engine options)`` with
-        single-flight deduplication — N concurrent identical requests
-        run the engine once.
-        """
-        query = parse_query(text)
-        canonical = query_to_str(query)
+    def _serve_query(self, text: str) -> _CachedResult:
+        with current_tracer().span("parse"):
+            query = parse_query(text)
+            canonical = query_to_str(query)
         version = self._session.db_version()
 
         def compute() -> Tuple[_CachedResult, bool]:
@@ -241,7 +281,32 @@ class ServerState:
 
         return self._cache.get_or_compute(
             self._key(canonical, version), compute
-        ).body
+        )
+
+    def run_query(self, text: str) -> bytes:
+        """Serve one query text: the ``POST /query`` body bytes.
+
+        Cached under ``(canonical text, version, engine options)`` with
+        single-flight deduplication — N concurrent identical requests
+        run the engine once.
+        """
+        return self._serve_query(text).body
+
+    def run_query_traced(self, text: str) -> bytes:
+        """Serve one query with a span tree: ``POST /query?trace=1``.
+
+        The envelope is ``{"result": <the /query payload>, "trace":
+        <span tree>}`` — a different body than the untraced path by
+        design, so the byte-identity contract of plain ``/query`` is
+        untouched.  The tracer also feeds the server registry's
+        ``repro_stage_seconds`` histogram, so traced requests
+        contribute to the ``/metrics`` aggregates.
+        """
+        with tracing("query", registry=self._metrics) as tracer:
+            entry = self._serve_query(text)
+        return canonical_json(
+            {"result": entry.payload, "trace": tracer.tree()}
+        )
 
     def run_queries(self, texts: Sequence[str]) -> bytes:
         """Serve a query batch: the ``POST /batch`` body bytes.
@@ -400,7 +465,15 @@ class ServerState:
             "requests": requests,
             "intern": self._session.intern_table.sizes(),
             "plan_cache": self._session.plan_cache.stats(),
+            "metrics_enabled": self._metrics.enabled,
         }
+        if self._metrics.enabled:
+            payload["latency"] = {
+                key[0]: histogram_percentiles(
+                    self._request_latency, endpoint=key[0]
+                )
+                for key in sorted(self._request_latency.snapshot())
+            }
         if self._registry is not None:
             payload["views"] = self._registry.order
         return payload
@@ -452,6 +525,7 @@ def make_server(
     workers: Optional[int] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     broadcast_threshold: Optional[int] = None,
+    metrics: bool = True,
 ) -> ProvenanceServer:
     """Bind a ready-to-run server (``port=0`` picks a free port).
 
@@ -475,6 +549,7 @@ def make_server(
         workers=workers,
         cache_size=cache_size,
         broadcast_threshold=broadcast_threshold,
+        metrics=metrics,
     )
     try:
         return ProvenanceServer((host, port), state)

@@ -26,13 +26,34 @@ poisoning the cache under the stale key.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.obs.trace import current_tracer
 
 #: A computation run under single-flight: returns the value to hand to
 #: every deduplicated caller, plus whether to store it under the key.
 Compute = Callable[[], Tuple[object, bool]]
+
+#: The outcome of this context's most recent cache lookup — ``hit``,
+#: ``miss`` or ``wait`` (deduplicated behind a leader).  The request
+#: handler reads it for the per-request log line; it is context-local,
+#: so concurrent request threads never see each other's outcomes.
+_LAST_OUTCOME: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_cache_outcome", default=None
+)
+
+
+def last_outcome() -> Optional[str]:
+    """The calling context's most recent lookup outcome (or ``None``)."""
+    return _LAST_OUTCOME.get()
+
+
+def reset_outcome() -> None:
+    """Clear the outcome at request start (keep-alive reuses threads)."""
+    _LAST_OUTCOME.set(None)
 
 #: Distinguishes "not cached" from a legitimately cached ``None`` value
 #: (``dict.get`` with a ``None`` default would conflate the two and turn
@@ -74,6 +95,7 @@ class ResultCache:
         self._misses = 0
         self._dedup_hits = 0
         self._evictions = 0
+        self._waiters = 0
 
     # ------------------------------------------------------------------
     # The serving path
@@ -84,13 +106,18 @@ class ResultCache:
         A plain lookup without single-flight — the batch path uses it to
         collect its cached prefix before evaluating the misses together.
         """
-        with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
+        with current_tracer().span("cache.lookup") as span:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is _MISSING:
+                    self._misses += 1
+                    span.set(outcome="miss")
+                    _LAST_OUTCOME.set("miss")
+                    return None
+                self._entries.move_to_end(key)
+                self._hits += 1
+            span.set(outcome="hit")
+            _LAST_OUTCOME.set("hit")
             return value
 
     def put(self, key: Hashable, value) -> None:
@@ -108,21 +135,27 @@ class ResultCache:
         value is handed to every waiter but not stored.  If the leader
         raises, every waiter re-raises the same exception.
         """
-        with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is not _MISSING:
-                self._entries.move_to_end(key)
-                self._hits += 1
-                return value
-            flight = self._inflight.get(key)
-            if flight is None:
-                flight = _Flight()
-                self._inflight[key] = flight
-                leader = True
-            else:
-                leader = False
-            if leader:
-                self._misses += 1
+        with current_tracer().span("cache.lookup") as span:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    span.set(outcome="hit")
+                    _LAST_OUTCOME.set("hit")
+                    return value
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+                    self._waiters += 1
+                if leader:
+                    self._misses += 1
+            span.set(outcome="miss" if leader else "wait")
+            _LAST_OUTCOME.set("miss" if leader else "wait")
         if not leader:
             flight.event.wait()
             if flight.error is not None:
@@ -171,6 +204,7 @@ class ResultCache:
                 "misses": self._misses,
                 "dedup_hits": self._dedup_hits,
                 "evictions": self._evictions,
+                "single_flight_waiters": self._waiters,
                 "size": len(self._entries),
                 "capacity": self._capacity,
                 "inflight": len(self._inflight),
@@ -185,6 +219,7 @@ class ResultCache:
             self._misses = 0
             self._dedup_hits = 0
             self._evictions = 0
+            self._waiters = 0
 
     def __len__(self) -> int:
         with self._lock:

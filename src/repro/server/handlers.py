@@ -1,37 +1,74 @@
 """HTTP request handling for the provenance server.
 
-The endpoint surface (all bodies JSON):
+The endpoint surface (bodies JSON unless noted):
 
 ======  ==================  ==============================================
 Method  Path                Body / response
 ======  ==================  ==============================================
 POST    ``/query``          ``{"query": text}`` → annotated result table
+                            (``?trace=1`` wraps it with a span tree)
 POST    ``/batch``          ``{"queries": [text, ...]}`` → aligned tables
 POST    ``/update``         delta batch(es), the ``maintain`` file format
 GET     ``/views/<name>``   materialized view (``?base=1`` expands to base)
-GET     ``/stats``          cache / request / session counters
+GET     ``/stats``          cache / request / latency / session counters
+GET     ``/metrics``        Prometheus text exposition (404 when disabled)
+GET     ``/trace``          ``?query=<text>`` → result plus span tree
 ======  ==================  ==============================================
 
 Error contract: malformed requests (bad JSON, missing keys, query parse
 errors, invalid deltas) are 400s; unknown paths and unknown views are
 404s; method mismatches are 405s; everything else is a 500.  Every
 error body is ``{"error": message}``.
+
+Every finished request is folded into the server's metrics registry
+(count by endpoint/method/status, latency histogram by endpoint) and
+logged at INFO on the ``repro.server`` logger — method, path, status,
+duration and the result-cache outcome when the route consulted it.
+The logger follows stdlib convention: silent unless the application
+configures logging (the CLI's ``--log-level`` flag does).
 """
 
 from __future__ import annotations
 
+import logging
 from http.server import BaseHTTPRequestHandler
 from json import JSONDecodeError, loads
+from time import perf_counter
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.errors import ReproError
+from repro.obs.metrics import EXPOSITION_CONTENT_TYPE
 from repro.server.app import canonical_json
+from repro.server.cache import last_outcome, reset_outcome
 
 #: Paths that only accept POST (GETs get a 405 pointing at the verb).
 _POST_PATHS = ("/query", "/batch", "/update")
 
 #: Maximum accepted request body, a backstop against memory abuse.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Paths that only accept GET.
+_GET_PATHS = ("/stats", "/metrics", "/trace")
+
+#: The bounded endpoint label set — every ``/views/<name>`` collapses to
+#: ``/views`` and unknown paths to ``other``, so a client scanning paths
+#: cannot inflate the metrics cardinality.
+_KNOWN_ENDPOINTS = frozenset(_POST_PATHS) | frozenset(_GET_PATHS)
+
+_LOGGER = logging.getLogger("repro.server")
+
+
+def endpoint_label(path: str) -> str:
+    """The bounded metrics label for a request path."""
+    if path in _KNOWN_ENDPOINTS:
+        return path
+    if path.startswith("/views/"):
+        return "/views"
+    return "other"
+
+
+def _flag(query: dict, name: str) -> bool:
+    return query.get(name, ["0"])[-1] not in ("0", "false", "")
 
 
 class ProvenanceRequestHandler(BaseHTTPRequestHandler):
@@ -42,13 +79,21 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002, D102
-        # Per-request stderr lines would swamp tests and load runs; the
-        # /stats endpoint is the observability surface instead.
-        pass
+        # BaseHTTPRequestHandler's own per-request stderr lines would
+        # swamp tests and load runs; the structured INFO line emitted in
+        # _handle's finally block is the request log instead.
+        _LOGGER.debug(format, *args)
 
-    def _send(self, status: int, body: bytes) -> None:
+    def _send(
+        self, status: int, body: bytes, content_type: str = "application/json"
+    ) -> None:
+        self._status = status
+        # Observe BEFORE the body bytes go out: a client that reads the
+        # response and immediately scrapes /metrics must find this
+        # request already counted.
+        self._observe()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -94,68 +139,111 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
             raise ReproError("invalid JSON body: {}".format(error))
 
     # -- routing --------------------------------------------------------
-    def do_POST(self) -> None:  # noqa: D102
+    def _observe(self) -> None:
+        """Fold this request into the metrics and the request log (once)."""
+        if self._observed:
+            return
+        self._observed = True
+        duration = perf_counter() - self._started
+        self.server.state.observe_request(
+            endpoint_label(self._path), self._method, self._status, duration
+        )
+        outcome = last_outcome()
+        _LOGGER.info(
+            "%s %s -> %d %.2fms%s",
+            self._method,
+            self._path,
+            self._status,
+            duration * 1e3,
+            " cache={}".format(outcome) if outcome else "",
+        )
+
+    def _handle(self, method: str, route) -> None:
+        """Time and account one request around its route function."""
         state = self.server.state
-        path = urlsplit(self.path).path
+        self._path = urlsplit(self.path).path
+        self._method = method
+        self._status = 500
+        self._observed = False
+        self._started = perf_counter()
+        reset_outcome()
         state.request_started()
         try:
-            raw = self._read_body()  # drained before ANY response
-            if path == "/query":
-                payload = self._parse_json(raw)
-                if not isinstance(payload, dict) or not isinstance(
-                    payload.get("query"), str
-                ):
-                    raise ReproError(
-                        "POST /query expects {\"query\": \"<rule text>\"}"
-                    )
-                self._send(200, state.run_query(payload["query"]))
-            elif path == "/batch":
-                payload = self._parse_json(raw)
-                texts = payload.get("queries") if isinstance(payload, dict) else None
-                if not isinstance(texts, list) or not all(
-                    isinstance(text, str) for text in texts
-                ):
-                    raise ReproError(
-                        "POST /batch expects {\"queries\": [\"<rule text>\", ...]}"
-                    )
-                self._send(200, state.run_queries(texts))
-            elif path == "/update":
-                self._send(200, state.apply_update(self._parse_json(raw)))
-            elif path == "/stats" or path.startswith("/views/"):
-                self._error(405, "{} only accepts GET".format(path))
-            else:
-                self._error(404, "unknown path {}".format(path))
+            route(state, self._path)
         except ReproError as error:
             self._error(400, str(error))
         except Exception as error:  # pragma: no cover - defensive
             self._error(500, "{}: {}".format(type(error).__name__, error))
         finally:
+            self._observe()  # a route that never sent still counts
             state.request_finished()
 
+    def do_POST(self) -> None:  # noqa: D102
+        self._handle("POST", self._route_post)
+
     def do_GET(self) -> None:  # noqa: D102
-        state = self.server.state
-        split = urlsplit(self.path)
-        path = split.path
-        state.request_started()
-        try:
-            self._read_body()  # a GET with a body must still drain it
-            if path == "/stats":
-                self._send(200, canonical_json(state.stats()))
-            elif path.startswith("/views/"):
-                name = unquote(path[len("/views/"):])
-                query = parse_qs(split.query)
-                base = query.get("base", ["0"])[-1] not in ("0", "false", "")
-                try:
-                    self._send(200, state.read_view(name, base=base))
-                except ReproError as error:
-                    self._error(404, str(error))
-            elif path in _POST_PATHS:
-                self._error(405, "{} only accepts POST".format(path))
+        self._handle("GET", self._route_get)
+
+    def _route_post(self, state, path: str) -> None:
+        raw = self._read_body()  # drained before ANY response
+        if path == "/query":
+            payload = self._parse_json(raw)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("query"), str
+            ):
+                raise ReproError(
+                    "POST /query expects {\"query\": \"<rule text>\"}"
+                )
+            if _flag(parse_qs(urlsplit(self.path).query), "trace"):
+                self._send(200, state.run_query_traced(payload["query"]))
             else:
-                self._error(404, "unknown path {}".format(path))
-        except ReproError as error:  # oversized body on a GET
-            self._error(400, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._error(500, "{}: {}".format(type(error).__name__, error))
-        finally:
-            state.request_finished()
+                self._send(200, state.run_query(payload["query"]))
+        elif path == "/batch":
+            payload = self._parse_json(raw)
+            texts = payload.get("queries") if isinstance(payload, dict) else None
+            if not isinstance(texts, list) or not all(
+                isinstance(text, str) for text in texts
+            ):
+                raise ReproError(
+                    "POST /batch expects {\"queries\": [\"<rule text>\", ...]}"
+                )
+            self._send(200, state.run_queries(texts))
+        elif path == "/update":
+            self._send(200, state.apply_update(self._parse_json(raw)))
+        elif path in _GET_PATHS or path.startswith("/views/"):
+            self._error(405, "{} only accepts GET".format(path))
+        else:
+            self._error(404, "unknown path {}".format(path))
+
+    def _route_get(self, state, path: str) -> None:
+        self._read_body()  # a GET with a body must still drain it
+        query = parse_qs(urlsplit(self.path).query)
+        if path == "/stats":
+            self._send(200, canonical_json(state.stats()))
+        elif path == "/metrics":
+            if not state.metrics_enabled:
+                self._error(404, "metrics are disabled on this server")
+            else:
+                self._send(
+                    200,
+                    state.render_metrics().encode("utf-8"),
+                    content_type=EXPOSITION_CONTENT_TYPE,
+                )
+        elif path == "/trace":
+            texts = query.get("query")
+            if not texts:
+                raise ReproError(
+                    "GET /trace expects ?query=<url-encoded rule text>"
+                )
+            self._send(200, state.run_query_traced(texts[-1]))
+        elif path.startswith("/views/"):
+            name = unquote(path[len("/views/"):])
+            base = _flag(query, "base")
+            try:
+                self._send(200, state.read_view(name, base=base))
+            except ReproError as error:
+                self._error(404, str(error))
+        elif path in _POST_PATHS:
+            self._error(405, "{} only accepts POST".format(path))
+        else:
+            self._error(404, "unknown path {}".format(path))

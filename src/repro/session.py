@@ -44,6 +44,7 @@ from repro.engine.sharded import (
     sum_adjunct_annotations,
 )
 from repro.errors import EvaluationError
+from repro.obs.trace import current_tracer
 from repro.query.aggregate import AggregateQuery, AnyQuery
 from repro.query.cq import ConjunctiveQuery
 from repro.query.ucq import adjuncts_of
@@ -254,13 +255,17 @@ class QuerySession:
                 results.append(self._aggregate_result(query))
             else:
                 adjuncts = list(adjuncts_of(query))
-                merged = sum_adjunct_annotations(adjuncts, self._adjunct_memo)
-                results.append(
-                    {
-                        head: self._intern.polynomial(annotation)
-                        for head, annotation in merged.items()
-                    }
-                )
+                with current_tracer().span("merge") as span:
+                    merged = sum_adjunct_annotations(
+                        adjuncts, self._adjunct_memo
+                    )
+                    span.set(adjuncts=len(adjuncts), tuples=len(merged))
+                    results.append(
+                        {
+                            head: self._intern.polynomial(annotation)
+                            for head, annotation in merged.items()
+                        }
+                    )
         return results
 
     def _evaluate_adjuncts(self, adjuncts: List[ConjunctiveQuery]) -> Dict:
@@ -268,12 +273,12 @@ class QuerySession:
             return self._executor.evaluate_adjuncts(
                 adjuncts, self._intern, self._cache
             )
-        return {
-            adjunct: _execute(
-                plan_for(adjunct, self._db, self._cache), self._db, self._intern
-            )
-            for adjunct in adjuncts
-        }
+        executed: Dict = {}
+        for adjunct in adjuncts:
+            plan = plan_for(adjunct, self._db, self._cache)
+            with current_tracer().span("join", engine="hashjoin"):
+                executed[adjunct] = _execute(plan, self._db, self._intern)
+        return executed
 
     def _aggregate_result(self, query: AggregateQuery):
         memoized = self._aggregate_memo.get(query)

@@ -21,6 +21,7 @@ EXPECTED_FRAGMENTS = {
     "trust_and_maintenance.py": "Minimal trust sets",
     "sqlite_provenance.py": "Compiled SQL",
     "minimization_gallery.py": "Theorem 4.10",
+    "trace_a_query.py": "Sharded trace covers the fan-out stages: True",
     "view_composition.py": "blocked at disequality",
 }
 

@@ -10,7 +10,7 @@ class TestAllExports:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_subpackage_alls_resolve(self):
         import repro.aggregate
@@ -19,6 +19,7 @@ class TestAllExports:
         import repro.hom
         import repro.incremental
         import repro.minimize
+        import repro.obs
         import repro.order
         import repro.paperdata
         import repro.query
@@ -33,6 +34,7 @@ class TestAllExports:
             repro.hom,
             repro.incremental,
             repro.minimize,
+            repro.obs,
             repro.order,
             repro.paperdata,
             repro.query,

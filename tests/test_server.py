@@ -607,6 +607,12 @@ class TestDifferential:
             stats = server.state.cache.stats()
             assert stats["hit_rate"] > 0
             assert stats["misses"] <= len(self.TEXTS)
+            # The same load must leave sane latency percentiles behind.
+            status, payload = client.json("GET", "/stats")
+            assert status == 200 and payload["metrics_enabled"]
+            latency = payload["latency"]["/query"]
+            assert latency["p50"] > 0
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]
 
     def test_mixed_query_update_load_stays_consistent(self):
         db = small_db()
@@ -701,3 +707,210 @@ class TestLeakedSessions:
             finalizer = session.executor._finalizer
             assert finalizer.alive
         assert not finalizer.alive
+
+
+# ----------------------------------------------------------------------
+# Observability: /metrics, traced queries, request logging
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_exposition_parses_and_counters_are_monotone(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            def query_counter():
+                status, raw = client.get("/metrics")
+                assert status == 200
+                samples = {}
+                for line in raw.decode("utf-8").splitlines():
+                    if not line or line.startswith("#"):
+                        continue
+                    name, _space, value = line.rpartition(" ")
+                    assert name, line
+                    samples[name] = float(value)  # every sample parses
+                return samples.get(
+                    'repro_http_requests_total{endpoint="/query",'
+                    'method="POST",status="200"}',
+                    0.0,
+                )
+
+            assert query_counter() == 0
+            client.post("/query", {"query": JOIN})
+            first = query_counter()
+            assert first == 1
+            client.post("/query", {"query": JOIN})  # cache hit still counts
+            assert query_counter() == first + 1
+
+    def test_exposition_content_type(self):
+        from repro.obs.metrics import EXPOSITION_CONTENT_TYPE
+
+        db = small_db()
+        with serve(db) as (server, client):
+            conn = HTTPConnection(client.host, client.port, timeout=30)
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 200
+                assert (
+                    response.getheader("Content-Type")
+                    == EXPOSITION_CONTENT_TYPE
+                )
+            finally:
+                conn.close()
+
+    def test_latency_histogram_appears_after_requests(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            client.post("/query", {"query": JOIN})
+            _status, raw = client.get("/metrics")
+            text = raw.decode("utf-8")
+            assert "# TYPE repro_http_request_seconds histogram" in text
+            assert 'repro_http_request_seconds_bucket{endpoint="/query",le="+Inf"} 1' in text
+            assert 'repro_http_request_seconds_count{endpoint="/query"} 1' in text
+
+    def test_unknown_paths_collapse_to_a_bounded_label(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            for path in ("/nope", "/admin", "/views/whatever"):
+                client.get(path)
+            counter = server.state.metrics.get("repro_http_requests_total")
+            endpoints = {key[0] for key in counter.series()}
+            assert "other" in endpoints
+            assert "/views" in endpoints
+            assert "/nope" not in endpoints and "/admin" not in endpoints
+
+    def test_metrics_disabled_answers_404(self):
+        db = small_db()
+        with serve(db, metrics=False) as (server, client):
+            status, payload = client.json("GET", "/metrics")
+            assert status == 404
+            assert "disabled" in payload["error"]
+            # Serving still works and /stats says metrics are off.
+            assert client.post("/query", {"query": JOIN})[0] == 200
+            _status, stats = client.json("GET", "/stats")
+            assert stats["metrics_enabled"] is False
+            assert "latency" not in stats
+
+    def test_stats_reports_single_flight_waiters(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            _status, stats = client.json("GET", "/stats")
+            assert stats["cache"]["single_flight_waiters"] == 0
+
+
+class TestTracedQueries:
+    def test_query_trace_flag_wraps_result_with_span_tree(self):
+        from repro.obs.trace import tree_stage_names
+
+        db = small_db()
+        with serve(db) as (server, client):
+            version = server.state.session.db_version()
+            status, envelope = client.json(
+                "POST", "/query?trace=1", {"query": JOIN}
+            )
+            assert status == 200
+            assert sorted(envelope) == ["result", "trace"]
+            expected = json.loads(expected_query_body(JOIN, db, version))
+            assert envelope["result"] == expected
+            names = tree_stage_names(envelope["trace"])
+            for want in ("parse", "plan", "join", "merge"):
+                assert want in names, (want, names)
+
+    def test_untraced_query_bytes_are_unchanged_by_a_traced_one(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            version = server.state.session.db_version()
+            client.json("POST", "/query?trace=1", {"query": UNION})
+            _status, body = client.post("/query", {"query": UNION})
+            assert body == expected_query_body(UNION, db, version)
+
+    def test_get_trace_endpoint(self):
+        from urllib.parse import quote
+
+        from repro.obs.trace import tree_stage_names
+
+        db = small_db()
+        with serve(db) as (server, client):
+            status, envelope = client.json(
+                "GET", "/trace?query=" + quote(JOIN)
+            )
+            assert status == 200
+            names = tree_stage_names(envelope["trace"])
+            assert "parse" in names
+            # A repeat of the same query is a cache hit: the trace says so.
+            _status, envelope = client.json(
+                "GET", "/trace?query=" + quote(JOIN)
+            )
+            lookups = [
+                node
+                for node in envelope["trace"].get("children", [])
+                if node["name"] == "cache.lookup"
+            ]
+            assert lookups and lookups[-1]["attrs"]["outcome"] == "hit"
+
+    def test_get_trace_requires_a_query(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            status, payload = client.json("GET", "/trace")
+            assert status == 400
+            assert "query" in payload["error"]
+
+    def test_sharded_trace_shows_shard_stages(self):
+        from repro.obs.trace import tree_stage_names
+
+        db = random_database(
+            {"R": 2, "S": 2}, list(range(12)), n_facts=120, seed=5
+        )
+        with serve(
+            db, engine="sharded", shards=2, workers=2
+        ) as (server, client):
+            status, envelope = client.json(
+                "POST", "/query?trace=1", {"query": JOIN}
+            )
+            assert status == 200
+            names = tree_stage_names(envelope["trace"])
+            for want in ("shard.refresh", "join", "shard.merge"):
+                assert want in names, (want, names)
+
+    def test_traced_requests_feed_stage_histogram(self):
+        db = small_db()
+        with serve(db) as (server, client):
+            client.json("POST", "/query?trace=1", {"query": JOIN})
+            _status, raw = client.get("/metrics")
+            assert "repro_stage_seconds" in raw.decode("utf-8")
+
+
+class TestRequestLogging:
+    def test_each_request_logs_one_structured_line(self, caplog):
+        import logging
+
+        db = small_db()
+        with serve(db) as (server, client):
+            with caplog.at_level(logging.INFO, logger="repro.server"):
+                client.post("/query", {"query": JOIN})
+                client.get("/stats")
+            lines = [
+                record.getMessage()
+                for record in caplog.records
+                if record.name == "repro.server"
+            ]
+            query_lines = [l for l in lines if l.startswith("POST /query")]
+            assert query_lines, lines
+            assert "-> 200" in query_lines[0]
+            assert "ms" in query_lines[0]
+            assert "cache=miss" in query_lines[0]
+            assert any(l.startswith("GET /stats -> 200") for l in lines)
+
+    def test_cache_hit_is_logged_as_such(self, caplog):
+        import logging
+
+        db = small_db()
+        with serve(db) as (server, client):
+            client.post("/query", {"query": JOIN})
+            with caplog.at_level(logging.INFO, logger="repro.server"):
+                client.post("/query", {"query": JOIN})
+            line = next(
+                record.getMessage()
+                for record in caplog.records
+                if record.getMessage().startswith("POST /query")
+            )
+            assert "cache=hit" in line
