@@ -1,18 +1,19 @@
-"""Shard-parallel vs single-shard evaluation on a 10k-tuple join.
+"""Shard-parallel vs serial evaluation on a 10k-tuple join.
 
 The claims under test: (1) on a two-way join over 10,000 annotated
 tuples, a warm 4-shard :class:`~repro.session.QuerySession` (process
-pool, pickled shard payloads) beats the same session pinned to a
-single shard by at least 1.5x in wall-clock — while producing
+pool, columnar results in a shared-memory payload) beats the same
+session pinned to a single shard by at least 1.5x — and the serial
+hash-join engine by at least 2x — in wall-clock, while producing
 *identical* provenance polynomials, as the cross-shard differential
 suite demands; (2) the session amortizes partitioning, payload
 shipping and planning, so steady-state evaluations measure join work,
 not setup.
 
-Both contenders run through the same sharded execution path (anchored
-fragments, shard-local intern tables, remapping merge), so the ratio
-isolates parallelism; the hash-join engine is timed alongside as the
-serial baseline for the JSON artifact.
+Both sharded contenders run through the same execution path (anchored
+fragments, shard-local intern tables, columnar merge), so the
+four-vs-one ratio isolates parallelism; the hash-join engine is the
+end-to-end serial baseline the 2x tentpole target is measured against.
 """
 
 import json
@@ -23,6 +24,7 @@ import pytest
 
 from conftest import banner
 
+from repro.config import EngineConfig
 from repro.db.generators import random_database
 from repro.engine.hashjoin import evaluate_hashjoin
 from repro.obs.trace import tracing, tree_stage_names
@@ -48,8 +50,11 @@ def db():
 
 def _session(db, shards, workers):
     session = QuerySession(
-        db, engine="sharded", shards=shards, workers=workers,
-        broadcast_threshold=0,
+        db,
+        EngineConfig(
+            engine="sharded", shards=shards, workers=workers,
+            broadcast_threshold=0,
+        ),
     )
     session.evaluate(QUERY)  # warm: partitioning, pool, plans, intern
     return session
@@ -93,6 +98,36 @@ def test_four_shards_beat_one_with_identical_polynomials(db):
     if (os.cpu_count() or 1) < 2:
         pytest.skip("single-CPU runner cannot demonstrate shard parallelism")
     assert speedup >= 1.5, speedup
+
+
+def test_four_shards_beat_serial_hashjoin(db):
+    """The columnar tentpole target: sharded(4) >= 2x the serial
+    hash-join engine end to end.  The serial side re-plans, re-indexes
+    and eagerly decodes every round; the warm session's columnar path
+    amortizes exactly those stages (cached join indexes in the workers,
+    vectorized counter-merge, lazy decode at the result boundary) —
+    that amortization, times four cores, is where 2x comes from.
+    Polynomial identity is asserted unconditionally; the ratio needs
+    real cores, so it is skipped below four CPUs."""
+    reference = evaluate_hashjoin(QUERY, db)  # also warms the intern table
+    serial = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        evaluate_hashjoin(QUERY, db)
+        serial = min(serial, time.perf_counter() - start)
+    with _session(db, shards=4, workers=4) as four:
+        assert four.evaluate(QUERY) == reference  # identical polynomials
+        sharded = _steady_state(four)
+    speedup = serial / sharded
+    banner(
+        "10k-tuple join: 4 shards {:.2f}x vs serial hashjoin "
+        "({:.0f} ms vs {:.0f} ms) on {} CPU(s)".format(
+            speedup, sharded * 1e3, serial * 1e3, os.cpu_count()
+        )
+    )
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("the 2x-vs-serial target needs four real cores")
+    assert speedup >= 2.0, speedup
 
 
 @pytest.fixture(scope="module")
@@ -151,8 +186,11 @@ def test_trace_artifact_breaks_down_sharded_run(db):
     artifact = {"query": "ans(x, z) :- R(x, y), S(y, z)", "facts": db.fact_count()}
     for shards in (1, 4):
         with QuerySession(
-            db, engine="sharded", shards=shards, workers=shards,
-            broadcast_threshold=0,
+            db,
+            EngineConfig(
+                engine="sharded", shards=shards, workers=shards,
+                broadcast_threshold=0,
+            ),
         ) as session:
             with tracing("cold") as tracer:
                 session.evaluate(QUERY)

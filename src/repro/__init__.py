@@ -17,6 +17,16 @@ Quickstart::
     print(evaluate(query, db))           # provenance polynomials
     print(min_prov(query))               # the p-minimal equivalent
 
+Engine selection goes through one object, :class:`repro.EngineConfig`
+— ``evaluate(query, db, EngineConfig(engine="sharded", shards=4))`` —
+and batches through :func:`repro.connect`, which opens a warm
+:class:`repro.QuerySession`::
+
+    from repro import EngineConfig, connect
+
+    with connect(db, EngineConfig(engine="sharded", shards=4)) as session:
+        results = session.evaluate_batch([query, query])
+
 See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
 paper-artifact reproduction index.
 """
@@ -26,6 +36,7 @@ from repro.aggregate.result import AggregateResult
 from repro.algebra.compile import evaluate_in_semiring, evaluate_via_algebra
 from repro.algebra.monoid import AggregationMonoid, monoid_for
 from repro.algebra.semimodule import SemimoduleElement
+from repro.config import EngineConfig, connect
 from repro.db.instance import AnnotatedDatabase
 from repro.db.sharding import ShardedDatabase
 from repro.db.sqlite_backend import SQLiteDatabase
@@ -103,9 +114,12 @@ from repro.semiring.polynomial import Monomial, Polynomial
 from repro.server import ResultCache, ServerState, make_server
 from repro.session import QuerySession
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    # engine configuration facade (the documented way to pick engines)
+    "EngineConfig",
+    "connect",
     # query model
     "Variable",
     "Constant",
@@ -140,9 +154,8 @@ __all__ = [
     "QuerySession",
     "evaluate",
     "evaluate_backtracking",
-    "evaluate_hashjoin",
-    "evaluate_sharded",
-    "evaluate_aggregate_sharded",
+    # (evaluate_hashjoin / evaluate_sharded / evaluate_aggregate_sharded
+    # remain importable, but the facade is evaluate + EngineConfig)
     "provenance",
     "provenance_of_boolean",
     # homomorphisms, containment

@@ -10,10 +10,11 @@ specialized database (the property tests assert exactly this).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.aggregate.result import AggregateAccumulator, AggregateResult
 from repro.algebra.monoid import monoid_for
+from repro.config import EngineConfig, resolve_engine_config
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.evaluate import assignments
 from repro.errors import EvaluationError
@@ -26,19 +27,23 @@ Row = Tuple[Hashable, ...]
 def evaluate_aggregate(
     query: AggregateQuery,
     db: AnnotatedDatabase,
-    engine: str = "hashjoin",
+    config: Union[EngineConfig, str, None] = None,
+    engine: Optional[str] = None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> Dict[Row, AggregateResult]:
     """Evaluate an aggregate query, returning ``{group: result}``.
 
-    The default ``hashjoin`` engine computes each rule's contributions
-    set-at-a-time (:mod:`repro.engine.hashjoin`); ``backtrack``
-    enumerates assignments one at a time; ``sharded`` splits each
-    rule's hash-join plan across ``shards`` shards and merges the
-    per-shard accumulator states through the semimodule layer
-    (:mod:`repro.engine.sharded`).  All fold through the shared
-    accumulator shape and produce tensor-identical results.
+    ``config`` is an :class:`~repro.config.EngineConfig` (or a bare
+    engine name); the ``engine=``/``shards=``/``workers=`` keywords are
+    deprecated shims over it.  The default ``hashjoin`` engine computes
+    each rule's contributions set-at-a-time
+    (:mod:`repro.engine.hashjoin`); ``backtrack`` enumerates
+    assignments one at a time; ``sharded`` splits each rule's hash-join
+    plan across shards and merges the per-shard accumulator states
+    through the semimodule layer (:mod:`repro.engine.sharded`).  All
+    fold through the shared accumulator shape and produce
+    tensor-identical results.
 
     >>> from repro.query.parser import parse_query
     >>> db = AnnotatedDatabase.from_rows({"S": [("nyc", 5), ("nyc", 2)]})
@@ -46,20 +51,33 @@ def evaluate_aggregate(
     >>> print(evaluate_aggregate(q, db)[("nyc",)])
     ⟨s1 + s2⟩ sum[s2⊗2 + s1⊗5]
     """
-    if engine == "hashjoin":
+    config = resolve_engine_config(
+        config,
+        "evaluate_aggregate",
+        engine=engine,
+        shards=shards,
+        workers=workers,
+    )
+    if config.engine == "hashjoin":
         from repro.engine.hashjoin import evaluate_aggregate_hashjoin
 
         return evaluate_aggregate_hashjoin(query, db)
-    if engine == "sharded":
+    if config.engine == "sharded":
         from repro.engine.sharded import evaluate_aggregate_sharded
 
         return evaluate_aggregate_sharded(
-            query, db, shards=shards, workers=workers
+            query,
+            db,
+            shards=config.shards,
+            workers=config.workers,
+            mode=config.mode,
+            broadcast_threshold=config.broadcast_threshold,
+            columnar=config.columnar,
         )
-    if engine != "backtrack":
+    if config.engine != "backtrack":
         raise EvaluationError(
             "unknown aggregate engine {!r}; supported: hashjoin, "
-            "backtrack, sharded".format(engine)
+            "backtrack, sharded".format(config.engine)
         )
     accumulator = AggregateAccumulator(query)
     for rule in query.rules:

@@ -14,11 +14,17 @@ With other semirings it evaluates queries directly under Boolean,
 counting, tropical, Why, ... semantics.
 """
 
+from repro.algebra.columnar import (
+    ColumnarTable,
+    LazyPolynomial,
+    decode_polynomials,
+    merge_annotations,
+)
 from repro.algebra.compile import compile_query_to_plan, evaluate_via_algebra
 # GLOBAL_INTERN is deliberately not re-exported: shared_intern() swaps
 # the module-level binding when the table outgrows its soft bound, and a
 # package-level copy would pin the abandoned table forever.
-from repro.algebra.intern import InternTable, shared_intern
+from repro.algebra.intern import InternRemapper, InternTable, shared_intern
 from repro.algebra.krelation import KRelation
 from repro.algebra.operators import (
     Join,
@@ -32,7 +38,12 @@ from repro.algebra.operators import (
 
 __all__ = [
     "InternTable",
+    "InternRemapper",
     "shared_intern",
+    "ColumnarTable",
+    "LazyPolynomial",
+    "merge_annotations",
+    "decode_polynomials",
     "KRelation",
     "Plan",
     "RelationScan",

@@ -1,0 +1,375 @@
+"""Columnar annotation tables: flat int columns for interned provenance.
+
+The sharded engine's merge stages used to move ``{head: {monomial id:
+coefficient}}`` dict-of-dicts across shard boundaries and remap them
+entry by entry — the two serial stages that made sharded execution
+slower than the serial hash join (see ``benchmarks/traces/``).  This
+module stores a shard's results as four flat columns instead:
+
+* ``heads`` — the output tuples, one entry per result row;
+* ``offsets`` — ``len(heads) + 1`` prefix offsets into the pair columns;
+* ``mids`` — interned monomial ids (``array('q')``);
+* ``coeffs`` — the matching coefficients (``array('q')``).
+
+Polynomial addition over these columns is a counter-merge over int
+arrays; remapping a whole shard result into the parent's intern table
+is one gather through a dense ``local id -> global id`` array —
+vectorized through numpy when available, a plain loop otherwise.  The
+same layout (columns + offsets) is what the shared-memory payload codec
+(:mod:`repro.db.sharding`) and the future multi-node wire format use.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.algebra.intern import InternTable
+from repro.semiring.polynomial import Monomial, Polynomial
+
+try:  # pragma: no cover - exercised indirectly on hosts with numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback path
+    _np = None
+
+#: Below this many pairs the plain-python remap loop beats the numpy
+#: round trip (asarray + gather + frombytes).
+_VECTORIZE_THRESHOLD = 256
+
+
+class ColumnarTable:
+    """One relation's interned annotations as flat columns.
+
+    Immutable in spirit: the engine builds a table once per (adjunct,
+    shard) evaluation and only :meth:`remap` rewrites ``mids`` (in
+    place, before the table is published to any reader).
+    """
+
+    __slots__ = ("heads", "offsets", "mids", "coeffs")
+
+    def __init__(
+        self,
+        heads: List,
+        offsets: "array",
+        mids: "array",
+        coeffs: "array",
+    ):  # noqa: D107
+        self.heads = heads
+        self.offsets = offsets
+        self.mids = mids
+        self.coeffs = coeffs
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_results(
+        cls, results: Mapping[tuple, Mapping[int, int]]
+    ) -> "ColumnarTable":
+        """Flatten ``{head: {monomial id: coefficient}}`` into columns."""
+        heads: List = []
+        offsets = array("q", [0])
+        mids = array("q")
+        coeffs = array("q")
+        append_head = heads.append
+        append_offset = offsets.append
+        for head, annotation in results.items():
+            append_head(head)
+            mids.extend(annotation.keys())
+            coeffs.extend(annotation.values())
+            append_offset(len(mids))
+        return cls(heads, offsets, mids, coeffs)
+
+    @classmethod
+    def concat(cls, tables: Sequence["ColumnarTable"]) -> "ColumnarTable":
+        """Stack tables end to end (heads may repeat across inputs).
+
+        Used to splice per-shard segments into one per-adjunct table;
+        duplicate heads are resolved by :func:`decode_polynomials`,
+        which *adds* their pair runs — polynomial addition in ``N[X]``.
+        """
+        if len(tables) == 1:
+            return tables[0]
+        heads: List = []
+        offsets = array("q", [0])
+        mids = array("q")
+        coeffs = array("q")
+        for table in tables:
+            base = len(mids)
+            heads.extend(table.heads)
+            mids.extend(table.mids)
+            coeffs.extend(table.coeffs)
+            table_offsets = table.offsets
+            offsets.extend(
+                base + table_offsets[i]
+                for i in range(1, len(table_offsets))
+            )
+        return cls(heads, offsets, mids, coeffs)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def remap(self, mapping: Sequence[int]) -> None:
+        """Rewrite every monomial id through ``mapping`` (a dense array).
+
+        The cross-shard intern merge: a worker table's local ids become
+        the parent table's global ids in one gather.  numpy turns this
+        into a single fancy-indexing kernel; the fallback loop is still
+        linear in the pair count (never in the table sizes).
+        """
+        mids = self.mids
+        if _np is not None and len(mids) >= _VECTORIZE_THRESHOLD:
+            gathered = _np.asarray(mapping, dtype=_np.int64)[
+                _np.frombuffer(mids, dtype=_np.int64)
+            ]
+            fresh = array("q")
+            fresh.frombytes(gathered.tobytes())
+            self.mids = fresh
+        else:
+            self.mids = array("q", [mapping[mid] for mid in mids])
+
+    def tuple_count(self) -> int:
+        """Number of result rows (head occurrences, duplicates counted)."""
+        return len(self.heads)
+
+    def pair_count(self) -> int:
+        """Number of ``(monomial id, coefficient)`` pairs."""
+        return len(self.mids)
+
+    def to_results(self) -> Dict[tuple, Dict[int, int]]:
+        """Expand back into ``{head: {monomial id: coefficient}}``.
+
+        The inverse of :meth:`from_results` (duplicate heads merge by
+        addition); used by tests and the dict-path interop seams.
+        """
+        merged: Dict[tuple, Dict[int, int]] = {}
+        offsets = self.offsets
+        mids = self.mids.tolist()
+        coeffs = self.coeffs.tolist()
+        for i, head in enumerate(self.heads):
+            lo, hi = offsets[i], offsets[i + 1]
+            bucket = merged.get(head)
+            if bucket is None:
+                merged[head] = dict(zip(mids[lo:hi], coeffs[lo:hi]))
+            else:
+                for j in range(lo, hi):
+                    mid = mids[j]
+                    bucket[mid] = bucket.get(mid, 0) + coeffs[j]
+        return merged
+
+    def __repr__(self) -> str:
+        return "<ColumnarTable {} heads, {} pairs>".format(
+            len(self.heads), len(self.mids)
+        )
+
+
+#: What the merge kernels accept: columnar segments or the legacy
+#: dict-of-dicts annotation tables (the two paths stay differential-
+#: testable against each other).
+AnnotationTable = Union[ColumnarTable, Mapping[tuple, Mapping[int, int]]]
+
+
+def merge_annotations(
+    tables: Iterable[AnnotationTable],
+) -> Dict[tuple, Dict[int, int]]:
+    """Counter-merge annotation tables into ``{head: {mid: coefficient}}``.
+
+    Accepts any mix of :class:`ColumnarTable` and dict tables; repeated
+    inputs contribute once per occurrence (UCQ union semantics) and
+    duplicate monomial ids add coefficients — polynomial addition over
+    int keys, deferred monomial decoding.
+    """
+    merged: Dict[tuple, Dict[int, int]] = {}
+    for table in tables:
+        if isinstance(table, ColumnarTable):
+            offsets = table.offsets
+            mids = table.mids.tolist()
+            coeffs = table.coeffs.tolist()
+            for i, head in enumerate(table.heads):
+                lo, hi = offsets[i], offsets[i + 1]
+                bucket = merged.get(head)
+                if bucket is None:
+                    merged[head] = dict(zip(mids[lo:hi], coeffs[lo:hi]))
+                else:
+                    for j in range(lo, hi):
+                        mid = mids[j]
+                        bucket[mid] = bucket.get(mid, 0) + coeffs[j]
+        else:
+            for head, annotation in table.items():
+                bucket = merged.get(head)
+                if bucket is None:
+                    merged[head] = dict(annotation)
+                else:
+                    for mid, coefficient in annotation.items():
+                        bucket[mid] = bucket.get(mid, 0) + coefficient
+    return merged
+
+
+def _as_int_list(column) -> Sequence[int]:
+    """``array``/ndarray columns to plain int lists; sequences pass through."""
+    tolist = getattr(column, "tolist", None)
+    return tolist() if tolist is not None else column
+
+
+def _eager_polynomial(terms: Dict[Monomial, int]) -> Polynomial:
+    """Pickle target: rebuild a lazy polynomial as a plain eager one."""
+    return Polynomial._from_clean(terms)
+
+
+class LazyPolynomial(Polynomial):
+    """A :class:`Polynomial` that decodes its monomials on first use.
+
+    The engines' merge stages work entirely over interned monomial ids;
+    turning those ids into canonical :class:`Monomial` keys is a pure
+    per-result cost that a caller only pays for the polynomials it
+    actually inspects.  Instances hold the intern table plus the merged
+    ``(monomial id, coefficient)`` columns and build the Monomial-keyed
+    term dict lazily, caching it — every inherited operation (equality,
+    algebra, printing, ordering) goes through ``_terms`` and therefore
+    works transparently.
+
+    Storage forms: ``coeffs is None`` means ``mids`` is a ``{monomial
+    id: coefficient}`` mapping; otherwise ``mids``/``coeffs`` are
+    parallel int columns (``array``, ndarray slice, list, ...).  The
+    columns must not be mutated after construction.
+    """
+
+    __slots__ = ("_intern", "_mids", "_coeffs", "_decoded_terms")
+
+    def __init__(
+        self, intern: InternTable, mids, coeffs=None
+    ):  # noqa: D107 - see class docstring
+        self._intern = intern
+        self._mids = mids
+        self._coeffs = coeffs
+        self._decoded_terms: Optional[Dict[Monomial, int]] = None
+
+    @property
+    def _terms(self) -> Dict[Monomial, int]:  # type: ignore[override]
+        terms = self._decoded_terms
+        if terms is None:
+            monomial = self._intern.monomial
+            if self._coeffs is None:
+                items = self._mids.items()
+            else:
+                items = zip(_as_int_list(self._mids), _as_int_list(self._coeffs))
+            terms = {}
+            for mid, coefficient in items:
+                if coefficient > 0:
+                    key = monomial(mid)
+                    existing = terms.get(key)
+                    terms[key] = (
+                        coefficient if existing is None else existing + coefficient
+                    )
+            self._decoded_terms = terms
+        return terms
+
+    def __reduce__(self):
+        # Pickle as an eager Polynomial: workers/caches must not carry
+        # a whole intern table along with every result value.
+        return (_eager_polynomial, (dict(self._terms),))
+
+
+def _decode_columnar_vectorized(
+    table: ColumnarTable, intern: InternTable
+) -> Dict[tuple, Polynomial]:
+    """Group-merge one columnar table by head with numpy kernels.
+
+    Equivalent to ``merge_annotations([table])`` + decode, but the
+    counter-merge is a ``lexsort`` + ``reduceat`` over the flat int
+    columns instead of 100k+ Python dict operations, and the decoded
+    output is a :class:`LazyPolynomial` per head sliced straight out of
+    the merged columns.
+    """
+    # One Python pass assigns dense ids to (possibly repeated) heads;
+    # everything after runs at C speed over int64 arrays.
+    head_ids: Dict[tuple, int] = {}
+    run_ids = [head_ids.setdefault(head, len(head_ids)) for head in table.heads]
+    offsets = _np.frombuffer(table.offsets, dtype=_np.int64)
+    pair_heads = _np.repeat(
+        _np.asarray(run_ids, dtype=_np.int64), _np.diff(offsets)
+    )
+    mids = _np.frombuffer(table.mids, dtype=_np.int64)
+    coeffs = _np.frombuffer(table.coeffs, dtype=_np.int64)
+
+    # Sort pairs by (head id, monomial id).  When both keys fit one
+    # int64 a packed single-key argsort is ~2x faster than lexsort;
+    # monomial ids are unbounded in principle, so fall back otherwise.
+    max_mid = int(mids.max()) if len(mids) else 0
+    shift = max_mid.bit_length()
+    head_bits = max(len(head_ids) - 1, 0).bit_length()
+    if max_mid >= 0 and int(mids.min()) >= 0 and shift + head_bits < 63:
+        order = _np.argsort((pair_heads << shift) | mids, kind="stable")
+    else:
+        order = _np.lexsort((mids, pair_heads))
+    sorted_heads = pair_heads[order]
+    sorted_mids = mids[order]
+
+    # Coefficients of equal (head, monomial id) pairs add up: boundaries
+    # where either key changes delimit the reduceat segments.
+    boundaries = _np.empty(len(order), dtype=bool)
+    boundaries[0] = True
+    _np.not_equal(sorted_heads[1:], sorted_heads[:-1], out=boundaries[1:])
+    boundaries[1:] |= sorted_mids[1:] != sorted_mids[:-1]
+    starts = _np.flatnonzero(boundaries)
+    merged_heads = sorted_heads[starts]
+    merged_mids = sorted_mids[starts]
+    merged_coeffs = _np.add.reduceat(coeffs[order], starts)
+
+    head_breaks = _np.empty(len(merged_heads), dtype=bool)
+    head_breaks[0] = True
+    _np.not_equal(merged_heads[1:], merged_heads[:-1], out=head_breaks[1:])
+    head_start_array = _np.flatnonzero(head_breaks)
+    owner_ids = merged_heads[head_start_array].tolist()
+    head_starts = head_start_array.tolist()
+    head_starts.append(len(merged_heads))
+
+    heads_by_id = list(head_ids)
+    results: Dict[tuple, Polynomial] = {}
+    new_lazy = LazyPolynomial.__new__
+    for k, owner in enumerate(owner_ids):
+        lo = head_starts[k]
+        hi = head_starts[k + 1]
+        # Inlined LazyPolynomial construction: this loop runs once per
+        # result tuple and the constructor call is pure overhead here.
+        value = new_lazy(LazyPolynomial)
+        value._intern = intern
+        value._mids = merged_mids[lo:hi]
+        value._coeffs = merged_coeffs[lo:hi]
+        value._decoded_terms = None
+        results[heads_by_id[owner]] = value
+    if len(results) < len(heads_by_id):
+        # Heads whose pair run was empty decode to the zero polynomial
+        # (they never reach the pair columns, so the grouping skips them).
+        for head in heads_by_id:
+            if head not in results:
+                results[head] = Polynomial.zero()
+    return results
+
+
+def decode_polynomials(
+    tables: Iterable[AnnotationTable], intern: InternTable
+) -> Dict[tuple, Polynomial]:
+    """Merge annotation tables and decode them against ``intern``.
+
+    The session/executor result boundary: everything upstream stayed in
+    int-keyed columns; here duplicate heads counter-merge (polynomial
+    addition) and each head gets a :class:`LazyPolynomial` view over the
+    merged columns — monomial ids become :class:`Monomial` keys only
+    when a caller first touches the value.  With numpy and all-columnar
+    inputs the merge itself is a vectorized sort/reduce; the fallback
+    is the plain dict merge of :func:`merge_annotations`.
+    """
+    tables = list(tables)
+    if (
+        _np is not None
+        and tables
+        and all(isinstance(table, ColumnarTable) for table in tables)
+    ):
+        concatenated = ColumnarTable.concat(tables)
+        if concatenated.pair_count() >= _VECTORIZE_THRESHOLD:
+            return _decode_columnar_vectorized(concatenated, intern)
+    return {
+        head: LazyPolynomial(intern, annotation)
+        for head, annotation in merge_annotations(tables).items()
+    }

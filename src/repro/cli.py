@@ -50,6 +50,7 @@ from repro.aggregate.evaluate import evaluate_aggregate
 from repro.apps.deletion import propagate_deletion_aggregates
 from repro.apps.probability import aggregate_distribution, expected_aggregate
 from repro.apps.trust import trusted_aggregate_value
+from repro.config import EngineConfig
 from repro.db.instance import AnnotatedDatabase
 from repro.db.sqlite_backend import SQLiteDatabase
 from repro.direct.pipeline import core_provenance_table
@@ -138,19 +139,30 @@ AGGREGATE_ENGINES = MEMORY_ENGINES + ("sql", "sqlite", "memory")
 EVAL_ENGINES = AGGREGATE_ENGINES + ("algebra",)
 
 
+def _engine_config(args, engine: str) -> EngineConfig:
+    """Fold a subcommand's engine flags into one :class:`EngineConfig`.
+
+    The CLI flags are the user interface over the config (not shims):
+    they build the config here, and internal calls pass it on.
+    """
+    return EngineConfig(
+        engine=engine,
+        shards=getattr(args, "shards", None),
+        workers=getattr(args, "workers", None),
+        broadcast_threshold=getattr(args, "broadcast_threshold", None),
+        columnar=not getattr(args, "no_columnar", False),
+    )
+
+
 def _evaluate_any(
     query: AnyQuery,
     db: AnnotatedDatabase,
-    engine: str,
-    shards: Optional[int] = None,
-    workers: Optional[int] = None,
+    config: EngineConfig,
 ):
-    engine = ENGINE_ALIASES.get(engine, engine)
+    engine = config.engine
     if isinstance(query, AggregateQuery):
         if engine in MEMORY_ENGINES:
-            return evaluate_aggregate(
-                query, db, engine=engine, shards=shards, workers=workers
-            )
+            return evaluate_aggregate(query, db, config)
         if engine == "sqlite":
             store = SQLiteDatabase.from_annotated(db)
             try:
@@ -162,7 +174,7 @@ def _evaluate_any(
             "--engine hashjoin, backtrack, sharded or sql".format(engine)
         )
     if engine in MEMORY_ENGINES:
-        return evaluate(query, db, engine=engine, shards=shards, workers=workers)
+        return evaluate(query, db, config)
     if engine == "sqlite":
         store = SQLiteDatabase.from_annotated(db)
         try:
@@ -181,15 +193,15 @@ def _evaluate_any(
 def command_eval(args, out) -> int:
     program = _select_views(load_program(args.program), args.view)
     db = load_database(args.data)
-    if ENGINE_ALIASES.get(args.engine, args.engine) == "sharded":
+    engine = ENGINE_ALIASES.get(args.engine, args.engine)
+    config = _engine_config(args, engine)
+    if engine == "sharded":
         # One session for the whole program: the database is
         # partitioned (and shipped to the worker pool) once, not once
         # per view.
         from repro.session import QuerySession
 
-        with QuerySession(
-            db, engine="sharded", shards=args.shards, workers=args.workers
-        ) as session:
+        with QuerySession(db, config) as session:
             for name, query in sorted(program.items()):
                 if isinstance(query, AggregateQuery):
                     _print_results(name, session.evaluate_aggregate(query), out)
@@ -197,13 +209,7 @@ def command_eval(args, out) -> int:
                     _print_results(name, session.evaluate(query), out)
         return 0
     for name, query in sorted(program.items()):
-        _print_results(
-            name,
-            _evaluate_any(
-                query, db, args.engine, shards=args.shards, workers=args.workers
-            ),
-            out,
-        )
+        _print_results(name, _evaluate_any(query, db, config), out)
     return 0
 
 
@@ -225,18 +231,17 @@ def command_batch(args, out) -> int:
     queries = [parse_query(text) for text in texts]
     db = load_database(args.data)
     engine = ENGINE_ALIASES.get(args.engine, args.engine)
+    config = _engine_config(args, engine)
     if engine in ("sharded", "hashjoin"):
         # One session for the whole batch: shared plan cache, shared
         # shard partitioning/pool, one pinned intern table, and
         # duplicate or overlapping queries evaluated once.
         from repro.session import QuerySession
 
-        with QuerySession(
-            db, engine=engine, shards=args.shards, workers=args.workers
-        ) as session:
+        with QuerySession(db, config) as session:
             results = session.evaluate_batch(queries)
     else:
-        results = [_evaluate_any(query, db, args.engine) for query in queries]
+        results = [_evaluate_any(query, db, config) for query in queries]
     for index, (text, result) in enumerate(zip(texts, results)):
         _print_results("[{}] {}".format(index, " ".join(text.split())), result, out)
     return 0
@@ -247,8 +252,6 @@ def _symbol_set(text: Optional[str]):
 
 
 def command_aggregate(args, out) -> int:
-    shards = getattr(args, "shards", None)
-    workers = getattr(args, "workers", None)
     program = _select_views(load_program(args.program), args.view)
     aggregates = {
         name: query
@@ -276,10 +279,11 @@ def command_aggregate(args, out) -> int:
                     "probabilities file must map annotations to numbers: "
                     "{}".format(error)
                 )
+    config = _engine_config(
+        args, ENGINE_ALIASES.get(args.engine, args.engine)
+    )
     for name, query in sorted(aggregates.items()):
-        results = _evaluate_any(
-            query, db, args.engine, shards=shards, workers=workers
-        )
+        results = _evaluate_any(query, db, config)
         ops = query.aggregate_ops
         _print_results(name, results, out)
         if deleted is not None:
@@ -462,9 +466,7 @@ def command_serve(args, out) -> int:
         host=args.host,
         port=args.port,
         program=program,
-        engine=args.engine,
-        shards=args.shards,
-        workers=args.workers,
+        config=_engine_config(args, args.engine),
         cache_size=args.cache_size,
         metrics=not args.no_metrics,
     ) as server:
@@ -502,13 +504,10 @@ def command_trace(args, out) -> int:
     with tracing("query") as tracer:
         with tracer.span("parse"):
             query = parse_query(args.query)
-        with QuerySession(
-            db,
-            engine=args.engine,
-            shards=args.shards,
-            workers=args.workers,
-            mode="thread",
-        ) as session:
+        config = _engine_config(args, args.engine).with_overrides(
+            mode="thread"
+        )
+        with QuerySession(db, config) as session:
             results = session.evaluate_batch([query])[0]
     tree = tracer.tree()
     if args.json:
@@ -558,6 +557,19 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="worker-pool size for --engine sharded "
             "(default: min(shards, CPU count))",
+        )
+        sub.add_argument(
+            "--broadcast-threshold",
+            type=int,
+            metavar="N",
+            help="replicate relations smaller than N rows to every "
+            "shard instead of partitioning them (--engine sharded)",
+        )
+        sub.add_argument(
+            "--no-columnar",
+            action="store_true",
+            help="use the legacy dict-of-dicts sharded merge path "
+            "instead of columnar results",
         )
 
     sub_eval = subparsers.add_parser("eval", help="evaluate with provenance")

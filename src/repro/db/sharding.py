@@ -25,7 +25,10 @@ worker processes (or shared by reference with worker threads).
 
 from __future__ import annotations
 
+import pickle
+import struct
 import zlib
+from array import array
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.db.instance import AnnotatedDatabase, Row
@@ -79,6 +82,10 @@ class ShardPayload:
         self._relations = dict(relations)
         self._facts_cache: Dict[str, List[Tuple[Row, str]]] = {}
         self._owned_cache: Dict[Tuple[str, int], List[Tuple[Row, str]]] = {}
+        #: Snapshot-scoped join-index cache (see ``hashjoin._execute``):
+        #: the snapshot is immutable, so indexes built over it stay valid
+        #: for its whole lifetime and die with it.  Never pickled.
+        self.index_cache: Dict = {}
 
     def __getstate__(self):
         return (self.shard_count, self.epoch, self._arities, self._relations)
@@ -87,6 +94,7 @@ class ShardPayload:
         self.shard_count, self.epoch, self._arities, self._relations = state
         self._facts_cache = {}
         self._owned_cache = {}
+        self.index_cache = {}
 
     def relations(self) -> Set[str]:
         """Names of the relations in the snapshot."""
@@ -326,6 +334,273 @@ class ShardedDatabase:
             "<ShardedDatabase {shards} shards, {partitioned} partitioned, "
             "{broadcast} broadcast>".format(**self.stats())
         )
+
+
+# ----------------------------------------------------------------------
+# Offset-based payload codec (shared memory now, wire format later)
+# ----------------------------------------------------------------------
+#: Leading magic of an encoded payload ("RePro Columnar Payload").
+PAYLOAD_MAGIC = b"RPCP"
+
+#: Bump on incompatible layout changes; decoders reject mismatches.
+PAYLOAD_VERSION = 1
+
+#: Cell/annotation type tags.  Everything a database commonly holds gets
+#: a compact fixed encoding; anything else round-trips through pickle.
+_TAG_STR = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_NONE = 3
+_TAG_TRUE = 4
+_TAG_FALSE = 5
+_TAG_PICKLE = 6
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+_HEADER = struct.Struct("<4sIIQI")
+_RELATION_HEADER = struct.Struct("<IiQ")
+
+
+def _encode_value(value, blob: bytearray) -> None:
+    kind = type(value)
+    if kind is str:
+        blob.append(_TAG_STR)
+        blob += value.encode("utf-8")
+    elif kind is bool:
+        blob.append(_TAG_TRUE if value else _TAG_FALSE)
+    elif kind is int and _INT64_MIN <= value <= _INT64_MAX:
+        blob.append(_TAG_INT)
+        blob += value.to_bytes(8, "little", signed=True)
+    elif kind is float:
+        blob.append(_TAG_FLOAT)
+        blob += struct.pack("<d", value)
+    elif value is None:
+        blob.append(_TAG_NONE)
+    else:
+        blob.append(_TAG_PICKLE)
+        blob += pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_value(blob, lo: int, hi: int):
+    tag = blob[lo]
+    if tag == _TAG_STR:
+        return str(bytes(blob[lo + 1:hi]), "utf-8")
+    if tag == _TAG_INT:
+        return int.from_bytes(blob[lo + 1:hi], "little", signed=True)
+    if tag == _TAG_FLOAT:
+        return struct.unpack("<d", blob[lo + 1:hi])[0]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_PICKLE:
+        return pickle.loads(bytes(blob[lo + 1:hi]))
+    raise EvaluationError("corrupt payload: unknown cell tag {}".format(tag))
+
+
+def encode_payload(payload: ShardPayload) -> bytes:
+    """Serialize a :class:`ShardPayload` into the offset-based layout.
+
+    The format (documented in ``DESIGN.md``) is a header followed by one
+    block per relation; each block stores the owner column as a flat
+    int array and the annotation/cell values as tagged blobs delimited
+    by prefix-offset arrays — decoders slice, they never scan.  The same
+    bytes back the ``multiprocessing.shared_memory`` shipping path today
+    and are intended as the multi-node wire format.
+    """
+    chunks: List[bytes] = []
+    relations = sorted(payload._relations)
+    chunks.append(
+        _HEADER.pack(
+            PAYLOAD_MAGIC,
+            PAYLOAD_VERSION,
+            payload.shard_count,
+            payload.epoch,
+            len(relations),
+        )
+    )
+    for relation in relations:
+        rows = payload._relations[relation]
+        arity = payload._arities.get(relation)
+        if arity is None:
+            arity = len(rows[0][0]) if rows else 0
+        name = relation.encode("utf-8")
+        owners = array("i")
+        ann_offsets = array("q", [0])
+        ann_blob = bytearray()
+        cell_offsets = array("q", [0])
+        cell_blob = bytearray()
+        for row, annotation, owner in rows:
+            if len(row) != arity:
+                raise EvaluationError(
+                    "row arity mismatch in {!r}".format(relation)
+                )
+            owners.append(owner)
+            _encode_value(annotation, ann_blob)
+            ann_offsets.append(len(ann_blob))
+            for value in row:
+                _encode_value(value, cell_blob)
+                cell_offsets.append(len(cell_blob))
+        chunks.append(_RELATION_HEADER.pack(len(name), arity, len(rows)))
+        chunks.append(name)
+        chunks.append(owners.tobytes())
+        chunks.append(ann_offsets.tobytes())
+        chunks.append(bytes(ann_blob))
+        chunks.append(cell_offsets.tobytes())
+        chunks.append(bytes(cell_blob))
+    return b"".join(chunks)
+
+
+class _RelationBlock:
+    """Directory entry of one relation inside an encoded payload."""
+
+    __slots__ = (
+        "arity", "n_rows", "owners", "ann_offsets", "ann_blob",
+        "cell_offsets", "cell_blob",
+    )
+
+    def __init__(self, arity, n_rows, owners, ann_offsets, ann_blob,
+                 cell_offsets, cell_blob):  # noqa: D107
+        self.arity = arity
+        self.n_rows = n_rows
+        self.owners = owners
+        self.ann_offsets = ann_offsets
+        self.ann_blob = ann_blob
+        self.cell_offsets = cell_offsets
+        self.cell_blob = cell_blob
+
+
+class SharedPayloadView:
+    """A :class:`ShardPayload`-shaped reader over an encoded buffer.
+
+    Workers attach to the parent's shared-memory segment and build this
+    view over its buffer: the directory is parsed eagerly (offsets and
+    sizes only), rows are decoded lazily per relation on first access —
+    a plan touching two relations never materializes the rest.  The
+    buffer must outlive the view (the worker keeps the segment mapped
+    for the pool's lifetime).
+    """
+
+    def __init__(self, buf):  # noqa: D107
+        view = memoryview(buf)
+        if len(view) < _HEADER.size:
+            raise EvaluationError("corrupt payload: truncated header")
+        magic, version, shard_count, epoch, n_relations = _HEADER.unpack_from(
+            view, 0
+        )
+        if magic != PAYLOAD_MAGIC:
+            raise EvaluationError("corrupt payload: bad magic")
+        if version != PAYLOAD_VERSION:
+            raise EvaluationError(
+                "unsupported payload version {}".format(version)
+            )
+        self.shard_count = shard_count
+        self.epoch = epoch
+        self._blocks: Dict[str, _RelationBlock] = {}
+        self._facts_cache: Dict[str, List[Tuple[Row, str]]] = {}
+        self._owned_cache: Dict[Tuple[str, int], List[Tuple[Row, str]]] = {}
+        #: Same contract as :attr:`ShardPayload.index_cache`.
+        self.index_cache: Dict = {}
+        cursor = _HEADER.size
+        for _ in range(n_relations):
+            name_len, arity, n_rows = _RELATION_HEADER.unpack_from(
+                view, cursor
+            )
+            cursor += _RELATION_HEADER.size
+            name = str(bytes(view[cursor:cursor + name_len]), "utf-8")
+            cursor += name_len
+            owners = array("i")
+            owners.frombytes(view[cursor:cursor + 4 * n_rows])
+            cursor += 4 * n_rows
+            ann_offsets = array("q")
+            ann_offsets.frombytes(view[cursor:cursor + 8 * (n_rows + 1)])
+            cursor += 8 * (n_rows + 1)
+            ann_blob = view[cursor:cursor + ann_offsets[-1]]
+            cursor += ann_offsets[-1]
+            n_cells = n_rows * arity
+            cell_offsets = array("q")
+            cell_offsets.frombytes(view[cursor:cursor + 8 * (n_cells + 1)])
+            cursor += 8 * (n_cells + 1)
+            cell_blob = view[cursor:cursor + cell_offsets[-1]]
+            cursor += cell_offsets[-1]
+            self._blocks[name] = _RelationBlock(
+                arity, n_rows, owners, ann_offsets, ann_blob,
+                cell_offsets, cell_blob,
+            )
+
+    def relations(self) -> Set[str]:
+        """Names of the relations in the snapshot."""
+        return set(self._blocks)
+
+    def arity(self, relation: str) -> Optional[int]:
+        """Arity of ``relation`` (``None`` when unknown)."""
+        block = self._blocks.get(relation)
+        return None if block is None else block.arity
+
+    def facts(self, relation: str) -> List[Tuple[Row, str]]:
+        """The full ``(row, annotation)`` list, decoded once and cached."""
+        cached = self._facts_cache.get(relation)
+        if cached is None:
+            block = self._blocks.get(relation)
+            if block is None:
+                cached = self._facts_cache[relation] = []
+                return cached
+            arity = block.arity
+            ann_offsets = block.ann_offsets
+            ann_blob = block.ann_blob
+            cell_offsets = block.cell_offsets
+            cell_blob = block.cell_blob
+            decoded: List[Tuple[Row, str]] = []
+            cell = 0
+            for i in range(block.n_rows):
+                row = tuple(
+                    _decode_value(
+                        cell_blob, cell_offsets[cell + j], cell_offsets[cell + j + 1]
+                    )
+                    for j in range(arity)
+                )
+                cell += arity
+                annotation = _decode_value(
+                    ann_blob, ann_offsets[i], ann_offsets[i + 1]
+                )
+                decoded.append((row, annotation))
+            cached = self._facts_cache[relation] = decoded
+        return cached
+
+    def owned_facts(self, relation: str, shard_index: int) -> List[Tuple[Row, str]]:
+        """The anchor fragment: rows of ``relation`` owned by one shard."""
+        key = (relation, shard_index)
+        cached = self._owned_cache.get(key)
+        if cached is None:
+            block = self._blocks.get(relation)
+            if block is None:
+                cached = self._owned_cache[key] = []
+                return cached
+            owners = block.owners
+            facts = self.facts(relation)
+            cached = self._owned_cache[key] = [
+                facts[i]
+                for i in range(block.n_rows)
+                if owners[i] == shard_index
+            ]
+        return cached
+
+    def fact_count(self) -> int:
+        """Total number of rows in the snapshot."""
+        return sum(block.n_rows for block in self._blocks.values())
+
+    def __repr__(self) -> str:
+        return "<SharedPayloadView {} relations, {} facts, {} shards>".format(
+            len(self._blocks), self.fact_count(), self.shard_count
+        )
+
+
+def decode_payload(buf) -> SharedPayloadView:
+    """Open an encoded payload buffer as a lazy, read-only view."""
+    return SharedPayloadView(buf)
 
 
 def partition_rows(

@@ -14,8 +14,9 @@ polynomials of the adjuncts add up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.config import EngineConfig, resolve_engine_config
 from repro.db.instance import AnnotatedDatabase, Row, Value
 from repro.errors import EvaluationError
 from repro.query.aggregate import AggregateQuery
@@ -165,7 +166,8 @@ ENGINES = ("hashjoin", "backtrack", "sharded")
 def evaluate(
     query: Query,
     db: AnnotatedDatabase,
-    engine: str = "hashjoin",
+    config: Union[EngineConfig, str, None] = None,
+    engine: Optional[str] = None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> Dict[HeadTuple, Polynomial]:
@@ -174,22 +176,28 @@ def evaluate(
     Implements Def. 2.12: one monomial per assignment, adjunct
     polynomials summed.  Tuples with zero provenance never appear.
 
-    The default ``hashjoin`` engine evaluates set-at-a-time with a
-    cardinality-banded plan cache (:mod:`repro.engine.hashjoin`);
-    ``backtrack`` is the tuple-at-a-time reference implementation;
-    ``sharded`` fans the hash-join plans out across ``shards``
-    hash-partitioned shards evaluated by ``workers`` parallel workers
-    (:mod:`repro.engine.sharded`) — batches should prefer a warm
-    :class:`~repro.session.QuerySession`.  All engines return identical
-    polynomials on every input — the differential suites assert it —
-    so the choice is purely about speed.
+    ``config`` is an :class:`~repro.config.EngineConfig` (or a bare
+    engine name).  The default ``hashjoin`` engine evaluates
+    set-at-a-time with a cardinality-banded plan cache
+    (:mod:`repro.engine.hashjoin`); ``backtrack`` is the
+    tuple-at-a-time reference implementation; ``sharded`` fans the
+    hash-join plans out across hash-partitioned shards evaluated by
+    parallel workers (:mod:`repro.engine.sharded`) — batches should
+    prefer a warm :class:`~repro.session.QuerySession`.  All engines
+    return identical polynomials on every input — the differential
+    suites assert it — so the choice is purely about speed.  The
+    ``engine=``/``shards=``/``workers=`` keywords are deprecated shims
+    over the matching config fields.
 
     Aggregate queries annotate their values in a semimodule, not a
     polynomial — they have their own evaluator,
     :func:`repro.aggregate.evaluate.evaluate_aggregate`, built on the
     same engines.
     """
-    if engine in ("hashjoin", "sharded"):
+    config = resolve_engine_config(
+        config, "evaluate", engine=engine, shards=shards, workers=workers
+    )
+    if config.engine in ("hashjoin", "sharded"):
         if isinstance(query, AggregateQuery):
             raise EvaluationError(
                 "aggregate queries produce semimodule annotations; use "
@@ -199,17 +207,27 @@ def evaluate(
         # repro.aggregate package, whose evaluator imports this module —
         # a top-level import here would close that cycle during
         # package initialization.
-        if engine == "sharded":
+        if config.engine == "sharded":
             from repro.engine.sharded import evaluate_sharded
 
-            return evaluate_sharded(query, db, shards=shards, workers=workers)
+            return evaluate_sharded(
+                query,
+                db,
+                shards=config.shards,
+                workers=config.workers,
+                mode=config.mode,
+                broadcast_threshold=config.broadcast_threshold,
+                columnar=config.columnar,
+            )
         from repro.engine.hashjoin import evaluate_hashjoin
 
         return evaluate_hashjoin(query, db)
-    if engine == "backtrack":
+    if config.engine == "backtrack":
         return evaluate_backtracking(query, db)
     raise EvaluationError(
-        "unknown engine {!r}; supported: {}".format(engine, ", ".join(ENGINES))
+        "unknown engine {!r}; supported: {}".format(
+            config.engine, ", ".join(ENGINES)
+        )
     )
 
 
@@ -217,14 +235,16 @@ def provenance(
     query: Query,
     db: AnnotatedDatabase,
     output: Sequence[Value],
-    engine: str = "hashjoin",
+    config: Union[EngineConfig, str, None] = None,
+    engine: Optional[str] = None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> Polynomial:
     """``P(t, Q, D)`` for one output tuple (zero when absent)."""
-    return evaluate(
-        query, db, engine=engine, shards=shards, workers=workers
-    ).get(tuple(output), Polynomial.zero())
+    config = resolve_engine_config(
+        config, "provenance", engine=engine, shards=shards, workers=workers
+    )
+    return evaluate(query, db, config).get(tuple(output), Polynomial.zero())
 
 
 def provenance_of_boolean(query: Query, db: AnnotatedDatabase) -> Polynomial:

@@ -253,15 +253,55 @@ def _merge_into(target: _Annotation, source: _Annotation) -> None:
         target[monomial] = target.get(monomial, 0) + coefficient
 
 
+#: Soft bound on a payload-scoped join-index cache; crossing it clears
+#: the cache wholesale (steady-state workloads reuse a handful of keys,
+#: so eviction sophistication buys nothing).
+_INDEX_CACHE_LIMIT = 512
+
+
+def _build_step_index(
+    step: JoinStep,
+    source,
+    symbol_id,
+) -> Dict[Tuple[Value, ...], List[Tuple[Tuple[Value, ...], int]]]:
+    """Hash one step's rows on the join key, applying row-local checks.
+
+    The annotation symbols are interned here — the index stores interned
+    ids, which is why cached indexes are keyed by the intern table's
+    token (see :func:`_execute`).
+    """
+    index: Dict[Tuple[Value, ...], List[Tuple[Tuple[Value, ...], int]]] = {}
+    for row, annotation in source:
+        if any(row[p] != value for p, value in step.const_checks):
+            continue
+        if any(row[a] != row[b] for a, b in step.intra_checks):
+            continue
+        key = tuple(row[p] for p in step.key_positions)
+        extension = tuple(row[p] for p in step.ext_positions)
+        index.setdefault(key, []).append((extension, symbol_id(annotation)))
+    return index
+
+
 def _execute(
     plan: CQPlan,
     db: Optional[AnnotatedDatabase],
     intern: InternTable,
     facts_fn=None,
+    index_cache: Optional[Dict] = None,
+    index_key=None,
 ) -> Dict[HeadTuple, _Annotation]:
     """Run a compiled plan; ``facts_fn(step_index, step)`` overrides the
     row source of each step (the sharded engine anchors one step on a
-    shard's owned fragment this way)."""
+    shard's owned fragment this way).
+
+    ``index_cache``/``index_key`` enable per-snapshot join-index reuse:
+    when both are given, each step's hash index is cached in
+    ``index_cache`` under ``index_key(step_index)`` — steady-state
+    re-evaluation over an unchanged snapshot becomes probe-only.  The
+    key must capture everything the index depends on: the plan, the
+    step, the row source (anchored fragment vs full relation) and the
+    intern table the symbol ids belong to.
+    """
     if not plan.satisfiable:
         return {}
     tracer = current_tracer()
@@ -273,20 +313,27 @@ def _execute(
         # untouched, so a null tracer leaves the engine loop as it was.
         step_span_cm = tracer.span("join.step", relation=step.relation)
         step_span = step_span_cm.__enter__()
-        source = (
-            db.facts(step.relation)
-            if facts_fn is None
-            else facts_fn(step_index, step)
-        )
-        index: Dict[Tuple[Value, ...], List[Tuple[Tuple[Value, ...], int]]] = {}
-        for row, annotation in source:
-            if any(row[p] != value for p, value in step.const_checks):
-                continue
-            if any(row[a] != row[b] for a, b in step.intra_checks):
-                continue
-            key = tuple(row[p] for p in step.key_positions)
-            extension = tuple(row[p] for p in step.ext_positions)
-            index.setdefault(key, []).append((extension, symbol_id(annotation)))
+        cached = None
+        cache_key = None
+        if index_cache is not None and index_key is not None:
+            cache_key = index_key(step_index)
+            cached = index_cache.get(cache_key)
+        if cached is None:
+            source = (
+                db.facts(step.relation)
+                if facts_fn is None
+                else facts_fn(step_index, step)
+            )
+            rows = len(source)
+            index = _build_step_index(step, source, symbol_id)
+            if cache_key is not None:
+                if len(index_cache) >= _INDEX_CACHE_LIMIT:
+                    index_cache.clear()
+                index_cache[cache_key] = (index, rows)
+                step_span.set(cache="miss")
+        else:
+            index, rows = cached
+            step_span.set(cache="hit")
 
         diseq_checks = step.diseq_checks
         carry = step.carry
@@ -326,7 +373,7 @@ def _execute(
                     product = times(monomial, symbol)
                     bucket[product] = bucket.get(product, 0) + coefficient
         state = new_state
-        step_span.set(rows=len(source), bindings=len(state))
+        step_span.set(rows=rows, bindings=len(state))
         step_span_cm.__exit__(None, None, None)
         if not state:
             return {}

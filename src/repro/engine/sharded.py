@@ -11,22 +11,29 @@ the assignment space and their union is annotation-identical to the
 Def. 2.12 sum over assignments — the cross-shard differential suite
 asserts this against the backtracking engine for every shard count.
 
-Workers intern provenance into **shard-local**
-:class:`~repro.algebra.intern.InternTable`\\ s (worker processes cannot
-share the parent's); results come home as ``{head: {local monomial id:
-coefficient}}`` plus the table snapshot, and a merge step remaps every
-monomial through :meth:`InternTable.remapper` while unioning the
-per-binding annotation dictionaries — polynomial addition on globally
-interned ids.  Aggregate rules fold shard-locally into
-:class:`~repro.aggregate.result.AggregateAccumulator` states that are
-merged through the monoid/semimodule layer
-(:func:`repro.aggregate.result.merge_aggregate_results`).
+Two result paths exist, selected by the ``columnar`` flag:
 
-Execution backends: a ``concurrent.futures`` process pool fed pickled
-:class:`~repro.db.sharding.ShardPayload` snapshots (shipped once per
-database epoch via the pool initializer, then reused for every query
-of a batch), with a thread-pool fallback when process spawning is
-unavailable.  :class:`ShardedExecutor` owns both and is what a
+* **Columnar** (default): workers keep a *persistent* shard-local
+  :class:`~repro.algebra.intern.InternTable` for the lifetime of the
+  pool, cache their per-snapshot join-step indexes, and return results
+  as flat :class:`~repro.algebra.columnar.ColumnarTable` columns plus
+  an *incremental* intern export (only the symbols/monomials minted
+  since the previous task).  The parent accumulates each worker's
+  export log, maintains a dense ``local id -> global id`` array per
+  (worker, target-table) pair, and remaps whole result columns in one
+  gather (numpy-vectorized when available).  Thread-mode workers
+  intern straight into the caller's table — no remap at all.
+* **Legacy dict** (``columnar=False``): fresh intern table per task,
+  dict-of-dict results, per-monomial remapping merge — kept as the
+  reference the columnar-vs-dict differential suite runs against.
+
+Execution backends: a ``concurrent.futures`` process pool whose
+:class:`~repro.db.sharding.ShardPayload` ships once per database epoch
+— through a ``multiprocessing.shared_memory`` segment holding the
+offset-based encoding (:func:`repro.db.sharding.encode_payload`) on the
+columnar path, pickled initargs otherwise — with a thread-pool fallback
+when process spawning is unavailable.  :class:`ShardedExecutor` owns
+pool, segment and partitioning, and is what a
 :class:`~repro.session.QuerySession` keeps warm across a batch.
 """
 
@@ -35,13 +42,20 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
+import uuid
 import weakref
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.algebra.intern import InternTable, shared_intern
+from repro.algebra.columnar import ColumnarTable, decode_polynomials
+from repro.algebra.intern import InternRemapper, InternTable, shared_intern
 from repro.db.instance import AnnotatedDatabase
-from repro.db.sharding import ShardedDatabase, ShardPayload
+from repro.db.sharding import (
+    ShardedDatabase,
+    ShardPayload,
+    decode_payload,
+    encode_payload,
+)
 from repro.engine.hashjoin import HeadTuple, _Annotation, _execute, plan_for
 from repro.engine.plan_cache import PlanCache
 from repro.errors import EvaluationError
@@ -54,8 +68,9 @@ from repro.semiring.polynomial import Polynomial
 #: Default number of shards when the caller does not choose one.
 DEFAULT_SHARDS = 4
 
-#: What one shard returns for one plan: interned annotations plus the
-#: shard-local table snapshot they are encoded against.
+#: What one shard returns for one plan on the legacy dict path:
+#: interned annotations plus the shard-local table snapshot they are
+#: encoded against.
 ShardResult = Tuple[
     Dict[HeadTuple, _Annotation], Tuple[List[str], List[Tuple[int, ...]]]
 ]
@@ -63,22 +78,51 @@ ShardResult = Tuple[
 _EXECUTOR_MODES = ("process", "thread")
 
 
-def _shutdown_pool(pool) -> None:
-    """Finalizer target: release a leaked executor's worker pool.
+class _ColumnarShard(NamedTuple):
+    """One shard's columnar result plus its incremental intern export.
+
+    ``token`` identifies the worker's persistent intern table (``None``
+    for thread-mode results, whose ids are already global).  The export
+    continues the worker's log at ``symbol_start``/``monomial_start`` —
+    the parent splices contiguous deltas into a full replica.
+    """
+
+    token: Optional[str]
+    symbol_start: int
+    monomial_start: int
+    symbols: List[str]
+    monomial_keys: List[Tuple[int, ...]]
+    table: ColumnarTable
+
+
+def _release_shm(shm) -> None:
+    """Close and unlink a shared-memory segment, ignoring races."""
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - teardown race
+        pass
+
+
+def _shutdown_pool(pool, shm=None) -> None:
+    """Finalizer target: release a leaked executor's pool and segment.
 
     Registered through :func:`weakref.finalize` (never ``__del__``) so
     a session dropped without :meth:`ShardedExecutor.close` — an
     exception path, a forgotten context manager — cannot strand a
-    process pool.  The callback must not reference the executor, or the
-    reference cycle would keep it alive forever.
+    process pool or leak its shared-memory segment.  The callback must
+    not reference the executor, or the reference cycle would keep it
+    alive forever.
     """
     pool.shutdown(wait=False)
+    if shm is not None:
+        _release_shm(shm)
 
 
 # ----------------------------------------------------------------------
 # Shard tasks (run in workers: top-level, picklable by reference)
 # ----------------------------------------------------------------------
-def _facts_fn(payload: ShardPayload, anchor_step: Optional[int], shard_index: int):
+def _facts_fn(payload, anchor_step: Optional[int], shard_index: int):
     def facts(step_index, step):
         if step_index == anchor_step:
             return payload.owned_facts(step.relation, shard_index)
@@ -87,10 +131,26 @@ def _facts_fn(payload: ShardPayload, anchor_step: Optional[int], shard_index: in
     return facts
 
 
+def _index_key_fn(plan, anchor_step: Optional[int], shard_index: int, token: int):
+    """Cache keys for one plan run's join-step indexes.
+
+    Non-anchor steps scan the full relation, so their index is shared
+    across shards (owner slot ``-1``); the anchor step's index covers
+    one shard's fragment only.  The intern token pins the symbol ids
+    the index stores to the table that minted them.
+    """
+
+    def index_key(step_index):
+        owner = shard_index if step_index == anchor_step else -1
+        return (token, plan, step_index, owner)
+
+    return index_key
+
+
 def _run_plan(
-    payload: ShardPayload, plan, anchor_step: Optional[int], shard_index: int
+    payload, plan, anchor_step: Optional[int], shard_index: int
 ) -> ShardResult:
-    """Execute one plan on one shard into a fresh local intern table."""
+    """Legacy dict path: one plan, one shard, a fresh local table."""
     intern = InternTable()
     results = _execute(
         plan, None, intern, facts_fn=_facts_fn(payload, anchor_step, shard_index)
@@ -98,29 +158,75 @@ def _run_plan(
     return results, intern.export_state()
 
 
+def _run_plan_columnar(
+    payload,
+    plan,
+    anchor_step: Optional[int],
+    shard_index: int,
+    intern: InternTable,
+) -> ColumnarTable:
+    """Columnar path: run one plan on one shard into ``intern``'s ids.
+
+    Join-step indexes are cached on the payload snapshot, so re-running
+    the same plan over an unchanged snapshot (the steady state of a
+    refresh loop) skips the build scans and goes straight to probing.
+    """
+    results = _execute(
+        plan,
+        None,
+        intern,
+        facts_fn=_facts_fn(payload, anchor_step, shard_index),
+        index_cache=payload.index_cache,
+        index_key=_index_key_fn(plan, anchor_step, shard_index, intern.token),
+    )
+    return ColumnarTable.from_results(results)
+
+
+def _run_plan_columnar_local(
+    payload, plan, anchor_step, shard_index, intern: InternTable
+) -> _ColumnarShard:
+    """Thread-mode columnar task: interns directly into the caller's
+    table, so the result needs no export and no remap."""
+    table = _run_plan_columnar(payload, plan, anchor_step, shard_index, intern)
+    return _ColumnarShard(None, 0, 0, [], [], table)
+
+
 def _run_aggregate(
-    payload: ShardPayload,
+    payload,
     query: AggregateQuery,
     plans: Sequence,
     anchors: Sequence[Optional[int]],
     shard_index: int,
+    intern: Optional[InternTable] = None,
 ):
     """Fold one shard's rule contributions into an accumulator state.
 
     Rules whose plans have no partitioned anchor run on shard 0 only
-    (their work cannot be split); anchored rules run everywhere.
+    (their work cannot be split); anchored rules run everywhere.  With
+    a persistent ``intern`` (process workers), join-step indexes are
+    cached on the snapshot like the columnar plan path.
     """
     # Imported here: repro.aggregate reaches back into repro.engine
     # during package initialization (same cycle hashjoin dodges).
     from repro.aggregate.result import AggregateAccumulator
 
-    intern = InternTable()
+    persistent = intern is not None
+    intern = InternTable() if intern is None else intern
     accumulator = AggregateAccumulator(query)
     for rule, plan, anchor in zip(query.rules, plans, anchors):
         if anchor is None and shard_index != 0:
             continue
         results = _execute(
-            plan, None, intern, facts_fn=_facts_fn(payload, anchor, shard_index)
+            plan,
+            None,
+            intern,
+            facts_fn=_facts_fn(payload, anchor, shard_index),
+            index_cache=payload.index_cache if persistent else None,
+            index_key=(
+                _index_key_fn(plan, anchor, shard_index, intern.token)
+                if persistent
+                else None
+            ),
         )
         for head, annotation in sorted(
             results.items(), key=lambda kv: repr(kv[0])
@@ -129,8 +235,14 @@ def _run_aggregate(
     return accumulator.results()
 
 
-#: Worker-process global: the payload installed by the pool initializer.
-_WORKER_PAYLOAD: Optional[ShardPayload] = None
+#: Worker-process globals: the payload installed by the pool initializer
+#: (plus the shared-memory segment backing it, kept mapped for the
+#: pool's lifetime) and the persistent shard-local intern table.
+_WORKER_PAYLOAD = None
+_WORKER_SHM = None
+_WORKER_INTERN: Optional[InternTable] = None
+_WORKER_TOKEN: Optional[str] = None
+_WORKER_EXPORTED = [0, 0]
 
 
 def _init_worker(payload: ShardPayload) -> None:
@@ -138,12 +250,73 @@ def _init_worker(payload: ShardPayload) -> None:
     _WORKER_PAYLOAD = payload
 
 
+def _init_worker_shm(name: str) -> None:
+    """Pool initializer for the shared-memory shipping path.
+
+    Attaches to the parent's segment by name and opens the offset-based
+    payload view over its buffer.  The *parent* owns the segment's
+    lifecycle, but attaching registers it with a resource tracker
+    (bpo-39959): under ``spawn``/``forkserver`` the worker's tracker is
+    not the parent's and would unlink the segment on worker exit, so
+    the registration is withdrawn; under ``fork`` the tracker *is* the
+    parent's (its name-set already holds the segment, the duplicate
+    register is a no-op) and withdrawing would erase the parent's own
+    registration instead.
+    """
+    global _WORKER_PAYLOAD, _WORKER_SHM
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method() != "fork":
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
+    _WORKER_SHM = shm
+    _WORKER_PAYLOAD = decode_payload(shm.buf)
+
+
+def _worker_intern() -> InternTable:
+    """The worker's persistent intern table, created on first use.
+
+    Living as long as the worker process does, it keeps the
+    ``times_symbol`` memoization warm across evaluations — the single
+    biggest per-task cost of the fresh-table-per-task design it
+    replaces.  The token names this table in parent-side export logs.
+    """
+    global _WORKER_INTERN, _WORKER_TOKEN, _WORKER_EXPORTED
+    if _WORKER_INTERN is None:
+        _WORKER_INTERN = InternTable()
+        _WORKER_TOKEN = uuid.uuid4().hex
+        _WORKER_EXPORTED = [0, 0]
+    return _WORKER_INTERN
+
+
 def _run_plan_in_worker(plan, anchor_step, shard_index):
     return _run_plan(_WORKER_PAYLOAD, plan, anchor_step, shard_index)
 
 
+def _run_plan_columnar_in_worker(plan, anchor_step, shard_index):
+    intern = _worker_intern()
+    table = _run_plan_columnar(
+        _WORKER_PAYLOAD, plan, anchor_step, shard_index, intern
+    )
+    symbol_start, monomial_start = _WORKER_EXPORTED
+    symbols, monomial_keys = intern.export_range(symbol_start, monomial_start)
+    _WORKER_EXPORTED[0] = symbol_start + len(symbols)
+    _WORKER_EXPORTED[1] = monomial_start + len(monomial_keys)
+    return _ColumnarShard(
+        _WORKER_TOKEN, symbol_start, monomial_start, symbols, monomial_keys,
+        table,
+    )
+
+
 def _run_aggregate_in_worker(query, plans, anchors, shard_index):
-    return _run_aggregate(_WORKER_PAYLOAD, query, plans, anchors, shard_index)
+    return _run_aggregate(
+        _WORKER_PAYLOAD, query, plans, anchors, shard_index,
+        intern=_worker_intern(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +330,8 @@ def _merge_shard_results(
 
     Remapping preserves each monomial as a symbol multiset, and dict
     union adds coefficients — polynomial addition in ``N[X]`` — so the
-    merged table equals the single-table evaluation exactly.
+    merged table equals the single-table evaluation exactly.  (The
+    legacy dict path; the columnar path remaps flat columns instead.)
     """
     merged: Dict[HeadTuple, _Annotation] = {}
     for results, state in shard_outputs:
@@ -193,21 +367,74 @@ def sum_adjunct_annotations(
     return merged
 
 
+class _WorkerLog:
+    """The parent's accumulated replica of one worker intern table.
+
+    Workers ship contiguous export deltas; :meth:`absorb` splices them
+    in order (tasks of one worker complete in submission order, so
+    sorting a wave by ``monomial_start`` restores the mint order).  Per
+    target intern table, an :class:`InternRemapper` is grown lazily to
+    the log's current length — the dense remap array is built once per
+    monomial, not once per evaluation.
+    """
+
+    __slots__ = ("symbols", "keys", "remappers")
+
+    def __init__(self):  # noqa: D107
+        self.symbols: List[str] = []
+        self.keys: List[Tuple[int, ...]] = []
+        self.remappers: Dict[int, InternRemapper] = {}
+
+    def absorb(self, shard: _ColumnarShard) -> None:
+        if (
+            shard.monomial_start != len(self.keys)
+            or shard.symbol_start != len(self.symbols)
+        ):
+            if (
+                shard.monomial_start + len(shard.monomial_keys)
+                <= len(self.keys)
+                and shard.symbol_start + len(shard.symbols)
+                <= len(self.symbols)
+            ):
+                return  # duplicate delivery of an already-spliced delta
+            raise EvaluationError(
+                "worker intern export arrived out of order "
+                "(expected offset {}, got {})".format(
+                    len(self.keys), shard.monomial_start
+                )
+            )
+        self.symbols.extend(shard.symbols)
+        self.keys.extend(shard.monomial_keys)
+
+    def remapper_for(self, intern: InternTable) -> InternRemapper:
+        remapper = self.remappers.get(intern.token)
+        if remapper is None:
+            remapper = self.remappers[intern.token] = InternRemapper(intern)
+        if remapper.mapped_monomials < len(self.keys):
+            remapper.extend(
+                self.symbols[remapper.mapped_symbols:],
+                self.keys[remapper.mapped_monomials:],
+            )
+        return remapper
+
+
 # ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
 class ShardedExecutor:
-    """Owns one database's partitioning and worker pool.
+    """Owns one database's partitioning, worker pool and shipped payload.
 
     Reuse it (directly or through a
     :class:`~repro.session.QuerySession`) to amortize partitioning,
-    payload pickling and worker start-up across many queries; the pool
+    payload shipping and worker start-up across many queries; the pool
     re-ships its payload only when :meth:`refresh` detects a new
     database epoch.
 
-    ``mode`` is ``"process"`` (true parallelism, pickled payloads) or
-    ``"thread"`` (shared payload, cheap start-up — the fallback used
-    automatically when process pools cannot start).
+    ``mode`` is ``"process"`` (true parallelism, shared-memory or
+    pickled payloads) or ``"thread"`` (shared payload, cheap start-up —
+    the fallback used automatically when process pools cannot start).
+    ``columnar`` selects the flat-column result path (default) or the
+    legacy dict-of-dicts path.
     """
 
     def __init__(
@@ -217,6 +444,7 @@ class ShardedExecutor:
         workers: Optional[int] = None,
         mode: str = "process",
         broadcast_threshold: Optional[int] = None,
+        columnar: bool = True,
     ):  # noqa: D107
         if mode not in _EXECUTOR_MODES:
             raise EvaluationError(
@@ -235,9 +463,12 @@ class ShardedExecutor:
             else max(1, workers)
         )
         self._mode = mode
+        self._columnar = bool(columnar)
         self._pool = None
         self._pool_epoch: Optional[int] = None
+        self._shm = None
         self._finalizer: Optional[weakref.finalize] = None
+        self._worker_logs: Dict[str, _WorkerLog] = {}
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------
@@ -261,12 +492,17 @@ class ShardedExecutor:
         """The currently effective execution mode."""
         return self._mode
 
+    @property
+    def columnar(self) -> bool:
+        """Whether results travel as flat columns (vs legacy dicts)."""
+        return self._columnar
+
     def refresh(self) -> bool:
         """Re-sync partitioning with the database; True when it changed."""
         return self._sharded.refresh()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down, unlink the segment (idempotent)."""
         self._closed = True
         if self._pool is not None:
             self._release_pool(wait=True)
@@ -279,23 +515,31 @@ class ShardedExecutor:
         self.close()
 
     # -- pool management ------------------------------------------------
-    def _adopt_pool(self, pool) -> None:
-        """Install ``pool`` and arm its leak finalizer.
+    def _adopt_pool(self, pool, shm=None) -> None:
+        """Install ``pool`` (and its segment) and arm the leak finalizer.
 
-        The finalizer closes over the *pool*, not the executor, so
-        dropping the executor without :meth:`close` still shuts the
-        workers down when the garbage collector reclaims it.
+        The finalizer closes over the *pool and segment*, not the
+        executor, so dropping the executor without :meth:`close` still
+        shuts the workers down and unlinks the shared memory when the
+        garbage collector reclaims it.
         """
         self._pool = pool
-        self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+        self._shm = shm
+        self._finalizer = weakref.finalize(self, _shutdown_pool, pool, shm)
 
     def _release_pool(self, wait: bool) -> None:
-        """Shut the current pool down and disarm its finalizer."""
+        """Shut the pool down, unlink its segment, disarm the finalizer."""
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
         self._pool.shutdown(wait=wait)
         self._pool = None
+        if self._shm is not None:
+            _release_shm(self._shm)
+            self._shm = None
+        # Tokens belong to worker processes of the released pool; any
+        # future pool mints fresh tables, so the logs are dead weight.
+        self._worker_logs.clear()
 
     def _ensure_pool(self):
         if self._closed:
@@ -311,24 +555,37 @@ class ShardedExecutor:
         if self._pool is not None:
             self._release_pool(wait=True)
         if self._mode == "process":
+            shm = None
             try:
                 # The span covers snapshotting the payload and starting
                 # the pool — the "ship" cost a new epoch pays before any
-                # worker computes (initargs pickle the payload per
-                # worker as the processes spawn).
+                # worker computes.  Columnar payloads are encoded once
+                # into a shared-memory segment every worker maps;
+                # otherwise (or when no segment can be created) initargs
+                # pickle the payload per worker as the processes spawn.
                 with current_tracer().span(
                     "shard.ship", workers=self._workers
                 ) as span:
                     payload = self._sharded.payload()
                     span.set(facts=payload.fact_count())
+                    initializer, initargs = _init_worker, (payload,)
+                    if self._columnar:
+                        shm = self._create_segment(payload, span)
+                        if shm is not None:
+                            initializer, initargs = _init_worker_shm, (shm.name,)
+                    if shm is None:
+                        span.set(transport="pickle")
                     self._adopt_pool(
                         concurrent.futures.ProcessPoolExecutor(
                             max_workers=self._workers,
-                            initializer=_init_worker,
-                            initargs=(payload,),
-                        )
+                            initializer=initializer,
+                            initargs=initargs,
+                        ),
+                        shm,
                     )
             except (OSError, ValueError):
+                if shm is not None:
+                    _release_shm(shm)
                 self._mode = "thread"
         if self._pool is None:
             self._adopt_pool(
@@ -337,22 +594,54 @@ class ShardedExecutor:
         self._pool_epoch = epoch
         return self._pool
 
-    def _submit(self, pool, task, *args):
-        if self._mode == "process":
-            worker = (
-                _run_plan_in_worker
-                if task is _run_plan
-                else _run_aggregate_in_worker
-            )
-            return pool.submit(worker, *args)
-        return pool.submit(task, self._sharded.payload(), *args)
+    @staticmethod
+    def _create_segment(payload: ShardPayload, span):
+        """Encode ``payload`` into a fresh shared-memory segment.
 
-    def _run_tasks(self, task, task_args: Sequence[Tuple]) -> List:
+        Returns ``None`` when the platform cannot provide one (no
+        ``/dev/shm``, permission trouble, unencodable payload) — the
+        caller then falls back to pickled initargs.
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            data = encode_payload(payload)
+            shm = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+            shm.buf[: len(data)] = data
+            span.set(transport="shm", bytes=len(data))
+            return shm
+        except Exception:
+            return None
+
+    def _submit(self, pool, kind: str, args, intern):
+        if self._mode == "process":
+            if kind == "plan":
+                worker = (
+                    _run_plan_columnar_in_worker
+                    if self._columnar
+                    else _run_plan_in_worker
+                )
+                return pool.submit(worker, *args)
+            return pool.submit(_run_aggregate_in_worker, *args)
+        payload = self._sharded.payload()
+        if kind == "plan":
+            if self._columnar:
+                return pool.submit(
+                    _run_plan_columnar_local, payload, *args, intern
+                )
+            return pool.submit(_run_plan, payload, *args)
+        return pool.submit(_run_aggregate, payload, *args)
+
+    def _run_tasks(
+        self, kind: str, task_args: Sequence[Tuple], intern=None
+    ) -> List:
         """Fan a task list out to the pool, falling back to threads when
         the process pool dies (spawn failure, unpicklable payloads)."""
         pool = self._ensure_pool()
         try:
-            futures = [self._submit(pool, task, *args) for args in task_args]
+            futures = [
+                self._submit(pool, kind, args, intern) for args in task_args
+            ]
             return [future.result() for future in futures]
         except (BrokenProcessPool, pickle.PicklingError, OSError):
             if self._mode != "process":
@@ -360,8 +649,40 @@ class ShardedExecutor:
             self._mode = "thread"
             self._release_pool(wait=False)
             pool = self._ensure_pool()
-            futures = [self._submit(pool, task, *args) for args in task_args]
+            futures = [
+                self._submit(pool, kind, args, intern) for args in task_args
+            ]
             return [future.result() for future in futures]
+
+    # -- columnar ingestion ---------------------------------------------
+    def _ingest_columnar(
+        self, outputs: Sequence[_ColumnarShard], intern: InternTable
+    ) -> List[ColumnarTable]:
+        """Splice worker intern exports and remap result columns.
+
+        Thread-mode results (token ``None``) already carry global ids;
+        process results are rewritten through the per-worker dense remap
+        array — one gather per shard result instead of one dict walk
+        per monomial.
+        """
+        by_token: Dict[str, List[_ColumnarShard]] = {}
+        for output in outputs:
+            if output.token is not None:
+                by_token.setdefault(output.token, []).append(output)
+        for token, shards in by_token.items():
+            log = self._worker_logs.get(token)
+            if log is None:
+                log = self._worker_logs[token] = _WorkerLog()
+            for shard in sorted(shards, key=lambda s: s.monomial_start):
+                log.absorb(shard)
+        tables: List[ColumnarTable] = []
+        for output in outputs:
+            table = output.table
+            if output.token is not None:
+                remapper = self._worker_logs[output.token].remapper_for(intern)
+                table.remap(remapper.mapping())
+            tables.append(table)
+        return tables
 
     # -- evaluation -----------------------------------------------------
     def evaluate_adjuncts(
@@ -369,18 +690,20 @@ class ShardedExecutor:
         adjuncts: Sequence[ConjunctiveQuery],
         intern: InternTable,
         cache: Optional[PlanCache] = None,
-    ) -> Dict[ConjunctiveQuery, Dict[HeadTuple, _Annotation]]:
+    ) -> Dict[ConjunctiveQuery, object]:
         """Evaluate distinct adjuncts, merged into ``intern``'s ids.
 
         All (adjunct × shard) tasks of the batch are submitted in one
         wave, so a batch of small queries still fills every worker.
         Plans without a partitioned anchor run on shard 0 only.
+        Returns ``{adjunct: ColumnarTable}`` on the columnar path and
+        ``{adjunct: {head: {mid: coeff}}}`` on the legacy path — both
+        are accepted by :func:`~repro.algebra.columnar.decode_polynomials`.
         """
         tracer = current_tracer()
         with tracer.span("shard.refresh"):
             self.refresh()
         unique = list(dict.fromkeys(adjuncts))
-        planned = []
         task_args = []
         spans = []  # (start, count) into task_args per adjunct
         for adjunct in unique:
@@ -392,7 +715,6 @@ class ShardedExecutor:
                 else range(1)
             )
             spans.append((len(task_args), len(shard_indices)))
-            planned.append(plan)
             for shard_index in shard_indices:
                 task_args.append((plan, anchor, shard_index))
         with tracer.span(
@@ -400,18 +722,34 @@ class ShardedExecutor:
             engine="sharded",
             shards=self._sharded.shard_count,
             tasks=len(task_args),
+            columnar=self._columnar,
         ) as fanout:
-            outputs = self._run_tasks(_run_plan, task_args)
+            outputs = self._run_tasks("plan", task_args, intern)
             fanout.set(mode=self._mode)  # after any fallback flip
-        merged: Dict[ConjunctiveQuery, Dict[HeadTuple, _Annotation]] = {}
+        merged: Dict[ConjunctiveQuery, object] = {}
         with tracer.span("shard.merge", adjuncts=len(unique)) as merge_span:
-            for adjunct, (start, count) in zip(unique, spans):
-                merged[adjunct] = _merge_shard_results(
-                    intern, outputs[start:start + count]
+            if self._columnar:
+                tables = self._ingest_columnar(outputs, intern)
+                for adjunct, (start, count) in zip(unique, spans):
+                    merged[adjunct] = ColumnarTable.concat(
+                        tables[start:start + count]
+                    )
+                merge_span.set(
+                    tuples=sum(
+                        table.tuple_count() for table in merged.values()
+                    ),
+                    pairs=sum(
+                        table.pair_count() for table in merged.values()
+                    ),
                 )
-            merge_span.set(
-                tuples=sum(len(table) for table in merged.values())
-            )
+            else:
+                for adjunct, (start, count) in zip(unique, spans):
+                    merged[adjunct] = _merge_shard_results(
+                        intern, outputs[start:start + count]
+                    )
+                merge_span.set(
+                    tuples=sum(len(table) for table in merged.values())
+                )
         return merged
 
     def evaluate(
@@ -429,11 +767,12 @@ class ShardedExecutor:
         intern = shared_intern() if intern is None else intern
         adjuncts = list(adjuncts_of(query))
         table = self.evaluate_adjuncts(adjuncts, intern, cache)
-        merged = sum_adjunct_annotations(adjuncts, table)
-        return {
-            head: intern.polynomial(annotation)
-            for head, annotation in merged.items()
-        }
+        with current_tracer().span("merge") as span:
+            results = decode_polynomials(
+                [table[adjunct] for adjunct in adjuncts], intern
+            )
+            span.set(tuples=len(results))
+        return results
 
     def evaluate_aggregate(
         self,
@@ -464,7 +803,7 @@ class ShardedExecutor:
             "join", engine="sharded", shards=shard_count, tasks=shard_count
         ) as fanout:
             outputs = self._run_tasks(
-                _run_aggregate,
+                "aggregate",
                 [
                     (query, plans, anchors, shard_index)
                     for shard_index in range(shard_count)
@@ -488,6 +827,7 @@ def evaluate_sharded(
     cache: Optional[PlanCache] = None,
     intern: Optional[InternTable] = None,
     executor: Optional[ShardedExecutor] = None,
+    columnar: bool = True,
 ) -> Dict[HeadTuple, Polynomial]:
     """Evaluate one query shard-parallel, returning Def. 2.12 polynomials.
 
@@ -513,6 +853,7 @@ def evaluate_sharded(
             workers=workers,
             mode=mode,
             broadcast_threshold=broadcast_threshold,
+            columnar=columnar,
         )
     try:
         return executor.evaluate(query, cache=cache, intern=intern)
@@ -530,6 +871,7 @@ def evaluate_aggregate_sharded(
     broadcast_threshold: Optional[int] = None,
     cache: Optional[PlanCache] = None,
     executor: Optional[ShardedExecutor] = None,
+    columnar: bool = True,
 ):
     """Evaluate an aggregate query shard-parallel (semimodule results).
 
@@ -550,6 +892,7 @@ def evaluate_aggregate_sharded(
             workers=workers,
             mode=mode,
             broadcast_threshold=broadcast_threshold,
+            columnar=columnar,
         )
     try:
         return executor.evaluate_aggregate(query, cache=cache)

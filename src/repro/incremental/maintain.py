@@ -101,8 +101,7 @@ def refresh(registry: ViewRegistry) -> ViewRegistry:
     return ViewRegistry(
         registry.program,
         registry.base_database(),
-        engine=registry.engine,
-        **registry.engine_options,
+        config=registry.config,
     )
 
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.aggregate.evaluate import evaluate_aggregate
 from repro.aggregate.result import AggregateAccumulator, AggregateResult
 from repro.apps.deletion import delete_tuples, partition_by_survival
+from repro.config import EngineConfig, resolve_engine_config
 from repro.db.instance import AnnotatedDatabase, Row
 from repro.engine.evaluate import evaluate
 from repro.errors import EvaluationError
@@ -117,18 +118,26 @@ class ViewRegistry:
         program: Mapping[str, AnyQuery],
         db: AnnotatedDatabase,
         symbol_prefix: str = "w",
-        engine: str = "hashjoin",
+        config: Optional[EngineConfig] = None,
+        engine: Optional[str] = None,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
     ):  # noqa: D107
-        if engine not in ("hashjoin", "sharded"):
+        config = resolve_engine_config(
+            config,
+            "ViewRegistry",
+            engine=engine,
+            shards=shards,
+            workers=workers,
+        )
+        if config.engine not in ("hashjoin", "sharded"):
             raise EvaluationError(
                 "unknown registry engine {!r}; supported: hashjoin, "
-                "sharded".format(engine)
+                "sharded".format(config.engine)
             )
+        self._config = config
+        engine = config.engine
         self._engine = engine
-        self._shards = shards
-        self._workers = workers
         clashes = set(program) & db.relations()
         if clashes:
             raise EvaluationError(
@@ -167,11 +176,7 @@ class ViewRegistry:
             from repro.session import QuerySession
 
             self._session = QuerySession(
-                self._db,
-                engine="sharded",
-                shards=shards,
-                workers=workers,
-                mode="thread",
+                self._db, config.with_overrides(mode="thread")
             )
         self._views: Dict[str, Dict[Row, Polynomial]] = {}
         self._symbols: Dict[str, Dict[Row, str]] = {}
@@ -547,9 +552,14 @@ class ViewRegistry:
         return self._engine
 
     @property
+    def config(self) -> EngineConfig:
+        """The resolved :class:`~repro.config.EngineConfig` in effect."""
+        return self._config
+
+    @property
     def engine_options(self) -> Dict[str, Optional[int]]:
         """The ``shards``/``workers`` configuration (for rebuilds)."""
-        return {"shards": self._shards, "workers": self._workers}
+        return {"shards": self._config.shards, "workers": self._config.workers}
 
     def close(self) -> None:
         """Release the session's worker pool, if any (idempotent)."""

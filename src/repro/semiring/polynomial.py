@@ -166,6 +166,21 @@ class Polynomial:
 
     # -- constructors ---------------------------------------------------
     @classmethod
+    def _from_clean(cls, terms: Dict[Monomial, int]) -> "Polynomial":
+        """Adopt an already-validated term dictionary without copying.
+
+        The decode hot path (:meth:`repro.algebra.intern.InternTable.
+        polynomial`) builds millions of result polynomials whose terms
+        are positive by construction; re-validating each through
+        ``__init__`` dominates the merge stage.  ``terms`` must map
+        :class:`Monomial` keys to positive ints and must not be mutated
+        by the caller afterwards.
+        """
+        polynomial = cls.__new__(cls)
+        polynomial._terms = terms
+        return polynomial
+
+    @classmethod
     def zero(cls) -> "Polynomial":
         """The zero polynomial (annotation of absent tuples)."""
         return cls({})

@@ -32,6 +32,7 @@ from http.server import ThreadingHTTPServer
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.aggregate.result import AggregateResult
+from repro.config import EngineConfig, resolve_engine_config
 from repro.errors import EvaluationError, ReproError
 from repro.incremental.delta import Delta, apply_to_database
 from repro.incremental.registry import ViewRegistry
@@ -121,43 +122,47 @@ class ServerState:
         self,
         db,
         program: Optional[Mapping[str, AnyQuery]] = None,
-        engine: str = "hashjoin",
+        config: Optional[EngineConfig] = None,
+        engine: Optional[str] = None,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         broadcast_threshold: Optional[int] = None,
         metrics: bool = True,
     ):  # noqa: D107
-        if engine not in SERVER_ENGINES:
+        config = resolve_engine_config(
+            config,
+            "ServerState",
+            engine=engine,
+            shards=shards,
+            workers=workers,
+            broadcast_threshold=broadcast_threshold,
+        )
+        if config.engine not in SERVER_ENGINES:
             raise EvaluationError(
                 "unknown server engine {!r}; supported: {}".format(
-                    engine, ", ".join(SERVER_ENGINES)
+                    config.engine, ", ".join(SERVER_ENGINES)
                 )
             )
-        self._engine = engine
-        self._options = (engine, shards, workers)
+        # The database mutates under ``/update`` while the session stays
+        # warm, so serving always runs thread-mode pools.
+        config = config.with_overrides(mode="thread")
+        self._engine = config.engine
+        self._config = config
+        self._options = config
         self._registry: Optional[ViewRegistry] = None
         self._db = db
         if program is not None:
-            self._registry = ViewRegistry(
-                program, db, engine=engine, shards=shards, workers=workers
-            )
+            self._registry = ViewRegistry(program, db, config=config)
             self._db = self._registry.serving_db
             if self._registry.session is not None:
                 # The sharded registry already keeps a warm thread-mode
                 # session over the working database; serve through it.
                 self._session = self._registry.session
             else:
-                self._session = QuerySession(self._db, engine="hashjoin")
+                self._session = QuerySession(self._db, "hashjoin")
         else:
-            self._session = QuerySession(
-                db,
-                engine=engine,
-                shards=shards,
-                workers=workers,
-                mode="thread",
-                broadcast_threshold=broadcast_threshold,
-            )
+            self._session = QuerySession(db, config)
         self._cache = ResultCache(cache_size)
         self._counter_lock = threading.Lock()
         self._active = 0
@@ -185,6 +190,11 @@ class ServerState:
     def engine(self) -> str:
         """The serving engine (``hashjoin`` or ``sharded``)."""
         return self._engine
+
+    @property
+    def config(self) -> EngineConfig:
+        """The resolved :class:`~repro.config.EngineConfig` in effect."""
+        return self._config
 
     @property
     def registry(self) -> Optional[ViewRegistry]:
@@ -520,7 +530,8 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     program: Optional[Mapping[str, AnyQuery]] = None,
-    engine: str = "hashjoin",
+    config: Optional[EngineConfig] = None,
+    engine: Optional[str] = None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
@@ -528,6 +539,10 @@ def make_server(
     metrics: bool = True,
 ) -> ProvenanceServer:
     """Bind a ready-to-run server (``port=0`` picks a free port).
+
+    ``config`` is an :class:`~repro.config.EngineConfig` (or bare engine
+    name); the scattered ``engine=``/``shards=``/``workers=`` keywords
+    are deprecated shims over it.
 
     >>> from repro.db.instance import AnnotatedDatabase
     >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b")]})
@@ -544,6 +559,7 @@ def make_server(
     state = ServerState(
         db,
         program=program,
+        config=config,
         engine=engine,
         shards=shards,
         workers=workers,

@@ -35,14 +35,13 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.algebra.columnar import decode_polynomials
 from repro.algebra.intern import InternTable, shared_intern
+from repro.config import EngineConfig, resolve_engine_config
 from repro.db.instance import AnnotatedDatabase
 from repro.engine.hashjoin import HeadTuple, _execute, plan_for
 from repro.engine.plan_cache import PlanCache
-from repro.engine.sharded import (
-    ShardedExecutor,
-    sum_adjunct_annotations,
-)
+from repro.engine.sharded import ShardedExecutor
 from repro.errors import EvaluationError
 from repro.obs.trace import current_tracer
 from repro.query.aggregate import AggregateQuery, AnyQuery
@@ -58,10 +57,13 @@ class QuerySession:
     """Batched evaluation against one (versioned) annotated database.
 
     >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b"), ("b", "c")]})
+    >>> from repro.config import EngineConfig
     >>> from repro.query.parser import parse_query
     >>> chain = parse_query("ans(x, z) :- R(x, y), R(y, z)")
     >>> ends = parse_query("ans(x) :- R(x, y)")
-    >>> with QuerySession(db, shards=2, workers=2, mode="thread") as session:
+    >>> config = EngineConfig(engine="sharded", shards=2, workers=2,
+    ...                       mode="thread")
+    >>> with QuerySession(db, config) as session:
     ...     results = session.evaluate_batch([chain, ends, chain])
     >>> [sorted(map(str, r.values())) for r in results]
     [['s1*s2'], ['s1', 's2'], ['s1*s2']]
@@ -70,34 +72,47 @@ class QuerySession:
     def __init__(
         self,
         db: AnnotatedDatabase,
-        engine: str = "sharded",
+        config: Optional[EngineConfig] = None,
+        engine: Optional[str] = None,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
-        mode: str = "process",
+        mode: Optional[str] = None,
         broadcast_threshold: Optional[int] = None,
         plan_cache: Optional[PlanCache] = None,
     ):  # noqa: D107
-        if engine not in SESSION_ENGINES:
+        config = resolve_engine_config(
+            config,
+            "QuerySession",
+            default=EngineConfig(engine="sharded"),
+            engine=engine,
+            shards=shards,
+            workers=workers,
+            mode=mode,
+            broadcast_threshold=broadcast_threshold,
+        )
+        if config.engine not in SESSION_ENGINES:
             raise EvaluationError(
                 "unknown session engine {!r}; supported: {}".format(
-                    engine, ", ".join(SESSION_ENGINES)
+                    config.engine, ", ".join(SESSION_ENGINES)
                 )
             )
         self._db = db
-        self._engine = engine
+        self._config = config
+        self._engine = config.engine
         # Pinned for the session's lifetime: every interned annotation
         # this session memoizes decodes against this very table, no
         # matter how often the process-wide shared table swaps.
         self._intern = shared_intern()
         self._cache = PlanCache() if plan_cache is None else plan_cache
         self._executor: Optional[ShardedExecutor] = None
-        if engine == "sharded":
+        if config.engine == "sharded":
             self._executor = ShardedExecutor(
                 db,
-                shards=shards,
-                workers=workers,
-                mode=mode,
-                broadcast_threshold=broadcast_threshold,
+                shards=config.shards,
+                workers=config.workers,
+                mode=config.mode,
+                broadcast_threshold=config.broadcast_threshold,
+                columnar=config.columnar,
             )
         self._version = db.version()
         # Reentrant so a writer can bundle a database mutation with the
@@ -117,6 +132,11 @@ class QuerySession:
     def engine(self) -> str:
         """The session's evaluation engine (``sharded`` or ``hashjoin``)."""
         return self._engine
+
+    @property
+    def config(self) -> EngineConfig:
+        """The resolved :class:`~repro.config.EngineConfig` in effect."""
+        return self._config
 
     @property
     def intern_table(self) -> InternTable:
@@ -256,16 +276,12 @@ class QuerySession:
             else:
                 adjuncts = list(adjuncts_of(query))
                 with current_tracer().span("merge") as span:
-                    merged = sum_adjunct_annotations(
-                        adjuncts, self._adjunct_memo
+                    decoded = decode_polynomials(
+                        [self._adjunct_memo[a] for a in adjuncts],
+                        self._intern,
                     )
-                    span.set(adjuncts=len(adjuncts), tuples=len(merged))
-                    results.append(
-                        {
-                            head: self._intern.polynomial(annotation)
-                            for head, annotation in merged.items()
-                        }
-                    )
+                    span.set(adjuncts=len(adjuncts), tuples=len(decoded))
+                    results.append(decoded)
         return results
 
     def _evaluate_adjuncts(self, adjuncts: List[ConjunctiveQuery]) -> Dict:

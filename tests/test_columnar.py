@@ -1,0 +1,196 @@
+"""Unit tests for the flat-column annotation kernels.
+
+``ColumnarTable`` construction/concat/remap, the counter-merge, and the
+lazy decode boundary (``LazyPolynomial``) — the pieces the sharded
+engine composes.  The differential suite checks the composed engine;
+these tests pin the kernel contracts directly, including the numpy and
+pure-python code paths.
+"""
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.algebra import columnar
+from repro.algebra.columnar import (
+    ColumnarTable,
+    LazyPolynomial,
+    decode_polynomials,
+    merge_annotations,
+)
+from repro.algebra.intern import InternTable
+from repro.semiring.polynomial import Monomial, Polynomial
+
+
+def fresh_intern():
+    intern = InternTable()
+    ids = {
+        name: intern.monomial_id(symbols)
+        for name, symbols in {
+            "s1": ["s1"],
+            "s2": ["s2"],
+            "s1s2": ["s1", "s2"],
+            "s2sq": ["s2", "s2"],
+        }.items()
+    }
+    return intern, ids
+
+
+class TestColumnarTable:
+    def test_from_results_roundtrip(self):
+        _, ids = fresh_intern()
+        results = {
+            ("a",): {ids["s1"]: 2, ids["s1s2"]: 1},
+            ("b",): {ids["s2"]: 3},
+            ("c",): {},
+        }
+        table = ColumnarTable.from_results(results)
+        assert table.tuple_count() == 3
+        assert table.pair_count() == 3
+        assert table.to_results() == {
+            ("a",): {ids["s1"]: 2, ids["s1s2"]: 1},
+            ("b",): {ids["s2"]: 3},
+            ("c",): {},
+        }
+
+    def test_concat_rebases_offsets_and_keeps_duplicates(self):
+        _, ids = fresh_intern()
+        t1 = ColumnarTable.from_results({("a",): {ids["s1"]: 1}})
+        t2 = ColumnarTable.from_results(
+            {("a",): {ids["s1"]: 2}, ("b",): {ids["s2"]: 1}}
+        )
+        spliced = ColumnarTable.concat([t1, t2])
+        assert spliced.heads == [("a",), ("a",), ("b",)]
+        assert list(spliced.offsets) == [0, 1, 2, 3]
+        # duplicate heads merge by addition when expanded
+        assert spliced.to_results()[("a",)] == {ids["s1"]: 3}
+
+    def test_concat_single_is_identity(self):
+        _, ids = fresh_intern()
+        table = ColumnarTable.from_results({("a",): {ids["s1"]: 1}})
+        assert ColumnarTable.concat([table]) is table
+
+    @pytest.mark.parametrize("n", [4, 600])  # below / above the numpy cutoff
+    def test_remap_gathers(self, n):
+        table = ColumnarTable(
+            heads=[(i,) for i in range(n)],
+            offsets=array("q", range(n + 1)),
+            mids=array("q", range(n)),
+            coeffs=array("q", [1] * n),
+        )
+        mapping = list(range(0, 2 * n, 2))  # local id i -> 2i
+        table.remap(mapping)
+        assert list(table.mids) == mapping
+
+    def test_merge_annotations_mixed_inputs(self):
+        _, ids = fresh_intern()
+        col = ColumnarTable.from_results(
+            {("a",): {ids["s1"]: 1, ids["s2"]: 1}}
+        )
+        legacy = {("a",): {ids["s1"]: 2}, ("b",): {ids["s2sq"]: 1}}
+        merged = merge_annotations([col, legacy, col])
+        assert merged == {
+            ("a",): {ids["s1"]: 4, ids["s2"]: 2},
+            ("b",): {ids["s2sq"]: 1},
+        }
+
+
+class TestLazyPolynomial:
+    def test_is_a_polynomial_and_equal_to_eager(self):
+        intern, ids = fresh_intern()
+        lazy = LazyPolynomial(intern, {ids["s1"]: 2, ids["s1s2"]: 1})
+        eager = Polynomial.parse("2*s1 + s1*s2")
+        assert isinstance(lazy, Polynomial)
+        assert lazy == eager
+        assert eager == lazy
+        assert hash(lazy) == hash(eager)
+        assert str(lazy) == str(eager)
+
+    def test_materializes_once_and_caches(self):
+        intern, ids = fresh_intern()
+        lazy = LazyPolynomial(intern, {ids["s2sq"]: 5})
+        assert lazy._decoded_terms is None
+        first = lazy._terms
+        assert first == {Monomial(["s2", "s2"]): 5}
+        assert lazy._terms is first
+
+    def test_column_storage_and_algebra(self):
+        intern, ids = fresh_intern()
+        lazy = LazyPolynomial(
+            intern, array("q", [ids["s1"], ids["s2"]]), array("q", [1, 3])
+        )
+        assert lazy == Polynomial.parse("s1 + 3*s2")
+        assert lazy + Polynomial.parse("s1") == Polynomial.parse("2*s1 + 3*s2")
+        assert lazy.monomial_count() == 4
+        assert not lazy.is_zero()
+
+    def test_pickles_as_eager_polynomial(self):
+        intern, ids = fresh_intern()
+        lazy = LazyPolynomial(intern, {ids["s1"]: 1})
+        clone = pickle.loads(pickle.dumps(lazy))
+        assert type(clone) is Polynomial
+        assert clone == lazy
+
+    def test_zero_coefficients_filtered(self):
+        intern, ids = fresh_intern()
+        lazy = LazyPolynomial(intern, {ids["s1"]: 0, ids["s2"]: 1})
+        assert lazy == Polynomial.parse("s2")
+
+
+class TestDecodePolynomials:
+    def test_merges_duplicate_heads_across_tables(self):
+        intern, ids = fresh_intern()
+        t1 = ColumnarTable.from_results(
+            {("a",): {ids["s1"]: 2, ids["s1s2"]: 1}, ("b",): {ids["s2"]: 1}}
+        )
+        t2 = ColumnarTable.from_results({("a",): {ids["s1"]: 1}})
+        decoded = decode_polynomials([t1, t2], intern)
+        assert decoded == {
+            ("a",): Polynomial.parse("3*s1 + s1*s2"),
+            ("b",): Polynomial.parse("s2"),
+        }
+
+    def test_accepts_legacy_dict_tables(self):
+        intern, ids = fresh_intern()
+        decoded = decode_polynomials(
+            [{("a",): {ids["s1"]: 1}}, {("a",): {ids["s1"]: 1}}], intern
+        )
+        assert decoded == {("a",): Polynomial.parse("2*s1")}
+
+    def _bulk_tables(self, intern, n=600):
+        results = {}
+        for i in range(n):
+            mid = intern.monomial_id(["x{}".format(i)])
+            results[("h{}".format(i),)] = {mid: i + 1}
+        return ColumnarTable.from_results(results)
+
+    def test_vectorized_path_matches_fallback(self, monkeypatch):
+        intern = InternTable()
+        table = self._bulk_tables(intern)
+        vectorized = decode_polynomials([table, table], intern)
+        monkeypatch.setattr(columnar, "_np", None)
+        fallback = decode_polynomials([table, table], intern)
+        assert vectorized == fallback
+        assert list(vectorized) == list(fallback)  # same head order
+
+    def test_vectorized_path_used_when_available(self):
+        if columnar._np is None:
+            pytest.skip("numpy not installed")
+        intern = InternTable()
+        table = self._bulk_tables(intern)
+        decoded = decode_polynomials([table], intern)
+        sample = next(iter(decoded.values()))
+        assert isinstance(sample, LazyPolynomial)
+        # merged columns, not per-head dicts, back the lazy values
+        assert sample._coeffs is not None
+
+    def test_empty_pair_runs_decode_to_zero(self):
+        intern, ids = fresh_intern()
+        heads = [("h{}".format(i),) for i in range(300)]
+        results = {head: {ids["s1"]: 1} for head in heads}
+        results[("empty",)] = {}
+        table = ColumnarTable.from_results(results)
+        decoded = decode_polynomials([table], intern)
+        assert decoded[("empty",)].is_zero()
+        assert len(decoded) == 301

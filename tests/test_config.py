@@ -1,0 +1,247 @@
+"""The EngineConfig facade: validation, shims, and `repro.connect`.
+
+Every public entry point accepts one :class:`repro.EngineConfig`; the
+old scattered ``engine=``/``shards=``/``workers=`` keywords must keep
+working but warn.  These tests pin the facade contract: shim calls and
+config calls produce identical results, and the deprecation warnings
+actually fire.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import EngineConfig, connect
+from repro.config import resolve_engine_config
+from repro.db.instance import AnnotatedDatabase
+from repro.engine.evaluate import evaluate, provenance
+from repro.aggregate.evaluate import evaluate_aggregate
+from repro.errors import EvaluationError
+from repro.incremental.registry import ViewRegistry
+from repro.query.parser import parse_program, parse_query
+from repro.server.app import ServerState
+from repro.session import QuerySession
+
+
+def small_db():
+    return AnnotatedDatabase.from_dict(
+        {
+            "R": {("a", "b"): "s1", ("b", "c"): "s2", ("a", "c"): "s3"},
+            "S": {("c", "d"): "s4", ("b", "d"): "s5"},
+        }
+    )
+
+
+QUERY = parse_query("ans(x, z) :- R(x, y), S(y, z)")
+AGG_QUERY = parse_query("ans(x, count(*)) :- R(x, y), S(y, z)")
+
+
+class TestEngineConfigValidation:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.engine == "hashjoin"
+        assert config.shards is None and config.workers is None
+        assert config.mode == "process"
+        assert config.columnar is True
+
+    def test_frozen_and_hashable(self):
+        config = EngineConfig(engine="sharded", shards=2)
+        with pytest.raises(AttributeError):
+            config.shards = 4
+        assert config == EngineConfig(engine="sharded", shards=2)
+        assert hash(config) == hash(EngineConfig(engine="sharded", shards=2))
+        # columnar participates in identity (it changes the result path)
+        assert config != config.with_overrides(columnar=False)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine": ""},
+            {"engine": 7},
+            {"mode": "fibers"},
+            {"shards": 0},
+            {"shards": -1},
+            {"shards": True},
+            {"shards": 2.5},
+            {"workers": 0},
+            {"workers": False},
+            {"broadcast_threshold": -1},
+            {"broadcast_threshold": True},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(EvaluationError):
+            EngineConfig(**kwargs)
+
+    def test_with_overrides(self):
+        config = EngineConfig(engine="sharded")
+        assert config.with_overrides(shards=3).shards == 3
+        assert config.with_overrides(shards=3) is not config
+        with pytest.raises(EvaluationError, match="unknown EngineConfig"):
+            config.with_overrides(sharding=3)
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(EvaluationError):
+            EngineConfig().with_overrides(shards=-2)
+
+
+class TestResolveEngineConfig:
+    def test_string_is_silent_shorthand(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = resolve_engine_config("backtrack", "caller")
+        assert config.engine == "backtrack"
+
+    def test_config_taken_verbatim(self):
+        mine = EngineConfig(engine="sharded", shards=7, mode="thread")
+        default = EngineConfig(engine="hashjoin", shards=1)
+        assert resolve_engine_config(mine, "caller", default=default) is mine
+
+    def test_legacy_kwargs_warn_once_and_overlay(self):
+        with pytest.warns(DeprecationWarning, match="caller: the .* deprecated"):
+            config = resolve_engine_config(
+                None, "caller", engine="sharded", shards=2, workers=None
+            )
+        assert config.engine == "sharded"
+        assert config.shards == 2
+        assert config.workers is None
+
+    def test_bad_config_type(self):
+        with pytest.raises(EvaluationError, match="EngineConfig or an engine"):
+            resolve_engine_config(42, "caller")
+
+
+class TestShimEquivalence:
+    """Old keyword call sites == new config call sites, plus a warning."""
+
+    def test_evaluate(self):
+        db = small_db()
+        via_config = evaluate(QUERY, db, EngineConfig(engine="backtrack"))
+        with pytest.warns(DeprecationWarning, match="evaluate:"):
+            via_shim = evaluate(QUERY, db, engine="backtrack")
+        assert via_shim == via_config
+
+    def test_evaluate_sharded_kwargs(self):
+        db = small_db()
+        config = EngineConfig(
+            engine="sharded", shards=2, workers=2, mode="thread"
+        )
+        via_config = evaluate(QUERY, db, config)
+        with pytest.warns(DeprecationWarning):
+            via_shim = evaluate(
+                QUERY, db, engine="sharded", shards=2, workers=2
+            )
+        assert via_shim == via_config
+
+    def test_provenance(self):
+        db = small_db()
+        via_config = provenance(
+            QUERY, db, ("a", "d"), EngineConfig(engine="hashjoin")
+        )
+        with pytest.warns(DeprecationWarning, match="provenance:"):
+            via_shim = provenance(QUERY, db, ("a", "d"), engine="hashjoin")
+        assert via_shim == via_config
+        assert str(via_config) == "s1*s5 + s3*s4"
+
+    def test_evaluate_aggregate(self):
+        db = small_db()
+        via_config = evaluate_aggregate(
+            AGG_QUERY, db, EngineConfig(engine="hashjoin")
+        )
+        with pytest.warns(DeprecationWarning, match="evaluate_aggregate:"):
+            via_shim = evaluate_aggregate(AGG_QUERY, db, engine="hashjoin")
+        assert via_shim == via_config
+
+    def test_query_session(self):
+        db = small_db()
+        config = EngineConfig(
+            engine="sharded", shards=2, workers=2, mode="thread"
+        )
+        with QuerySession(db, config) as session:
+            via_config = session.evaluate(QUERY)
+            assert session.config == config
+        with pytest.warns(DeprecationWarning, match="QuerySession:"):
+            session = QuerySession(
+                db, engine="sharded", shards=2, workers=2, mode="thread"
+            )
+        with session:
+            via_shim = session.evaluate(QUERY)
+            assert session.config == config
+        assert via_shim == via_config
+
+    def test_view_registry(self):
+        program = parse_program("V(x, z) :- R(x, y), S(y, z)")
+        via_config = ViewRegistry(
+            program, small_db(), config=EngineConfig(engine="hashjoin")
+        )
+        with pytest.warns(DeprecationWarning, match="ViewRegistry:"):
+            via_shim = ViewRegistry(program, small_db(), engine="hashjoin")
+        assert via_shim.config == via_config.config
+        assert via_shim.view("V") == via_config.view("V")
+        via_shim.close()
+        via_config.close()
+
+    def test_server_state(self):
+        config = EngineConfig(engine="hashjoin")
+        with ServerState(small_db(), config=config) as state:
+            assert state.config.engine == "hashjoin"
+            # the serving tier always runs thread pools (it mutates the
+            # db in place on /update)
+            assert state.config.mode == "thread"
+            via_config = state.run_query("ans(x, z) :- R(x, y), S(y, z)")
+        with pytest.warns(DeprecationWarning, match="ServerState:"):
+            state = ServerState(small_db(), engine="hashjoin")
+        with state:
+            via_shim = state.run_query("ans(x, z) :- R(x, y), S(y, z)")
+        assert via_shim == via_config
+
+
+class TestConnect:
+    def test_defaults_to_sharded_session(self):
+        with connect(small_db()) as session:
+            assert isinstance(session, QuerySession)
+            assert session.config.engine == "sharded"
+
+    def test_engine_name_shorthand(self):
+        with connect(small_db(), "hashjoin") as session:
+            assert session.config.engine == "hashjoin"
+
+    def test_overrides_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = connect(small_db(), shards=2, workers=2, mode="thread")
+        with session:
+            assert session.config.shards == 2
+            result = session.evaluate(QUERY)
+        assert sorted(str(p) for p in result.values()) == [
+            "s1*s5 + s3*s4",
+            "s2*s4",
+        ]
+
+    def test_config_object(self):
+        config = EngineConfig(engine="sharded", shards=2, mode="thread")
+        with connect(small_db(), config) as session:
+            assert session.config is config
+
+    def test_bad_config_type(self):
+        with pytest.raises(EvaluationError, match="connect:"):
+            connect(small_db(), 3.14)
+
+
+class TestPublicSurface:
+    def test_facade_names_exported(self):
+        assert "EngineConfig" in repro.__all__
+        assert "connect" in repro.__all__
+        assert repro.EngineConfig is EngineConfig
+
+    def test_one_shot_engine_helpers_not_advertised(self):
+        # still importable for back-compat, but the facade is
+        # evaluate + EngineConfig
+        for name in (
+            "evaluate_hashjoin",
+            "evaluate_sharded",
+            "evaluate_aggregate_sharded",
+        ):
+            assert name not in repro.__all__
+            assert hasattr(repro, name)

@@ -40,6 +40,10 @@ from repro.server.app import (
 from repro.server.cache import ResultCache
 from repro.session import QuerySession
 
+#: Leak safety is a headline claim of this suite: an unclosed socket,
+#: pool, or shared-memory segment must fail the test, not just warn.
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
 JOIN = "ans(x, z) :- R(x, y), S(y, z)"
 UNION = "ans(x) :- R(x, y)\nans(x) :- S(x, y)"
 AGG_COUNT = "agg(x, count(*)) :- R(x, y)"

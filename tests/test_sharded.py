@@ -43,6 +43,11 @@ from repro.session import QuerySession
 #: Worker-pool size for the suites; the CI ``parallel`` job pins it to 2.
 WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 
+#: A leaked process pool or shared-memory segment surfaces as a
+#: ResourceWarning at gc/interpreter-shutdown time; fail loudly instead
+#: of scrolling past.
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
 
 # ----------------------------------------------------------------------
 # Partitioning
@@ -338,6 +343,107 @@ class TestProcessPool:
             monkeypatch.setattr(executor._pool, "submit", broken_submit)
             assert executor.evaluate(query) == reference
             assert executor.mode == "thread"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory payload lifecycle
+# ----------------------------------------------------------------------
+class TestSharedMemoryLifecycle:
+    """Columnar process pools ship the payload via one shared-memory
+    segment; every exit path — close(), gc of a leaked executor, a
+    worker crash — must unlink it (no strays in /dev/shm)."""
+
+    QUERY = parse_query("ans(x, z) :- R(x, y), S(y, z)")
+
+    def _db(self):
+        return random_database({"R": 2, "S": 2}, ["a", "b", "c"], 9, seed=7)
+
+    def _segment(self, executor):
+        """The executor's live segment, skipping hosts without one."""
+        executor.evaluate(self.QUERY)
+        if executor.mode != "process" or executor._shm is None:
+            executor.close()
+            pytest.skip("no shared-memory transport on this host")
+        return executor._shm
+
+    @staticmethod
+    def _assert_unlinked(name):
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_unlinks_segment(self):
+        executor = ShardedExecutor(
+            self._db(), shards=2, workers=WORKERS, mode="process"
+        )
+        name = self._segment(executor).name
+        executor.close()
+        assert executor._shm is None
+        self._assert_unlinked(name)
+
+    def test_finalizer_unlinks_segment_of_leaked_executor(self):
+        import gc
+
+        executor = ShardedExecutor(
+            self._db(), shards=2, workers=WORKERS, mode="process"
+        )
+        name = self._segment(executor).name
+        finalizer = executor._finalizer
+        del executor
+        gc.collect()
+        assert not finalizer.alive
+        self._assert_unlinked(name)
+
+    def test_worker_crash_falls_back_and_unlinks(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = ShardedExecutor(
+            self._db(), shards=2, workers=WORKERS, mode="process"
+        )
+        with executor:
+            reference = executor.evaluate(self.QUERY)
+            name = self._segment(executor).name
+
+            def broken_submit(*_args, **_kwargs):
+                raise BrokenProcessPool("worker died")
+
+            monkeypatch.setattr(executor._pool, "submit", broken_submit)
+            assert executor.evaluate(self.QUERY) == reference
+            assert executor.mode == "thread"
+            assert executor._shm is None
+            self._assert_unlinked(name)
+
+    def test_segment_failure_falls_back_to_pickled_initargs(self, monkeypatch):
+        monkeypatch.setattr(
+            ShardedExecutor,
+            "_create_segment",
+            staticmethod(lambda _payload, _span: None),
+        )
+        db = self._db()
+        with ShardedExecutor(
+            db, shards=2, workers=WORKERS, mode="process"
+        ) as executor:
+            result = executor.evaluate(self.QUERY)
+            assert executor._shm is None
+            assert result == evaluate_backtracking(self.QUERY, db)
+
+    def test_epoch_change_recreates_segment(self):
+        db = self._db()
+        executor = ShardedExecutor(
+            db, shards=2, workers=WORKERS, mode="process"
+        )
+        with executor:
+            first = self._segment(executor).name
+            db.add("R", ("c", "a"), "s_new")
+            executor.refresh()
+            executor.evaluate(self.QUERY)
+            if executor.mode != "process" or executor._shm is None:
+                pytest.skip("no shared-memory transport on this host")
+            second = executor._shm.name
+            assert second != first
+            self._assert_unlinked(first)
+        self._assert_unlinked(second)
 
 
 # ----------------------------------------------------------------------
