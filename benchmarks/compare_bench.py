@@ -20,7 +20,8 @@ benchmark set grows)::
 
     python -m pytest benchmarks/bench_incremental.py benchmarks/bench_aggregate.py \
         benchmarks/bench_hashjoin.py benchmarks/bench_sharded.py \
-        benchmarks/bench_server.py -q --benchmark-only --benchmark-json=benchmark.json
+        benchmarks/bench_server.py benchmarks/bench_recovery.py \
+        -q --benchmark-only --benchmark-json=benchmark.json
     python benchmarks/compare_bench.py --refresh benchmark.json
 
 and commit the rewritten ``benchmarks/baseline.json``.

@@ -110,11 +110,12 @@ from repro.obs import (
     format_trace,
     tracing,
 )
+from repro.durability import DurableStore, RecoveredState, WriteAheadLog
 from repro.semiring.polynomial import Monomial, Polynomial
 from repro.server import ResultCache, ServerState, make_server
 from repro.session import QuerySession
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # engine configuration facade (the documented way to pick engines)
@@ -203,6 +204,10 @@ __all__ = [
     "ResultCache",
     "ServerState",
     "make_server",
+    # durability (snapshots + write-ahead log)
+    "DurableStore",
+    "RecoveredState",
+    "WriteAheadLog",
     # observability
     "MetricsRegistry",
     "Tracer",

@@ -13,7 +13,7 @@ shims, but warn with :class:`DeprecationWarning` and simply overlay the
 matching config fields.
 
 >>> EngineConfig()
-EngineConfig(engine='hashjoin', shards=None, workers=None, mode='process', broadcast_threshold=None, columnar=True)
+EngineConfig(engine='hashjoin', shards=None, workers=None, mode='process', broadcast_threshold=None, columnar=True, data_dir=None)
 >>> EngineConfig(engine="sharded", shards=2).with_overrides(workers=2).shards
 2
 """
@@ -47,7 +47,9 @@ class EngineConfig:
     shard instead of partitioned (``None`` = engine default).
     ``columnar`` selects the flat-column sharded result path; turn it
     off to run the legacy dict-of-dicts merge the differential suite
-    compares against.
+    compares against.  ``data_dir`` points the serving tier at a
+    durability directory (snapshots + write-ahead log, see
+    :mod:`repro.durability`); ``None`` keeps everything in memory.
     """
 
     engine: str = "hashjoin"
@@ -56,6 +58,7 @@ class EngineConfig:
     mode: str = "process"
     broadcast_threshold: Optional[int] = None
     columnar: bool = True
+    data_dir: Optional[str] = None
 
     def __post_init__(self):  # noqa: D105
         if not isinstance(self.engine, str) or not self.engine:
@@ -87,6 +90,13 @@ class EngineConfig:
             raise EvaluationError(
                 "EngineConfig.broadcast_threshold must be a non-negative "
                 "int or None, got {!r}".format(threshold)
+            )
+        if self.data_dir is not None and (
+            not isinstance(self.data_dir, str) or not self.data_dir
+        ):
+            raise EvaluationError(
+                "EngineConfig.data_dir must be a non-empty path or None, "
+                "got {!r}".format(self.data_dir)
             )
 
     def with_overrides(self, **overrides) -> "EngineConfig":

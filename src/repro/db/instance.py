@@ -99,6 +99,52 @@ class AnnotatedDatabase:
                 db.add(relation, tuple(row))
         return db
 
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Internal state needed to rebuild this database exactly.
+
+        Unlike the fact list alone, the checkpoint carries the version
+        counter, the fresh-name supply, and empty-but-declared relations,
+        so a database restored via :meth:`from_checkpoint` continues to
+        generate the same annotations and version numbers as the
+        original would have — the invariant durable recovery needs for
+        byte-identical replay.  The change log is deliberately excluded:
+        consumers re-synchronise from the restored version.
+        """
+        return {
+            "relations": {
+                relation: dict(rows) for relation, rows in self._relations.items()
+            },
+            "arities": dict(self._arities),
+            "version": self._version,
+            "supply": self._supply.state(),
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls, state: Mapping[str, object], track_changes: bool = True
+    ) -> "AnnotatedDatabase":
+        """Rebuild a database from a :meth:`checkpoint_state` snapshot.
+
+        Restoration writes the internal tables directly (it must not go
+        through :meth:`add`, which would advance the version counter and
+        re-derive the name supply).
+        """
+        db = cls(track_changes=track_changes)
+        arities: Dict[str, int] = dict(state["arities"])  # type: ignore[arg-type]
+        relations: Mapping[str, Mapping[Row, str]] = state["relations"]  # type: ignore[assignment]
+        for relation, arity in arities.items():
+            db._arities[relation] = int(arity)
+            db._relations[relation] = {}
+        for relation, rows in relations.items():
+            table = db._relations[relation]
+            for row, annotation in rows.items():
+                row = tuple(row)
+                table[row] = annotation
+                db._by_annotation.setdefault(annotation, []).append((relation, row))
+        db._version = int(state["version"])  # type: ignore[arg-type]
+        db._supply = NameSupply.from_state(state["supply"])  # type: ignore[arg-type]
+        return db
+
     def add(
         self,
         relation: str,

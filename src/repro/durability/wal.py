@@ -1,0 +1,220 @@
+"""Write-ahead logging of accepted update batches (``RPWL`` v1).
+
+A WAL file is a fixed header followed by framed records, one per
+accepted ``/update`` delta batch, appended and fsynced *before* the
+batch is applied — so an accepted batch is on disk even when the
+process dies mid-apply.  Byte layout (documented in ``DESIGN.md``):
+
+* **header** — ``<4sIQ>``: magic ``b"RPWL"``, format version ``1``,
+  and the database version the log starts at (the version of the
+  snapshot it extends);
+* **record** — ``<II>`` (payload length, CRC32 of the payload)
+  followed by the payload: the canonical-JSON encoding of one
+  :func:`repro.io.delta_to_dict` batch, UTF-8.
+
+Only the tail of the *last* record can be torn (appends are
+sequential), so recovery scans records forward and truncates at the
+first frame that is incomplete or fails its checksum; everything
+before it is intact by CRC.  A bad header is not recoverable and
+raises :class:`~repro.errors.WalError`.
+
+Fault injection: when the environment variable
+:data:`FAULT_ENV` (``REPRO_WAL_FAULT``) is ``"<index>:<bytes>"``, the
+``index``-th append of this process writes only the first ``bytes``
+bytes of its frame, fsyncs, and hard-exits — simulating a kill in the
+middle of a WAL write.  The crash-injection suite drives this hook
+from a subprocess; it costs one ``os.environ.get`` per append
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import IO, List, Optional, Tuple
+
+from repro.errors import WalError
+
+#: Leading magic of a WAL file ("RePro Write-ahead Log").
+WAL_MAGIC = b"RPWL"
+
+#: Bump on incompatible layout changes; readers reject mismatches.
+WAL_VERSION = 1
+
+#: Environment variable of the torn-write fault hook.
+FAULT_ENV = "REPRO_WAL_FAULT"
+
+_WAL_HEADER = struct.Struct("<4sIQ")
+_RECORD_HEADER = struct.Struct("<II")
+
+#: Process-global append counter driving the fault hook: the hook fires
+#: on the N-th append *of the process*, counted across every WAL
+#: instance, so a test schedule can target one specific record.
+_append_count = 0
+
+
+def _encode_payload(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def encode_record(payload: dict) -> bytes:
+    """Frame one delta-batch payload as a WAL record."""
+    body = _encode_payload(payload)
+    return _RECORD_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def scan_wal(path: str) -> Tuple[int, List[dict], int, bool]:
+    """Read a WAL file, stopping at the first torn or corrupt record.
+
+    Returns ``(base_version, payloads, valid_length, torn)`` where
+    ``valid_length`` is the byte offset after the last intact record
+    and ``torn`` reports whether anything was discarded.  A missing,
+    truncated, or wrong-magic header raises
+    :class:`~repro.errors.WalError` — headers are written in one
+    fsynced call at creation, so a bad one is corruption, not a crash.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _WAL_HEADER.size:
+        raise WalError("WAL {}: truncated header".format(path))
+    magic, version, base_version = _WAL_HEADER.unpack_from(data, 0)
+    if magic != WAL_MAGIC:
+        raise WalError("WAL {}: bad magic {!r}".format(path, magic))
+    if version != WAL_VERSION:
+        raise WalError(
+            "WAL {}: unsupported format version {}".format(path, version)
+        )
+    payloads: List[dict] = []
+    cursor = _WAL_HEADER.size
+    valid = cursor
+    torn = False
+    total = len(data)
+    while cursor < total:
+        if cursor + _RECORD_HEADER.size > total:
+            torn = True
+            break
+        length, checksum = _RECORD_HEADER.unpack_from(data, cursor)
+        start = cursor + _RECORD_HEADER.size
+        end = start + length
+        if end > total:
+            torn = True
+            break
+        body = data[start:end]
+        if zlib.crc32(body) != checksum:
+            torn = True
+            break
+        try:
+            payloads.append(json.loads(body.decode("utf-8")))
+        except ValueError:
+            # CRC-clean but unparsable: corruption the checksum missed;
+            # treat it (and everything after) exactly like a torn tail.
+            torn = True
+            break
+        cursor = end
+        valid = cursor
+    return base_version, payloads, valid, torn
+
+
+class WriteAheadLog:
+    """An append-only, fsync-on-append delta log.
+
+    Use :meth:`create` for a fresh log and :meth:`open` to continue an
+    existing one (truncating a torn tail first).  Appends are not
+    thread-safe by themselves — the serving tier already holds the
+    session lock across WAL-append-then-apply.
+    """
+
+    def __init__(
+        self, path: str, base_version: int, handle: IO[bytes], records: int
+    ):  # noqa: D107
+        self._path = path
+        self._base_version = base_version
+        self._handle: Optional[IO[bytes]] = handle
+        self._records = records
+
+    @classmethod
+    def create(cls, path: str, base_version: int) -> "WriteAheadLog":
+        """Start a fresh WAL at ``base_version`` (header fsynced)."""
+        handle = open(path, "xb")
+        handle.write(_WAL_HEADER.pack(WAL_MAGIC, WAL_VERSION, base_version))
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, base_version, handle, 0)
+
+    @classmethod
+    def open(cls, path: str) -> "WriteAheadLog":
+        """Reopen an existing WAL for appending.
+
+        A torn tail record is truncated away first, so the next append
+        lands on a clean frame boundary.
+        """
+        base_version, payloads, valid, torn = scan_wal(path)
+        if torn:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+        handle = open(path, "ab")
+        return cls(path, base_version, handle, len(payloads))
+
+    @property
+    def path(self) -> str:
+        """Where this log lives."""
+        return self._path
+
+    @property
+    def base_version(self) -> int:
+        """The database version the log starts at."""
+        return self._base_version
+
+    @property
+    def records(self) -> int:
+        """How many intact records the log holds."""
+        return self._records
+
+    def append(self, payload: dict) -> int:
+        """Durably append one delta-batch payload; returns its index.
+
+        The frame is written, flushed, and fsynced before returning —
+        the durability point the serving tier relies on when it logs a
+        batch *before* applying it.
+        """
+        global _append_count
+        if self._handle is None:
+            raise WalError("WAL {} is closed".format(self._path))
+        frame = encode_record(payload)
+        fault = os.environ.get(FAULT_ENV)
+        if fault is not None:
+            index, _, keep = fault.partition(":")
+            if int(index) == _append_count:
+                self._handle.write(frame[: int(keep)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                os._exit(17)
+        _append_count += 1
+        self._handle.write(frame)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._records += 1
+        return self._records - 1
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<WriteAheadLog {} base={} records={}>".format(
+            self._path, self._base_version, self._records
+        )

@@ -58,3 +58,17 @@ class UnsupportedQueryError(ReproError):
 class EvaluationError(ReproError):
     """Query evaluation failed (e.g. a relation mentioned by the query is
     absent from the database and strict mode was requested)."""
+
+
+class DurabilityError(ReproError):
+    """Persistent state (snapshot or write-ahead log) could not be read
+    or written."""
+
+
+class SnapshotError(DurabilityError):
+    """A snapshot file is missing, truncated, or fails its checksum."""
+
+
+class WalError(DurabilityError):
+    """A write-ahead log file is malformed beyond the recoverable
+    torn-tail case (bad magic, unsupported version, corrupt header)."""

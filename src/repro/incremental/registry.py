@@ -186,6 +186,121 @@ class ViewRegistry:
         self._materialize()
 
     # ------------------------------------------------------------------
+    # Durability (checkpoint / restore without re-materializing)
+    # ------------------------------------------------------------------
+    def materialized_state(self) -> Dict[str, object]:
+        """JSON-ready registry state for the durability snapshot.
+
+        Plain views are *not* serialized here: their rows and symbols
+        live in the working database (checkpointed separately), and
+        their polynomials are exactly the ``bindings`` values — storing
+        them twice would only invite divergence.  What the working
+        database cannot reconstruct travels here: the fresh-symbol
+        supply, bindings, aggregate views (terminal, so absent from the
+        working database), and the base-relation set.
+        """
+        from repro.io import aggregate_results_to_list, polynomial_to_list
+
+        return {
+            "supply": self._supply.state(),
+            "order": list(self._order),
+            "aggregate_names": sorted(self._aggregate_names),
+            "base_relations": sorted(self._base_relations),
+            "bindings": {
+                symbol: polynomial_to_list(polynomial)
+                for symbol, polynomial in sorted(self._bindings.items())
+            },
+            "aggregates": {
+                name: aggregate_results_to_list(groups)
+                for name, groups in sorted(self._aggregates.items())
+            },
+        }
+
+    @classmethod
+    def from_materialized(
+        cls,
+        program: Mapping[str, AnyQuery],
+        db: AnnotatedDatabase,
+        state: Mapping[str, object],
+        config: Optional[EngineConfig] = None,
+    ) -> "ViewRegistry":
+        """Rebuild a registry from a checkpointed *working* database plus
+        :meth:`materialized_state`, skipping ``_materialize`` entirely.
+
+        ``db`` must be the restored working database (base relations and
+        plain-view rows, e.g. via
+        :meth:`~repro.db.instance.AnnotatedDatabase.from_checkpoint`);
+        recovery asserts the snapshot was taken under the same view
+        program and raises :class:`~repro.errors.EvaluationError`
+        otherwise.
+        """
+        from repro.io import aggregate_results_from_list, polynomial_from_list
+
+        config = resolve_engine_config(config, "ViewRegistry.from_materialized")
+        if config.engine not in ("hashjoin", "sharded"):
+            raise EvaluationError(
+                "unknown registry engine {!r}; supported: hashjoin, "
+                "sharded".format(config.engine)
+            )
+        registry = cls.__new__(cls)
+        registry._config = config
+        registry._engine = config.engine
+        registry._program = dict(program)
+        registry._order = dependency_order(registry._program)
+        registry._aggregate_names = check_aggregates_terminal(registry._program)
+        if list(state["order"]) != registry._order or sorted(
+            state["aggregate_names"]
+        ) != sorted(registry._aggregate_names):
+            raise EvaluationError(
+                "snapshot was taken under a different view program "
+                "(snapshot order {!r}, current {!r})".format(
+                    state["order"], registry._order
+                )
+            )
+        registry._base_relations = set(state["base_relations"])
+        registry._supply = NameSupply.from_state(state["supply"])
+        registry._db = db
+        registry._indexes = HashIndexes(db)
+        registry._session = None
+        if config.engine == "sharded":
+            from repro.session import QuerySession
+
+            registry._session = QuerySession(
+                db, config.with_overrides(mode="thread")
+            )
+        registry._bindings = {
+            symbol: polynomial_from_list(payload)
+            for symbol, payload in state["bindings"].items()
+        }
+        registry._views = {}
+        registry._symbols = {}
+        registry._aggregates = {}
+        registry._dependents = {}
+        for name in registry._order:
+            if name in registry._aggregate_names:
+                groups = aggregate_results_from_list(state["aggregates"][name])
+                registry._aggregates[name] = groups
+                for row, result in groups.items():
+                    registry._register_aggregate(name, row, result)
+                continue
+            registry._views[name] = {}
+            registry._symbols[name] = {}
+            for row, symbol in db.facts(name):
+                polynomial = registry._bindings.get(symbol)
+                if polynomial is None:
+                    raise EvaluationError(
+                        "snapshot binding for view symbol {!r} of {}{} is "
+                        "missing".format(symbol, name, row)
+                    )
+                registry._views[name][row] = polynomial
+                registry._symbols[name][row] = symbol
+                for mentioned in polynomial.support():
+                    registry._dependents.setdefault(mentioned, set()).add(
+                        (name, row)
+                    )
+        return registry
+
+    # ------------------------------------------------------------------
     # Initial materialization (and full-recompute fallback)
     # ------------------------------------------------------------------
     # Materialization and every full-recompute audit go through the

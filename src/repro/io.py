@@ -33,6 +33,7 @@ from repro.query.parser import parse_query
 from repro.query.printer import query_to_str
 from repro.query.ucq import Query
 from repro.semiring.polynomial import Monomial, Polynomial
+from repro.utils.multiset import FrozenMultiset
 
 Row = Tuple[Hashable, ...]
 
@@ -55,11 +56,31 @@ def database_to_dict(db: AnnotatedDatabase) -> dict:
 
 def database_from_dict(payload: Mapping) -> AnnotatedDatabase:
     """Inverse of :func:`database_to_dict`."""
-    if "relations" not in payload:
+    if not isinstance(payload, Mapping) or "relations" not in payload:
         raise ReproError("database payload lacks a 'relations' key")
+    if not isinstance(payload["relations"], Mapping):
+        raise ReproError(
+            "database 'relations' must map names to fact lists, got "
+            "{!r}".format(type(payload["relations"]).__name__)
+        )
     db = AnnotatedDatabase()
     for relation, facts in payload["relations"].items():
+        if not isinstance(facts, list):
+            raise ReproError(
+                "facts of relation {!r} must be a list, got {!r}".format(
+                    relation, type(facts).__name__
+                )
+            )
         for fact in facts:
+            if (
+                not isinstance(fact, Mapping)
+                or not isinstance(fact.get("row"), list)
+                or "annotation" not in fact
+            ):
+                raise ReproError(
+                    "each fact of {!r} needs {{\"row\": [...], "
+                    "\"annotation\": ...}}, got {!r}".format(relation, fact)
+                )
             db.add(relation, tuple(fact["row"]), annotation=fact["annotation"])
     return db
 
@@ -82,14 +103,57 @@ def polynomial_to_list(polynomial: Polynomial) -> list:
 
 def polynomial_from_list(payload) -> Polynomial:
     """Inverse of :func:`polynomial_to_list`."""
+    if not isinstance(payload, list):
+        raise ReproError(
+            "polynomial payload must be a list of terms, got {!r}".format(
+                type(payload).__name__
+            )
+        )
     terms = {}
     for entry in payload:
-        symbols = []
-        for symbol, exponent in entry["monomial"].items():
-            symbols.extend([symbol] * int(exponent))
-        monomial = Monomial(symbols)
-        terms[monomial] = terms.get(monomial, 0) + int(entry["coefficient"])
-    return Polynomial(terms)
+        # ``type(...) is dict`` first: this loop decodes hundreds of
+        # thousands of terms on snapshot recovery, and an isinstance
+        # check against typing.Mapping costs ~3.5us per call.
+        if not (
+            (type(entry) is dict or isinstance(entry, Mapping))
+            and (
+                type(entry.get("monomial")) is dict
+                or isinstance(entry.get("monomial"), Mapping)
+            )
+            and "coefficient" in entry
+        ):
+            raise ReproError(
+                "each polynomial term needs {{\"monomial\": {{...}}, "
+                "\"coefficient\": n}}, got {!r}".format(entry)
+            )
+        try:
+            counts = {
+                str(symbol): int(exponent)
+                for symbol, exponent in entry["monomial"].items()
+                if int(exponent) > 0
+            }
+            coefficient = int(entry["coefficient"])
+        except (TypeError, ValueError) as exc:
+            raise ReproError(
+                "polynomial term {!r} has a non-integer exponent or "
+                "coefficient".format(entry)
+            ) from exc
+        if coefficient < 0:
+            raise ReproError(
+                "polynomial term {!r} has a negative coefficient".format(
+                    entry
+                )
+            )
+        if coefficient == 0:
+            continue
+        # Hot on recovery: thousands of view bindings decode through
+        # here, so skip the validating Monomial/Polynomial constructors.
+        monomial = Monomial.from_multiset(FrozenMultiset.from_counts(counts))
+        previous = terms.get(monomial)
+        terms[monomial] = (
+            coefficient if previous is None else previous + coefficient
+        )
+    return Polynomial._from_clean(terms)
 
 
 # ----------------------------------------------------------------------
@@ -115,10 +179,27 @@ def results_to_list(results: Mapping[Row, Polynomial]) -> list:
 
 def results_from_list(payload) -> Dict[Row, Polynomial]:
     """Inverse of :func:`results_to_list`."""
-    return {
-        tuple(entry["tuple"]): polynomial_from_list(entry["provenance"])
-        for entry in payload
-    }
+    if not isinstance(payload, list):
+        raise ReproError(
+            "results payload must be a list of rows, got {!r}".format(
+                type(payload).__name__
+            )
+        )
+    results: Dict[Row, Polynomial] = {}
+    for entry in payload:
+        if (
+            not isinstance(entry, Mapping)
+            or not isinstance(entry.get("tuple"), list)
+            or "provenance" not in entry
+        ):
+            raise ReproError(
+                "each result row needs {{\"tuple\": [...], "
+                "\"provenance\": [...]}}, got {!r}".format(entry)
+            )
+        results[tuple(entry["tuple"])] = polynomial_from_list(
+            entry["provenance"]
+        )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -142,9 +223,27 @@ def semimodule_to_dict(element: SemimoduleElement) -> dict:
 
 def semimodule_from_dict(payload: Mapping) -> SemimoduleElement:
     """Inverse of :func:`semimodule_to_dict`."""
+    if (
+        not isinstance(payload, Mapping)
+        or "monoid" not in payload
+        or not isinstance(payload.get("tensors"), list)
+    ):
+        raise ReproError(
+            "semimodule payload needs {{\"monoid\": name, "
+            "\"tensors\": [...]}}, got {!r}".format(payload)
+        )
     monoid = monoid_for(payload["monoid"])
     terms: Dict[Hashable, Polynomial] = {}
     for tensor in payload["tensors"]:
+        if (
+            not isinstance(tensor, Mapping)
+            or "value" not in tensor
+            or "annotation" not in tensor
+        ):
+            raise ReproError(
+                "each tensor needs {{\"value\": m, \"annotation\": [...]}}, "
+                "got {!r}".format(tensor)
+            )
         polynomial = polynomial_from_list(tensor["annotation"])
         previous = terms.get(tensor["value"])
         terms[tensor["value"]] = (
@@ -169,16 +268,32 @@ def aggregate_results_to_list(results: Mapping[Row, AggregateResult]) -> list:
 
 def aggregate_results_from_list(payload) -> Dict[Row, AggregateResult]:
     """Inverse of :func:`aggregate_results_to_list`."""
-    return {
-        tuple(entry["group"]): AggregateResult(
+    if not isinstance(payload, list):
+        raise ReproError(
+            "aggregate results payload must be a list of groups, got "
+            "{!r}".format(type(payload).__name__)
+        )
+    results: Dict[Row, AggregateResult] = {}
+    for entry in payload:
+        if (
+            not isinstance(entry, Mapping)
+            or not isinstance(entry.get("group"), list)
+            or "provenance" not in entry
+            or not isinstance(entry.get("aggregates"), list)
+        ):
+            raise ReproError(
+                "each aggregate group needs {{\"group\": [...], "
+                "\"provenance\": [...], \"aggregates\": [...]}}, got "
+                "{!r}".format(entry)
+            )
+        results[tuple(entry["group"])] = AggregateResult(
             polynomial_from_list(entry["provenance"]),
             tuple(
                 semimodule_from_dict(element)
                 for element in entry["aggregates"]
             ),
         )
-        for entry in payload
-    }
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -295,7 +410,22 @@ def dump_session(
 def load_session(path: str):
     """Inverse of :func:`dump_session`; returns (db, queries, results)."""
     with open(path) as handle:
-        payload = json.load(handle)
+        try:
+            payload = json.load(handle)
+        except ValueError as exc:
+            raise ReproError(
+                "session file {!r} is not valid JSON: {}".format(path, exc)
+            ) from exc
+    if (
+        not isinstance(payload, Mapping)
+        or "database" not in payload
+        or not isinstance(payload.get("queries"), Mapping)
+    ):
+        raise ReproError(
+            "session file {!r} needs 'database' and 'queries' keys".format(
+                path
+            )
+        )
     db = database_from_dict(payload["database"])
     queries = {
         name: query_from_text(text) for name, text in payload["queries"].items()

@@ -32,12 +32,15 @@ from http.server import ThreadingHTTPServer
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.aggregate.result import AggregateResult
+from repro.algebra.intern import InternRemapper
 from repro.config import EngineConfig, resolve_engine_config
+from repro.durability.store import DurableStore, RecoveredState
 from repro.errors import EvaluationError, ReproError
 from repro.incremental.delta import Delta, apply_to_database
 from repro.incremental.registry import ViewRegistry
 from repro.io import (
     aggregate_results_to_list,
+    delta_to_dict,
     deltas_from_payload,
     results_to_list,
 )
@@ -129,6 +132,8 @@ class ServerState:
         cache_size: int = DEFAULT_CACHE_SIZE,
         broadcast_threshold: Optional[int] = None,
         metrics: bool = True,
+        data_dir: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
     ):  # noqa: D107
         config = resolve_engine_config(
             config,
@@ -144,15 +149,49 @@ class ServerState:
                     config.engine, ", ".join(SERVER_ENGINES)
                 )
             )
+        if data_dir is not None:
+            config = config.with_overrides(data_dir=data_dir)
         # The database mutates under ``/update`` while the session stays
         # warm, so serving always runs thread-mode pools.
         config = config.with_overrides(mode="thread")
         self._engine = config.engine
         self._config = config
         self._options = config
+        # Per-server registry (not the process-wide default) so parallel
+        # test servers never bleed counters into each other; the null
+        # registry makes every instrument below a shared no-op.  Created
+        # before the durable store so recovery spans and WAL counters
+        # land in it.
+        self._metrics = MetricsRegistry() if metrics else NULL_REGISTRY
+        self._store: Optional[DurableStore] = None
+        self._recovery: Optional[RecoveredState] = None
+        if config.data_dir is not None:
+            store_kwargs = {"metrics": self._metrics}
+            if snapshot_every is not None:
+                store_kwargs["snapshot_every"] = snapshot_every
+            self._store = DurableStore(config.data_dir, **store_kwargs)
         self._registry: Optional[ViewRegistry] = None
         self._db = db
-        if program is not None:
+        if self._store is not None and self._store.has_state():
+            # Warm boot: snapshot + WAL replay instead of recompute; the
+            # given ``db`` is ignored in favor of the recovered state.
+            self._recovery = self._store.recover(program=program, config=config)
+            self._registry = self._recovery.registry
+            if self._registry is not None:
+                self._db = self._registry.serving_db
+                if self._registry.session is not None:
+                    self._session = self._registry.session
+                else:
+                    self._session = QuerySession(self._db, "hashjoin")
+            else:
+                self._db = self._recovery.db
+                self._session = QuerySession(self._db, config)
+            # Pre-fill the session's intern table so recovered serving
+            # reuses the interned monomials the snapshot captured.
+            InternRemapper(self._session.intern_table).extend(
+                *self._recovery.intern_state
+            )
+        elif program is not None:
             self._registry = ViewRegistry(program, db, config=config)
             self._db = self._registry.serving_db
             if self._registry.session is not None:
@@ -163,15 +202,19 @@ class ServerState:
                 self._session = QuerySession(self._db, "hashjoin")
         else:
             self._session = QuerySession(db, config)
+        if self._store is not None and self._recovery is None:
+            # Cold boot with durability on: the initial snapshot is the
+            # base every future WAL replay starts from.
+            self._store.snapshot(
+                self._db,
+                self._registry,
+                self._session.intern_table.export_state(),
+            )
         self._cache = ResultCache(cache_size)
         self._counter_lock = threading.Lock()
         self._active = 0
         self._served = 0
         self._closed = False
-        # Per-server registry (not the process-wide default) so parallel
-        # test servers never bleed counters into each other; the null
-        # registry makes every instrument below a shared no-op.
-        self._metrics = MetricsRegistry() if metrics else NULL_REGISTRY
         self._request_counter = self._metrics.counter(
             "repro_http_requests_total",
             "HTTP requests served, by endpoint, method and status",
@@ -202,6 +245,16 @@ class ServerState:
         return self._registry
 
     @property
+    def store(self) -> Optional[DurableStore]:
+        """The durable store (``None`` without a ``data_dir``)."""
+        return self._store
+
+    @property
+    def recovery(self) -> Optional[RecoveredState]:
+        """What boot-time recovery rebuilt (``None`` on a cold boot)."""
+        return self._recovery
+
+    @property
     def session(self) -> QuerySession:
         """The long-lived serving session."""
         return self._session
@@ -227,6 +280,8 @@ class ServerState:
         if self._registry is not None:
             self._registry.close()
         self._session.close()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "ServerState":
         return self
@@ -376,6 +431,13 @@ class ServerState:
             applied = 0
             try:
                 for delta in deltas:
+                    if self._store is not None:
+                        # Accepted means durable: the batch hits the WAL
+                        # (fsynced) before any state or version moves.
+                        # Recovery replays through the same apply paths,
+                        # so a batch whose apply fails below fails the
+                        # same way on replay.
+                        self._store.log_update(delta_to_dict(delta))
                     if self._registry is not None:
                         summaries.append(self._registry.apply(delta).summary())
                     else:
@@ -390,6 +452,12 @@ class ServerState:
                     )
                 )
             version = self._session.db_version()
+            if self._store is not None and self._store.should_rotate():
+                self._store.snapshot(
+                    self._db,
+                    self._registry,
+                    self._session.intern_table.export_state(),
+                )
         response = {
             "version": version,
             "batches": len(deltas),
@@ -486,6 +554,8 @@ class ServerState:
             }
         if self._registry is not None:
             payload["views"] = self._registry.order
+        if self._store is not None:
+            payload["durability"] = self._store.stats()
         return payload
 
     def __repr__(self) -> str:
@@ -537,6 +607,8 @@ def make_server(
     cache_size: int = DEFAULT_CACHE_SIZE,
     broadcast_threshold: Optional[int] = None,
     metrics: bool = True,
+    data_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
 ) -> ProvenanceServer:
     """Bind a ready-to-run server (``port=0`` picks a free port).
 
@@ -566,6 +638,8 @@ def make_server(
         cache_size=cache_size,
         broadcast_threshold=broadcast_threshold,
         metrics=metrics,
+        data_dir=data_dir,
+        snapshot_every=snapshot_every,
     )
     try:
         return ProvenanceServer((host, port), state)

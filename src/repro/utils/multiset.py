@@ -35,6 +35,36 @@ class FrozenMultiset:
         self._counts: Dict[T, int] = dict(Counter(self._items))
         self._hash = hash(self._items)
 
+    @classmethod
+    def from_counts(cls, counts: Dict[T, int]) -> "FrozenMultiset":
+        """Build from ``{element: multiplicity}`` without re-counting.
+
+        The snapshot/WAL decode path rebuilds hundreds of thousands of
+        monomials whose serialized form already *is* a count mapping;
+        going through ``__init__`` would re-sort the expanded element
+        list and re-run :class:`collections.Counter` over it.  All
+        multiplicities must be positive.
+
+        >>> FrozenMultiset.from_counts({"s2": 1, "s1": 2}) == \
+            FrozenMultiset(["s1", "s2", "s1"])
+        True
+        """
+        items: list = []
+        for item in sorted(counts, key=_sort_key):
+            multiplicity = counts[item]
+            if multiplicity < 1:
+                raise ValueError(
+                    "multiplicities must be positive, got {!r}: {!r}".format(
+                        item, multiplicity
+                    )
+                )
+            items.extend([item] * multiplicity)
+        multiset = cls.__new__(cls)
+        multiset._items = tuple(items)
+        multiset._counts = dict(counts)
+        multiset._hash = hash(multiset._items)
+        return multiset
+
     # ------------------------------------------------------------------
     # Basic container protocol
     # ------------------------------------------------------------------

@@ -44,6 +44,7 @@ class TestEngineConfigValidation:
         assert config.shards is None and config.workers is None
         assert config.mode == "process"
         assert config.columnar is True
+        assert config.data_dir is None
 
     def test_frozen_and_hashable(self):
         config = EngineConfig(engine="sharded", shards=2)
@@ -68,6 +69,8 @@ class TestEngineConfigValidation:
             {"workers": False},
             {"broadcast_threshold": -1},
             {"broadcast_threshold": True},
+            {"data_dir": ""},
+            {"data_dir": 7},
         ],
     )
     def test_invalid_fields_raise(self, kwargs):

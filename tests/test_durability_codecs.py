@@ -1,0 +1,258 @@
+"""Property-based fuzzing of the durability byte formats (RPSN/RPWL).
+
+Hypothesis drives three codec families — snapshot sections, intern
+blobs and WAL record framing — through encode≡decode round trips over
+generated inputs, then a corruption corpus checks the failure contract:
+a torn or bit-flipped WAL tail is *truncated* (recovery proceeds), a
+corrupt snapshot is *rejected* with :class:`SnapshotError` (recovery
+falls back to the previous generation — see ``test_durability.py``).
+"""
+
+import os
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.instance import AnnotatedDatabase
+from repro.durability import (
+    WriteAheadLog,
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    scan_wal,
+)
+from repro.durability.snapshot import _decode_intern, _encode_intern
+from repro.errors import SnapshotError, WalError
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+# Cell values the sharded payload codec supports (and therefore DBST).
+cells = st.one_of(
+    st.text(max_size=8),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.none(),
+)
+
+relation_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll")),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def databases(draw):
+    db = AnnotatedDatabase()
+    schema = draw(
+        st.dictionaries(
+            relation_names,
+            st.integers(min_value=1, max_value=3),
+            max_size=3,
+        )
+    )
+    for relation, arity in schema.items():
+        db.declare_relation(relation, arity)
+        rows = draw(
+            st.lists(
+                st.tuples(*[cells] * arity).filter(
+                    # Rows must be hashable and distinct per relation.
+                    lambda row: True
+                ),
+                max_size=5,
+                unique_by=repr,
+            )
+        )
+        for row in rows:
+            if not db.contains(relation, row):
+                db.add(relation, row)
+    return db
+
+
+intern_states = st.tuples(
+    st.lists(st.text(max_size=6), max_size=8),
+    st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=63), max_size=4
+        ).map(tuple),
+        max_size=8,
+    ),
+)
+
+json_payloads = st.dictionaries(
+    st.sampled_from(["insert", "delete", "retag"]),
+    st.dictionaries(
+        relation_names,
+        st.lists(st.lists(cells, max_size=3), max_size=3),
+        max_size=2,
+    ),
+    max_size=3,
+)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+class TestSnapshotRoundTripProperties:
+    @given(databases())
+    @settings(max_examples=60, deadline=None)
+    def test_database_snapshot_round_trip(self, db):
+        content = decode_snapshot(encode_snapshot(db.checkpoint_state()))
+        restored = AnnotatedDatabase.from_checkpoint(content.checkpoint)
+        assert sorted(restored.all_facts(), key=repr) == sorted(
+            db.all_facts(), key=repr
+        )
+        assert restored.version() == db.version()
+        assert sorted(restored.relations()) == sorted(db.relations())
+        for relation in db.relations():
+            assert restored.arity(relation) == db.arity(relation)
+
+    @given(intern_states)
+    @settings(max_examples=60, deadline=None)
+    def test_intern_blob_round_trip(self, state):
+        symbols, keys = state
+        assert _decode_intern(_encode_intern((symbols, keys))) == (
+            symbols,
+            keys,
+        )
+
+    @given(databases(), intern_states)
+    @settings(max_examples=30, deadline=None)
+    def test_full_snapshot_round_trip(self, db, intern_state):
+        data = encode_snapshot(
+            db.checkpoint_state(), intern_state=intern_state
+        )
+        content = decode_snapshot(data)
+        assert content.intern_state == intern_state
+        assert content.db_version == db.version()
+        assert content.registry_state is None
+
+
+class TestWalRoundTripProperties:
+    @given(
+        payloads=st.lists(json_payloads, max_size=6),
+        base_version=st.integers(0, 2 ** 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wal_round_trip(self, tmp_path_factory, payloads, base_version):
+        path = str(tmp_path_factory.mktemp("wal") / "wal.rpwl")
+        with WriteAheadLog.create(path, base_version=base_version) as wal:
+            for payload in payloads:
+                wal.append(payload)
+        base, records, valid, torn = scan_wal(path)
+        assert base == base_version
+        assert records == payloads
+        assert not torn
+        assert valid == os.path.getsize(path)
+
+    @given(json_payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_record_frame_checksum_covers_payload(self, payload):
+        frame = encode_record(payload)
+        header, body = frame[:8], frame[8:]
+        length = int.from_bytes(header[:4], "little")
+        crc = int.from_bytes(header[4:], "little")
+        assert length == len(body)
+        assert crc == zlib.crc32(body) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Corruption corpus
+# ----------------------------------------------------------------------
+class TestTornWrites:
+    PAYLOADS = [
+        {"insert": {"R": [{"row": ["a", "b"], "annotation": "s1"}]}},
+        {"delete": {"R": [["a", "b"]]}},
+    ]
+
+    def build(self, tmp_path) -> str:
+        path = str(tmp_path / "wal.rpwl")
+        with WriteAheadLog.create(path, base_version=3) as wal:
+            for payload in self.PAYLOADS:
+                wal.append(payload)
+        return path
+
+    @pytest.mark.parametrize("cut", range(1, 11))
+    def test_any_tail_cut_truncates_to_a_prefix(self, tmp_path, cut):
+        path = self.build(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(16, size - cut))
+        base, records, valid, torn = scan_wal(path)
+        assert base == 3
+        assert records == self.PAYLOADS[: len(records)]
+        assert torn or valid == os.path.getsize(path)
+        # Reopening truncates and the log accepts fresh appends.
+        with WriteAheadLog.open(path) as wal:
+            wal.append({"insert": {}})
+        assert not scan_wal(path)[3]
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_bitflip_past_header_never_misparses(
+        self, tmp_path_factory, data
+    ):
+        """A flipped bit in the record region either leaves a valid
+        prefix (checksum catches it) or, in the 1-in-4-billion CRC
+        collision we don't model, still yields parseable records."""
+        path = self.build(tmp_path_factory.mktemp("wal"))
+        size = os.path.getsize(path)
+        offset = data.draw(st.integers(16, size - 1))
+        bit = data.draw(st.integers(0, 7))
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([byte ^ (1 << bit)]))
+        base, records, valid, torn = scan_wal(path)
+        assert base == 3
+        assert len(records) <= len(self.PAYLOADS)
+        assert valid <= size
+
+    def test_header_corruption_is_fatal_not_torn(self, tmp_path):
+        path = self.build(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.write(b"XXXX")
+        with pytest.raises(WalError):
+            scan_wal(path)
+
+
+class TestSnapshotCorruption:
+    def encoded(self) -> bytes:
+        db = AnnotatedDatabase.from_rows(
+            {"R": [("a", "b"), ("b", "c")], "S": [("c",)]}
+        )
+        return encode_snapshot(
+            db.checkpoint_state(), intern_state=(["s1"], [(0,)])
+        )
+
+    @pytest.mark.parametrize("offset", [0, 2, 4, 8, 12, 16, 24, 40, -1, -9])
+    def test_bitflips_rejected_with_clear_error(self, offset):
+        data = bytearray(self.encoded())
+        data[offset] ^= 0x55
+        with pytest.raises(SnapshotError) as excinfo:
+            decode_snapshot(bytes(data))
+        assert str(excinfo.value)  # every rejection carries a message
+
+    @pytest.mark.parametrize("keep", [0, 3, 4, 11, 15, 16, 17, 60])
+    def test_truncations_rejected(self, keep):
+        data = self.encoded()
+        if keep >= len(data):
+            pytest.skip("not a truncation")
+        with pytest.raises(SnapshotError):
+            decode_snapshot(data[:keep])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SnapshotError):
+            decode_snapshot(self.encoded() + b"\x00garbage")
+
+    def test_duplicate_section_rejected_or_last_wins_consistently(self):
+        """Sections are length-prefixed; appending a stray section must
+        not silently extend a valid snapshot."""
+        data = self.encoded()
+        with pytest.raises(SnapshotError):
+            decode_snapshot(data + data[16:40])

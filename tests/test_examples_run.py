@@ -12,6 +12,7 @@ EXAMPLES = sorted(
 
 EXPECTED_FRAGMENTS = {
     "aggregate_provenance.py": "SUM under deletion",
+    "crash_recovery.py": "Recovered responses byte-identical after SIGKILL: True",
     "engine_comparison.py": "Engines agree polynomial-for-polynomial: True",
     "incremental_maintenance.py": "audit vs full re-evaluation: ok",
     "quickstart.py": "p-minimal equivalent found by MinProv",

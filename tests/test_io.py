@@ -176,3 +176,134 @@ class TestDeltaCodecs:
     def test_malformed_payloads_rejected(self, bad):
         with pytest.raises(ReproError):
             deltas_from_payload(bad)
+
+
+class TestDatabaseErrorPaths:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            42,
+            {"facts": {}},
+            {"relations": ["R"]},
+            {"relations": {"R": {"a": 1}}},
+            {"relations": {"R": [["a", "b"]]}},
+            {"relations": {"R": [{"row": ["a"]}]}},
+            {"relations": {"R": [{"annotation": "s1"}]}},
+            {"relations": {"R": [{"row": "ab", "annotation": "s1"}]}},
+        ],
+    )
+    def test_malformed_database_rejected(self, bad):
+        with pytest.raises(ReproError):
+            database_from_dict(bad)
+
+    def test_error_message_names_the_relation(self):
+        with pytest.raises(ReproError, match="'R'"):
+            database_from_dict({"relations": {"R": [{"row": ["a"]}]}})
+
+
+class TestPolynomialErrorPaths:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"monomial": {}, "coefficient": 1},
+            "s1*s2",
+            [{"coefficient": 1}],
+            [{"monomial": {"s1": 1}}],
+            [{"monomial": ["s1"], "coefficient": 1}],
+            [{"monomial": {"s1": "two"}, "coefficient": 1}],
+            [{"monomial": {"s1": 1}, "coefficient": "many"}],
+            [["s1", 1]],
+        ],
+    )
+    def test_malformed_polynomial_rejected(self, bad):
+        with pytest.raises(ReproError):
+            polynomial_from_list(bad)
+
+    def test_non_integer_exponent_message(self):
+        with pytest.raises(ReproError, match="non-integer"):
+            polynomial_from_list(
+                [{"monomial": {"s1": "two"}, "coefficient": 1}]
+            )
+
+
+class TestResultErrorPaths:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"tuple": [1], "provenance": []},
+            [{"provenance": []}],
+            [{"tuple": [1]}],
+            [{"tuple": "ab", "provenance": []}],
+            [{"tuple": [1], "provenance": [{"coefficient": 1}]}],
+        ],
+    )
+    def test_malformed_results_rejected(self, bad):
+        with pytest.raises(ReproError):
+            results_from_list(bad)
+
+
+class TestAggregateErrorPaths:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"group": []},
+            [{"provenance": [], "aggregates": []}],
+            [{"group": [1], "aggregates": []}],
+            [{"group": [1], "provenance": []}],
+            [{"group": [1], "provenance": [], "aggregates": {}}],
+        ],
+    )
+    def test_malformed_aggregate_results_rejected(self, bad):
+        with pytest.raises(ReproError):
+            aggregate_results_from_list(bad)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            ["count", []],
+            {"tensors": []},
+            {"monoid": "count"},
+            {"monoid": "count", "tensors": {}},
+            {"monoid": "count", "tensors": [{"value": 1}]},
+            {"monoid": "count", "tensors": [{"annotation": []}]},
+            {"monoid": "no-such-monoid", "tensors": []},
+        ],
+    )
+    def test_malformed_semimodule_rejected(self, bad):
+        with pytest.raises(ReproError):
+            semimodule_from_dict(bad)
+
+
+class TestSessionErrorPaths:
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_session(str(path))
+
+    def test_truncated_session_file(self, tmp_path):
+        fig = figure1()
+        path = tmp_path / "session.json"
+        dump_session(str(path), table2_database(), {"q": fig.q_conj})
+        data = path.read_text(encoding="utf-8")
+        path.write_text(data[: len(data) // 2], encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_session(str(path))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {"queries": {}},
+            {"database": {"relations": {}}},
+            {"database": {"relations": {}}, "queries": ["q"]},
+            {"database": {"relations": []}, "queries": {}},
+        ],
+    )
+    def test_structurally_wrong_session_rejected(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_session(str(path))
