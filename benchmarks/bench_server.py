@@ -85,9 +85,11 @@ def test_server_cold_evaluation(benchmark, state):
     assert benchmark(cold)
 
 
-def test_server_http_round_trip_warm(benchmark):
+def _http_round_trip_warm(benchmark, server_mode):
     """The full stack on a warm cache: socket, HTTP parse, cached bytes."""
-    server = make_server(workload_db(), engine="hashjoin")
+    server = make_server(
+        workload_db(), engine="hashjoin", server_mode=server_mode
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
@@ -109,3 +111,16 @@ def test_server_http_round_trip_warm(benchmark):
         server.shutdown()
         server.close()
         thread.join(timeout=10)
+
+
+def test_server_http_round_trip_warm(benchmark):
+    """The threaded tier's warm round-trip (one thread per connection)."""
+    _http_round_trip_warm(benchmark, "threaded")
+
+
+def test_server_http_round_trip_warm_async(benchmark):
+    """The asyncio tier's warm round-trip: same request, event loop +
+    loop-confined cache instead of a handler thread.  Medians must stay
+    within the same order as the threaded tier — the event loop is a
+    concurrency win, not a per-request tax."""
+    _http_round_trip_warm(benchmark, "async")

@@ -1,42 +1,54 @@
 #!/usr/bin/env python
-"""Boot `repro-prov serve` and fire a threaded mixed query/update load.
+"""Boot `repro-prov serve` and drive a 1k+-connection asyncio load.
 
-The CI `serve` job's smoke check, also runnable locally::
+The CI ``serve`` / ``serve-async`` jobs' load harness, also runnable
+locally::
 
-    python scripts/serve_smoke.py [--threads 16] [--requests 50]
+    python scripts/serve_smoke.py [--connections 1000] [--requests 5]
 
 Steps:
 
 1. generate a seeded random database and write it as a CLI data file;
 2. boot ``repro-prov serve`` (via ``python -m repro.cli``) on a free
-   port, parsing the chosen port from its banner line;
-3. run ``--threads`` workers, each firing ``--requests`` requests —
-   a rotating mix of ``/query`` texts with every tenth request an
-   ``/update`` inserting a unique tuple — while a scraper thread polls
-   ``GET /metrics`` mid-load (each scrape must be a 200 that parses as
-   Prometheus exposition);
-4. assert every response was a 200; from the final ``/metrics`` scrape,
-   that the per-endpoint request counters account for every request the
-   workers sent; and from ``/stats``, that the result cache actually
-   served hits (hit rate > 0) and the latency percentiles are sane.
+   port in ``--server-mode`` (default ``async``), parsing the chosen
+   port from its banner line;
+3. **byte-identity phase** — boot a second server in the *other* mode
+   on the same data and assert that every ``/query`` and ``/batch``
+   response is byte-identical across the async tier, the threaded
+   tier, and a direct in-process evaluation through the shared codec;
+4. **load phase** — open ``--connections`` concurrent keep-alive
+   connections from one asyncio client loop, hold them all open at
+   once (on the async tier the server's own
+   ``repro_server_open_connections`` gauge must account for them),
+   then fire ``--requests`` requests per connection: ~1% of
+   connections are updaters inserting unique tuples, ~5% are
+   subscribe-shaped pollers re-reading ``/stats``, the rest rotate the
+   query mix;
+5. assert every response was a 200, that the per-endpoint request
+   counters grew by exactly the load sent, and that the result cache
+   served hits; print p50/p95/p99 per request kind.
 
 ``--json PATH`` writes the latency percentiles and counter totals as a
-JSON artifact (the CI serve job uploads it).
+JSON artifact (the CI jobs upload it).  ``--bench-json PATH`` writes
+the p99s in pytest-benchmark shape so
+``benchmarks/compare_bench.py`` can gate them against
+``benchmarks/baseline.json``.
 
-Exit code 0 on success, 1 on any failed request, counter mismatch or a
-cold cache.
+Exit code 0 on success, 1 on any failed request, byte mismatch,
+counter mismatch or a cold cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import platform
 import subprocess
 import sys
 import tempfile
-import threading
-from http.client import HTTPConnection
+import time
 
 try:
     import repro  # noqa: F401
@@ -54,11 +66,15 @@ QUERIES = [
 ]
 
 
-def write_database(path: str) -> None:
-    """A seeded 600-fact database in the CLI's data-file format."""
+def build_database():
+    """The seeded 600-fact database the harness serves and oracles."""
     from repro.db.generators import random_database
 
-    db = random_database({"R": 2, "S": 2}, list(range(40)), n_facts=600, seed=17)
+    return random_database({"R": 2, "S": 2}, list(range(40)), n_facts=600, seed=17)
+
+
+def write_database(db, path: str) -> None:
+    """Write ``db`` in the CLI's data-file format."""
     payload = {
         relation: [
             {"row": list(row), "annotation": annotation}
@@ -70,60 +86,344 @@ def write_database(path: str) -> None:
         json.dump(payload, handle)
 
 
-def worker(host: str, port: int, thread_id: int, requests: int, outcomes: list):
-    """One load thread: keep-alive connection, mixed query/update."""
-    conn = HTTPConnection(host, port, timeout=60)
-    try:
-        for index in range(requests):
-            if index % 10 == 9:
-                path, body = "/update", {
-                    "insert": {
-                        "R": [
-                            {
-                                "row": ["u{}".format(thread_id), "w{}".format(index)],
-                                "annotation": "u{}x{}".format(thread_id, index),
-                            }
-                        ]
-                    }
-                }
-            else:
-                path = "/query"
-                body = {"query": QUERIES[(thread_id + index) % len(QUERIES)]}
-            try:
-                conn.request("POST", path, body=json.dumps(body))
-                response = conn.getresponse()
-                response.read()
-                outcomes.append((path, response.status))
-            except OSError as error:
-                outcomes.append((path, repr(error)))
-                return
-    finally:
-        conn.close()
+def expected_body(text: str, db, version: int) -> bytes:
+    """The differential oracle: direct evaluation through the codec."""
+    from repro.aggregate.evaluate import evaluate_aggregate
+    from repro.engine.evaluate import evaluate
+    from repro.query.aggregate import AggregateQuery
+    from repro.query.parser import parse_query
+    from repro.server.app import canonical_json, encode_results
+
+    query = parse_query(text)
+    aggregate = isinstance(query, AggregateQuery)
+    direct = evaluate_aggregate(query, db) if aggregate else evaluate(query, db)
+    return canonical_json({"version": version, **encode_results(direct, aggregate)})
 
 
-def scrape_metrics(host: str, port: int) -> str:
-    """One ``GET /metrics`` scrape; raises on a non-200."""
-    conn = HTTPConnection(host, port, timeout=60)
+def raise_fd_limit(target: int) -> None:
+    """Lift RLIMIT_NOFILE toward ``target`` (harness + inherited server)."""
     try:
-        conn.request("GET", "/metrics")
-        response = conn.getresponse()
-        body = response.read().decode("utf-8")
-        if response.status != 200:
-            raise RuntimeError(
-                "GET /metrics answered {}: {!r}".format(response.status, body)
+        import resource
+    except ImportError:  # non-POSIX
+        return
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < target:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE, (min(target, hard), hard)
             )
-        return body
+    except (ValueError, OSError):
+        pass
+
+
+def boot_server(data: str, engine: str, mode: str):
+    """Start ``repro-prov serve``; returns ``(process, host, port)``."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "-d",
+            data,
+            "--port",
+            "0",
+            "--engine",
+            engine,
+            "--server-mode",
+            mode,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+    )
+    banner = process.stdout.readline()
+    if "listening on http://" not in banner:
+        stderr = process.stderr.read()
+        process.terminate()
+        process.wait(timeout=30)
+        raise RuntimeError(
+            "server failed to boot: {!r}\n{}".format(banner, stderr)
+        )
+    address = banner.split("http://", 1)[1].split()[0]
+    host, port = address.rsplit(":", 1)
+    return process, host, int(port)
+
+
+def stop_server(process) -> None:
+    process.terminate()
+    process.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# A minimal asyncio HTTP/1.1 client (keep-alive, chunked decoding)
+# ----------------------------------------------------------------------
+async def http_request(reader, writer, method, path, body=None):
+    """One request on an open connection; ``(status, body, closed)``."""
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        "{} {} HTTP/1.1\r\n"
+        "Host: load\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: {}\r\n\r\n"
+    ).format(method, path, len(payload))
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    status = int(line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise ConnectionError("connection closed mid-headers")
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        chunks = []
+        while True:
+            size = int((await reader.readline()).strip(), 16)
+            if size == 0:
+                await reader.readline()  # the terminating CRLF
+                break
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # chunk CRLF
+        response = b"".join(chunks)
+    else:
+        length = int(headers.get("content-length", "0"))
+        response = await reader.readexactly(length) if length else b""
+    closed = "close" in headers.get("connection", "").lower()
+    return status, response, closed
+
+
+async def fetch(host, port, method, path, body=None):
+    """One request on a fresh connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        status, response, _closed = await http_request(
+            reader, writer, method, path, body
+        )
+        return status, response
     finally:
-        conn.close()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - teardown best-effort
+            pass
 
 
-def parse_exposition(text: str) -> dict:
-    """``{metric{labels}: value}`` from a Prometheus text exposition.
+def fetch_sync(host, port, method, path, body=None):
+    return asyncio.get_event_loop().run_until_complete(
+        fetch(host, port, method, path, body)
+    )
 
-    A deliberately strict parser: any sample line that does not split
-    into ``name[{labels}] value`` with a float value fails the smoke
-    run — the format is the contract ``/metrics`` promises.
+
+# ----------------------------------------------------------------------
+# Phase 1: byte-identity differential across the two tiers + oracle
+# ----------------------------------------------------------------------
+def byte_identity_phase(db, data, engine, primary, other_mode) -> int:
+    """Both tiers and the in-process oracle must agree byte for byte."""
+    from repro.server.app import canonical_json
+
+    host, port = primary
+    secondary_process, shost, sport = boot_server(data, engine, other_mode)
+    try:
+        status, stats_a = fetch_sync(host, port, "GET", "/stats")
+        assert status == 200
+        status, stats_b = fetch_sync(shost, sport, "GET", "/stats")
+        assert status == 200
+        version = json.loads(stats_a)["db_version"]
+        if json.loads(stats_b)["db_version"] != version:
+            print("FAIL: the two tiers booted at different db versions", file=sys.stderr)
+            return 1
+        expected = {text: expected_body(text, db, version) for text in QUERIES}
+        for text in QUERIES:
+            status_a, body_a = fetch_sync(
+                host, port, "POST", "/query", {"query": text}
+            )
+            status_b, body_b = fetch_sync(
+                shost, sport, "POST", "/query", {"query": text}
+            )
+            if (status_a, status_b) != (200, 200):
+                print(
+                    "FAIL: /query answered {}/{} for {!r}".format(
+                        status_a, status_b, text
+                    ),
+                    file=sys.stderr,
+                )
+                return 1
+            if not (body_a == body_b == expected[text]):
+                print(
+                    "FAIL: byte mismatch for {!r} (async == threaded: {}, "
+                    "== oracle: {})".format(
+                        text, body_a == body_b, body_a == expected[text]
+                    ),
+                    file=sys.stderr,
+                )
+                return 1
+        batch_expected = canonical_json(
+            {"results": [json.loads(expected[text]) for text in QUERIES]}
+        )
+        status_a, batch_a = fetch_sync(
+            host, port, "POST", "/batch", {"queries": QUERIES}
+        )
+        status_b, batch_b = fetch_sync(
+            shost, sport, "POST", "/batch", {"queries": QUERIES}
+        )
+        if not (
+            status_a == status_b == 200
+            and batch_a == batch_b == batch_expected
+        ):
+            print("FAIL: /batch bytes disagree across tiers", file=sys.stderr)
+            return 1
+        print(
+            "byte-identity: {} queries + /batch identical across async, "
+            "threaded and in-process evaluation".format(len(QUERIES))
+        )
+        return 0
+    finally:
+        stop_server(secondary_process)
+
+
+# ----------------------------------------------------------------------
+# Phase 2: the concurrent load
+# ----------------------------------------------------------------------
+def plan_request(cid: int, index: int):
+    """``(kind, method, path, body)`` for one client request.
+
+    ~1% of connections are updaters, ~5% subscribe-shaped pollers
+    re-reading ``/stats``; everyone else rotates the query mix.
     """
+    if cid % 100 == 0:
+        return (
+            "update",
+            "POST",
+            "/update",
+            {
+                "insert": {
+                    "R": [
+                        {
+                            "row": ["u{}".format(cid), "w{}".format(index)],
+                            "annotation": "u{}x{}".format(cid, index),
+                        }
+                    ]
+                }
+            },
+        )
+    if cid % 20 == 1:
+        return ("stats", "GET", "/stats", None)
+    return ("query", "POST", "/query", {"query": QUERIES[(cid + index) % len(QUERIES)]})
+
+
+async def run_load(host, port, connections, requests, check_gauge):
+    """Open every connection, hold them concurrently, fire the mix."""
+    arrived = 0
+    all_connected = asyncio.Event()
+    go = asyncio.Event()
+    samples = []  # (kind, status, seconds)
+    failures = []
+
+    async def client(cid):
+        nonlocal arrived
+        reader = writer = None
+        for attempt in range(5):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                await asyncio.sleep(0.05 * (attempt + 1))
+        arrived += 1
+        if arrived >= connections:
+            all_connected.set()
+        if writer is None:
+            failures.append((cid, "connect", "could not connect"))
+            return
+        try:
+            await asyncio.wait_for(go.wait(), 120)
+            for index in range(requests):
+                kind, method, path, body = plan_request(cid, index)
+                start = time.perf_counter()
+                try:
+                    status, response, closed = await asyncio.wait_for(
+                        http_request(reader, writer, method, path, body), 60
+                    )
+                except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
+                    failures.append((cid, path, repr(error)))
+                    return
+                samples.append((kind, status, time.perf_counter() - start))
+                if status != 200:
+                    failures.append((cid, path, status, response[:200]))
+                if closed:
+                    writer.close()
+                    reader, writer = await asyncio.open_connection(host, port)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+    tasks = [asyncio.ensure_future(client(cid)) for cid in range(connections)]
+    await asyncio.wait_for(all_connected.wait(), 120)
+    gauge = None
+    if check_gauge and not failures:
+        # Every client is connected and parked: the server's own gauge
+        # must account for all of them at once.  A completed client-side
+        # connect only means the TCP handshake finished — the server's
+        # accept loop may still be draining its backlog — so poll until
+        # the gauge catches up (or give up after the deadline and report
+        # whatever it last said).
+        deadline = time.perf_counter() + 30
+        while True:
+            _status, text = await fetch(host, port, "GET", "/metrics")
+            for line in text.decode("utf-8").splitlines():
+                if line.startswith("repro_server_open_connections"):
+                    gauge = float(line.rpartition(" ")[2])
+            if gauge is not None and gauge >= connections:
+                break
+            if time.perf_counter() > deadline:
+                break
+            await asyncio.sleep(0.25)
+    go.set()
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    for cid, result in enumerate(results):
+        if isinstance(result, Exception):
+            failures.append((cid, "client", repr(result)))
+    return samples, failures, gauge
+
+
+def percentile(ordered, q):
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def latency_summary(samples):
+    """``{kind: {count, p50, p95, p99}}`` from load samples."""
+    by_kind = {}
+    for kind, _status, seconds in samples:
+        by_kind.setdefault(kind, []).append(seconds)
+    summary = {}
+    for kind, values in sorted(by_kind.items()):
+        values.sort()
+        summary[kind] = {
+            "count": len(values),
+            "p50": percentile(values, 0.50),
+            "p95": percentile(values, 0.95),
+            "p99": percentile(values, 0.99),
+        }
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Metrics exposition helpers (strict: the format is the contract)
+# ----------------------------------------------------------------------
+def parse_exposition(text: str) -> dict:
+    """``{metric{labels}: value}`` from a Prometheus text exposition."""
     samples = {}
     for line in text.splitlines():
         if not line or line.startswith("#"):
@@ -146,93 +446,158 @@ def counter_total(samples: dict, name: str, **labels) -> float:
     return total
 
 
-def metrics_scraper(host: str, port: int, stop: threading.Event, scrapes: list):
-    """Poll /metrics until told to stop, recording each parsed scrape."""
-    while not stop.is_set():
-        try:
-            scrapes.append(parse_exposition(scrape_metrics(host, port)))
-        except Exception as error:  # noqa: BLE001 - reported by main
-            scrapes.append(error)
-            return
-        stop.wait(0.05)
+def scrape_counters(host, port):
+    status, raw = fetch_sync(host, port, "GET", "/metrics")
+    if status != 200:
+        raise RuntimeError("GET /metrics answered {}".format(status))
+    samples = parse_exposition(raw.decode("utf-8"))
+    return {
+        endpoint: counter_total(
+            samples, "repro_http_requests_total", endpoint=endpoint
+        )
+        for endpoint in ("/query", "/update", "/stats")
+    }
+
+
+def write_bench_json(path, latency, mode):
+    """The p99s in pytest-benchmark shape, for compare_bench.py."""
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": "serve_load::{}_{}_p99".format(mode, kind),
+                "stats": {"median": summary["p99"]},
+            }
+            for kind, summary in sorted(latency.items())
+        ],
+        "machine_info": {
+            "machine": platform.machine(),
+            "processor": platform.processor(),
+            "system": platform.system(),
+            "python_version": platform.python_version(),
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 def main(argv=None) -> int:
-    """Run the smoke load; returns the process exit code."""
+    """Run the load harness; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--threads", type=int, default=16)
-    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--connections", type=int, default=1000)
+    parser.add_argument("--requests", type=int, default=5)
     parser.add_argument("--engine", default="hashjoin", choices=("hashjoin", "sharded"))
+    parser.add_argument(
+        "--server-mode", default="async", choices=("async", "threaded")
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",
         help="write latency percentiles and counter totals as JSON",
     )
+    parser.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="write p99 latencies in pytest-benchmark shape "
+        "(for benchmarks/compare_bench.py)",
+    )
     args = parser.parse_args(argv)
 
+    raise_fd_limit(args.connections * 2 + 256)
+    asyncio.set_event_loop(asyncio.new_event_loop())
+    db = build_database()
     with tempfile.TemporaryDirectory() as tmp:
         data = os.path.join(tmp, "data.json")
-        write_database(data)
-        process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.cli",
-                "serve",
-                "-d",
-                data,
-                "--port",
-                "0",
-                "--engine",
-                args.engine,
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
-        )
+        write_database(db, data)
+        process, host, port = boot_server(data, args.engine, args.server_mode)
         try:
-            banner = process.stdout.readline()
-            if "listening on http://" not in banner:
-                print("server failed to boot: {!r}".format(banner), file=sys.stderr)
-                print(process.stderr.read(), file=sys.stderr)
-                return 1
-            address = banner.split("http://", 1)[1].split()[0]
-            host, port = address.rsplit(":", 1)
-            print("server up at {} ({} engine)".format(address, args.engine))
-
-            outcomes: list = []
-            threads = [
-                threading.Thread(
-                    target=worker,
-                    args=(host, int(port), thread_id, args.requests, outcomes),
-                )
-                for thread_id in range(args.threads)
-            ]
-            stop = threading.Event()
-            scrapes: list = []
-            scraper = threading.Thread(
-                target=metrics_scraper, args=(host, int(port), stop, scrapes)
-            )
-            scraper.start()
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            stop.set()
-            scraper.join()
-
-            expected = args.threads * args.requests
-            failures = [entry for entry in outcomes if entry[1] != 200]
             print(
-                "{} requests, {} completed, {} non-200".format(
-                    expected, len(outcomes), len(failures)
+                "server up at {}:{} ({} engine, {} mode)".format(
+                    host, port, args.engine, args.server_mode
                 )
             )
-            conn = HTTPConnection(host, int(port), timeout=60)
-            conn.request("GET", "/stats")
-            stats = json.loads(conn.getresponse().read())
-            conn.close()
+            other = "threaded" if args.server_mode == "async" else "async"
+            code = byte_identity_phase(
+                db, data, args.engine, (host, port), other
+            )
+            if code:
+                return code
+
+            before = scrape_counters(host, port)
+            started = time.perf_counter()
+            samples, failures, gauge = asyncio.get_event_loop().run_until_complete(
+                run_load(
+                    host,
+                    port,
+                    args.connections,
+                    args.requests,
+                    check_gauge=args.server_mode == "async",
+                )
+            )
+            elapsed = time.perf_counter() - started
+            expected_total = args.connections * args.requests
+            print(
+                "{} connections x {} requests: {} completed in {:.1f}s "
+                "({:.0f} req/s)".format(
+                    args.connections,
+                    args.requests,
+                    len(samples),
+                    elapsed,
+                    len(samples) / elapsed if elapsed else 0.0,
+                )
+            )
+            if failures:
+                print(
+                    "FAIL: {} failed requests/connections: {}".format(
+                        len(failures), failures[:10]
+                    ),
+                    file=sys.stderr,
+                )
+                return 1
+            if len(samples) != expected_total:
+                print("FAIL: load clients died early", file=sys.stderr)
+                return 1
+            if args.server_mode == "async":
+                if gauge is None or gauge < args.connections:
+                    print(
+                        "FAIL: open-connections gauge saw {} while {} "
+                        "clients were parked connected".format(
+                            gauge, args.connections
+                        ),
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    "concurrency: server gauge reported {:.0f} open "
+                    "connections at the barrier".format(gauge)
+                )
+
+            after = scrape_counters(host, port)
+            sent = {
+                endpoint: sum(
+                    1
+                    for kind, _status, _seconds in samples
+                    if kind == label
+                )
+                for endpoint, label in (
+                    ("/query", "query"),
+                    ("/update", "update"),
+                    ("/stats", "stats"),
+                )
+            }
+            counted = {
+                endpoint: after[endpoint] - before[endpoint]
+                for endpoint in sent
+            }
+            if counted != {k: float(v) for k, v in sent.items()}:
+                print(
+                    "FAIL: request counters {} disagree with the load "
+                    "{}".format(counted, sent),
+                    file=sys.stderr,
+                )
+                return 1
+
+            status, raw = fetch_sync(host, port, "GET", "/stats")
+            stats = json.loads(raw)
             cache = stats["cache"]
             print(
                 "cache: {} hits, {} dedup, {} misses, hit rate {:.1%}; "
@@ -244,60 +609,20 @@ def main(argv=None) -> int:
                     stats["db_version"],
                 )
             )
-            if failures:
-                print("FAIL: non-200 responses: {}".format(failures[:10]), file=sys.stderr)
-                return 1
-            if len(outcomes) != expected:
-                print("FAIL: load threads died early", file=sys.stderr)
-                return 1
             if cache["hit_rate"] <= 0:
                 print("FAIL: the result cache served no hits", file=sys.stderr)
                 return 1
 
-            errors = [entry for entry in scrapes if isinstance(entry, Exception)]
-            if errors:
+            latency = latency_summary(samples)
+            for kind, summary in latency.items():
                 print(
-                    "FAIL: mid-load /metrics scrape: {!r}".format(errors[0]),
-                    file=sys.stderr,
-                )
-                return 1
-            if not scrapes:
-                print("FAIL: the scraper never reached /metrics", file=sys.stderr)
-                return 1
-            final = parse_exposition(scrape_metrics(host, int(port)))
-            queries_sent = sum(1 for path, _status in outcomes if path == "/query")
-            updates_sent = sum(1 for path, _status in outcomes if path == "/update")
-            counted = {
-                "/query": counter_total(
-                    final, "repro_http_requests_total", endpoint="/query"
-                ),
-                "/update": counter_total(
-                    final, "repro_http_requests_total", endpoint="/update"
-                ),
-            }
-            print(
-                "metrics: {} scrapes mid-load; counters /query={:.0f} "
-                "/update={:.0f}".format(
-                    len(scrapes), counted["/query"], counted["/update"]
-                )
-            )
-            if counted["/query"] != queries_sent or counted["/update"] != updates_sent:
-                print(
-                    "FAIL: request counters disagree with the load "
-                    "(sent {} queries / {} updates)".format(
-                        queries_sent, updates_sent
-                    ),
-                    file=sys.stderr,
-                )
-                return 1
-            latency = stats.get("latency", {})
-            for endpoint, percentiles in sorted(latency.items()):
-                print(
-                    "latency {}: p50={:.2f}ms p95={:.2f}ms p99={:.2f}ms".format(
-                        endpoint,
-                        (percentiles["p50"] or 0) * 1e3,
-                        (percentiles["p95"] or 0) * 1e3,
-                        (percentiles["p99"] or 0) * 1e3,
+                    "latency {} (n={}): p50={:.2f}ms p95={:.2f}ms "
+                    "p99={:.2f}ms".format(
+                        kind,
+                        summary["count"],
+                        summary["p50"] * 1e3,
+                        summary["p95"] * 1e3,
+                        summary["p99"] * 1e3,
                     )
                 )
             if args.json:
@@ -305,23 +630,27 @@ def main(argv=None) -> int:
                     json.dump(
                         {
                             "engine": args.engine,
-                            "threads": args.threads,
-                            "requests_per_thread": args.requests,
+                            "server_mode": args.server_mode,
+                            "connections": args.connections,
+                            "requests_per_connection": args.requests,
+                            "elapsed_seconds": elapsed,
                             "latency_seconds": latency,
                             "request_counters": counted,
                             "cache": cache,
-                            "metrics_scrapes": len(scrapes),
+                            "open_connections_gauge": gauge,
                         },
                         handle,
                         indent=2,
                         sort_keys=True,
                     )
                 print("wrote {}".format(args.json))
-            print("smoke load passed")
+            if args.bench_json:
+                write_bench_json(args.bench_json, latency, args.server_mode)
+                print("wrote {}".format(args.bench_json))
+            print("load harness passed")
             return 0
         finally:
-            process.terminate()
-            process.wait(timeout=30)
+            stop_server(process)
 
 
 if __name__ == "__main__":

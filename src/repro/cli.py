@@ -13,6 +13,8 @@ Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
     repro-prov maintain  -p program.dl -d data.json -u updates.json [--check] [--quiet]
     repro-prov serve     -d data.json [-p program.dl] [--host H] [--port P]
                          [--engine hashjoin|sharded] [--shards N] [--workers N]
+                         [--server-mode async|threaded] [--request-timeout S]
+                         [--idle-timeout S] [--max-pending N]
                          [--cache-size N] [--no-metrics] [--log-level LEVEL]
                          [--data-dir DIR] [--snapshot-every N]
     repro-prov snapshot  --data-dir DIR [-d data.json] [-p program.dl]
@@ -474,13 +476,19 @@ def command_serve(args, out) -> int:
         cache_size=args.cache_size,
         metrics=not args.no_metrics,
         snapshot_every=args.snapshot_every,
+        server_mode=args.server_mode,
+        request_timeout=args.request_timeout,
+        idle_timeout=args.idle_timeout,
+        max_pending=args.max_pending,
     ) as server:
         host, port = server.server_address[:2]
         print(
-            "listening on http://{}:{} (engine={}{}; Ctrl-C stops)".format(
+            "listening on http://{}:{} (engine={}, mode={}{}; "
+            "Ctrl-C stops)".format(
                 host,
                 port,
                 args.engine,
+                args.server_mode,
                 ", {} views".format(len(program)) if program else "",
             ),
             file=out,
@@ -835,6 +843,37 @@ def build_parser() -> argparse.ArgumentParser:
         "thread-mode shard pool)",
     )
     add_parallel(sub_serve)
+    sub_serve.add_argument(
+        "--server-mode",
+        choices=("async", "threaded"),
+        default="async",
+        help="serving front end: the asyncio event-loop tier (default; "
+        "10k+ concurrent connections) or the one-thread-per-connection "
+        "fallback",
+    )
+    sub_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request read deadline: a client that stalls sending "
+        "headers or the promised body is cut loose after this long "
+        "(default: 30)",
+    )
+    sub_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="async tier: how long a keep-alive connection may idle "
+        "between requests (default: 60)",
+    )
+    sub_serve.add_argument(
+        "--max-pending",
+        type=int,
+        metavar="N",
+        help="async tier: engine-bound requests admitted concurrently "
+        "before 503 + Retry-After load shedding (default: 256)",
+    )
     sub_serve.add_argument(
         "--cache-size",
         type=int,

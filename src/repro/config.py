@@ -13,7 +13,7 @@ shims, but warn with :class:`DeprecationWarning` and simply overlay the
 matching config fields.
 
 >>> EngineConfig()
-EngineConfig(engine='hashjoin', shards=None, workers=None, mode='process', broadcast_threshold=None, columnar=True, data_dir=None)
+EngineConfig(engine='hashjoin', shards=None, workers=None, mode='process', broadcast_threshold=None, columnar=True, data_dir=None, server_mode='threaded')
 >>> EngineConfig(engine="sharded", shards=2).with_overrides(workers=2).shards
 2
 """
@@ -28,6 +28,10 @@ from repro.errors import EvaluationError
 
 #: Pool kinds the sharded engine can run on.
 EXECUTOR_MODES = ("process", "thread")
+
+#: Serving-tier front ends: the asyncio event loop or the
+#: one-thread-per-connection :class:`http.server.ThreadingHTTPServer`.
+SERVER_MODES = ("async", "threaded")
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,11 @@ class EngineConfig:
     compares against.  ``data_dir`` points the serving tier at a
     durability directory (snapshots + write-ahead log, see
     :mod:`repro.durability`); ``None`` keeps everything in memory.
+    ``server_mode`` selects the serving front end: ``"async"`` runs the
+    event-loop tier (:mod:`repro.server.aio`, 10k+ concurrent
+    connections), ``"threaded"`` the one-thread-per-connection fallback
+    — it only matters to :func:`repro.server.app.make_server` and the
+    CLI ``serve`` subcommand.
     """
 
     engine: str = "hashjoin"
@@ -59,6 +68,7 @@ class EngineConfig:
     broadcast_threshold: Optional[int] = None
     columnar: bool = True
     data_dir: Optional[str] = None
+    server_mode: str = "threaded"
 
     def __post_init__(self):  # noqa: D105
         if not isinstance(self.engine, str) or not self.engine:
@@ -97,6 +107,12 @@ class EngineConfig:
             raise EvaluationError(
                 "EngineConfig.data_dir must be a non-empty path or None, "
                 "got {!r}".format(self.data_dir)
+            )
+        if self.server_mode not in SERVER_MODES:
+            raise EvaluationError(
+                "EngineConfig.server_mode must be one of {}; got {!r}".format(
+                    ", ".join(SERVER_MODES), self.server_mode
+                )
             )
 
     def with_overrides(self, **overrides) -> "EngineConfig":

@@ -2,18 +2,31 @@
 
 The serving tier fronts a long-lived
 :class:`~repro.session.QuerySession` (and, when a view program is
-given, a :class:`~repro.incremental.registry.ViewRegistry`) with a
-stdlib :class:`http.server.ThreadingHTTPServer`:
+given, a :class:`~repro.incremental.registry.ViewRegistry`) with one of
+two interchangeable front ends behind
+:func:`~repro.server.app.make_server`:
 
-* :class:`~repro.server.app.ServerState` — the shared state behind all
-  request threads: the session, the optional registry, and the
-  version-keyed :class:`~repro.server.cache.ResultCache`;
-* :class:`~repro.server.cache.ResultCache` — results keyed by
+* :class:`~repro.server.aio.AsyncProvenanceServer` — the asyncio event
+  loop tier (``server_mode="async"``): every connection is a suspended
+  coroutine, deadlines bound every read, a pending-request gate sheds
+  load with 503s, and large bodies stream chunked;
+* :class:`~repro.server.app.ProvenanceServer` — the classic
+  one-thread-per-connection :class:`http.server.ThreadingHTTPServer`
+  fallback (``server_mode="threaded"``).
+
+Shared underneath either:
+
+* :class:`~repro.server.app.ServerState` — the state behind all
+  requests: the session, the optional registry, and the version-keyed
+  result cache;
+* :class:`~repro.server.cache.ResultCache` /
+  :class:`~repro.server.cache.AsyncResultCache` — results keyed by
   ``(canonical query text, db version, engine options)`` with LRU
-  bounds and single-flight deduplication;
-* :func:`~repro.server.app.make_server` — binds a
-  :class:`~repro.server.app.ProvenanceServer` ready for
-  ``serve_forever()`` (the CLI ``serve`` subcommand does exactly this).
+  bounds and single-flight deduplication (events for threads, awaitable
+  futures for the loop).
+
+Responses are byte-identical across the two modes — the differential
+suite asserts it.
 """
 
 from repro.server.app import (
@@ -23,9 +36,11 @@ from repro.server.app import (
     encode_results,
     make_server,
 )
-from repro.server.cache import ResultCache
+from repro.server.cache import AsyncResultCache, ResultCache
 
 __all__ = [
+    "AsyncProvenanceServer",
+    "AsyncResultCache",
     "ProvenanceServer",
     "ResultCache",
     "ServerState",
@@ -33,3 +48,13 @@ __all__ = [
     "encode_results",
     "make_server",
 ]
+
+
+def __getattr__(name):
+    # AsyncProvenanceServer is imported lazily: repro.server.aio imports
+    # this package's modules, and eager import would cycle.
+    if name == "AsyncProvenanceServer":
+        from repro.server.aio import AsyncProvenanceServer
+
+        return AsyncProvenanceServer
+    raise AttributeError(name)

@@ -1,0 +1,755 @@
+"""The asyncio serving tier: one event loop, 10k+ connections.
+
+:class:`AsyncProvenanceServer` serves the exact endpoint surface of the
+threaded :class:`~repro.server.app.ProvenanceServer` — same routes,
+same error contract, byte-identical bodies (the differential suite
+asserts it) — but holds every open connection as one suspended
+coroutine instead of one blocked thread:
+
+* **accept/parse** is non-blocking HTTP/1.1 with keep-alive on asyncio
+  streams, with idle/header/body deadlines so a stalled client costs a
+  timer, never a worker;
+* **the result cache** is the loop-confined
+  :class:`~repro.server.cache.AsyncResultCache`: a miss parks every
+  concurrent duplicate on one :class:`asyncio.Future` while a single
+  leader computes;
+* **engine work** — the blocking :meth:`ServerState.compute_query_entry`
+  /`compute_batch_entries`/`apply_update`/`read_view` calls, which take
+  the session lock and drive the sharded pool — is dispatched off-loop
+  via ``run_in_executor`` with a copied :mod:`contextvars` context, so
+  tracing spans and cache-outcome reporting behave exactly as on the
+  threaded tier;
+* **backpressure** is a bounded pending-request gate: when
+  ``max_pending`` engine-bound requests are already admitted, new ones
+  get an immediate ``503`` with ``Retry-After`` (``/stats`` and
+  ``/metrics`` stay exempt so operators can always look);
+* **large bodies** (big provenance polynomials) stream out chunked,
+  with a ``drain()`` await between chunks so one slow reader never
+  buffers unboundedly.
+
+The blocking facade matches socketserver's — ``server_address`` is
+available right after construction, ``serve_forever()`` blocks,
+``shutdown()`` is thread-safe and waits for the loop to exit, and
+``close()`` releases everything — so the CLI and tests drive either
+tier through the same five calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import logging
+import os
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from email.utils import formatdate
+from functools import partial
+from http.client import responses
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import ReproError
+from repro.obs.metrics import EXPOSITION_CONTENT_TYPE
+from repro.obs.trace import tracing
+from repro.server.app import DEFAULT_REQUEST_TIMEOUT, ServerState, canonical_json
+from repro.server.cache import AsyncResultCache, last_outcome, reset_outcome
+from repro.server.handlers import (
+    _GET_PATHS,
+    _POST_PATHS,
+    MAX_BODY_BYTES,
+    _flag,
+    endpoint_label,
+    parse_json_body,
+)
+
+#: Keep-alive idle deadline (seconds): how long a connection may sit
+#: between requests before the server closes it.
+DEFAULT_IDLE_TIMEOUT = 60.0
+
+#: Engine-bound requests admitted concurrently before 503s start.
+DEFAULT_MAX_PENDING = 256
+
+#: Response bodies at least this large are streamed chunked.
+DEFAULT_STREAM_THRESHOLD = 1 << 20
+
+#: How long graceful shutdown waits for in-flight requests to finish.
+DEFAULT_DRAIN_TIMEOUT = 5.0
+
+_MAX_LINE = 65536
+_MAX_HEADERS = 100
+_CHUNK = 256 * 1024
+
+#: Write-buffer high-water mark while streaming a chunked body.  Against
+#: asyncio's default 64 KiB limit every chunk write would block until
+#: the client drained the buffer to 16 KiB, turning the stream into
+#: per-chunk lockstep (~10x slower on a fast reader); 2 MiB keeps a
+#: fast reader at memory speed while still bounding what one slow
+#: reader can pin.
+_STREAM_WINDOW = 2 << 20
+
+_LOGGER = logging.getLogger("repro.server")
+
+
+class _ProtocolError(Exception):
+    """An HTTP-level rejection: status, message, and always-close."""
+
+    def __init__(self, status: int, message: str):  # noqa: D107
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Backpressure(Exception):
+    """Raised when the bounded engine-work queue is full (→ 503)."""
+
+
+class _Request:
+    """One parsed request head (+ body, filled in by dispatch)."""
+
+    __slots__ = ("method", "path", "query_string", "headers", "version_11", "close")
+
+    def __init__(self, method, path, query_string, headers, version_11, close):  # noqa: D107
+        self.method = method
+        self.path = path
+        self.query_string = query_string
+        self.headers = headers
+        self.version_11 = version_11
+        self.close = close
+
+
+class _ConnFlags:
+    """Per-connection drain bookkeeping: is a request mid-flight?"""
+
+    __slots__ = ("busy",)
+
+    def __init__(self):  # noqa: D107
+        self.busy = False
+
+
+class AsyncProvenanceServer:
+    """An asyncio HTTP front end over one :class:`ServerState`.
+
+    Construction binds the listening socket synchronously (``port=0``
+    picks a free port, ``server_address`` is immediately readable);
+    the event loop itself is created inside :meth:`serve_forever`, so
+    the caller chooses the serving thread exactly as with the threaded
+    server.
+    """
+
+    def __init__(
+        self,
+        address,
+        state: ServerState,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        executor_workers: Optional[int] = None,
+    ):  # noqa: D107
+        self.state = state
+        self._request_timeout = request_timeout
+        self._idle_timeout = idle_timeout
+        self._max_pending = max_pending
+        self._stream_threshold = stream_threshold
+        self._drain_timeout = drain_timeout
+        self._socket = socket.create_server(address, backlog=1024)
+        self.server_address = self._socket.getsockname()
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers or min(32, (os.cpu_count() or 1) + 4),
+            thread_name_prefix="repro-aio",
+        )
+        # The loop-confined cache replaces the state's threaded one so
+        # /stats reports the cache actually serving.
+        self._cache = AsyncResultCache(state.cache.capacity)
+        state.attach_cache(self._cache)
+        self._connections: Dict[object, _ConnFlags] = {}
+        self._pending = 0
+        self._stopping = False
+        self._closed = False
+        self._loop = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._aio_server = None
+        self._shutdown_requested = threading.Event()
+        # Set means "no loop is running": shutdown() before (or after)
+        # serve_forever() returns immediately instead of hanging.
+        self._done = threading.Event()
+        self._done.set()
+        self._pending_gauge = state.metrics.gauge(
+            "repro_server_pending_requests",
+            "Engine-bound requests admitted past the backpressure gate",
+        )
+        self._conn_gauge = state.metrics.gauge(
+            "repro_server_open_connections",
+            "Open client connections on the async tier",
+        )
+        self._rejected = state.metrics.counter(
+            "repro_server_backpressure_total",
+            "Requests rejected with 503 because max_pending was reached",
+        )
+
+    # ------------------------------------------------------------------
+    # The socketserver-shaped blocking facade
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        self._done.clear()
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(self._main())
+        except KeyboardInterrupt:
+            # Foreground CLI serving: cancel whatever is still running
+            # so the loop can close cleanly, then let the CLI's handler
+            # run close().
+            self._stopping = True
+            tasks = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            raise
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+                self._loop = None
+                self._stop_event = None
+                self._done.set()
+
+    def shutdown(self) -> None:
+        """Stop serving and wait for the loop to drain and exit.
+
+        Thread-safe, like ``socketserver.BaseServer.shutdown``: new
+        connections stop being accepted, idle keep-alive connections
+        are closed, in-flight requests get ``drain_timeout`` seconds to
+        finish, and then :meth:`serve_forever` returns.
+        """
+        self._shutdown_requested.set()
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+        self._done.wait()
+
+    def close(self) -> None:
+        """Release the socket, executor and serving state (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._done.is_set():
+            self.shutdown()
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._executor.shutdown(wait=True)
+        self.state.close()
+
+    def __enter__(self) -> "AsyncProvenanceServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<AsyncProvenanceServer on {}:{}>".format(*self.server_address[:2])
+
+    # ------------------------------------------------------------------
+    # Event-loop internals
+    # ------------------------------------------------------------------
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        # Created here, not in __init__: asyncio.Event binds the running
+        # loop at creation time on Python 3.9.
+        self._stop_event = asyncio.Event()
+        self._loop = loop
+        if self._shutdown_requested.is_set():
+            return
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._socket
+        )
+        self._aio_server = server
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._stopping = True
+            server.close()
+            await self._drain()
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    async def _drain(self) -> None:
+        """Graceful shutdown: drop idle connections, wait out busy ones."""
+        connections = dict(self._connections)
+        for task, flags in connections.items():
+            if not flags.busy:
+                task.cancel()
+        pending = [task for task in connections if not task.done()]
+        if pending:
+            _done, pending = await asyncio.wait(
+                pending, timeout=self._drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        if self._stopping:
+            writer.close()
+            return
+        task = asyncio.current_task()
+        flags = _ConnFlags()
+        self._connections[task] = flags
+        self._conn_gauge.set(len(self._connections))
+        try:
+            while not self._stopping:
+                try:
+                    request = await self._read_head(reader)
+                except _ProtocolError as error:
+                    # Pre-request protocol garbage: respond (uncounted,
+                    # matching the threaded tier's send_error paths) and
+                    # drop the connection.
+                    await self._write_response(
+                        writer,
+                        None,
+                        error.status,
+                        canonical_json({"error": error.message}),
+                        "application/json",
+                        {},
+                        True,
+                    )
+                    break
+                if request is None:
+                    break  # EOF or idle keep-alive expiry
+                flags.busy = True
+                try:
+                    keep = await self._dispatch(reader, writer, request)
+                finally:
+                    flags.busy = False
+                if not keep:
+                    break
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled this connection
+        except (ConnectionError, OSError):
+            pass  # client vanished mid-read/write
+        finally:
+            self._connections.pop(task, None)
+            self._conn_gauge.set(len(self._connections))
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_head(self, reader) -> Optional[_Request]:
+        """Read and parse one request line + headers (idle deadline).
+
+        ``None`` means "close quietly": EOF, the keep-alive idle
+        deadline expired, or the client vanished mid-headers.
+        """
+        try:
+            line = await asyncio.wait_for(reader.readline(), self._idle_timeout)
+        except (asyncio.TimeoutError, ConnectionError):
+            return None
+        if not line:
+            return None
+        if len(line) > _MAX_LINE:
+            raise _ProtocolError(400, "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _ProtocolError(
+                400, "malformed request line {!r}".format(line.decode("latin-1"))
+            )
+        method, target, version = parts
+        if not version.startswith("HTTP/1."):
+            raise _ProtocolError(
+                505, "unsupported protocol version {!r}".format(version)
+            )
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), self._request_timeout
+                )
+            except asyncio.TimeoutError:
+                raise _ProtocolError(408, "timed out reading request headers")
+            except ConnectionError:
+                return None
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                return None  # EOF mid-headers
+            if len(line) > _MAX_LINE:
+                raise _ProtocolError(431, "header line too long")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _ProtocolError(
+                    400, "malformed header line {!r}".format(line.decode("latin-1"))
+                )
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _ProtocolError(431, "too many request headers")
+        split = urlsplit(target)
+        version_11 = version == "HTTP/1.1"
+        connection = headers.get("connection", "").lower()
+        if "close" in connection:
+            close = True
+        elif version_11:
+            close = False
+        else:
+            close = "keep-alive" not in connection
+        return _Request(method, split.path, split.query, headers, version_11, close)
+
+    async def _read_body(self, reader, request: _Request) -> bytes:
+        """Drain the request body (body deadline; same 400s as threaded)."""
+        header = request.headers.get("content-length") or "0"
+        try:
+            length = int(header)
+            if length < 0:
+                raise ValueError(header)
+        except ValueError:
+            raise _ProtocolError(
+                400, "invalid Content-Length header {!r}".format(header)
+            )
+        if length > MAX_BODY_BYTES:
+            raise _ProtocolError(
+                400, "request body exceeds {} bytes".format(MAX_BODY_BYTES)
+            )
+        if length == 0:
+            return b""
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), self._request_timeout
+            )
+        except asyncio.TimeoutError:
+            # The promised body never (fully) arrived: the liveness fix
+            # the threaded tier mirrors with its socket timeout.
+            raise _ProtocolError(408, "timed out reading the request body")
+
+    async def _dispatch(self, reader, writer, request: _Request) -> bool:
+        """Run one request end to end; ``True`` to keep the connection.
+
+        Accounting mirrors the threaded handler: ``request_started`` /
+        ``request_finished`` always pair (the in-flight counter cannot
+        leak past a crashing route), the metrics observation lands
+        before the response bytes go out, and body-level protocol
+        errors are counted while request-line garbage is not.
+        """
+        state = self.state
+        started = perf_counter()
+        reset_outcome()
+        close = request.close
+        state.request_started()
+        try:
+            try:
+                raw = await self._read_body(reader, request)
+                status, body, ctype, extra, must_close = await self._route(
+                    request, raw
+                )
+            except _ProtocolError as error:
+                # The body is undrained in every _ProtocolError case, so
+                # the socket must never be reused.
+                status, body, ctype, extra, must_close = (
+                    error.status,
+                    canonical_json({"error": error.message}),
+                    "application/json",
+                    {},
+                    True,
+                )
+            except _Backpressure:
+                # The body is drained, so load shedding keeps the
+                # connection alive; Retry-After tells well-behaved
+                # clients when to come back.
+                self._rejected.inc()
+                status, body, ctype, extra, must_close = (
+                    503,
+                    canonical_json(
+                        {"error": "server is at capacity; retry shortly"}
+                    ),
+                    "application/json",
+                    {"Retry-After": "1"},
+                    False,
+                )
+            except ReproError as error:
+                status, body, ctype, extra, must_close = (
+                    400,
+                    canonical_json({"error": str(error)}),
+                    "application/json",
+                    {},
+                    False,
+                )
+            except asyncio.IncompleteReadError:
+                return False  # client hung up mid-body
+            except ConnectionError:
+                return False
+            except Exception as error:  # pragma: no cover - defensive
+                status, body, ctype, extra, must_close = (
+                    500,
+                    canonical_json(
+                        {"error": "{}: {}".format(type(error).__name__, error)}
+                    ),
+                    "application/json",
+                    {},
+                    False,
+                )
+            close = close or must_close
+            # Observe BEFORE the body bytes go out: a client that reads
+            # the response and immediately scrapes /metrics must find
+            # this request already counted.
+            duration = perf_counter() - started
+            state.observe_request(
+                endpoint_label(request.path), request.method, status, duration
+            )
+            outcome = last_outcome()
+            _LOGGER.info(
+                "%s %s -> %d %.2fms%s",
+                request.method,
+                request.path,
+                status,
+                duration * 1e3,
+                " cache={}".format(outcome) if outcome else "",
+            )
+            sent = await self._write_response(
+                writer, request, status, body, ctype, extra, close
+            )
+            return sent and not close
+        finally:
+            state.request_finished()
+
+    async def _write_response(
+        self, writer, request, status, body, content_type, extra, close
+    ) -> bool:
+        version_11 = request.version_11 if request is not None else True
+        chunked = version_11 and len(body) >= self._stream_threshold
+        head = [
+            "HTTP/1.1 {} {}".format(status, responses.get(status, "Unknown")),
+            "Server: repro-prov",
+            "Date: {}".format(formatdate(usegmt=True)),
+            "Content-Type: {}".format(content_type),
+        ]
+        if chunked:
+            head.append("Transfer-Encoding: chunked")
+        else:
+            head.append("Content-Length: {}".format(len(body)))
+        for name, value in extra.items():
+            head.append("{}: {}".format(name, value))
+        if close:
+            head.append("Connection: close")
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+            if chunked:
+                # Stream large polynomials in slices with a drain()
+                # between them: one slow reader backpressures its own
+                # connection (never the loop or the heap), bounded by
+                # the widened write window (see _STREAM_WINDOW).
+                writer.transport.set_write_buffer_limits(high=_STREAM_WINDOW)
+                for offset in range(0, len(body), _CHUNK):
+                    chunk = body[offset:offset + _CHUNK]
+                    writer.write(
+                        b"%x\r\n" % len(chunk) + chunk + b"\r\n"
+                    )
+                    await asyncio.wait_for(
+                        writer.drain(), self._request_timeout
+                    )
+                writer.write(b"0\r\n\r\n")
+            else:
+                writer.write(body)
+            await asyncio.wait_for(writer.drain(), self._request_timeout)
+            return True
+        except (ConnectionError, asyncio.TimeoutError):
+            return False
+
+    # ------------------------------------------------------------------
+    # Routing (mirrors handlers.py, route for route)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ok(body: bytes) -> Tuple:
+        return (200, body, "application/json", {}, False)
+
+    @staticmethod
+    def _err(status: int, message: str) -> Tuple:
+        return (status, canonical_json({"error": message}), "application/json", {}, False)
+
+    async def _route(self, request: _Request, raw: bytes) -> Tuple:
+        state = self.state
+        path = request.path
+        if request.method == "POST":
+            if path in _POST_PATHS:
+                return await self._route_post(request, raw)
+            if path in _GET_PATHS or path.startswith("/views/"):
+                return self._err(405, "{} only accepts GET".format(path))
+            return self._err(404, "unknown path {}".format(path))
+        if request.method == "GET":
+            if path == "/stats":
+                return self._ok(canonical_json(state.stats()))
+            if path == "/metrics":
+                if not state.metrics_enabled:
+                    return self._err(404, "metrics are disabled on this server")
+                return (
+                    200,
+                    state.render_metrics().encode("utf-8"),
+                    EXPOSITION_CONTENT_TYPE,
+                    {},
+                    False,
+                )
+            if path == "/trace" or path.startswith("/views/"):
+                return await self._route_get(request, raw)
+            if path in _POST_PATHS:
+                return self._err(405, "{} only accepts POST".format(path))
+            return self._err(404, "unknown path {}".format(path))
+        return self._err(501, "unsupported method {}".format(request.method))
+
+    async def _route_post(self, request: _Request, raw: bytes) -> Tuple:
+        state = self.state
+        path = request.path
+        if path == "/query":
+            payload = parse_json_body(raw)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("query"), str
+            ):
+                raise ReproError(
+                    "POST /query expects {\"query\": \"<rule text>\"}"
+                )
+            if _flag(parse_qs(request.query_string), "trace"):
+                return self._ok(await self._serve_traced(payload["query"]))
+            entry = await self._serve_query(payload["query"])
+            return self._ok(entry.body)
+        if path == "/batch":
+            payload = parse_json_body(raw)
+            texts = payload.get("queries") if isinstance(payload, dict) else None
+            if not isinstance(texts, list) or not all(
+                isinstance(text, str) for text in texts
+            ):
+                raise ReproError(
+                    "POST /batch expects {\"queries\": [\"<rule text>\", ...]}"
+                )
+            return self._ok(await self._serve_batch(texts))
+        payload = parse_json_body(raw)  # /update
+        return self._ok(await self._offload(state.apply_update, payload))
+
+    async def _route_get(self, request: _Request, raw: bytes) -> Tuple:
+        state = self.state
+        query = parse_qs(request.query_string)
+        if request.path == "/trace":
+            texts = query.get("query")
+            if not texts:
+                raise ReproError(
+                    "GET /trace expects ?query=<url-encoded rule text>"
+                )
+            return self._ok(await self._serve_traced(texts[-1]))
+        name = unquote(request.path[len("/views/"):])
+        try:
+            return self._ok(
+                await self._offload(state.read_view, name, _flag(query, "base"))
+            )
+        except ReproError as error:
+            return self._err(404, str(error))
+
+    # ------------------------------------------------------------------
+    # The serving core: async single-flight over off-loop engine work
+    # ------------------------------------------------------------------
+    async def _offload(self, fn, *args):
+        """Run blocking engine work on the executor, context intact.
+
+        This is also the backpressure gate — the bounded request queue.
+        It counts blocking engine calls actually in flight: cache hits
+        and single-flight dedup waiters never offload, so a flood of
+        deduplicated identical queries stays cheap and admitted, while
+        the ``max_pending``-plus-first request that would *queue new
+        engine work* is shed with :class:`_Backpressure` (a 503 +
+        ``Retry-After`` upstairs).  ``/stats`` and ``/metrics`` never
+        offload, so operators can always look at a saturated server.
+
+        ``run_in_executor`` does not propagate :mod:`contextvars`, so
+        the ambient tracer (and anything else ambient) is carried over
+        explicitly — spans recorded inside the engine land in the same
+        request trace as on the threaded tier.
+        """
+        if self._pending >= self._max_pending:
+            raise _Backpressure()
+        self._pending += 1
+        self._pending_gauge.set(self._pending)
+        try:
+            loop = asyncio.get_running_loop()
+            context = contextvars.copy_context()
+            return await loop.run_in_executor(
+                self._executor, partial(context.run, fn, *args)
+            )
+        finally:
+            self._pending -= 1
+            self._pending_gauge.set(self._pending)
+
+    async def _serve_query(self, text: str):
+        """The async twin of ``ServerState._serve_query``.
+
+        Parse and cache lookup happen on the loop; only the engine run
+        leaves it.  N concurrent identical misses run the engine once
+        (the other N-1 await the leader's future).
+        """
+        state = self.state
+        query, canonical = state.prepare_query(text)
+        version = state.session.db_version()
+
+        async def compute():
+            return await self._offload(
+                state.compute_query_entry, query, version
+            )
+
+        return await self._cache.get_or_compute(
+            state.cache_key(canonical, version), compute
+        )
+
+    async def _serve_traced(self, text: str) -> bytes:
+        state = self.state
+        with tracing("query", registry=state.metrics) as tracer:
+            entry = await self._serve_query(text)
+        return canonical_json({"result": entry.payload, "trace": tracer.tree()})
+
+    async def _serve_batch(self, texts) -> bytes:
+        """The async twin of :meth:`ServerState.run_queries`.
+
+        The cached prefix is collected on the loop; the misses run
+        through **one** off-loop session batch, exactly like the
+        threaded tier.
+        """
+        state = self.state
+        queries = []
+        canonicals = []
+        for text in texts:
+            query, canonical = state.prepare_query(text)
+            queries.append(query)
+            canonicals.append(canonical)
+        version = state.session.db_version()
+        entries = {}
+        for canonical in dict.fromkeys(canonicals):
+            cached = self._cache.get(state.cache_key(canonical, version))
+            if cached is not None:
+                entries[canonical] = cached
+        missing = [
+            (canonical, query)
+            for canonical, query in dict(zip(canonicals, queries)).items()
+            if canonical not in entries
+        ]
+        if missing:
+            computed, cacheable = await self._offload(
+                state.compute_batch_entries,
+                [query for _canonical, query in missing],
+                version,
+            )
+            for (canonical, _query), entry in zip(missing, computed):
+                entries[canonical] = entry
+                if cacheable:
+                    self._cache.put(state.cache_key(canonical, version), entry)
+        return canonical_json(
+            {"results": [entries[canonical].payload for canonical in canonicals]}
+        )

@@ -327,6 +327,26 @@ class ServerState:
     def _key(self, canonical: str, version: int):
         return (canonical, version, self._options)
 
+    def cache_key(self, canonical: str, version: int):
+        """The result-cache key for a canonical query at a version.
+
+        Public for the async tier, which runs cache lookups on the
+        event loop against its own :class:`AsyncResultCache` but must
+        key them exactly like the threaded paths.
+        """
+        return self._key(canonical, version)
+
+    def attach_cache(self, cache) -> None:
+        """Swap in a different result cache.
+
+        The async tier installs its loop-confined
+        :class:`~repro.server.cache.AsyncResultCache` here so
+        ``/stats`` reports the cache actually serving.  The threaded
+        request paths must not be driven concurrently with a
+        loop-confined cache attached.
+        """
+        self._cache = cache
+
     def _entry(self, query: AnyQuery, results, version: int) -> _CachedResult:
         payload = {
             "version": version,
@@ -334,15 +354,48 @@ class ServerState:
         }
         return _CachedResult(payload, canonical_json(payload))
 
-    def _serve_query(self, text: str) -> _CachedResult:
+    def prepare_query(self, text: str) -> Tuple[AnyQuery, str]:
+        """Parse one query text into ``(query, canonical text)``."""
         with current_tracer().span("parse"):
             query = parse_query(text)
-            canonical = query_to_str(query)
+            return query, query_to_str(query)
+
+    def compute_query_entry(
+        self, query: AnyQuery, version: int
+    ) -> Tuple[_CachedResult, bool]:
+        """Run one query through the engine: ``(entry, cacheable)``.
+
+        ``cacheable`` is the version-race check: a computation that ran
+        at a later version than the one it was keyed under is returned
+        fresh but must not be cached.  This is the blocking half of the
+        single-flight miss path, shared verbatim by the threaded tier
+        (called under :meth:`ResultCache.get_or_compute`) and the async
+        tier (dispatched to an executor thread off the event loop).
+        """
+        results, actual = self._session_run([query])
+        return self._entry(query, results[0], actual), actual == version
+
+    def compute_batch_entries(
+        self, queries: Sequence[AnyQuery], version: int
+    ) -> Tuple[List[_CachedResult], bool]:
+        """Run a batch's cache misses through **one** engine batch.
+
+        Returns the entries aligned with ``queries`` plus the shared
+        version-race verdict (one session run, one actual version).
+        """
+        results, actual = self._session_run(list(queries))
+        entries = [
+            self._entry(query, result, actual)
+            for query, result in zip(queries, results)
+        ]
+        return entries, actual == version
+
+    def _serve_query(self, text: str) -> _CachedResult:
+        query, canonical = self.prepare_query(text)
         version = self._session.db_version()
 
         def compute() -> Tuple[_CachedResult, bool]:
-            results, actual = self._session_run([query])
-            return self._entry(query, results[0], actual), actual == version
+            return self.compute_query_entry(query, version)
 
         return self._cache.get_or_compute(
             self._key(canonical, version), compute
@@ -395,11 +448,12 @@ class ServerState:
             if canonical not in entries
         ]
         if missing:
-            results, actual = self._session_run([q for _c, q in missing])
-            for (canonical, query), result in zip(missing, results):
-                entry = self._entry(query, result, actual)
+            computed, cacheable = self.compute_batch_entries(
+                [query for _canonical, query in missing], version
+            )
+            for (canonical, _query), entry in zip(missing, computed):
                 entries[canonical] = entry
-                if actual == version:
+                if cacheable:
                     self._cache.put(self._key(canonical, version), entry)
         payload = {
             "results": [entries[canonical].payload for canonical in canonicals]
@@ -565,6 +619,14 @@ class ServerState:
         )
 
 
+#: Default per-connection deadline (seconds) for reading one request —
+#: the threaded server applies it as a socket timeout, the async tier
+#: as header/body read deadlines.  A client that opens a connection or
+#: sends headers without the promised body is cut loose after this
+#: long instead of pinning a worker forever.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
 class ProvenanceServer(ThreadingHTTPServer):
     """A :class:`ThreadingHTTPServer` bound to one :class:`ServerState`.
 
@@ -573,17 +635,29 @@ class ProvenanceServer(ThreadingHTTPServer):
     listen backlog is raised well past socketserver's default of 5 —
     a 16-thread smoke load opening connections in a burst would
     otherwise see resets before a single request misbehaved.
+
+    ``request_timeout`` is installed as each connection's socket
+    timeout (see :meth:`ProvenanceRequestHandler.setup`): a stalled
+    read — idle keep-alive, half-sent headers, a promised body that
+    never arrives — raises ``socket.timeout`` instead of blocking the
+    handler thread forever.
     """
 
     daemon_threads = True
     request_queue_size = 128
 
-    def __init__(self, address, state: ServerState):  # noqa: D107
+    def __init__(
+        self,
+        address,
+        state: ServerState,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+    ):  # noqa: D107
         # Imported here, not at module top: the handler module imports
         # this one for the shared JSON codec.
         from repro.server.handlers import ProvenanceRequestHandler
 
         self.state = state
+        self.request_timeout = request_timeout
         super().__init__(address, ProvenanceRequestHandler)
 
     def close(self) -> None:
@@ -609,12 +683,25 @@ def make_server(
     metrics: bool = True,
     data_dir: Optional[str] = None,
     snapshot_every: Optional[int] = None,
-) -> ProvenanceServer:
+    server_mode: Optional[str] = None,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+    idle_timeout: Optional[float] = None,
+    max_pending: Optional[int] = None,
+    stream_threshold: Optional[int] = None,
+):
     """Bind a ready-to-run server (``port=0`` picks a free port).
 
     ``config`` is an :class:`~repro.config.EngineConfig` (or bare engine
     name); the scattered ``engine=``/``shards=``/``workers=`` keywords
-    are deprecated shims over it.
+    are deprecated shims over it.  ``server_mode`` (or
+    ``config.server_mode``) picks the front end: ``"threaded"`` returns
+    the classic :class:`ProvenanceServer`, ``"async"`` an
+    :class:`~repro.server.aio.AsyncProvenanceServer` — both expose the
+    same blocking facade (``server_address``, ``serve_forever()``,
+    ``shutdown()``, ``close()``), so callers and tests treat them
+    interchangeably.  ``idle_timeout``, ``max_pending`` and
+    ``stream_threshold`` only apply to the async tier (``None`` keeps
+    its defaults).
 
     >>> from repro.db.instance import AnnotatedDatabase
     >>> db = AnnotatedDatabase.from_rows({"R": [("a", "b")]})
@@ -626,8 +713,18 @@ def make_server(
     >>> server.close()
 
     The caller owns the lifecycle: ``serve_forever()`` on a thread (or
-    the CLI's foreground loop), then :meth:`ProvenanceServer.close`.
+    the CLI's foreground loop), then ``close()``.
     """
+    if server_mode is not None:
+        # Overlay onto the config *before* ServerState resolves it, so
+        # state.config reflects the mode actually serving (and the
+        # overlay goes through EngineConfig validation).
+        if config is None:
+            config = EngineConfig(server_mode=server_mode)
+        elif isinstance(config, str):
+            config = EngineConfig(engine=config, server_mode=server_mode)
+        else:
+            config = config.with_overrides(server_mode=server_mode)
     state = ServerState(
         db,
         program=program,
@@ -642,7 +739,21 @@ def make_server(
         snapshot_every=snapshot_every,
     )
     try:
-        return ProvenanceServer((host, port), state)
+        if state.config.server_mode == "async":
+            # Imported lazily: aio imports this module for ServerState.
+            from repro.server.aio import AsyncProvenanceServer
+
+            aio_kwargs = {"request_timeout": request_timeout}
+            if idle_timeout is not None:
+                aio_kwargs["idle_timeout"] = idle_timeout
+            if max_pending is not None:
+                aio_kwargs["max_pending"] = max_pending
+            if stream_threshold is not None:
+                aio_kwargs["stream_threshold"] = stream_threshold
+            return AsyncProvenanceServer((host, port), state, **aio_kwargs)
+        return ProvenanceServer(
+            (host, port), state, request_timeout=request_timeout
+        )
     except BaseException:
         state.close()
         raise

@@ -163,20 +163,27 @@ class ResultCache:
             with self._lock:
                 self._dedup_hits += 1
             return flight.value
+        cacheable = False
         try:
-            value, cacheable = compute()
-        except BaseException as error:
-            with self._lock:
-                del self._inflight[key]
+            try:
+                value, cacheable = compute()
+                flight.value = value
+            except BaseException as error:
                 flight.error = error
-                flight.event.set()
-            raise
-        with self._lock:
-            del self._inflight[key]
-            if cacheable:
-                self._store(key, value)
-            flight.value = value
-            flight.event.set()
+                raise
+        finally:
+            # Crash-proof wakeup: whatever happens between the
+            # computation and the wakeup — an exception while storing
+            # the entry, the leader thread dying outside ``compute`` —
+            # the waiters' event is set, so no waiter can block forever
+            # behind a leader that will never publish.
+            with self._lock:
+                self._inflight.pop(key, None)
+                try:
+                    if flight.error is None and cacheable:
+                        self._store(key, value)
+                finally:
+                    flight.event.set()
         return value
 
     def _store(self, key: Hashable, value) -> None:
@@ -221,6 +228,11 @@ class ResultCache:
             self._evictions = 0
             self._waiters = 0
 
+    @property
+    def capacity(self) -> int:
+        """The LRU bound this cache was built with."""
+        return self._capacity
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -229,4 +241,181 @@ class ResultCache:
         stats = self.stats()
         return "<ResultCache {size}/{capacity}, {hits} hits, {misses} misses>".format(
             **stats
+        )
+
+
+class AsyncResultCache:
+    """The event-loop twin of :class:`ResultCache`.
+
+    Same key discipline (version in the key, invalidation by moving the
+    version on), same LRU bound, same single-flight semantics — but the
+    in-flight ledger holds :class:`asyncio.Future`\\ s instead of
+    :class:`threading.Event`\\ s, so a thousand deduplicated waiters
+    cost a thousand suspended coroutines, not a thousand blocked
+    threads.  Confined to one event loop by design: every method runs
+    on the loop, so there is no lock anywhere.
+
+    Leader semantics mirror the threaded cache: the first caller for a
+    key awaits ``compute()`` (which typically dispatches the engine to
+    an executor); every concurrent caller awaits the shared future.  A
+    leader's failure is propagated to every waiter and nothing is
+    cached; the future is resolved in a ``finally`` so waiters can
+    never hang behind a leader that died between the computation and
+    publication.  If the leader's task was *cancelled* (its client
+    disconnected mid-flight), one waiter takes over as the new leader
+    instead of failing spuriously.
+    """
+
+    def __init__(self, capacity: int = 256):  # noqa: D107
+        if capacity < 1:
+            raise ValueError("result cache capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._inflight: Dict[Hashable, "asyncio.Future"] = {}
+        self._hits = 0
+        self._misses = 0
+        self._dedup_hits = 0
+        self._evictions = 0
+        self._waiters = 0
+
+    # ------------------------------------------------------------------
+    # The serving path (all coroutines run on the owning event loop)
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """The cached value for ``key`` or ``None`` (counts hit/miss)."""
+        with current_tracer().span("cache.lookup") as span:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                span.set(outcome="miss")
+                _LAST_OUTCOME.set("miss")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            span.set(outcome="hit")
+            _LAST_OUTCOME.set("hit")
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries on overflow."""
+        self._store(key, value)
+
+    async def get_or_compute(self, key: Hashable, compute):
+        """The cached value for ``key``, computing it at most once.
+
+        ``compute`` is an async callable returning ``(value,
+        cacheable)`` — the same contract as the threaded cache's
+        :data:`Compute`, awaited instead of called.
+        """
+        import asyncio
+
+        with current_tracer().span("cache.lookup") as span:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                span.set(outcome="hit")
+                _LAST_OUTCOME.set("hit")
+                return value
+            future = self._inflight.get(key)
+            if future is None:
+                self._misses += 1
+                span.set(outcome="miss")
+                _LAST_OUTCOME.set("miss")
+            else:
+                self._waiters += 1
+                span.set(outcome="wait")
+                _LAST_OUTCOME.set("wait")
+        if future is not None:
+            # ``shield`` keeps one waiter's cancellation (its client
+            # hung up) from cancelling the shared in-flight future.
+            try:
+                value = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                if future.cancelled() or (
+                    future.done()
+                    and isinstance(future.exception(), asyncio.CancelledError)
+                ):
+                    # The leader's task died, not ours: take over.
+                    return await self.get_or_compute(key, compute)
+                raise
+            self._dedup_hits += 1
+            return value
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        cacheable = False
+        error = None
+        value = None
+        try:
+            value, cacheable = await compute()
+            return value
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            # The asyncio analog of the threaded cache's crash-proof
+            # wakeup: publication happens in a ``finally``, so waiters
+            # always resolve.
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                if error is not None:
+                    future.set_exception(error)
+                    # Mark retrieved: with zero waiters nobody ever
+                    # awaits this future, and asyncio would otherwise
+                    # log "exception was never retrieved" at teardown.
+                    future.exception()
+                else:
+                    if cacheable:
+                        self._store(key, value)
+                    future.set_result(value)
+
+    def _store(self, key: Hashable, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Inspection (plain sync reads; safe from the loop thread)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The same counter shape as :meth:`ResultCache.stats`."""
+        lookups = self._hits + self._misses + self._dedup_hits
+        served = self._hits + self._dedup_hits
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "dedup_hits": self._dedup_hits,
+            "evictions": self._evictions,
+            "single_flight_waiters": self._waiters,
+            "size": len(self._entries),
+            "capacity": self._capacity,
+            "inflight": len(self._inflight),
+            "hit_rate": (served / lookups) if lookups else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (in-flight survive)."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._dedup_hits = 0
+        self._evictions = 0
+        self._waiters = 0
+
+    @property
+    def capacity(self) -> int:
+        """The LRU bound this cache was built with."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            "<AsyncResultCache {size}/{capacity}, {hits} hits, "
+            "{misses} misses>".format(**stats)
         )

@@ -31,6 +31,7 @@ configures logging (the CLI's ``--log-level`` flag does).
 from __future__ import annotations
 
 import logging
+import socket
 from http.server import BaseHTTPRequestHandler
 from json import JSONDecodeError, loads
 from time import perf_counter
@@ -71,6 +72,20 @@ def _flag(query: dict, name: str) -> bool:
     return query.get(name, ["0"])[-1] not in ("0", "false", "")
 
 
+def parse_json_body(raw: bytes):
+    """Decode a request body as JSON (:class:`ReproError` when it isn't).
+
+    Shared by the threaded handler and the async tier so malformed
+    bodies produce byte-identical 400s in both modes.
+    """
+    if not raw:
+        raise ReproError("request body must be a JSON document")
+    try:
+        return loads(raw)
+    except JSONDecodeError as error:
+        raise ReproError("invalid JSON body: {}".format(error))
+
+
 class ProvenanceRequestHandler(BaseHTTPRequestHandler):
     """Routes one HTTP request into the shared :class:`ServerState`."""
 
@@ -78,6 +93,20 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # -- plumbing -------------------------------------------------------
+    def setup(self) -> None:
+        """Install the server's per-connection socket timeout.
+
+        ``StreamRequestHandler.setup`` applies ``self.timeout`` via
+        ``connection.settimeout()``, so every blocking read on this
+        socket — the request line of an idle keep-alive connection,
+        half-sent headers, a promised body that never arrives — raises
+        ``socket.timeout`` instead of pinning this worker thread
+        forever (the liveness bug the async tier's deadlines fix by
+        construction).
+        """
+        self.timeout = getattr(self.server, "request_timeout", None)
+        super().setup()
+
     def log_message(self, format, *args):  # noqa: A002, D102
         # BaseHTTPRequestHandler's own per-request stderr lines would
         # swamp tests and load runs; the structured INFO line emitted in
@@ -129,14 +158,7 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(length) if length > 0 else b""
 
-    @staticmethod
-    def _parse_json(raw: bytes):
-        if not raw:
-            raise ReproError("request body must be a JSON document")
-        try:
-            return loads(raw)
-        except JSONDecodeError as error:
-            raise ReproError("invalid JSON body: {}".format(error))
+    _parse_json = staticmethod(parse_json_body)
 
     # -- routing --------------------------------------------------------
     def _observe(self) -> None:
@@ -169,14 +191,27 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
         reset_outcome()
         state.request_started()
         try:
-            route(state, self._path)
-        except ReproError as error:
-            self._error(400, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._error(500, "{}: {}".format(type(error).__name__, error))
+            try:
+                route(state, self._path)
+            except socket.timeout:
+                # The client stalled mid-request (e.g. a promised body
+                # never arrived).  The body is undrained, so the socket
+                # must not be reused; the 408 is best-effort — the
+                # client is still there, just slow to *send*.
+                self.close_connection = True
+                self._error(408, "timed out reading the request body")
+            except ReproError as error:
+                self._error(400, str(error))
+            except Exception as error:  # pragma: no cover - defensive
+                self._error(500, "{}: {}".format(type(error).__name__, error))
         finally:
-            self._observe()  # a route that never sent still counts
-            state.request_finished()
+            # Nested so a raising _observe() (or an _error() above that
+            # died on a closed socket) can never leak the /stats
+            # in-flight counter permanently upward.
+            try:
+                self._observe()  # a route that never sent still counts
+            finally:
+                state.request_finished()
 
     def do_POST(self) -> None:  # noqa: D102
         self._handle("POST", self._route_post)

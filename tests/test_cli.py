@@ -320,28 +320,55 @@ class TestCoreAndSql:
 
 
 class TestServe:
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
     def test_serve_command_boots_and_shuts_down(
-        self, data_file, program_file, monkeypatch
+        self, data_file, program_file, monkeypatch, mode
     ):
         """In-process serve: banner printed, Ctrl-C path closes cleanly."""
+        from repro.server.aio import AsyncProvenanceServer
         from repro.server.app import ProvenanceServer
 
         def interrupted(_self):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(ProvenanceServer, "serve_forever", interrupted)
+        server_cls = {
+            "threaded": ProvenanceServer,
+            "async": AsyncProvenanceServer,
+        }[mode]
+        monkeypatch.setattr(server_cls, "serve_forever", interrupted)
         code, output = run(
-            ["serve", "-d", data_file, "-p", program_file, "--port", "0"]
+            [
+                "serve",
+                "-d",
+                data_file,
+                "-p",
+                program_file,
+                "--port",
+                "0",
+                "--server-mode",
+                mode,
+            ]
         )
         assert code == 0
         assert "listening on http://" in output
+        assert "mode={}".format(mode) in output
         assert "shutting down" in output
 
     def test_serve_help_lists_options(self, capsys):
         with pytest.raises(SystemExit):
             main(["serve", "--help"])
         text = capsys.readouterr().out
-        for option in ("--port", "--engine", "--shards", "--workers", "--cache-size"):
+        for option in (
+            "--port",
+            "--engine",
+            "--shards",
+            "--workers",
+            "--cache-size",
+            "--server-mode",
+            "--request-timeout",
+            "--idle-timeout",
+            "--max-pending",
+        ):
             assert option in text
 
     def test_serve_subprocess_round_trip(self, data_file, program_file):

@@ -45,6 +45,7 @@ class TestEngineConfigValidation:
         assert config.mode == "process"
         assert config.columnar is True
         assert config.data_dir is None
+        assert config.server_mode == "threaded"
 
     def test_frozen_and_hashable(self):
         config = EngineConfig(engine="sharded", shards=2)
@@ -71,6 +72,9 @@ class TestEngineConfigValidation:
             {"broadcast_threshold": True},
             {"data_dir": ""},
             {"data_dir": 7},
+            {"server_mode": "greenlet"},
+            {"server_mode": 7},
+            {"server_mode": ""},
         ],
     )
     def test_invalid_fields_raise(self, kwargs):

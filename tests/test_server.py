@@ -203,6 +203,59 @@ class TestResultCache:
         assert stats["dedup_hits"] + stats["hits"] == 7
         assert stats["misses"] == 1
 
+    def test_store_crash_still_wakes_waiters(self):
+        """Satellite fix: a leader that dies *after* computing (here the
+        LRU store step explodes) must still wake every waiter — the
+        event is set in a ``finally`` — or they block forever."""
+        cache = ResultCache()
+        started = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            started.set()
+            release.wait(10)
+            return "value", True
+
+        cache._store = lambda key, value: (_ for _ in ()).throw(
+            RuntimeError("store exploded")
+        )
+        leader_errors = []
+        waiter_results = []
+
+        def leader():
+            try:
+                cache.get_or_compute("k", compute)
+            except RuntimeError as error:
+                leader_errors.append(str(error))
+
+        def waiter():
+            waiter_results.append(
+                cache.get_or_compute("k", lambda: ("never run", True))
+            )
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert started.wait(10)
+        waiters = [threading.Thread(target=waiter) for _ in range(3)]
+        for thread in waiters:
+            thread.start()
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if cache.stats()["single_flight_waiters"] >= 3:
+                break
+            time.sleep(0.01)
+        release.set()
+        leader_thread.join(10)
+        for thread in waiters:
+            thread.join(10)  # the satellite bug: these hung forever
+        assert leader_errors == ["store exploded"]
+        # The waiters got the computed value; the broken store kept it
+        # out of the cache and the key is not poisoned.
+        assert waiter_results == ["value"] * 3
+        del cache._store  # restore the class method
+        assert cache.get("k") is None
+        assert cache.get_or_compute("k", lambda: ("ok", True)) == "ok"
+
     def test_leader_failure_propagates_and_caches_nothing(self):
         cache = ResultCache()
         started = threading.Event()
@@ -238,9 +291,14 @@ class TestResultCache:
 # Endpoint protocol (malformed requests, status codes)
 # ----------------------------------------------------------------------
 class TestProtocol:
-    @pytest.fixture(scope="class")
-    def served(self):
-        with serve(small_db()) as pair:
+    """Every protocol test runs against BOTH serving tiers: the error
+    contract (message strings included) is part of the byte-identity
+    promise, so the async front end answers exactly like the threaded
+    one."""
+
+    @pytest.fixture(scope="class", params=["threaded", "async"])
+    def served(self, request):
+        with serve(small_db(), server_mode=request.param) as pair:
             yield pair
 
     def test_query_ok(self, served):
@@ -376,6 +434,73 @@ class TestProtocol:
                 assert json.loads(response.read())["engine"] == "hashjoin"
         finally:
             conn.close()
+
+
+# ----------------------------------------------------------------------
+# Liveness: slow clients must not pin workers, crashes must not leak
+# ----------------------------------------------------------------------
+class TestSlowClients:
+    """Regression for the bug this PR fixes: a client that sends
+    headers promising a body and then stalls used to pin a worker
+    thread forever (no socket timeout).  Both tiers now enforce a
+    request deadline."""
+
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_stalled_body_gets_408_and_frees_the_worker(self, mode):
+        import socket
+
+        with serve(
+            small_db(), server_mode=mode, request_timeout=0.5
+        ) as (server, client):
+            with socket.create_connection(
+                (client.host, client.port), timeout=30
+            ) as sock:
+                sock.sendall(
+                    b"POST /query HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 100\r\n\r\n"
+                    b'{"partial'  # 91 promised bytes never arrive
+                )
+                sock.settimeout(30)
+                chunks = b""
+                while True:
+                    data = sock.recv(4096)
+                    if not data:
+                        break  # the undrainable connection was closed
+                    chunks += data
+            assert b"408" in chunks.split(b"\r\n", 1)[0], (mode, chunks)
+            assert b"timed out reading the request body" in chunks
+            # The worker is free again: the server still serves.
+            assert client.get("/stats")[0] == 200
+
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_handler_crash_does_not_leak_inflight_counter(self, mode):
+        """Satellite fix: ``request_started``/``request_finished`` pair
+        in a try/finally, so induced handler failures cannot ratchet
+        the /stats ``active`` gauge upward forever."""
+        with serve(small_db(), server_mode=mode) as (server, client):
+            state = server.state
+
+            def boom(*_args, **_kwargs):
+                raise RuntimeError("induced handler failure")
+
+            state.prepare_query = boom  # crashes /query in both tiers
+            for _ in range(3):
+                status, payload = client.json(
+                    "POST", "/query", {"query": JOIN}
+                )
+                assert status == 500
+                assert "induced handler failure" in payload["error"]
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if state.stats()["requests"]["active"] == 0:
+                    break
+                time.sleep(0.01)
+            assert state.stats()["requests"]["active"] == 0
+            # And the server still works once the fault is removed.
+            del state.prepare_query
+            assert client.post("/query", {"query": JOIN})[0] == 200
 
 
 # ----------------------------------------------------------------------
@@ -543,28 +668,36 @@ class TestDifferential:
 
     @pytest.mark.parametrize("seed", range(30))
     def test_query_and_batch_byte_identical(self, seed):
+        """Both serving tiers against the oracle — and each other."""
         db = random_database(
             {"R": 2, "S": 2}, list(range(8)), n_facts=40, seed=seed
         )
-        with serve(db) as (server, client):
-            version = server.state.session.db_version()
-            expected = {
-                text: expected_query_body(text, db, version)
-                for text in self.TEXTS
-            }
-            for text in self.TEXTS:
-                status, body = client.post("/query", {"query": text})
+        served_bodies = {}
+        for mode in ("threaded", "async"):
+            with serve(db, server_mode=mode) as (server, client):
+                version = server.state.session.db_version()
+                expected = {
+                    text: expected_query_body(text, db, version)
+                    for text in self.TEXTS
+                }
+                bodies = {}
+                for text in self.TEXTS:
+                    status, body = client.post("/query", {"query": text})
+                    assert status == 200
+                    assert body == expected[text], (mode, text)
+                    bodies[text] = body
+                # /batch embeds the very same per-query payloads.
+                status, body = client.post("/batch", {"queries": self.TEXTS})
                 assert status == 200
-                assert body == expected[text], text
-            # /batch embeds the very same per-query payloads.
-            status, body = client.post("/batch", {"queries": self.TEXTS})
-            assert status == 200
-            envelope = {
-                "results": [
-                    json.loads(expected[text]) for text in self.TEXTS
-                ]
-            }
-            assert body == canonical_json(envelope)
+                envelope = {
+                    "results": [
+                        json.loads(expected[text]) for text in self.TEXTS
+                    ]
+                }
+                assert body == canonical_json(envelope)
+                bodies["/batch"] = body
+                served_bodies[mode] = bodies
+        assert served_bodies["threaded"] == served_bodies["async"]
 
     def test_batch_mixes_cached_and_fresh(self):
         db = small_db()
