@@ -26,7 +26,16 @@ Steps:
    query mix;
 5. assert every response was a 200, that the per-endpoint request
    counters grew by exactly the load sent, and that the result cache
-   served hits; print p50/p95/p99 per request kind.
+   served hits; print p50/p95/p99 per request kind;
+6. **changefeed phase** — register ``--subscribers`` subscriptions on
+   the maintained view ``V``, hold every feed open at once (SSE on the
+   async tier, long-poll on the threaded tier), push
+   ``--feed-updates`` updates and assert every subscriber received
+   every event exactly once in cursor order, that replaying subscriber
+   0's snapshot + deltas reproduces ``GET /v1/views/V`` byte-for-byte,
+   and that the hub counted exactly ``subscribers x updates``
+   deliveries with no evictions or resets; print fan-out p50/p95/p99
+   (update response to event receipt).
 
 ``--json PATH`` writes the latency percentiles and counter totals as a
 JSON artifact (the CI jobs upload it).  ``--bench-json PATH`` writes
@@ -116,23 +125,26 @@ def raise_fd_limit(target: int) -> None:
         pass
 
 
-def boot_server(data: str, engine: str, mode: str):
+def boot_server(data: str, engine: str, mode: str, program: str = None):
     """Start ``repro-prov serve``; returns ``(process, host, port)``."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "-d",
+        data,
+        "--port",
+        "0",
+        "--engine",
+        engine,
+        "--server-mode",
+        mode,
+    ]
+    if program:
+        command += ["-p", program]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "serve",
-            "-d",
-            data,
-            "--port",
-            "0",
-            "--engine",
-            engine,
-            "--server-mode",
-            mode,
-        ],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -225,12 +237,14 @@ def fetch_sync(host, port, method, path, body=None):
 # ----------------------------------------------------------------------
 # Phase 1: byte-identity differential across the two tiers + oracle
 # ----------------------------------------------------------------------
-def byte_identity_phase(db, data, engine, primary, other_mode) -> int:
+def byte_identity_phase(db, data, engine, primary, other_mode, program) -> int:
     """Both tiers and the in-process oracle must agree byte for byte."""
     from repro.server.app import canonical_json
 
     host, port = primary
-    secondary_process, shost, sport = boot_server(data, engine, other_mode)
+    secondary_process, shost, sport = boot_server(
+        data, engine, other_mode, program
+    )
     try:
         status, stats_a = fetch_sync(host, port, "GET", "/stats")
         assert status == 200
@@ -262,6 +276,17 @@ def byte_identity_phase(db, data, engine, primary, other_mode) -> int:
                     "== oracle: {})".format(
                         text, body_a == body_b, body_a == expected[text]
                     ),
+                    file=sys.stderr,
+                )
+                return 1
+        # The /v1 mount serves byte-identical bodies to the legacy one.
+        for path in ("/query", "/v1/query"):
+            status_v, body_v = fetch_sync(
+                host, port, "POST", path, {"query": QUERIES[0]}
+            )
+            if status_v != 200 or body_v != expected[QUERIES[0]]:
+                print(
+                    "FAIL: {} disagrees with the legacy mount".format(path),
                     file=sys.stderr,
                 )
                 return 1
@@ -420,6 +445,288 @@ def latency_summary(samples):
 
 
 # ----------------------------------------------------------------------
+# Phase 3: the changefeed fan-out (N held-open subscribers)
+# ----------------------------------------------------------------------
+async def follow_changefeed(
+    host, port, mode, sub, updates, bucket, connected
+):
+    """Collect ``updates`` events for one subscriber; tier-aware.
+
+    Appends ``(payload, receipt_seconds)`` pairs to ``bucket``.  On the
+    async tier this holds one SSE response open; on the threaded tier
+    it long-polls on one keep-alive connection, resuming via cursor.
+    """
+    sub_id = sub["subscription"]
+    cursor = sub["cursor"]
+    if mode == "async":
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                "GET /v1/changefeed/{}?cursor={} HTTP/1.1\r\n"
+                "Host: feed\r\n\r\n".format(sub_id, cursor).encode("latin-1")
+            )
+            await writer.drain()
+            line = await reader.readline()
+            status = int(line.split()[1])
+            if status != 200:
+                raise RuntimeError(
+                    "changefeed answered {} for {}".format(status, sub_id)
+                )
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+            connected()
+            frame = []
+            while len(bucket) < updates:
+                line = await asyncio.wait_for(reader.readline(), 120)
+                if not line:
+                    raise RuntimeError("stream closed early")
+                line = line.strip()
+                if not line:  # blank line ends one SSE frame
+                    stamp = time.perf_counter()
+                    for field in frame:
+                        if field.startswith(b"data:"):
+                            bucket.append((json.loads(field[5:]), stamp))
+                    frame = []
+                else:
+                    frame.append(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+        return
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        connected()
+        while len(bucket) < updates:
+            status, body, closed = await asyncio.wait_for(
+                http_request(
+                    reader,
+                    writer,
+                    "GET",
+                    "/v1/changefeed/{}?cursor={}&wait=5".format(
+                        sub_id, cursor
+                    ),
+                ),
+                120,
+            )
+            stamp = time.perf_counter()
+            if status != 200:
+                raise RuntimeError(
+                    "changefeed poll answered {}: {!r}".format(
+                        status, body[:200]
+                    )
+                )
+            payload = json.loads(body)
+            for event in payload["events"]:
+                bucket.append((event, stamp))
+            cursor = payload["cursor"]
+            if closed:
+                writer.close()
+                reader, writer = await asyncio.open_connection(host, port)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - teardown best-effort
+            pass
+
+
+async def run_changefeed(host, port, mode, subscribers, updates):
+    """Subscribe N times, hold every feed open, fire updates, account.
+
+    Returns ``(receipts, versions, update_done, subs)`` where
+    ``receipts[sub_id]`` is the (payload, receipt time) list,
+    ``versions`` the db versions the updates produced (in order) and
+    ``update_done[version]`` the moment each ``/update`` response
+    landed.
+    """
+    subs = []
+    for _ in range(subscribers):
+        status, body = await fetch(
+            host, port, "POST", "/v1/subscribe", {"view": "V"}
+        )
+        if status != 200:
+            raise RuntimeError(
+                "POST /v1/subscribe answered {}: {!r}".format(
+                    status, body[:200]
+                )
+            )
+        subs.append(json.loads(body))
+    receipts = {sub["subscription"]: [] for sub in subs}
+    arrived = 0
+    all_connected = asyncio.Event()
+
+    def connected():
+        nonlocal arrived
+        arrived += 1
+        if arrived >= subscribers:
+            all_connected.set()
+
+    tasks = [
+        asyncio.ensure_future(
+            follow_changefeed(
+                host,
+                port,
+                mode,
+                sub,
+                updates,
+                receipts[sub["subscription"]],
+                connected,
+            )
+        )
+        for sub in subs
+    ]
+    try:
+        await asyncio.wait_for(all_connected.wait(), 60)
+        versions = []
+        update_done = {}
+        for index in range(updates):
+            status, body = await fetch(
+                host,
+                port,
+                "POST",
+                "/v1/update",
+                {
+                    "insert": {
+                        "R": [["cf", "cft{}".format(index)]],
+                        "S": [["cft{}".format(index), index]],
+                    }
+                },
+            )
+            if status != 200:
+                raise RuntimeError(
+                    "/v1/update answered {}: {!r}".format(status, body[:200])
+                )
+            version = json.loads(body)["version"]
+            update_done[version] = time.perf_counter()
+            versions.append(version)
+        await asyncio.wait_for(
+            asyncio.gather(*tasks), 120
+        )  # every subscriber saw every event
+    finally:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        for sub in subs:
+            await fetch(
+                host, port, "DELETE", "/v1/changefeed/" + sub["subscription"]
+            )
+    return receipts, versions, update_done, subs
+
+
+def changefeed_phase(host, port, mode, subscribers, updates) -> "tuple":
+    """Drive the fan-out and verify its three promises.
+
+    1. **exactly once, in order** — every subscriber's received cursor
+       sequence equals the update versions;
+    2. **replay fidelity** — folding subscriber 0's deltas into its
+       snapshot reproduces ``GET /v1/views/V`` byte-for-byte through
+       the encoders;
+    3. **liveness accounting** — the hub reports no evictions/resets
+       and exactly ``subscribers x updates`` delivered events for this
+       phase.
+
+    Returns ``(exit_code, fanout_latency_summary)``.
+    """
+    from repro.io import apply_changefeed_event, changefeed_event_from_dict
+    from repro.server.app import canonical_json, encode_results
+
+    status, raw = fetch_sync(host, port, "GET", "/v1/stats")
+    delivered_before = json.loads(raw)["subscriptions"]["delivered_events"]
+    receipts, versions, update_done, subs = asyncio.get_event_loop().run_until_complete(
+        run_changefeed(host, port, mode, subscribers, updates)
+    )
+    for sub_id, bucket in receipts.items():
+        cursors = [payload["cursor"] for payload, _stamp in bucket]
+        if cursors != versions:
+            print(
+                "FAIL: subscriber {} saw cursors {} but the updates "
+                "produced {}".format(sub_id, cursors, versions),
+                file=sys.stderr,
+            )
+            return 1, {}
+
+    # Replay check: subscriber 0's snapshot + its deltas == the view.
+    probe = subs[0]
+    state = {}
+    apply_changefeed_event(
+        state,
+        changefeed_event_from_dict(
+            {
+                "cursor": probe["cursor"],
+                "view": "V",
+                "aggregate": False,
+                "event": "reset",
+                "state": probe["snapshot"]["results"],
+            }
+        ),
+    )
+    for payload, _stamp in receipts[probe["subscription"]]:
+        apply_changefeed_event(state, changefeed_event_from_dict(payload))
+    status, raw = fetch_sync(host, port, "GET", "/v1/views/V")
+    if status != 200:
+        print("FAIL: GET /v1/views/V answered {}".format(status), file=sys.stderr)
+        return 1, {}
+    served = json.loads(raw)
+    replayed = canonical_json(encode_results(state, False))
+    direct = canonical_json(
+        {"kind": served["kind"], "results": served["results"]}
+    )
+    if replayed != direct:
+        print(
+            "FAIL: replaying the changefeed diverged from /v1/views/V",
+            file=sys.stderr,
+        )
+        return 1, {}
+
+    status, raw = fetch_sync(host, port, "GET", "/v1/stats")
+    hub = json.loads(raw)["subscriptions"]
+    expected_delivered = subscribers * updates
+    delivered = hub["delivered_events"] - delivered_before
+    if delivered != expected_delivered or hub["evictions"] or hub["resets"]:
+        print(
+            "FAIL: hub accounting off: delivered {} (want {}), "
+            "evictions {}, resets {}".format(
+                delivered, expected_delivered, hub["evictions"], hub["resets"]
+            ),
+            file=sys.stderr,
+        )
+        return 1, {}
+
+    # Fan-out latency: receipt time minus the moment the producing
+    # /update response landed, matched by cursor.  Publishing happens
+    # inside the apply (before the update response), so a fast consumer
+    # can legitimately beat the updater — clamp those to zero.
+    fanout = []
+    for bucket in receipts.values():
+        for payload, stamp in bucket:
+            fanout.append(max(0.0, stamp - update_done[payload["cursor"]]))
+    fanout.sort()
+    summary = {
+        "count": len(fanout),
+        "p50": percentile(fanout, 0.50),
+        "p95": percentile(fanout, 0.95),
+        "p99": percentile(fanout, 0.99),
+    }
+    print(
+        "changefeed: {} subscribers x {} updates delivered exactly once "
+        "in cursor order; replay == /v1/views/V; fan-out p50={:.2f}ms "
+        "p95={:.2f}ms p99={:.2f}ms".format(
+            subscribers,
+            updates,
+            summary["p50"] * 1e3,
+            summary["p95"] * 1e3,
+            summary["p99"] * 1e3,
+        )
+    )
+    return 0, summary
+
+
+# ----------------------------------------------------------------------
 # Metrics exposition helpers (strict: the format is the contract)
 # ----------------------------------------------------------------------
 def parse_exposition(text: str) -> dict:
@@ -485,6 +792,19 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--connections", type=int, default=1000)
     parser.add_argument("--requests", type=int, default=5)
+    parser.add_argument(
+        "--subscribers",
+        type=int,
+        default=200,
+        help="held-open changefeed subscribers in the fan-out phase "
+        "(default: 200; 0 skips the phase)",
+    )
+    parser.add_argument(
+        "--feed-updates",
+        type=int,
+        default=4,
+        help="updates pushed through the changefeed phase (default: 4)",
+    )
     parser.add_argument("--engine", default="hashjoin", choices=("hashjoin", "sharded"))
     parser.add_argument(
         "--server-mode", default="async", choices=("async", "threaded")
@@ -508,7 +828,12 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         data = os.path.join(tmp, "data.json")
         write_database(db, data)
-        process, host, port = boot_server(data, args.engine, args.server_mode)
+        program = os.path.join(tmp, "views.dl")
+        with open(program, "w") as handle:
+            handle.write("V(x, z) :- R(x, y), S(y, z)\n")
+        process, host, port = boot_server(
+            data, args.engine, args.server_mode, program
+        )
         try:
             print(
                 "server up at {}:{} ({} engine, {} mode)".format(
@@ -517,7 +842,7 @@ def main(argv=None) -> int:
             )
             other = "threaded" if args.server_mode == "async" else "async"
             code = byte_identity_phase(
-                db, data, args.engine, (host, port), other
+                db, data, args.engine, (host, port), other, program
             )
             if code:
                 return code
@@ -614,6 +939,17 @@ def main(argv=None) -> int:
                 return 1
 
             latency = latency_summary(samples)
+            if args.subscribers > 0:
+                code, fanout = changefeed_phase(
+                    host,
+                    port,
+                    args.server_mode,
+                    args.subscribers,
+                    args.feed_updates,
+                )
+                if code:
+                    return code
+                latency["changefeed_fanout"] = fanout
             for kind, summary in latency.items():
                 print(
                     "latency {} (n={}): p50={:.2f}ms p95={:.2f}ms "

@@ -110,12 +110,13 @@ from repro.obs import (
     format_trace,
     tracing,
 )
+from repro.client import Client, Subscription
 from repro.durability import DurableStore, RecoveredState, WriteAheadLog
 from repro.semiring.polynomial import Monomial, Polynomial
 from repro.server import ResultCache, ServerState, make_server
 from repro.session import QuerySession
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # engine configuration facade (the documented way to pick engines)
@@ -200,10 +201,12 @@ __all__ = [
     "MaintenanceReport",
     "check_consistency",
     "maintain",
-    # serving tier
+    # serving tier (+ the /v1 client and continuous queries)
     "ResultCache",
     "ServerState",
     "make_server",
+    "Client",
+    "Subscription",
     # durability (snapshots + write-ahead log)
     "DurableStore",
     "RecoveredState",

@@ -15,6 +15,7 @@ Usage (installed as ``repro-prov``, or ``python -m repro.cli``)::
                          [--engine hashjoin|sharded] [--shards N] [--workers N]
                          [--server-mode async|threaded] [--request-timeout S]
                          [--idle-timeout S] [--max-pending N]
+                         [--max-subscriptions N] [--ring-size N]
                          [--cache-size N] [--no-metrics] [--log-level LEVEL]
                          [--data-dir DIR] [--snapshot-every N]
     repro-prov snapshot  --data-dir DIR [-d data.json] [-p program.dl]
@@ -480,6 +481,8 @@ def command_serve(args, out) -> int:
         request_timeout=args.request_timeout,
         idle_timeout=args.idle_timeout,
         max_pending=args.max_pending,
+        max_subscriptions=args.max_subscriptions,
+        ring_size=args.ring_size,
     ) as server:
         host, port = server.server_address[:2]
         print(
@@ -873,6 +876,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="async tier: engine-bound requests admitted concurrently "
         "before 503 + Retry-After load shedding (default: 256)",
+    )
+    sub_serve.add_argument(
+        "--max-subscriptions",
+        type=int,
+        metavar="N",
+        help="changefeed subscriptions admitted before POST /v1/subscribe "
+        "answers 429 (default: 1024)",
+    )
+    sub_serve.add_argument(
+        "--ring-size",
+        type=int,
+        metavar="N",
+        help="per-subscription replay ring: events a disconnected "
+        "consumer can resume across before a full reset (default: 256)",
     )
     sub_serve.add_argument(
         "--cache-size",

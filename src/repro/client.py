@@ -1,0 +1,421 @@
+"""A stdlib client for the versioned ``/v1`` serving API.
+
+:class:`Client` wraps :mod:`http.client` — no third-party deps, one
+reused connection — and turns the structured ``/v1`` error envelope
+(``{"error": {"code", "message", "detail"}}``) into a typed exception
+hierarchy, so callers catch :class:`UnknownViewError` instead of
+string-matching messages.
+
+Continuous queries ride on top: :meth:`Client.subscribe` registers a
+standing query and returns a :class:`Subscription` whose
+:meth:`~Subscription.events` iterator speaks *both* changefeed
+transports, auto-detected per response:
+
+* ``text/event-stream`` (the async tier) — frames are parsed as
+  Server-Sent Events off one held-open response;
+* JSON long-poll (the threaded tier) — the iterator re-polls with
+  ``?cursor=N&wait=S`` and yields each batch.
+
+Either way the iterator yields *decoded* events (rows as tuples,
+values as polynomials / ``N[X] ⊗ M`` tensors, via
+:func:`repro.io.changefeed_event_from_dict`), tracks the cursor, and
+resumes from it after a dropped connection — the ring buffer on the
+server replays what was missed, or sends one ``reset`` carrying the
+full table when the cursor fell off the ring.
+:meth:`Subscription.apply` folds an event into the locally held
+``state`` table, which therefore always equals the server's
+``read_view()`` at ``Subscription.cursor``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection, HTTPException, HTTPResponse
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.parse import quote
+
+from repro.io import (
+    aggregate_results_from_list,
+    apply_changefeed_event,
+    changefeed_event_from_dict,
+    results_from_list,
+)
+
+#: Server-side long-poll hold per request (seconds); kept under the
+#: server's own 30s cap so every poll returns before the client times
+#: its socket out.
+DEFAULT_POLL_WAIT = 25.0
+
+#: Socket timeout (seconds).  Above both the long-poll wait and the
+#: 15s SSE heartbeat, so a healthy but quiet feed never times out.
+DEFAULT_TIMEOUT = 60.0
+
+#: Consecutive transport failures tolerated while following a
+#: changefeed before :class:`TransportError` surfaces to the caller.
+MAX_RECONNECTS = 3
+
+
+# ----------------------------------------------------------------------
+# Typed errors (mapped from the /v1 error envelope)
+# ----------------------------------------------------------------------
+class ClientError(Exception):
+    """Anything this module raises."""
+
+
+class TransportError(ClientError):
+    """The server could not be reached (or hung up mid-response)."""
+
+
+class APIError(ClientError):
+    """A structured ``/v1`` error response.
+
+    Carries the envelope verbatim: ``status`` (HTTP), ``code`` (stable
+    machine-readable string), ``message`` and optional ``detail``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: Optional[str] = None,
+    ):  # noqa: D107
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return "{}(status={}, code={!r}, message={!r})".format(
+            type(self).__name__, self.status, self.code, self.message
+        )
+
+
+class BadRequestError(APIError):
+    """400 ``bad_request``: a malformed query, update or body."""
+
+
+class NotFoundError(APIError):
+    """404 ``not_found``: no such route or view."""
+
+
+class UnknownViewError(NotFoundError):
+    """404 ``unknown_view``: subscribing to a view that is not served."""
+
+
+class UnknownSubscriptionError(NotFoundError):
+    """404 ``unknown_subscription``: the subscription was dropped."""
+
+
+class SubscriptionLimitError(APIError):
+    """429 ``subscription_limit``: the server's subscriber cap is hit."""
+
+
+class CapacityError(APIError):
+    """503 ``capacity``: load shedding — retry shortly."""
+
+
+class ServerInternalError(APIError):
+    """5xx from the server's defensive handler."""
+
+
+_CODE_MAP = {
+    "bad_request": BadRequestError,
+    "not_found": NotFoundError,
+    "unknown_view": UnknownViewError,
+    "unknown_subscription": UnknownSubscriptionError,
+    "subscription_limit": SubscriptionLimitError,
+    "capacity": CapacityError,
+    "internal": ServerInternalError,
+}
+
+
+def _raise_for(status: int, body: bytes) -> APIError:
+    """Build the typed exception for one error response body."""
+    code, message, detail = "error", body.decode("utf-8", "replace"), None
+    try:
+        envelope = json.loads(body)["error"]
+        if isinstance(envelope, dict):
+            code = envelope.get("code", code)
+            message = envelope.get("message", message)
+            detail = envelope.get("detail")
+        else:  # legacy {"error": "<message>"} (not served under /v1)
+            message = envelope
+    except (ValueError, KeyError, TypeError):
+        pass
+    cls = _CODE_MAP.get(code)
+    if cls is None:
+        cls = ServerInternalError if status >= 500 else APIError
+    return cls(status, code, message, detail)
+
+
+def decode_table(payload: dict) -> Dict[Tuple, object]:
+    """Decode one encoded result table (``{"kind", "results"}``).
+
+    The shape ``/v1/views/<name>``, query responses and subscription
+    snapshots share; returns ``{row: polynomial-or-aggregate}``.
+    """
+    decode = (
+        aggregate_results_from_list
+        if payload.get("kind") == "aggregate"
+        else results_from_list
+    )
+    return decode(payload.get("results", []))
+
+
+class Subscription:
+    """A standing query: cursor, locally replayed state, event feed.
+
+    Created by :meth:`Client.subscribe`; ``state`` starts as the
+    decoded snapshot taken atomically with ``cursor``, and
+    :meth:`apply` keeps the pair consistent as events arrive.
+    """
+
+    def __init__(self, client: "Client", payload: dict):  # noqa: D107
+        self._client = client
+        self.id: str = payload["subscription"]
+        self.view: str = payload["view"]
+        self.aggregate: bool = bool(payload.get("aggregate"))
+        self.cursor: int = payload["cursor"]
+        self.ring_size: int = payload.get("ring_size", 0)
+        self.state: Dict[Tuple, object] = decode_table(
+            payload.get("snapshot") or {}
+        )
+
+    def apply(self, event: dict) -> None:
+        """Fold one decoded event into ``state`` and advance ``cursor``."""
+        apply_changefeed_event(self.state, event)
+        self.cursor = event["cursor"]
+
+    def events(
+        self,
+        decode: bool = True,
+        poll_wait: float = DEFAULT_POLL_WAIT,
+    ) -> Iterator[dict]:
+        """Iterate changefeed events from ``cursor``, forever.
+
+        Auto-detects the transport from the response Content-Type (SSE
+        on the async tier, JSON long-poll on the threaded tier) and
+        resumes from the last seen cursor when a connection drops.
+        Yields decoded events (``decode=False`` yields the raw wire
+        dicts and leaves ``apply`` to the caller's own decoder).
+        Terminates only by raising: :class:`UnknownSubscriptionError`
+        once the subscription is dropped (by ``close`` or server-side
+        eviction), or :class:`TransportError` when the server stays
+        unreachable past :data:`MAX_RECONNECTS` attempts.
+        """
+        failures = 0
+        while True:
+            path = "/v1/changefeed/{}?cursor={}&wait={}".format(
+                quote(self.id, safe=""), self.cursor, poll_wait
+            )
+            connection = HTTPConnection(
+                self._client.host,
+                self._client.port,
+                timeout=self._client.timeout,
+            )
+            try:
+                connection.request("GET", path)
+                response = connection.getresponse()
+            except (HTTPException, socket.timeout, OSError) as error:
+                connection.close()
+                failures += 1
+                if failures >= MAX_RECONNECTS:
+                    raise TransportError(
+                        "changefeed unreachable after {} attempts: {}".format(
+                            failures, error
+                        )
+                    )
+                continue
+            try:
+                if response.status >= 400:
+                    raise _raise_for(response.status, response.read())
+                failures = 0
+                content_type = response.getheader("Content-Type", "")
+                if "text/event-stream" in content_type:
+                    source = self._iter_sse(response)
+                else:
+                    source = self._iter_poll(response)
+                try:
+                    for payload in source:
+                        self.cursor = payload["cursor"]
+                        yield changefeed_event_from_dict(
+                            payload
+                        ) if decode else payload
+                except (
+                    HTTPException,
+                    socket.timeout,
+                    ConnectionError,
+                    OSError,
+                ):
+                    continue  # resume from self.cursor
+            finally:
+                connection.close()
+
+    @staticmethod
+    def _iter_sse(response: HTTPResponse) -> Iterator[dict]:
+        """Parse ``data:`` payloads off one held-open SSE response."""
+        buffer = b""
+        while True:
+            chunk = response.read1(65536)
+            if not chunk:
+                return  # server closed the stream (shutdown/eviction)
+            buffer += chunk
+            while b"\n\n" in buffer:
+                frame, buffer = buffer.split(b"\n\n", 1)
+                for line in frame.split(b"\n"):
+                    if line.startswith(b"data:"):
+                        yield json.loads(line[len(b"data:"):].strip())
+
+    @staticmethod
+    def _iter_poll(response: HTTPResponse) -> Iterator[dict]:
+        """Yield the events of one long-poll JSON response."""
+        payload = json.loads(response.read())
+        for event in payload.get("events", []):
+            yield event
+
+    def close(self) -> None:
+        """Drop the subscription server-side (idempotent)."""
+        try:
+            self._client.unsubscribe(self.id)
+        except UnknownSubscriptionError:
+            pass
+
+    def __repr__(self) -> str:
+        return "Subscription(id={!r}, view={!r}, cursor={})".format(
+            self.id, self.view, self.cursor
+        )
+
+
+class Client:
+    """A connection-reusing JSON client for one repro server.
+
+    One :class:`~http.client.HTTPConnection` is kept open across calls
+    (changefeeds use their own, since SSE holds a response forever); a
+    dropped keep-alive is re-dialed once per request before
+    :class:`TransportError` surfaces.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):  # noqa: D107
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str, body=None, _retry=True):
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        encoded = None
+        headers = {}
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._connection.request(method, path, body=encoded, headers=headers)
+            response = self._connection.getresponse()
+            data = response.read()
+        except (HTTPException, socket.timeout, OSError) as error:
+            self.close()
+            if _retry:  # stale keep-alive: re-dial once
+                return self._request(method, path, body, _retry=False)
+            raise TransportError(
+                "{} {} failed: {}".format(method, path, error)
+            )
+        if response.will_close:
+            self.close()
+        if response.status >= 400:
+            raise _raise_for(response.status, data)
+        return json.loads(data)
+
+    # -- the query surface ---------------------------------------------
+    def query(self, text: str, trace: bool = False) -> dict:
+        """``POST /v1/query``: evaluate one UCQ≠/aggregate query."""
+        path = "/v1/query?trace=1" if trace else "/v1/query"
+        return self._request("POST", path, {"query": text})
+
+    def batch(self, texts: List[str]) -> dict:
+        """``POST /v1/batch``: evaluate many queries in one round trip."""
+        return self._request("POST", "/v1/batch", {"queries": list(texts)})
+
+    def update(self, insert=None, delete=None, retag=None) -> dict:
+        """``POST /v1/update``: apply one delta batch."""
+        payload = {}
+        if insert:
+            payload["insert"] = insert
+        if delete:
+            payload["delete"] = delete
+        if retag:
+            payload["retag"] = retag
+        return self._request("POST", "/v1/update", payload)
+
+    def view(self, name: str, base: bool = False) -> dict:
+        """``GET /v1/views/<name>``: one materialized view, encoded."""
+        path = "/v1/views/{}".format(quote(name, safe=""))
+        if base:
+            path += "?base=1"
+        return self._request("GET", path)
+
+    def view_table(self, name: str, base: bool = False) -> Dict[Tuple, object]:
+        """Like :meth:`view`, decoded to ``{row: value}``."""
+        return decode_table(self.view(name, base=base))
+
+    def stats(self) -> dict:
+        """``GET /v1/stats``."""
+        return self._request("GET", "/v1/stats")
+
+    # -- continuous queries --------------------------------------------
+    def subscribe(
+        self,
+        view: Optional[str] = None,
+        query: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Subscription:
+        """``POST /v1/subscribe``: open a standing query.
+
+        Pass exactly one of ``view`` (attach to a served view) or
+        ``query`` (register rule text as a new maintained view;
+        ``name`` optionally names it).
+        """
+        payload: dict = {}
+        if view is not None:
+            payload["view"] = view
+        if query is not None:
+            payload["query"] = query
+            if name is not None:
+                payload["name"] = name
+        return Subscription(
+            self, self._request("POST", "/v1/subscribe", payload)
+        )
+
+    def unsubscribe(self, sub_id: str) -> dict:
+        """``DELETE /v1/changefeed/<id>``: drop a subscription."""
+        path = "/v1/changefeed/{}".format(quote(sub_id, safe=""))
+        return self._request("DELETE", path)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Close the reused connection (re-dialed lazily if used again)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "Client({}:{})".format(self.host, self.port)

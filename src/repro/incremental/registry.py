@@ -183,6 +183,8 @@ class ViewRegistry:
         self._bindings: Dict[str, Polynomial] = {}
         self._aggregates: Dict[str, Dict[Row, AggregateResult]] = {}
         self._dependents: Dict[str, Set[ViewTuple]] = {}
+        self._dynamic: Dict[str, AnyQuery] = {}
+        self._observers: List = []
         self._materialize()
 
     # ------------------------------------------------------------------
@@ -200,10 +202,15 @@ class ViewRegistry:
         working database), and the base-relation set.
         """
         from repro.io import aggregate_results_to_list, polynomial_to_list
+        from repro.query.printer import query_to_str
 
         return {
             "supply": self._supply.state(),
             "order": list(self._order),
+            "dynamic": {
+                name: query_to_str(query)
+                for name, query in sorted(self._dynamic.items())
+            },
             "aggregate_names": sorted(self._aggregate_names),
             "base_relations": sorted(self._base_relations),
             "bindings": {
@@ -246,6 +253,17 @@ class ViewRegistry:
         registry._config = config
         registry._engine = config.engine
         registry._program = dict(program)
+        # Views registered at runtime (``add_view``) travel in the
+        # snapshot as rule text — merge them back before the
+        # program-identity check, or recovery of a server that gained a
+        # subscription view would refuse its own snapshot.
+        from repro.query.parser import parse_query
+
+        registry._dynamic = {
+            name: parse_query(text)
+            for name, text in (state.get("dynamic") or {}).items()
+        }
+        registry._program.update(registry._dynamic)
         registry._order = dependency_order(registry._program)
         registry._aggregate_names = check_aggregates_terminal(registry._program)
         if list(state["order"]) != registry._order or sorted(
@@ -276,6 +294,7 @@ class ViewRegistry:
         registry._symbols = {}
         registry._aggregates = {}
         registry._dependents = {}
+        registry._observers = []
         for name in registry._order:
             if name in registry._aggregate_names:
                 groups = aggregate_results_from_list(state["aggregates"][name])
@@ -436,7 +455,11 @@ class ViewRegistry:
             # a long-lived refresh loop's change log stays bounded.
             self._session.refresh()
             self._db.prune_changes(self._db.version())
-        return MaintenanceReport(base=delta, changes=changes)
+        report = MaintenanceReport(base=delta, changes=changes)
+        version = self._db.version()
+        for observer in list(self._observers):
+            observer(version, report)
+        return report
 
     def _validate_annotations(self, delta: Delta) -> None:
         """Keep the working database abstractly tagged across the batch.
@@ -630,6 +653,88 @@ class ViewRegistry:
                     change.inserted[row] = extra
 
         return change
+
+    # ------------------------------------------------------------------
+    # Observers and dynamic views (the changefeed substrate)
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Call ``observer(version, report)`` after every :meth:`apply`.
+
+        The callback runs synchronously under whatever lock the caller
+        holds around :meth:`apply` (the serving tier holds its session
+        lock), so an observer sees reports in version order with no
+        gaps — exactly the ordering a changefeed cursor promises.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously added observer (missing ones ignored)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def add_view(self, name: str, query: AnyQuery) -> None:
+        """Register and materialize one view at runtime.
+
+        The new view may read base relations and existing plain views
+        (never aggregate views — those stay terminal), and nothing may
+        read *it* yet, so the existing materialized state is untouched:
+        the view is evaluated once at the current version and then
+        maintained like any other.  Dynamic views are recorded in
+        :meth:`materialized_state` as rule text so a durability
+        snapshot taken after this call recovers them.
+        """
+        if name in self._program or name in self._db.relations():
+            raise EvaluationError(
+                "view name {!r} clashes with an existing view or base "
+                "relation".format(name)
+            )
+        missing = query.relations() - self._db.relations()
+        if missing:
+            raise EvaluationError(
+                "view {!r} reads unknown relations: {}".format(
+                    name, sorted(missing)
+                )
+            )
+        candidate = dict(self._program)
+        candidate[name] = query
+        # Validates terminality (an aggregate view can never be read by
+        # the newcomer) and recursion-freedom before anything mutates.
+        aggregate_names = check_aggregates_terminal(candidate)
+        order = dependency_order(candidate)
+        self._program = candidate
+        self._aggregate_names = aggregate_names
+        self._order = order
+        self._dynamic[name] = query
+        if name in self._aggregate_names:
+            if self._session is not None:
+                results = self._session.evaluate_aggregate(query)
+            else:
+                results = evaluate_aggregate(query, self._db)
+            self._aggregates[name] = results
+            for row, result in results.items():
+                self._register_aggregate(name, row, result)
+        else:
+            self._views[name] = {}
+            self._symbols[name] = {}
+            self._db.declare_relation(name, query.arity)
+            if self._session is not None:
+                results = self._session.evaluate(query)
+            else:
+                results = evaluate(query, self._db)
+            for row, polynomial in sorted(
+                results.items(), key=lambda kv: repr(kv[0])
+            ):
+                self._install(name, row, polynomial)
+        if self._session is not None:
+            self._session.refresh()
+            self._db.prune_changes(self._db.version())
+
+    @property
+    def dynamic_views(self) -> Dict[str, AnyQuery]:
+        """Views registered at runtime via :meth:`add_view` (a copy)."""
+        return dict(self._dynamic)
 
     # ------------------------------------------------------------------
     # Inspection

@@ -387,6 +387,152 @@ def delta_to_dict(delta: Delta) -> dict:
 
 
 # ----------------------------------------------------------------------
+# View changes and changefeed events (the subscription wire format)
+# ----------------------------------------------------------------------
+def view_change_to_dict(change, aggregate: bool) -> dict:
+    """A JSON-ready representation of one per-view maintenance delta.
+
+    ``change`` is a :class:`~repro.incremental.registry.ViewChange`
+    (anything with ``inserted``/``deleted``/``updated`` mappings).
+    Plain views serialize rows with their polynomials and each dead row
+    with its retired symbol; aggregate views serialize ``N[X] ⊗ M``
+    groups and dead groups bare (terminal views retire no symbol).
+    """
+    if aggregate:
+        return {
+            "inserted": aggregate_results_to_list(change.inserted),
+            "deleted": [
+                {"group": list(row)}
+                for row in sorted(change.deleted, key=repr)
+            ],
+            "updated": aggregate_results_to_list(change.updated),
+        }
+    return {
+        "inserted": results_to_list(change.inserted),
+        "deleted": [
+            {"tuple": list(row), "symbol": change.deleted[row]}
+            for row in sorted(change.deleted, key=repr)
+        ],
+        "updated": results_to_list(change.updated),
+    }
+
+
+def view_change_from_dict(payload, aggregate: bool) -> dict:
+    """Inverse of :func:`view_change_to_dict` (as plain mappings).
+
+    Returns ``{"inserted": {row: value}, "deleted": {row: symbol},
+    "updated": {row: value}}`` where values are
+    :class:`~repro.semiring.polynomial.Polynomial` or
+    :class:`~repro.aggregate.result.AggregateResult` rows — everything
+    a client needs to replay the delta onto its copy of the view.
+    """
+    if not isinstance(payload, Mapping) or not isinstance(
+        payload.get("deleted"), list
+    ):
+        raise ReproError(
+            "view change payload needs 'inserted', 'deleted' and "
+            "'updated' keys, got {!r}".format(payload)
+        )
+    decode = aggregate_results_from_list if aggregate else results_from_list
+    key = "group" if aggregate else "tuple"
+    deleted: Dict[Row, str] = {}
+    for entry in payload["deleted"]:
+        if not isinstance(entry, Mapping) or not isinstance(
+            entry.get(key), list
+        ):
+            raise ReproError(
+                "each deleted view row needs a {!r} list, got {!r}".format(
+                    key, entry
+                )
+            )
+        deleted[tuple(entry[key])] = entry.get("symbol", "")
+    return {
+        "inserted": decode(payload.get("inserted", [])),
+        "deleted": deleted,
+        "updated": decode(payload.get("updated", [])),
+    }
+
+
+def changefeed_event_to_dict(
+    cursor: int, view: str, aggregate: bool, change=None, state=None
+) -> dict:
+    """One changefeed event: a per-version delta or a full reset.
+
+    Delta events (``change`` given) carry exactly what one
+    :meth:`ViewRegistry.apply` did to one view at one db version;
+    reset events (``state`` given) carry the whole materialized table
+    for consumers that fell off the replay ring.
+    """
+    payload = {"cursor": cursor, "view": view, "aggregate": bool(aggregate)}
+    if change is not None:
+        payload["event"] = "delta"
+        payload["changes"] = view_change_to_dict(change, aggregate)
+    else:
+        payload["event"] = "reset"
+        payload["state"] = (
+            aggregate_results_to_list(state)
+            if aggregate
+            else results_to_list(state)
+        )
+    return payload
+
+
+def changefeed_event_from_dict(payload) -> dict:
+    """Inverse of :func:`changefeed_event_to_dict` (decoded values).
+
+    The result mirrors the wire shape with ``changes`` (delta events)
+    decoded via :func:`view_change_from_dict` and ``state`` (reset
+    events) via the result-table codecs.
+    """
+    if (
+        not isinstance(payload, Mapping)
+        or not isinstance(payload.get("cursor"), int)
+        or not isinstance(payload.get("view"), str)
+        or payload.get("event") not in ("delta", "reset")
+    ):
+        raise ReproError(
+            "changefeed event needs 'cursor', 'view' and 'event' "
+            "(delta|reset) keys, got {!r}".format(payload)
+        )
+    aggregate = bool(payload.get("aggregate"))
+    event = {
+        "cursor": payload["cursor"],
+        "view": payload["view"],
+        "event": payload["event"],
+        "aggregate": aggregate,
+    }
+    if payload["event"] == "delta":
+        event["changes"] = view_change_from_dict(
+            payload.get("changes"), aggregate
+        )
+    else:
+        decode = aggregate_results_from_list if aggregate else results_from_list
+        event["state"] = decode(payload.get("state", []))
+    return event
+
+
+def apply_changefeed_event(state: Dict[Row, object], event: Mapping) -> None:
+    """Replay one decoded changefeed event onto a client-held table.
+
+    ``state`` maps rows to polynomials (plain views) or
+    :class:`~repro.aggregate.result.AggregateResult` rows (aggregate
+    views) — the shape :func:`results_from_list` and friends produce.
+    After replaying every event in cursor order, ``state`` equals the
+    server's ``read_view()`` at the last cursor — the differential
+    suite asserts it byte-for-byte through the encoders.
+    """
+    if event["event"] == "reset":
+        state.clear()
+        state.update(event["state"])
+        return
+    changes = event["changes"]
+    for row in changes["deleted"]:
+        state.pop(row, None)
+    state.update(changes["updated"])
+    state.update(changes["inserted"])
+
+
+# ----------------------------------------------------------------------
 # Whole sessions
 # ----------------------------------------------------------------------
 def dump_session(

@@ -26,7 +26,12 @@ Shared underneath either:
   futures for the loop).
 
 Responses are byte-identical across the two modes — the differential
-suite asserts it.
+suite asserts it.  The whole surface is additionally mounted under
+``/v1/`` (legacy paths answer identically with a ``Deprecation``
+header), and both tiers serve continuous queries via
+:class:`~repro.server.subscriptions.SubscriptionHub`:
+``POST /v1/subscribe`` + ``GET /v1/changefeed/<id>`` (SSE on the async
+tier, long-poll on the threaded tier).
 """
 
 from repro.server.app import (
@@ -37,13 +42,21 @@ from repro.server.app import (
     make_server,
 )
 from repro.server.cache import AsyncResultCache, ResultCache
+from repro.server.subscriptions import (
+    ChangefeedEvent,
+    Subscription,
+    SubscriptionHub,
+)
 
 __all__ = [
     "AsyncProvenanceServer",
     "AsyncResultCache",
+    "ChangefeedEvent",
     "ProvenanceServer",
     "ResultCache",
     "ServerState",
+    "Subscription",
+    "SubscriptionHub",
     "canonical_json",
     "encode_results",
     "make_server",

@@ -61,8 +61,11 @@ from repro.server.handlers import (
     MAX_BODY_BYTES,
     _flag,
     endpoint_label,
+    error_body,
     parse_json_body,
+    split_api_version,
 )
+from repro.server.subscriptions import SubscriptionError
 
 #: Keep-alive idle deadline (seconds): how long a connection may sit
 #: between requests before the server closes it.
@@ -76,6 +79,18 @@ DEFAULT_STREAM_THRESHOLD = 1 << 20
 
 #: How long graceful shutdown waits for in-flight requests to finish.
 DEFAULT_DRAIN_TIMEOUT = 5.0
+
+#: Idle SSE streams emit a comment frame this often: it keeps
+#: intermediaries from timing the stream out and doubles as a
+#: dead-client probe (the drain after it notices a vanished reader).
+SSE_HEARTBEAT = 15.0
+
+#: Write-buffer high-water mark while streaming SSE frames.  Kept small
+#: on purpose: a subscriber that stops reading makes ``drain()`` block
+#: almost immediately, so the eviction deadline (``request_timeout``)
+#: measures the *client's* sloth, not how long it takes to fill a
+#: multi-megabyte buffer.
+_SSE_WINDOW = 64 * 1024
 
 _MAX_LINE = 65536
 _MAX_HEADERS = 100
@@ -106,13 +121,29 @@ class _Backpressure(Exception):
 
 
 class _Request:
-    """One parsed request head (+ body, filled in by dispatch)."""
+    """One parsed request head (+ body, filled in by dispatch).
 
-    __slots__ = ("method", "path", "query_string", "headers", "version_11", "close")
+    ``path`` is the *effective* path — the ``/v1`` mount already
+    stripped (``v1`` records whether it was present, ``raw_path`` what
+    the client sent) — so routing and metrics labels are shared
+    verbatim with the threaded tier.
+    """
+
+    __slots__ = (
+        "method",
+        "path",
+        "raw_path",
+        "v1",
+        "query_string",
+        "headers",
+        "version_11",
+        "close",
+    )
 
     def __init__(self, method, path, query_string, headers, version_11, close):  # noqa: D107
         self.method = method
-        self.path = path
+        self.raw_path = path
+        self.v1, self.path = split_api_version(path)
         self.query_string = query_string
         self.headers = headers
         self.version_11 = version_11
@@ -453,6 +484,20 @@ class AsyncProvenanceServer:
         try:
             try:
                 raw = await self._read_body(reader, request)
+                if (
+                    request.method == "GET"
+                    and request.v1
+                    and request.path.startswith("/changefeed/")
+                ):
+                    # The SSE stream writes its own head and frames; it
+                    # never fits the (status, body) tuple shape below.
+                    # Resolution errors (unknown subscription, bad
+                    # cursor, no registry) raise out of _resolve and
+                    # land in the ordinary error machinery.
+                    subscription, cursor = self._resolve_changefeed(request)
+                    return await self._stream_changefeed(
+                        writer, request, started, subscription, cursor
+                    )
                 status, body, ctype, extra, must_close = await self._route(
                     request, raw
                 )
@@ -461,7 +506,7 @@ class AsyncProvenanceServer:
                 # the socket must never be reused.
                 status, body, ctype, extra, must_close = (
                     error.status,
-                    canonical_json({"error": error.message}),
+                    error_body(error.status, error.message, request.v1),
                     "application/json",
                     {},
                     True,
@@ -473,17 +518,29 @@ class AsyncProvenanceServer:
                 self._rejected.inc()
                 status, body, ctype, extra, must_close = (
                     503,
-                    canonical_json(
-                        {"error": "server is at capacity; retry shortly"}
+                    error_body(
+                        503,
+                        "server is at capacity; retry shortly",
+                        request.v1,
                     ),
                     "application/json",
                     {"Retry-After": "1"},
                     False,
                 )
+            except SubscriptionError as error:
+                status, body, ctype, extra, must_close = (
+                    error.status,
+                    error_body(
+                        error.status, str(error), request.v1, error.code
+                    ),
+                    "application/json",
+                    {},
+                    False,
+                )
             except ReproError as error:
                 status, body, ctype, extra, must_close = (
                     400,
-                    canonical_json({"error": str(error)}),
+                    error_body(400, str(error), request.v1),
                     "application/json",
                     {},
                     False,
@@ -495,14 +552,22 @@ class AsyncProvenanceServer:
             except Exception as error:  # pragma: no cover - defensive
                 status, body, ctype, extra, must_close = (
                     500,
-                    canonical_json(
-                        {"error": "{}: {}".format(type(error).__name__, error)}
+                    error_body(
+                        500,
+                        "{}: {}".format(type(error).__name__, error),
+                        request.v1,
                     ),
                     "application/json",
                     {},
                     False,
                 )
             close = close or must_close
+            if not request.v1:
+                extra = dict(extra)
+                extra["Deprecation"] = "true"
+                extra["Link"] = '</v1{}>; rel="successor-version"'.format(
+                    request.path
+                )
             # Observe BEFORE the body bytes go out: a client that reads
             # the response and immediately scrapes /metrics must find
             # this request already counted.
@@ -514,7 +579,7 @@ class AsyncProvenanceServer:
             _LOGGER.info(
                 "%s %s -> %d %.2fms%s",
                 request.method,
-                request.path,
+                request.raw_path,
                 status,
                 duration * 1e3,
                 " cache={}".format(outcome) if outcome else "",
@@ -577,24 +642,42 @@ class AsyncProvenanceServer:
         return (200, body, "application/json", {}, False)
 
     @staticmethod
-    def _err(status: int, message: str) -> Tuple:
-        return (status, canonical_json({"error": message}), "application/json", {}, False)
+    def _err(
+        request: _Request, status: int, message: str, code: str = None
+    ) -> Tuple:
+        return (
+            status,
+            error_body(status, message, request.v1, code),
+            "application/json",
+            {},
+            False,
+        )
 
     async def _route(self, request: _Request, raw: bytes) -> Tuple:
         state = self.state
         path = request.path
         if request.method == "POST":
+            if path == "/subscribe" and request.v1:
+                return await self._route_post(request, raw)
+            if path.startswith("/changefeed/") and request.v1:
+                return self._err(
+                    request, 405, "{} only accepts GET or DELETE".format(path)
+                )
             if path in _POST_PATHS:
                 return await self._route_post(request, raw)
             if path in _GET_PATHS or path.startswith("/views/"):
-                return self._err(405, "{} only accepts GET".format(path))
-            return self._err(404, "unknown path {}".format(path))
+                return self._err(
+                    request, 405, "{} only accepts GET".format(path)
+                )
+            return self._err(request, 404, "unknown path {}".format(path))
         if request.method == "GET":
             if path == "/stats":
                 return self._ok(canonical_json(state.stats()))
             if path == "/metrics":
                 if not state.metrics_enabled:
-                    return self._err(404, "metrics are disabled on this server")
+                    return self._err(
+                        request, 404, "metrics are disabled on this server"
+                    )
                 return (
                     200,
                     state.render_metrics().encode("utf-8"),
@@ -604,14 +687,40 @@ class AsyncProvenanceServer:
                 )
             if path == "/trace" or path.startswith("/views/"):
                 return await self._route_get(request, raw)
+            if path == "/subscribe" and request.v1:
+                return self._err(request, 405, "/subscribe only accepts POST")
             if path in _POST_PATHS:
-                return self._err(405, "{} only accepts POST".format(path))
-            return self._err(404, "unknown path {}".format(path))
-        return self._err(501, "unsupported method {}".format(request.method))
+                return self._err(
+                    request, 405, "{} only accepts POST".format(path)
+                )
+            return self._err(request, 404, "unknown path {}".format(path))
+        if request.method == "DELETE":
+            if path.startswith("/changefeed/") and request.v1:
+                sub_id = unquote(path[len("/changefeed/"):])
+                return self._ok(
+                    await self._offload(state.unsubscribe, sub_id)
+                )
+            known = (
+                path in _POST_PATHS
+                or path in _GET_PATHS
+                or path.startswith("/views/")
+                or (path == "/subscribe" and request.v1)
+            )
+            if known:
+                return self._err(
+                    request, 405, "{} does not accept DELETE".format(path)
+                )
+            return self._err(request, 404, "unknown path {}".format(path))
+        return self._err(
+            request, 501, "unsupported method {}".format(request.method)
+        )
 
     async def _route_post(self, request: _Request, raw: bytes) -> Tuple:
         state = self.state
         path = request.path
+        if path == "/subscribe":
+            payload = parse_json_body(raw)
+            return self._ok(await self._offload(state.subscribe, payload))
         if path == "/query":
             payload = parse_json_body(raw)
             if not isinstance(payload, dict) or not isinstance(
@@ -653,7 +762,140 @@ class AsyncProvenanceServer:
                 await self._offload(state.read_view, name, _flag(query, "base"))
             )
         except ReproError as error:
-            return self._err(404, str(error))
+            return self._err(request, 404, str(error))
+
+    # ------------------------------------------------------------------
+    # Changefeeds: SSE streaming (this tier's native push transport)
+    # ------------------------------------------------------------------
+    def _resolve_changefeed(self, request: _Request):
+        """Validate a ``GET /v1/changefeed/<id>`` before streaming.
+
+        Runs on the loop *before* any response bytes go out, so lookup
+        failures still travel the ordinary JSON error path (404 with
+        the v1 envelope) instead of dying mid-stream.
+        """
+        state = self.state
+        hub = state._require_hub()
+        sub_id = unquote(request.path[len("/changefeed/"):])
+        subscription = hub.get(sub_id)
+        cursor = subscription.created_cursor
+        values = parse_qs(request.query_string).get("cursor")
+        if values:
+            try:
+                cursor = int(values[-1])
+            except ValueError:
+                raise ReproError("cursor must be an integer")
+        return subscription, cursor
+
+    async def _stream_changefeed(
+        self, writer, request: _Request, started, subscription, cursor
+    ) -> bool:
+        """Stream one changefeed as Server-Sent Events until it dies.
+
+        The loop alternates two states: *pushing* (ring events past the
+        cursor go out as ``event:``/``id:``/``data:`` frames, each
+        followed by a ``drain()`` with the request deadline — a
+        consumer that cannot keep up is evicted, not buffered) and
+        *parked* (no qualifying events; the coroutine suspends on an
+        :class:`asyncio.Event` that a ``call_soon_threadsafe``
+        trampoline sets from the publishing thread, with a heartbeat
+        comment every :data:`SSE_HEARTBEAT` seconds).  While parked the
+        connection reports itself idle so graceful shutdown cancels it
+        instead of waiting out the drain deadline.  A cursor that fell
+        off the replay ring is answered with one ``reset`` event
+        carrying the full table; building it reads under the session
+        lock, so it runs on the executor — ungated, because resets are
+        bounded by the subscriber count, and shedding one here would
+        strand the consumer forever.
+        """
+        state = self.state
+        hub = state.hub
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+
+        def waker() -> None:
+            loop.call_soon_threadsafe(wake.set)
+
+        duration = perf_counter() - started
+        state.observe_request(
+            endpoint_label(request.path), request.method, 200, duration
+        )
+        _LOGGER.info(
+            "%s %s -> 200 %.2fms (sse stream opens)",
+            request.method,
+            request.raw_path,
+            duration * 1e3,
+        )
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Server: repro-prov\r\n"
+            "Date: {}\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n".format(formatdate(usegmt=True))
+        )
+        flags = self._connections.get(asyncio.current_task())
+        hub.add_waker(subscription, waker)
+        try:
+            writer.write(head.encode("latin-1"))
+            writer.transport.set_write_buffer_limits(high=_SSE_WINDOW)
+            await asyncio.wait_for(writer.drain(), self._request_timeout)
+            while True:
+                wake.clear()
+                events, needs_reset = hub.events_after(subscription, cursor)
+                if needs_reset:
+                    context = contextvars.copy_context()
+                    events = [
+                        await loop.run_in_executor(
+                            self._executor,
+                            partial(
+                                context.run,
+                                state.build_reset_event,
+                                subscription,
+                            ),
+                        )
+                    ]
+                if events:
+                    hub.record_delivered(len(events))
+                    for event in events:
+                        writer.write(event.sse())
+                        try:
+                            await asyncio.wait_for(
+                                writer.drain(), self._request_timeout
+                            )
+                        except asyncio.TimeoutError:
+                            hub.record_eviction()
+                            hub.unsubscribe(subscription.id)
+                            return False
+                        cursor = event.cursor
+                    continue
+                if (
+                    self._stopping
+                    or hub.closed
+                    or not hub.alive(subscription)
+                ):
+                    return False
+                if flags is not None:
+                    flags.busy = False  # parked: let shutdown cancel us
+                try:
+                    await asyncio.wait_for(wake.wait(), SSE_HEARTBEAT)
+                except asyncio.TimeoutError:
+                    writer.write(b": keep-alive\n\n")
+                    try:
+                        await asyncio.wait_for(
+                            writer.drain(), self._request_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        hub.record_eviction()
+                        hub.unsubscribe(subscription.id)
+                        return False
+                finally:
+                    if flags is not None:
+                        flags.busy = True
+        except ConnectionError:
+            return False
+        finally:
+            hub.remove_waker(subscription, waker)
 
     # ------------------------------------------------------------------
     # The serving core: async single-flight over off-loop engine work

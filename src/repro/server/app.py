@@ -62,6 +62,9 @@ SERVER_ENGINES = ("hashjoin", "sharded")
 #: Default LRU bound of the result cache.
 DEFAULT_CACHE_SIZE = 256
 
+#: Longest server-side long-poll wait the threaded changefeed honors.
+MAX_POLL_WAIT = 30.0
+
 
 def canonical_json(payload) -> bytes:
     """Serialize a response payload to canonical JSON bytes.
@@ -134,6 +137,8 @@ class ServerState:
         metrics: bool = True,
         data_dir: Optional[str] = None,
         snapshot_every: Optional[int] = None,
+        max_subscriptions: Optional[int] = None,
+        ring_size: Optional[int] = None,
     ):  # noqa: D107
         config = resolve_engine_config(
             config,
@@ -210,6 +215,29 @@ class ServerState:
                 self._registry,
                 self._session.intern_table.export_state(),
             )
+        self._hub = None
+        self._view_serial = 0
+        if self._registry is not None:
+            # Imported lazily: the subscriptions module imports this
+            # one for the canonical JSON codec.
+            from repro.server.subscriptions import (
+                DEFAULT_MAX_SUBSCRIPTIONS,
+                DEFAULT_RING_SIZE,
+                SubscriptionHub,
+            )
+
+            self._hub = SubscriptionHub(
+                max_subscriptions=(
+                    DEFAULT_MAX_SUBSCRIPTIONS
+                    if max_subscriptions is None
+                    else max_subscriptions
+                ),
+                ring_size=DEFAULT_RING_SIZE if ring_size is None else ring_size,
+                metrics=self._metrics,
+            )
+            # Fan-out runs inside apply_update's session-locked region,
+            # so every subscriber ring sees reports in version order.
+            self._registry.add_observer(self._hub.publish)
         self._cache = ResultCache(cache_size)
         self._counter_lock = threading.Lock()
         self._active = 0
@@ -274,9 +302,16 @@ class ServerState:
         """Is this server collecting metrics?"""
         return self._metrics.enabled
 
+    @property
+    def hub(self):
+        """The changefeed :class:`SubscriptionHub` (``None`` bare)."""
+        return self._hub
+
     def close(self) -> None:
         """Release the session (and registry) worker pools (idempotent)."""
         self._closed = True
+        if self._hub is not None:
+            self._hub.close()  # unblocks parked long-polls and streams
         if self._registry is not None:
             self._registry.close()
         self._session.close()
@@ -585,6 +620,172 @@ class ServerState:
         }
         return canonical_json(payload)
 
+    # ------------------------------------------------------------------
+    # Continuous queries (POST /v1/subscribe, GET /v1/changefeed/<id>)
+    # ------------------------------------------------------------------
+    def _require_hub(self):
+        if self._hub is None:
+            raise ReproError(
+                "subscriptions need maintained views; restart with "
+                "--program to front a ViewRegistry"
+            )
+        return self._hub
+
+    def _fresh_view_name(self) -> str:
+        """A view name for an anonymous subscription query."""
+        existing = set(self._registry.program) | self._registry.serving_db.relations()
+        while True:
+            self._view_serial += 1
+            candidate = "_sub_{}".format(self._view_serial)
+            if candidate not in existing:
+                return candidate
+
+    def subscribe(self, payload) -> bytes:
+        """Serve ``POST /v1/subscribe``: register a standing query.
+
+        The body names an existing view (``{"view": name}``) or
+        supplies a query to materialize (``{"query": text}``, optional
+        ``"name"``).  Everything happens under the session lock so the
+        returned ``snapshot`` + ``cursor`` are one atomic read: events
+        with cursors past the returned one apply cleanly on top of the
+        snapshot, with nothing lost in between.
+        """
+        from repro.server.subscriptions import UnknownViewError
+
+        hub = self._require_hub()
+        if not isinstance(payload, dict):
+            raise ReproError(
+                "POST /v1/subscribe expects {\"view\": name} or "
+                "{\"query\": \"<rule text>\"}"
+            )
+        view = payload.get("view")
+        text = payload.get("query")
+        if (view is None) == (text is None):
+            raise ReproError(
+                "POST /v1/subscribe expects exactly one of \"view\" "
+                "or \"query\""
+            )
+        with self._session.lock:
+            registry = self._registry
+            if text is not None:
+                if not isinstance(text, str):
+                    raise ReproError("\"query\" must be rule text")
+                name = payload.get("name")
+                if name is None:
+                    name = self._fresh_view_name()
+                elif not isinstance(name, str) or not name:
+                    raise ReproError("\"name\" must be a non-empty string")
+                query = parse_query(text)
+                registry.add_view(name, query)  # EvaluationError -> 400
+            else:
+                if not isinstance(view, str):
+                    raise ReproError("\"view\" must be a view name")
+                name = view
+                if name not in registry.program:
+                    raise UnknownViewError(
+                        "no view named {!r}; registry serves {}".format(
+                            name, sorted(registry.program)
+                        )
+                    )
+            cursor = registry.db_version()
+            aggregate = name in registry.aggregate_names
+            subscription = hub.subscribe(name, aggregate, cursor)
+            snapshot = encode_results(registry.read_view(name), aggregate)
+        return canonical_json(
+            {
+                "subscription": subscription.id,
+                "view": name,
+                "aggregate": aggregate,
+                "cursor": cursor,
+                "ring_size": hub.ring_size,
+                "snapshot": snapshot,
+            }
+        )
+
+    def unsubscribe(self, sub_id: str) -> bytes:
+        """Serve ``DELETE /v1/changefeed/<id>``."""
+        from repro.server.subscriptions import UnknownSubscriptionError
+
+        hub = self._require_hub()
+        if not hub.unsubscribe(sub_id):
+            raise UnknownSubscriptionError(
+                "no subscription {!r} (it may have been dropped)".format(
+                    sub_id
+                )
+            )
+        return canonical_json({"subscription": sub_id, "unsubscribed": True})
+
+    def build_reset_event(self, subscription):
+        """A full-snapshot ``reset`` event for a consumer off the ring.
+
+        Read under the session lock: the cursor is the version the
+        table was copied at, so deltas with later cursors (already in
+        the ring or yet to come) apply cleanly on top.
+        """
+        from repro.io import changefeed_event_to_dict
+        from repro.server.subscriptions import ChangefeedEvent
+
+        with self._session.lock:
+            state = self._registry.read_view(subscription.view)
+            version = self._registry.db_version()
+        self._hub.record_reset()
+        return ChangefeedEvent(
+            version,
+            subscription.view,
+            "reset",
+            changefeed_event_to_dict(
+                version, subscription.view, subscription.aggregate, state=state
+            ),
+        )
+
+    def changefeed_events(self, subscription, cursor: int):
+        """Ring events past ``cursor``, reset-aware (non-blocking).
+
+        The shared consumption step of both tiers: returns the
+        pre-encoded events to push, substituting one ``reset`` event
+        when the cursor fell off the replay ring.
+        """
+        events, needs_reset = self._hub.events_after(subscription, cursor)
+        if needs_reset:
+            events = [self.build_reset_event(subscription)]
+        if events:
+            self._hub.record_delivered(len(events))
+        return events
+
+    def changefeed_poll(
+        self, sub_id: str, cursor: Optional[int] = None, wait: float = 0.0
+    ) -> bytes:
+        """Serve the threaded tier's long-poll ``GET /v1/changefeed/<id>``.
+
+        Blocks server-side up to ``wait`` seconds (capped at
+        :data:`MAX_POLL_WAIT`) for events past ``cursor``, then answers
+        ``{"events": [...], "cursor": next}`` — an empty list on
+        timeout.  ``cursor`` defaults to the subscription's creation
+        cursor (replaying everything the ring holds).
+        """
+        hub = self._require_hub()
+        subscription = hub.get(sub_id)
+        if cursor is None:
+            cursor = subscription.created_cursor
+        if wait and wait > 0:
+            events, needs_reset = hub.wait_events(
+                subscription, cursor, min(float(wait), MAX_POLL_WAIT)
+            )
+        else:
+            events, needs_reset = hub.events_after(subscription, cursor)
+        if needs_reset:
+            events = [self.build_reset_event(subscription)]
+        if events:
+            hub.record_delivered(len(events))
+        return canonical_json(
+            {
+                "subscription": subscription.id,
+                "view": subscription.view,
+                "cursor": events[-1].cursor if events else cursor,
+                "events": [event.payload for event in events],
+            }
+        )
+
     def stats(self) -> dict:
         """The ``GET /stats`` payload: cache, request and session health."""
         with self._counter_lock:
@@ -608,6 +809,8 @@ class ServerState:
             }
         if self._registry is not None:
             payload["views"] = self._registry.order
+        if self._hub is not None:
+            payload["subscriptions"] = self._hub.stats()
         if self._store is not None:
             payload["durability"] = self._store.stats()
         return payload
@@ -683,6 +886,8 @@ def make_server(
     metrics: bool = True,
     data_dir: Optional[str] = None,
     snapshot_every: Optional[int] = None,
+    max_subscriptions: Optional[int] = None,
+    ring_size: Optional[int] = None,
     server_mode: Optional[str] = None,
     request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     idle_timeout: Optional[float] = None,
@@ -737,6 +942,8 @@ def make_server(
         metrics=metrics,
         data_dir=data_dir,
         snapshot_every=snapshot_every,
+        max_subscriptions=max_subscriptions,
+        ring_size=ring_size,
     )
     try:
         if state.config.server_mode == "async":

@@ -1,24 +1,39 @@
 """HTTP request handling for the provenance server.
 
-The endpoint surface (bodies JSON unless noted):
+The endpoint surface (bodies JSON unless noted), every route mounted
+both at its legacy path and under the versioned ``/v1`` prefix:
 
-======  ==================  ==============================================
-Method  Path                Body / response
-======  ==================  ==============================================
-POST    ``/query``          ``{"query": text}`` → annotated result table
-                            (``?trace=1`` wraps it with a span tree)
-POST    ``/batch``          ``{"queries": [text, ...]}`` → aligned tables
-POST    ``/update``         delta batch(es), the ``maintain`` file format
-GET     ``/views/<name>``   materialized view (``?base=1`` expands to base)
-GET     ``/stats``          cache / request / latency / session counters
-GET     ``/metrics``        Prometheus text exposition (404 when disabled)
-GET     ``/trace``          ``?query=<text>`` → result plus span tree
-======  ==================  ==============================================
+======  ========================  ========================================
+Method  Path                      Body / response
+======  ========================  ========================================
+POST    ``/v1/query``             ``{"query": text}`` → annotated result
+                                  table (``?trace=1`` adds a span tree)
+POST    ``/v1/batch``             ``{"queries": [text, ...]}`` → tables
+POST    ``/v1/update``            delta batch(es), the ``maintain`` format
+POST    ``/v1/subscribe``         ``{"view": name}`` or ``{"query": text}``
+                                  → subscription id + cursor + snapshot
+GET     ``/v1/changefeed/<id>``   pushed view deltas: SSE on the async
+                                  tier, long-poll (``?cursor=&wait=``) on
+                                  the threaded tier
+DELETE  ``/v1/changefeed/<id>``   drop the subscription
+GET     ``/v1/views/<name>``      materialized view (``?base=1`` expands)
+GET     ``/v1/stats``             cache / request / latency counters
+GET     ``/v1/metrics``           Prometheus exposition (404 if disabled)
+GET     ``/v1/trace``             ``?query=<text>`` → result + span tree
+======  ========================  ========================================
+
+Legacy unversioned paths keep serving byte-identical bodies (the
+30-seed differential asserts ``/query`` ≡ ``/v1/query``) but answer
+with a ``Deprecation`` header; the subscribe/changefeed endpoints are
+v1-only.
 
 Error contract: malformed requests (bad JSON, missing keys, query parse
-errors, invalid deltas) are 400s; unknown paths and unknown views are
-404s; method mismatches are 405s; everything else is a 500.  Every
-error body is ``{"error": message}``.
+errors, invalid deltas) are 400s; unknown paths, views and
+subscriptions are 404s; method mismatches are 405s; the subscription
+limit is a 429; everything else is a 500.  Legacy paths answer
+``{"error": message}`` exactly as before; ``/v1`` paths wrap every
+failure in the structured envelope ``{"error": {"code", "message",
+"detail"}}`` with a bounded machine-readable ``code``.
 
 Every finished request is folded into the server's metrics registry
 (count by endpoint/method/status, latency histogram by endpoint) and
@@ -41,6 +56,7 @@ from repro.errors import ReproError
 from repro.obs.metrics import EXPOSITION_CONTENT_TYPE
 from repro.server.app import canonical_json
 from repro.server.cache import last_outcome, reset_outcome
+from repro.server.subscriptions import SubscriptionError
 
 #: Paths that only accept POST (GETs get a 405 pointing at the verb).
 _POST_PATHS = ("/query", "/batch", "/update")
@@ -54,17 +70,69 @@ _GET_PATHS = ("/stats", "/metrics", "/trace")
 #: The bounded endpoint label set — every ``/views/<name>`` collapses to
 #: ``/views`` and unknown paths to ``other``, so a client scanning paths
 #: cannot inflate the metrics cardinality.
-_KNOWN_ENDPOINTS = frozenset(_POST_PATHS) | frozenset(_GET_PATHS)
+_KNOWN_ENDPOINTS = frozenset(_POST_PATHS) | frozenset(_GET_PATHS) | {"/subscribe"}
+
+#: Status → machine-readable error code of the ``/v1`` error envelope.
+#: The set is bounded and documented; anything unmapped is "error".
+ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    408: "timeout",
+    413: "payload_too_large",
+    429: "subscription_limit",
+    431: "headers_too_large",
+    500: "internal",
+    501: "not_implemented",
+    503: "capacity",
+    505: "http_version_unsupported",
+}
 
 _LOGGER = logging.getLogger("repro.server")
 
 
+def split_api_version(path: str):
+    """Strip the ``/v1`` mount: ``(is_v1, effective_path)``.
+
+    Both tiers route on the effective path, so every legacy endpoint is
+    automatically mounted under ``/v1`` with byte-identical bodies.
+    """
+    if path == "/v1":
+        return True, "/"
+    if path.startswith("/v1/"):
+        return True, path[len("/v1"):]
+    return False, path
+
+
+def error_body(status: int, message: str, v1: bool, code=None, detail=None) -> bytes:
+    """One error response body, shaped per API version.
+
+    Legacy paths keep the historical ``{"error": message}`` bytes;
+    ``/v1`` paths get the structured envelope with a bounded ``code``
+    (:data:`ERROR_CODES`) and an always-present ``detail`` (``null``
+    unless the route attached one).
+    """
+    if not v1:
+        return canonical_json({"error": message})
+    return canonical_json(
+        {
+            "error": {
+                "code": code or ERROR_CODES.get(status, "error"),
+                "message": message,
+                "detail": detail,
+            }
+        }
+    )
+
+
 def endpoint_label(path: str) -> str:
-    """The bounded metrics label for a request path."""
+    """The bounded metrics label for an (effective) request path."""
     if path in _KNOWN_ENDPOINTS:
         return path
     if path.startswith("/views/"):
         return "/views"
+    if path.startswith("/changefeed/"):
+        return "/changefeed"
     return "other"
 
 
@@ -124,11 +192,18 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if not getattr(self, "_v1", True):
+            # The unversioned surface still answers byte-identically,
+            # but every response advertises its successor.
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", '</v1{}>; rel="successor-version"'.format(self._path)
+            )
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, canonical_json({"error": message}))
+    def _error(self, status: int, message: str, code=None, detail=None) -> None:
+        self._send(status, error_body(status, message, self._v1, code, detail))
 
     def _read_body(self) -> bytes:
         """Consume the request body (every request, every route).
@@ -168,7 +243,7 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
         self._observed = True
         duration = perf_counter() - self._started
         self.server.state.observe_request(
-            endpoint_label(self._path), self._method, self._status, duration
+            endpoint_label(self._route_path), self._method, self._status, duration
         )
         outcome = last_outcome()
         _LOGGER.info(
@@ -184,6 +259,7 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
         """Time and account one request around its route function."""
         state = self.server.state
         self._path = urlsplit(self.path).path
+        self._v1, self._route_path = split_api_version(self._path)
         self._method = method
         self._status = 500
         self._observed = False
@@ -192,7 +268,7 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
         state.request_started()
         try:
             try:
-                route(state, self._path)
+                route(state, self._route_path)
             except socket.timeout:
                 # The client stalled mid-request (e.g. a promised body
                 # never arrived).  The body is undrained, so the socket
@@ -200,6 +276,8 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
                 # client is still there, just slow to *send*.
                 self.close_connection = True
                 self._error(408, "timed out reading the request body")
+            except SubscriptionError as error:
+                self._error(error.status, str(error), code=error.code)
             except ReproError as error:
                 self._error(400, str(error))
             except Exception as error:  # pragma: no cover - defensive
@@ -218,6 +296,23 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: D102
         self._handle("GET", self._route_get)
+
+    def do_DELETE(self) -> None:  # noqa: D102
+        self._handle("DELETE", self._route_delete)
+
+    @staticmethod
+    def _number_param(query: dict, name: str, cast):
+        values = query.get(name)
+        if not values:
+            return None
+        try:
+            return cast(values[-1])
+        except ValueError:
+            raise ReproError(
+                "query parameter {!r} must be a number, got {!r}".format(
+                    name, values[-1]
+                )
+            )
 
     def _route_post(self, state, path: str) -> None:
         raw = self._read_body()  # drained before ANY response
@@ -245,6 +340,10 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
             self._send(200, state.run_queries(texts))
         elif path == "/update":
             self._send(200, state.apply_update(self._parse_json(raw)))
+        elif path == "/subscribe" and self._v1:
+            self._send(200, state.subscribe(self._parse_json(raw)))
+        elif path.startswith("/changefeed/") and self._v1:
+            self._error(405, "{} only accepts GET or DELETE".format(path))
         elif path in _GET_PATHS or path.startswith("/views/"):
             self._error(405, "{} only accepts GET".format(path))
         else:
@@ -278,7 +377,33 @@ class ProvenanceRequestHandler(BaseHTTPRequestHandler):
                 self._send(200, state.read_view(name, base=base))
             except ReproError as error:
                 self._error(404, str(error))
+        elif path.startswith("/changefeed/") and self._v1:
+            # The threaded tier's changefeed is a long-poll: the server
+            # parks this handler thread up to ?wait= seconds and then
+            # answers the events past ?cursor= (possibly none).
+            sub_id = unquote(path[len("/changefeed/"):])
+            cursor = self._number_param(query, "cursor", int)
+            wait = self._number_param(query, "wait", float)
+            self._send(
+                200, state.changefeed_poll(sub_id, cursor, wait or 0.0)
+            )
+        elif path == "/subscribe" and self._v1:
+            self._error(405, "{} only accepts POST".format(path))
         elif path in _POST_PATHS:
             self._error(405, "{} only accepts POST".format(path))
+        else:
+            self._error(404, "unknown path {}".format(path))
+
+    def _route_delete(self, state, path: str) -> None:
+        self._read_body()  # keep-alive discipline, as for GET
+        if path.startswith("/changefeed/") and self._v1:
+            self._send(200, state.unsubscribe(unquote(path[len("/changefeed/"):])))
+        elif (
+            path in _POST_PATHS
+            or path in _GET_PATHS
+            or (path == "/subscribe" and self._v1)
+            or path.startswith("/views/")
+        ):
+            self._error(405, "{} does not accept DELETE".format(path))
         else:
             self._error(404, "unknown path {}".format(path))

@@ -1,0 +1,195 @@
+"""The ``repro.client`` library against live servers on both tiers.
+
+What must hold:
+
+* the v1 error envelope maps to the typed exception hierarchy (codes,
+  not string matching);
+* one connection is reused across calls, and a stale keep-alive is
+  re-dialed transparently exactly once;
+* ``Subscription.events()`` speaks both changefeed transports
+  (auto-detected), decodes events, and resumes across disconnects;
+* ``Subscription.apply`` keeps the locally replayed table equal to the
+  server's view.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.client import (
+    APIError,
+    BadRequestError,
+    Client,
+    NotFoundError,
+    SubscriptionLimitError,
+    TransportError,
+    UnknownSubscriptionError,
+    UnknownViewError,
+    _raise_for,
+)
+from repro.query.parser import parse_program
+from repro.server.app import canonical_json, encode_results
+
+from test_server import JOIN, serve, small_db
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+PROGRAM = "V(x, z) :- R(x, y), S(y, z)"
+
+
+@pytest.fixture(scope="module", params=["threaded", "async"])
+def served(request):
+    with serve(
+        small_db(), program=parse_program(PROGRAM), server_mode=request.param
+    ) as (server, raw_client):
+        client = Client(raw_client.host, raw_client.port, timeout=30)
+        try:
+            yield server, client
+        finally:
+            client.close()
+
+
+class TestErrorMapping:
+    def test_codes_map_to_typed_exceptions(self):
+        cases = {
+            "bad_request": BadRequestError,
+            "not_found": NotFoundError,
+            "unknown_view": UnknownViewError,
+            "unknown_subscription": UnknownSubscriptionError,
+            "subscription_limit": SubscriptionLimitError,
+        }
+        for code, cls in cases.items():
+            body = json.dumps(
+                {"error": {"code": code, "message": "m", "detail": None}}
+            ).encode()
+            error = _raise_for(400, body)
+            assert isinstance(error, cls)
+            assert (error.code, error.message) == (code, "m")
+
+    def test_unknown_code_falls_back_by_status(self):
+        body = json.dumps(
+            {"error": {"code": "novel", "message": "m", "detail": "d"}}
+        ).encode()
+        assert type(_raise_for(418, body)) is APIError
+        assert _raise_for(418, body).detail == "d"
+
+    def test_legacy_and_garbage_bodies_still_map(self):
+        legacy = _raise_for(404, b'{"error": "plain message"}')
+        assert isinstance(legacy, APIError)
+        assert legacy.message == "plain message"
+        garbage = _raise_for(500, b"not json at all")
+        assert garbage.message == "not json at all"
+
+
+class TestClientSurface:
+    def test_query_and_batch(self, served):
+        _server, client = served
+        payload = client.query(JOIN)
+        assert payload["kind"] == "polynomial" and payload["results"]
+        batch = client.batch([JOIN, JOIN])
+        assert batch["results"][0] == batch["results"][1]
+
+    def test_bad_query_raises_typed_400(self, served):
+        _server, client = served
+        with pytest.raises(BadRequestError) as excinfo:
+            client.query("this is not rule text")
+        assert excinfo.value.status == 400
+
+    def test_view_and_decoded_table(self, served):
+        _server, client = served
+        payload = client.view("V")
+        assert payload["view"] == "V"
+        table = client.view_table("V")
+        assert set(table) == {
+            tuple(entry["tuple"]) for entry in payload["results"]
+        }
+        with pytest.raises(NotFoundError):
+            client.view("nope")
+
+    def test_connection_is_reused(self, served):
+        _server, client = served
+        client.stats()
+        first = client._connection
+        assert first is not None
+        client.stats()
+        assert client._connection is first
+
+    def test_stale_keepalive_is_redialed_once(self, served):
+        _server, client = served
+        client.stats()
+        # Kill the socket under the reused connection: the next call
+        # must re-dial transparently instead of surfacing the error.
+        client._connection.sock.close()
+        assert "db_version" in client.stats()
+
+    def test_unreachable_server_raises_transport_error(self):
+        client = Client("127.0.0.1", 1, timeout=0.5)
+        with pytest.raises(TransportError):
+            client.stats()
+
+
+class TestClientSubscriptions:
+    def test_subscribe_decodes_snapshot(self, served):
+        _server, client = served
+        sub = client.subscribe(view="V")
+        try:
+            assert sub.view == "V" and not sub.aggregate
+            assert all(isinstance(row, tuple) for row in sub.state)
+        finally:
+            sub.close()
+
+    def test_unknown_view_raises(self, served):
+        _server, client = served
+        with pytest.raises(UnknownViewError):
+            client.subscribe(view="missing")
+
+    def test_events_follow_updates_and_replay_matches(self, served):
+        server, client = served
+        sub = client.subscribe(view="V")
+        got = []
+
+        def consume():
+            for event in sub.events(poll_wait=2.0):
+                sub.apply(event)
+                got.append(event)
+                if len(got) == 2:
+                    return
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        time.sleep(0.3)
+        try:
+            token = "cl%d" % time.monotonic_ns()
+            client.update(insert={"R": [["a", token]], "S": [[token, 1]]})
+            client.update(insert={"S": [[token, 2]]})
+            consumer.join(timeout=20)
+            assert len(got) == 2
+            cursors = [event["cursor"] for event in got]
+            assert cursors == sorted(cursors)
+            assert sub.cursor == cursors[-1]
+            direct = json.loads(server.state.read_view("V"))
+            assert canonical_json(
+                encode_results(sub.state, False)
+            ) == canonical_json(
+                {"kind": direct["kind"], "results": direct["results"]}
+            )
+        finally:
+            sub.close()
+
+    def test_events_raise_once_unsubscribed(self, served):
+        _server, client = served
+        sub = client.subscribe(view="V")
+        sub.close()
+        with pytest.raises(UnknownSubscriptionError):
+            next(sub.events())
+
+    def test_query_subscription_names_a_fresh_view(self, served):
+        _server, client = served
+        sub = client.subscribe(query="W(x) :- S(x, y)")
+        try:
+            assert sub.view.startswith("_sub_")
+            assert client.view(sub.view)["results"]
+        finally:
+            sub.close()

@@ -15,6 +15,7 @@ EXPECTED_FRAGMENTS = {
     "crash_recovery.py": "Recovered responses byte-identical after SIGKILL: True",
     "engine_comparison.py": "Engines agree polynomial-for-polynomial: True",
     "incremental_maintenance.py": "audit vs full re-evaluation: ok",
+    "live_dashboard.py": "Dashboard replay matches the served view byte-for-byte: True",
     "quickstart.py": "p-minimal equivalent found by MinProv",
     "serve_and_query.py": "Server round-trip agrees with in-process evaluation: True",
     "sharded_batch.py": "Sharded batch agrees with the hash-join engine: True",

@@ -1051,3 +1051,124 @@ class TestRequestLogging:
                 if record.getMessage().startswith("POST /query")
             )
             assert "cache=hit" in line
+
+
+# ----------------------------------------------------------------------
+# The versioned /v1 mount and the structured error envelope
+# ----------------------------------------------------------------------
+class TestVersionedRoutes:
+    """/v1/<path> serves byte-identical success bodies to <path>; the
+    legacy mount additionally signals its deprecation via headers."""
+
+    def request_with_headers(self, client, method, path, body=None):
+        conn = HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request(
+                method, path, body=None if body is None else json.dumps(body)
+            )
+            response = conn.getresponse()
+            return response.status, response.read(), dict(response.getheaders())
+        finally:
+            conn.close()
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_query_byte_identical_across_mounts(self, seed):
+        db = random_database(
+            {"R": 2, "S": 2}, list(range(8)), n_facts=40, seed=seed
+        )
+        with serve(db) as (_server, client):
+            text = JOIN if seed % 2 == 0 else AGG_SUM
+            status_legacy, legacy = client.post("/query", {"query": text})
+            status_v1, v1 = client.post("/v1/query", {"query": text})
+            assert status_legacy == status_v1 == 200
+            assert legacy == v1
+
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_every_endpoint_is_mounted_under_v1(self, mode):
+        with serve(small_db(), server_mode=mode) as (_server, client):
+            for method, path, body in (
+                ("POST", "/query", {"query": JOIN}),
+                ("POST", "/batch", {"queries": [JOIN]}),
+                ("POST", "/update", {"insert": {"R": [["q", "r"]]}}),
+                ("GET", "/stats", None),
+                ("GET", "/metrics", None),
+            ):
+                status_legacy, legacy = client.request(method, path, body)
+                status_v1, v1 = client.request(method, "/v1" + path, body)
+                assert status_legacy == status_v1 == 200, (mode, path)
+                if path not in ("/update", "/stats", "/metrics"):
+                    # (update bumps the version between the two calls;
+                    # stats/metrics report changing counters)
+                    assert legacy == v1, (mode, path)
+
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_legacy_mount_carries_deprecation_headers(self, mode):
+        with serve(small_db(), server_mode=mode) as (_server, client):
+            _status, _body, headers = self.request_with_headers(
+                client, "POST", "/query", {"query": JOIN}
+            )
+            assert headers.get("Deprecation") == "true"
+            assert headers.get("Link") == '</v1/query>; rel="successor-version"'
+            _status, _body, headers = self.request_with_headers(
+                client, "POST", "/v1/query", {"query": JOIN}
+            )
+            assert "Deprecation" not in headers
+            assert "Link" not in headers
+
+    def test_bare_v1_is_the_root(self):
+        with serve(small_db()) as (_server, client):
+            status, payload = client.json("GET", "/v1/nope")
+            assert status == 404
+            assert payload["error"]["message"] == "unknown path /nope"
+
+
+class TestErrorEnvelope:
+    """Every v1 4xx/5xx answers ``{"error": {code, message, detail}}``
+    on BOTH tiers; the legacy mount keeps ``{"error": "<message>"}``."""
+
+    @pytest.fixture(scope="class", params=["threaded", "async"])
+    def served(self, request):
+        with serve(small_db(), server_mode=request.param) as pair:
+            yield pair
+
+    def assert_envelope(self, payload, code):
+        envelope = payload["error"]
+        assert set(envelope) == {"code", "message", "detail"}
+        assert envelope["code"] == code
+        assert isinstance(envelope["message"], str) and envelope["message"]
+
+    def test_unknown_path(self, served):
+        _server, client = served
+        status, payload = client.json("GET", "/v1/missing")
+        assert status == 404
+        self.assert_envelope(payload, "not_found")
+        status, payload = client.json("GET", "/missing")
+        assert status == 404
+        assert payload == {"error": "unknown path /missing"}
+
+    def test_bad_request(self, served):
+        _server, client = served
+        status, payload = client.json("POST", "/v1/query", {"query": 7})
+        assert status == 400
+        self.assert_envelope(payload, "bad_request")
+        status, payload = client.json("POST", "/query", {"query": 7})
+        assert status == 400
+        assert isinstance(payload["error"], str)
+
+    def test_method_not_allowed(self, served):
+        _server, client = served
+        status, payload = client.json("GET", "/v1/query")
+        assert status == 405
+        self.assert_envelope(payload, "method_not_allowed")
+
+    def test_unknown_view_read(self, served):
+        _server, client = served
+        status, payload = client.json("GET", "/v1/views/ghost")
+        assert status == 404
+        self.assert_envelope(payload, "not_found")
+
+    def test_delete_on_non_changefeed(self, served):
+        _server, client = served
+        status, payload = client.json("DELETE", "/v1/query")
+        assert status == 405
+        self.assert_envelope(payload, "method_not_allowed")

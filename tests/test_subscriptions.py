@@ -1,0 +1,558 @@
+"""Continuous queries: the subscription hub and both changefeed tiers.
+
+The load-bearing claims:
+
+* **encode-once fan-out** — one maintenance report becomes one
+  :class:`ChangefeedEvent` per touched view, shared (the same object)
+  by every subscriber's ring;
+* **cursor contract** — resuming with a cursor the ring still covers
+  replays exactly the missed events; resuming from below the replay
+  watermark yields one ``reset`` carrying the full table;
+* **replay fidelity** — folding the pushed deltas into the decoded
+  snapshot reproduces ``read_view()`` byte-for-byte through the
+  encoders, at every version, on seeded random databases, on both
+  serving tiers;
+* **liveness** — a subscriber that stops draining its SSE stream is
+  evicted (counted), never buffered unboundedly.
+"""
+
+import json
+import socket
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.db.generators import random_database
+from repro.db.instance import AnnotatedDatabase
+from repro.incremental.delta import Delta
+from repro.incremental.registry import ViewRegistry
+from repro.io import apply_changefeed_event, changefeed_event_from_dict
+from repro.query.parser import parse_program
+from repro.server.app import canonical_json, encode_results
+from repro.server.subscriptions import (
+    ChangefeedEvent,
+    SubscriptionError,
+    SubscriptionHub,
+    SubscriptionLimitError,
+    UnknownSubscriptionError,
+)
+
+from test_server import Client, serve, small_db
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+PROGRAM = "V(x, z) :- R(x, y), S(y, z)"
+
+
+def registry_db():
+    return AnnotatedDatabase.from_rows(
+        {"R": [("a", "b"), ("b", "c"), ("c", "a")], "S": [("b", 1), ("c", 2)]}
+    )
+
+
+def served_registry(**kwargs):
+    return serve(registry_db(), program=parse_program(PROGRAM), **kwargs)
+
+
+def read_events(client, sub_id, cursor, n, mode, timeout=15):
+    """Collect ``n`` changefeed events past ``cursor``, tier-aware.
+
+    The threaded tier long-polls (each call is its own connection, so
+    every iteration is also a disconnect + resume); the async tier
+    streams SSE frames off one held-open response.  Returns
+    ``(events, cursor)`` with the raw wire payload dicts.
+    """
+    events = []
+    if mode == "threaded":
+        deadline = time.time() + timeout
+        while len(events) < n and time.time() < deadline:
+            status, poll = client.json(
+                "GET",
+                "/v1/changefeed/{}?cursor={}&wait=5".format(sub_id, cursor),
+            )
+            assert status == 200
+            events.extend(poll["events"])
+            cursor = poll["cursor"]
+        return events, cursor
+    conn = HTTPConnection(client.host, client.port, timeout=timeout)
+    try:
+        conn.request(
+            "GET", "/v1/changefeed/{}?cursor={}".format(sub_id, cursor)
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "text/event-stream"
+        buffer = b""
+        while len(events) < n:
+            chunk = response.read1(65536)
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n\n" in buffer:
+                frame, buffer = buffer.split(b"\n\n", 1)
+                for line in frame.split(b"\n"):
+                    if line.startswith(b"data:"):
+                        events.append(json.loads(line[5:]))
+    finally:
+        conn.close()
+    return events, events[-1]["cursor"] if events else cursor
+
+
+# ----------------------------------------------------------------------
+# The hub itself (driven by a real registry, no HTTP)
+# ----------------------------------------------------------------------
+class TestSubscriptionHub:
+    def make(self, **kwargs):
+        db = registry_db()
+        registry = ViewRegistry(parse_program(PROGRAM), db)
+        hub = SubscriptionHub(**kwargs)
+        registry.add_observer(hub.publish)
+        return registry, hub
+
+    def test_limit_is_enforced(self):
+        _registry, hub = self.make(max_subscriptions=2)
+        hub.subscribe("V", False, 0)
+        hub.subscribe("V", False, 0)
+        with pytest.raises(SubscriptionLimitError):
+            hub.subscribe("V", False, 0)
+
+    def test_unsubscribe_frees_a_slot(self):
+        _registry, hub = self.make(max_subscriptions=1)
+        sub = hub.subscribe("V", False, 0)
+        assert hub.unsubscribe(sub.id) is True
+        assert hub.unsubscribe(sub.id) is False  # idempotent
+        hub.subscribe("V", False, 0)  # the slot is free again
+
+    def test_get_unknown_raises_typed(self):
+        _registry, hub = self.make()
+        with pytest.raises(UnknownSubscriptionError):
+            hub.get("sub-00000042")
+
+    def test_publish_encodes_once_and_shares(self):
+        registry, hub = self.make()
+        cursor = registry.db_version()
+        first = hub.subscribe("V", False, cursor)
+        second = hub.subscribe("V", False, cursor)
+        registry.apply(Delta(inserts=[("R", ("a", "z")), ("S", ("z", 9))]))
+        assert len(first.ring) == len(second.ring) == 1
+        assert first.ring[0] is second.ring[0]  # shared, not re-encoded
+        event = first.ring[0]
+        assert event.kind == "delta"
+        assert event.cursor == registry.db_version()
+        assert event.payload["view"] == "V"
+
+    def test_untouched_views_publish_nothing(self):
+        registry, hub = self.make()
+        sub = hub.subscribe("V", False, registry.db_version())
+        # Touches R but joins against no S tuple: V does not change.
+        registry.apply(Delta(inserts=[("R", ("q", "q"))]))
+        assert len(sub.ring) == 0
+
+    def test_events_after_and_ring_overflow(self):
+        registry, hub = self.make(ring_size=3)
+        created = registry.db_version()
+        sub = hub.subscribe("V", False, created)
+        for i in range(5):
+            registry.apply(
+                Delta(inserts=[("R", ("a", "k%d" % i)), ("S", ("k%d" % i, i))])
+            )
+        events, needs_reset = hub.events_after(sub, sub.last_cursor)
+        assert (events, needs_reset) == ([], False)
+        # The ring kept the newest 3; the creation cursor fell off it.
+        assert len(sub.ring) == 3
+        _events, needs_reset = hub.events_after(sub, created)
+        assert needs_reset
+        # A cursor at the watermark replays the whole ring, in order.
+        events, needs_reset = hub.events_after(sub, sub.base_cursor)
+        assert not needs_reset
+        cursors = [event.cursor for event in events]
+        assert cursors == sorted(cursors) and len(events) == 3
+
+    def test_wait_events_wakes_on_publish(self):
+        registry, hub = self.make()
+        sub = hub.subscribe("V", False, registry.db_version())
+        results = []
+
+        def wait():
+            results.append(hub.wait_events(sub, sub.created_cursor, 10.0))
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        time.sleep(0.05)
+        registry.apply(Delta(inserts=[("R", ("a", "z")), ("S", ("z", 9))]))
+        waiter.join(timeout=10)
+        events, needs_reset = results[0]
+        assert not needs_reset and len(events) == 1
+
+    def test_wakers_fire_on_publish_and_unsubscribe(self):
+        registry, hub = self.make()
+        sub = hub.subscribe("V", False, registry.db_version())
+        fired = []
+        hub.add_waker(sub, lambda: fired.append("wake"))
+        registry.apply(Delta(inserts=[("R", ("a", "z")), ("S", ("z", 9))]))
+        assert fired == ["wake"]
+        hub.unsubscribe(sub.id)
+        assert fired == ["wake", "wake"]
+
+    def test_sse_frame_shape(self):
+        event = ChangefeedEvent(7, "V", "delta", {"cursor": 7, "view": "V"})
+        frame = event.sse()
+        assert frame.startswith(b"event: delta\nid: 7\ndata: ")
+        assert frame.endswith(b"\n\n")
+        data = frame.split(b"data: ", 1)[1].strip()
+        assert json.loads(data) == {"cursor": 7, "view": "V"}
+
+    def test_close_refuses_new_subscriptions(self):
+        _registry, hub = self.make()
+        hub.close()
+        assert hub.closed
+        with pytest.raises(SubscriptionError):
+            hub.subscribe("V", False, 0)
+
+
+# ----------------------------------------------------------------------
+# The HTTP surface, on both tiers
+# ----------------------------------------------------------------------
+class TestChangefeedProtocol:
+    @pytest.fixture(scope="class", params=["threaded", "async"])
+    def served(self, request):
+        with served_registry(server_mode=request.param) as pair:
+            yield pair + (request.param,)
+
+    def test_subscribe_requires_registry(self):
+        with serve(small_db()) as (_server, client):
+            status, payload = client.json(
+                "POST", "/v1/subscribe", {"view": "V"}
+            )
+            assert status == 400
+            assert "maintained views" in payload["error"]["message"]
+
+    def test_subscribe_unknown_view_is_404(self, served):
+        _server, client, _mode = served
+        status, payload = client.json(
+            "POST", "/v1/subscribe", {"view": "nope"}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_view"
+
+    def test_subscribe_wants_exactly_one_of_view_or_query(self, served):
+        _server, client, _mode = served
+        for body in ({}, {"view": "V", "query": PROGRAM}):
+            status, payload = client.json("POST", "/v1/subscribe", body)
+            assert status == 400
+            assert "exactly one" in payload["error"]["message"]
+
+    def test_lifecycle_snapshot_delta_unsubscribe(self, served):
+        server, client, mode = served
+        status, sub = client.json("POST", "/v1/subscribe", {"view": "V"})
+        assert status == 200
+        assert sub["view"] == "V" and not sub["aggregate"]
+        assert sub["snapshot"]["kind"] == "polynomial"
+        try:
+            status, update = client.json(
+                "POST",
+                "/v1/update",
+                {"insert": {"R": [["a", "z"]], "S": [["z", 9]]}},
+            )
+            assert status == 200
+            events, cursor = read_events(
+                client, sub["subscription"], sub["cursor"], 1, mode
+            )
+            assert [e["event"] for e in events] == ["delta"]
+            assert cursor == update["version"]
+            stats = server.state.stats()["subscriptions"]
+            assert stats["active"] >= 1
+        finally:
+            status, gone = client.json(
+                "DELETE", "/v1/changefeed/" + sub["subscription"]
+            )
+            assert status == 200 and gone["unsubscribed"]
+        status, payload = client.json(
+            "GET", "/v1/changefeed/" + sub["subscription"]
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_subscription"
+
+    def test_query_subscription_registers_a_view(self, served):
+        _server, client, _mode = served
+        status, sub = client.json(
+            "POST",
+            "/v1/subscribe",
+            {"query": "W(x) :- R(x, y)", "name": "W_probe"},
+        )
+        assert status == 200 and sub["view"] == "W_probe"
+        try:
+            status, view = client.json("GET", "/v1/views/W_probe")
+            assert status == 200
+            assert view["results"]
+        finally:
+            client.request(
+                "DELETE", "/v1/changefeed/" + sub["subscription"]
+            )
+
+    def test_changefeed_rejects_post(self, served):
+        _server, client, _mode = served
+        status, payload = client.json("POST", "/v1/changefeed/sub-x", {})
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_legacy_paths_do_not_exist(self, served):
+        """The subscription surface is v1-only by design."""
+        _server, client, _mode = served
+        status, payload = client.json("POST", "/subscribe", {"view": "V"})
+        assert status == 404
+        assert payload["error"] == "unknown path /subscribe"
+
+
+class TestResumeAndReset:
+    @pytest.fixture(scope="class", params=["threaded", "async"])
+    def mode(self, request):
+        return request.param
+
+    def test_resume_from_cursor_replays_only_missed(self, mode):
+        with served_registry(server_mode=mode) as (_server, client):
+            _status, sub = client.json(
+                "POST", "/v1/subscribe", {"view": "V"}
+            )
+            cursor = sub["cursor"]
+            seen = []
+            for i in range(3):
+                client.json(
+                    "POST",
+                    "/v1/update",
+                    {"insert": {"R": [["a", "k%d" % i]], "S": [["k%d" % i, i]]}},
+                )
+                # Each read opens its own connection: every iteration
+                # is a disconnect + resume from the last seen cursor.
+                events, cursor = read_events(
+                    client, sub["subscription"], cursor, 1, mode
+                )
+                assert len(events) == 1, events
+                seen.append(cursor)
+            assert seen == sorted(seen)
+            # Resuming from the start replays all three, in order.
+            events, _cursor = read_events(
+                client, sub["subscription"], sub["cursor"], 3, mode
+            )
+            assert [e["cursor"] for e in events] == seen
+
+    def test_ring_overflow_forces_reset(self, mode):
+        with served_registry(server_mode=mode, ring_size=2) as pair:
+            server, client = pair
+            _status, sub = client.json(
+                "POST", "/v1/subscribe", {"view": "V"}
+            )
+            for i in range(5):
+                client.json(
+                    "POST",
+                    "/v1/update",
+                    {"insert": {"R": [["a", "r%d" % i]], "S": [["r%d" % i, i]]}},
+                )
+            events, _cursor = read_events(
+                client, sub["subscription"], sub["cursor"], 1, mode
+            )
+            assert events[0]["event"] == "reset"
+            reset = events[0]
+            # The reset carries the full table: decoding it equals the
+            # served view, byte for byte through the encoders.
+            state = {}
+            apply_changefeed_event(
+                state, changefeed_event_from_dict(reset)
+            )
+            direct = server.state.read_view("V")
+            assert canonical_json(
+                encode_results(state, False)
+            ) == canonical_json(
+                {
+                    key: value
+                    for key, value in json.loads(direct).items()
+                    if key in ("kind", "results")
+                }
+            )
+            assert server.state.stats()["subscriptions"]["resets"] >= 1
+
+    def test_differential_replay_reconstructs_every_version(self, mode):
+        """The acceptance check: concatenated deltas == read_view()."""
+        for seed in (3, 11):
+            db = random_database(
+                {"R": 2, "S": 2}, list(range(6)), n_facts=25, seed=seed
+            )
+            program = parse_program(PROGRAM)
+            with serve(db, program=program, server_mode=mode) as pair:
+                server, client = pair
+                _status, sub = client.json(
+                    "POST", "/v1/subscribe", {"view": "V"}
+                )
+                state = {}
+                apply_changefeed_event(
+                    state,
+                    changefeed_event_from_dict(
+                        {
+                            "cursor": sub["cursor"],
+                            "view": "V",
+                            "aggregate": False,
+                            "event": "reset",
+                            "state": sub["snapshot"]["results"],
+                        }
+                    ),
+                )
+                cursor = sub["cursor"]
+                for step in range(4):
+                    token = "seed%d_%d" % (seed, step)
+                    client.json(
+                        "POST",
+                        "/v1/update",
+                        {
+                            "insert": {
+                                "R": [[step, token]],
+                                "S": [[token, step]],
+                            }
+                        },
+                    )
+                    events, cursor = read_events(
+                        client, sub["subscription"], cursor, 1, mode
+                    )
+                    for event in events:
+                        apply_changefeed_event(
+                            state, changefeed_event_from_dict(event)
+                        )
+                    served_view = json.loads(server.state.read_view("V"))
+                    assert canonical_json(
+                        encode_results(state, False)
+                    ) == canonical_json(
+                        {
+                            "kind": served_view["kind"],
+                            "results": served_view["results"],
+                        }
+                    ), (mode, seed, step)
+                    assert cursor == served_view["version"]
+
+
+class TestFanOut:
+    def test_every_subscriber_sees_every_event_once_in_order(self):
+        """A compact version of the smoke harness's 200-subscriber run."""
+        subscriber_count, updates = 16, 4
+        with served_registry(server_mode="async") as (_server, client):
+            subs = []
+            for _ in range(subscriber_count):
+                _status, sub = client.json(
+                    "POST", "/v1/subscribe", {"view": "V"}
+                )
+                subs.append(sub)
+            received = {sub["subscription"]: [] for sub in subs}
+            stop = threading.Event()
+
+            def follow(sub):
+                conn = HTTPConnection(
+                    client.host, client.port, timeout=30
+                )
+                try:
+                    conn.request(
+                        "GET",
+                        "/v1/changefeed/{}?cursor={}".format(
+                            sub["subscription"], sub["cursor"]
+                        ),
+                    )
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    buffer = b""
+                    bucket = received[sub["subscription"]]
+                    while len(bucket) < updates and not stop.is_set():
+                        chunk = response.read1(65536)
+                        if not chunk:
+                            break
+                        buffer += chunk
+                        while b"\n\n" in buffer:
+                            frame, buffer = buffer.split(b"\n\n", 1)
+                            for line in frame.split(b"\n"):
+                                if line.startswith(b"data:"):
+                                    bucket.append(json.loads(line[5:]))
+                finally:
+                    conn.close()
+
+            threads = [
+                threading.Thread(target=follow, args=(sub,), daemon=True)
+                for sub in subs
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            versions = []
+            for i in range(updates):
+                _status, update = client.json(
+                    "POST",
+                    "/v1/update",
+                    {"insert": {"R": [["a", "f%d" % i]], "S": [["f%d" % i, i]]}},
+                )
+                versions.append(update["version"])
+            deadline = time.time() + 20
+            while time.time() < deadline and any(
+                len(bucket) < updates for bucket in received.values()
+            ):
+                time.sleep(0.05)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            for sub_id, bucket in received.items():
+                cursors = [event["cursor"] for event in bucket]
+                assert cursors == versions, sub_id  # exactly once, in order
+
+
+class TestSlowConsumerEviction:
+    def test_stalled_sse_reader_is_evicted(self):
+        with served_registry(
+            server_mode="async", request_timeout=0.5
+        ) as (server, client):
+            _status, sub = client.json(
+                "POST", "/v1/subscribe", {"view": "V"}
+            )
+            # A raw socket with a tiny receive buffer that never reads:
+            # the server's drain() must stall and cut the consumer loose.
+            # (The buffer must shrink BEFORE connect so the advertised
+            # TCP window is small from the handshake on.)
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+                sock.settimeout(30)
+                sock.connect((client.host, client.port))
+                sock.sendall(
+                    "GET /v1/changefeed/{}?cursor={} HTTP/1.1\r\n"
+                    "Host: x\r\n\r\n".format(
+                        sub["subscription"], sub["cursor"]
+                    ).encode("ascii")
+                )
+                time.sleep(0.2)
+                # Big deltas (many rows joining to many rows) overflow
+                # the write window while the reader sits on its hands.
+                rows = [["bulk", "x%04d" % i] for i in range(1500)]
+                for round_no in range(12):
+                    client.json(
+                        "POST",
+                        "/v1/update",
+                        {
+                            "insert": {
+                                "R": [["a", "b%d" % round_no]],
+                                "S": [["b%d" % round_no, row[1]] for row in rows],
+                            }
+                        },
+                    )
+                    stats = server.state.stats()["subscriptions"]
+                    if stats["evictions"] >= 1:
+                        break
+                    time.sleep(0.3)
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    stats = server.state.stats()["subscriptions"]
+                    if stats["evictions"] >= 1:
+                        break
+                    time.sleep(0.1)
+                assert stats["evictions"] >= 1
+                # Eviction also dropped the subscription itself.
+                status, _payload = client.json(
+                    "GET", "/v1/changefeed/" + sub["subscription"]
+                )
+                assert status == 404
+            finally:
+                sock.close()
